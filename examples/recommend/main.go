@@ -1,0 +1,58 @@
+// Recommend: task T5 — skyline data discovery for graph data. The
+// source is a bipartite user–item interaction graph represented as an
+// edge table; Augment and Reduct become edge insertions and deletions
+// (Section 6). A LightGCN-style link scorer is evaluated on ranking
+// measures P5 = {P@5, P@10, R@5, R@10, NDCG@5, NDCG@10}, and DivMODis
+// generates a diversified skyline of interaction subgraphs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+func main() {
+	w := datagen.T5Link(datagen.T5Config{
+		Users:        40,
+		Items:        40,
+		Communities:  4,
+		EdgesPerUser: 8,
+		NoiseFrac:    0.5,
+	})
+	fmt.Printf("interaction graph: %d edges (%d columns per edge)\n",
+		w.Lake.Universal.NumRows(), w.Lake.Universal.NumCols())
+
+	cfg := w.NewConfig(true)
+	orig, err := cfg.Valuate(w.Space.FullBitmap())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := core.DivMODis(cfg, core.Options{
+		N: 200, Eps: 0.1, MaxLevel: 5, K: 4, Alpha: 0.5, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("valuated %d states in %v; diversified skyline size %d\n\n",
+		res.Stats.Valuated, res.Stats.Elapsed.Round(1e6), len(res.Skyline))
+
+	names := make([]string, len(w.Measures))
+	for i, m := range w.Measures {
+		names[i] = m.Name
+	}
+	fmt.Printf("%-10s %v\n", "graph", names)
+	fmt.Printf("%-10s %v\n", "original", orig)
+	for i, c := range res.Skyline {
+		d := w.Space.Materialize(c.Bits)
+		fmt.Printf("%-10s %v  (%d edges)\n", fmt.Sprintf("D%d", i+1), c.Perf, d.NumRows())
+	}
+
+	best := res.Best(0) // best precision@5 (normalized, smaller better)
+	fmt.Printf("\nbest P@5 subgraph improves the scorer %.2fx on P@5 and %.2fx on NDCG@10\n",
+		orig[0]/best.Perf[0], orig[5]/best.Perf[5])
+}

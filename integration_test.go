@@ -1,0 +1,195 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/fst"
+	"repro/internal/skyline"
+)
+
+// The integration tests assert the paper's comparative shapes end to end
+// on small workloads: MODis improves the input model on the selected
+// measure, outputs valid ε-skylines, and the algorithm variants behave
+// as documented relative to each other.
+
+func smallOpts() core.Options {
+	return core.Options{N: 120, Eps: 0.1, MaxLevel: 5, Seed: 1}
+}
+
+func bestActual(t *testing.T, w *datagen.Workload, res *core.Result, idx int) skyline.Vector {
+	t.Helper()
+	var best skyline.Vector
+	for _, c := range res.Skyline {
+		out := w.Space.Materialize(c.Bits)
+		perf, err := baselines.EvalTable(w, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best == nil || perf[idx] < best[idx] {
+			best = perf
+		}
+	}
+	return best
+}
+
+func TestMODisImprovesEveryTask(t *testing.T) {
+	type task struct {
+		name string
+		w    *datagen.Workload
+	}
+	tasks := []task{
+		{"T1", datagen.T1Movie(datagen.TaskConfig{Rows: 140})},
+		{"T2", datagen.T2House(datagen.TaskConfig{Rows: 140})},
+		{"T3", datagen.T3Avocado(datagen.TaskConfig{Rows: 140})},
+		{"T4", datagen.T4Mental(datagen.TaskConfig{Rows: 140})},
+	}
+	for _, tk := range tasks {
+		t.Run(tk.name, func(t *testing.T) {
+			orig, err := baselines.EvalTable(tk.w, tk.w.Lake.Universal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := tk.w.NewConfig(true)
+			res, err := core.BiMODis(cfg, smallOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			best := bestActual(t, tk.w, res, 0)
+			if best == nil {
+				t.Fatal("empty skyline")
+			}
+			if best[0] >= orig[0] {
+				t.Errorf("%s: discovered dataset %.4f did not improve the original %.4f on the primary measure",
+					tk.name, best[0], orig[0])
+			}
+		})
+	}
+}
+
+func TestMODisBeatsFeatureSelectionOnQuality(t *testing.T) {
+	w := datagen.T2House(datagen.TaskConfig{Rows: 160})
+	sk, err := baselines.SkSFM(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := w.NewConfig(true)
+	res, err := core.BiMODis(cfg, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := bestActual(t, w, res, 0)
+	// Feature selection cannot remove the corrupted rows, MODis can: the
+	// discovered dataset must be at least as good on F1.
+	if best[0] > sk.Perf[0] {
+		t.Errorf("MODis pF1 %.4f worse than SkSFM %.4f", best[0], sk.Perf[0])
+	}
+}
+
+func TestGraphTaskEndToEnd(t *testing.T) {
+	w := datagen.T5Link(datagen.T5Config{Users: 24, Items: 24})
+	orig, err := baselines.EvalTable(w, w.Lake.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := w.NewConfig(true)
+	res, err := core.ApxMODis(cfg, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := bestActual(t, w, res, 0)
+	if best == nil {
+		t.Fatal("empty skyline")
+	}
+	if best[0] > orig[0] {
+		t.Errorf("graph discovery worsened P@5: %.4f vs %.4f", best[0], orig[0])
+	}
+}
+
+func TestSurrogateReducesExactCalls(t *testing.T) {
+	w := datagen.T1Movie(datagen.TaskConfig{Rows: 140})
+	withSur := w.NewConfig(true)
+	if _, err := core.ApxMODis(withSur, smallOpts()); err != nil {
+		t.Fatal(err)
+	}
+	exact := w.NewConfig(false)
+	if _, err := core.ApxMODis(exact, smallOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if withSur.ExactCalls() >= exact.ExactCalls() {
+		t.Errorf("surrogate exact calls %d should be below exact-only %d",
+			withSur.ExactCalls(), exact.ExactCalls())
+	}
+}
+
+func TestEpsSkylinePropertyEndToEnd(t *testing.T) {
+	w := datagen.T3Avocado(datagen.TaskConfig{Rows: 140})
+	cfg := w.NewConfig(false) // exact valuations: the property is over T
+	opts := smallOpts()
+	res, err := core.ApxMODis(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []skyline.Vector
+	for _, tst := range cfg.Tests.All() {
+		all = append(all, tst.Perf)
+	}
+	// The search-grid members jointly eps-cover the valuated states; the
+	// output set additionally satisfies the bounds. With default bounds
+	// (upper = 1) both coincide.
+	if !skyline.IsEpsSkylineOf(res.Vectors(), all, opts.Eps) {
+		t.Error("output is not an ε-skyline of the valuated states")
+	}
+}
+
+func TestDivMODisDiversityExceedsBiMODis(t *testing.T) {
+	mk := func() (*datagen.Workload, *fst.Config) {
+		w := datagen.T1Movie(datagen.TaskConfig{Rows: 140})
+		return w, w.NewConfig(true)
+	}
+	opts := smallOpts()
+	opts.K = 3
+	opts.Alpha = 0.9 // strongly favor content diversity
+
+	_, cfgBi := mk()
+	resBi, err := core.BiMODis(cfgBi, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cfgDiv := mk()
+	resDiv, err := core.DivMODis(cfgDiv, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average pairwise distance of the diversified set should not trail
+	// the plain bi-directional skyline's.
+	avg := func(cs []*core.Candidate) float64 {
+		if len(cs) < 2 {
+			return 0
+		}
+		return core.Div(cs, opts.Alpha, 1) * 2 / float64(len(cs)*(len(cs)-1))
+	}
+	if len(resDiv.Skyline) >= 2 && len(resBi.Skyline) >= 2 {
+		if avg(resDiv.Skyline) < avg(resBi.Skyline)*0.8 {
+			t.Errorf("DivMODis avg pairwise distance %.4f fell far below BiMODis %.4f",
+				avg(resDiv.Skyline), avg(resBi.Skyline))
+		}
+	}
+}
+
+func TestBoundedDiscoveryRespectsBounds(t *testing.T) {
+	w := datagen.T4Mental(datagen.TaskConfig{Rows: 160})
+	w.Measures[0].Bounds = skyline.Bounds{Lower: 1e-3, Upper: 0.3}
+	cfg := w.NewConfig(true)
+	res, err := core.BiMODis(cfg, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Skyline {
+		if c.Perf[0] > 0.3 {
+			t.Errorf("skyline member violates the pAcc bound: %v", c.Perf)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func smallWorkload() *datagen.Workload {
+	return datagen.T2House(datagen.TaskConfig{Rows: 120, Seed: 21})
+}
+
+func TestEvalTableVectorShape(t *testing.T) {
+	w := smallWorkload()
+	v, err := EvalTable(w, w.Lake.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != len(w.Measures) {
+		t.Fatalf("vector len = %d, want %d", len(v), len(w.Measures))
+	}
+	for _, x := range v {
+		if x <= 0 || x > 1 {
+			t.Errorf("measure %v outside (0,1]", x)
+		}
+	}
+}
+
+func TestMETAMImprovesUtility(t *testing.T) {
+	w := smallWorkload()
+	base := baseTable(w)
+	basePerf, err := EvalTable(w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := METAM(w, 1) // optimize accuracy measure
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Perf[1] > basePerf[1] {
+		t.Errorf("METAM utility worsened: %v vs base %v", out.Perf[1], basePerf[1])
+	}
+	if out.Method != "METAM" {
+		t.Error("method label")
+	}
+}
+
+func TestMETAMMO(t *testing.T) {
+	w := smallWorkload()
+	out, err := METAMMO(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Table == nil || len(out.Perf) != len(w.Measures) {
+		t.Fatal("malformed METAM-MO output")
+	}
+}
+
+func TestStarmieJoinsSimilarTables(t *testing.T) {
+	w := smallWorkload()
+	out, err := Starmie(w, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union search should augment beyond the base table's schema.
+	if out.Table.NumCols() <= baseTable(w).NumCols() {
+		t.Errorf("Starmie cols = %d, want > base %d", out.Table.NumCols(), baseTable(w).NumCols())
+	}
+}
+
+func TestSkSFMSelectsSubset(t *testing.T) {
+	w := smallWorkload()
+	out, err := SkSFM(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Table.NumCols() >= w.Lake.Universal.NumCols() {
+		t.Errorf("SkSFM cols = %d, want < universal %d", out.Table.NumCols(), w.Lake.Universal.NumCols())
+	}
+	if !out.Table.Schema.Has(w.Lake.Target) {
+		t.Error("SkSFM must keep the target")
+	}
+}
+
+func TestH2OSelectsSubset(t *testing.T) {
+	w := smallWorkload()
+	out, err := H2O(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Table.NumCols() >= w.Lake.Universal.NumCols() {
+		t.Errorf("H2O cols = %d, want < universal", out.Table.NumCols())
+	}
+	if !out.Table.Schema.Has(w.Lake.Target) {
+		t.Error("H2O must keep the target")
+	}
+}
+
+func TestHydraGANShape(t *testing.T) {
+	w := smallWorkload()
+	out, err := HydraGAN(w, 80, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Table.NumRows() != 80 {
+		t.Errorf("HydraGAN rows = %d, want 80", out.Table.NumRows())
+	}
+	if out.Table.NumCols() != w.Lake.Universal.NumCols() {
+		t.Error("HydraGAN must follow the universal schema")
+	}
+}
+
+func TestSelectAboveMean(t *testing.T) {
+	got := selectAboveMean([]string{"a", "b", "c"}, []float64{0.1, 0.9, 0.2})
+	if len(got) != 1 || got[0] != "b" {
+		t.Errorf("selectAboveMean = %v", got)
+	}
+	// Never empty when inputs exist.
+	got = selectAboveMean([]string{"a"}, []float64{0})
+	if len(got) != 1 {
+		t.Error("selection must not be empty")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := tokenize("info0_score-v2")
+	want := []string{"info", "score", "v"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokenize = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("tokenize = %v, want %v", toks, want)
+		}
+	}
+}
+
+func TestColumnProfileSimilarity(t *testing.T) {
+	w := smallWorkload()
+	u := w.Lake.Universal
+	p1 := profileColumn(u, u.Schema[2])
+	p2 := profileColumn(u, u.Schema[2])
+	if s := p1.similarity(p2); s < 0.99 {
+		t.Errorf("self-similarity = %v, want ~1", s)
+	}
+}

@@ -1,0 +1,61 @@
+// Package baselines re-implements the comparison methods of the MODis
+// experimental study at the algorithmic level: METAM and METAM-MO
+// (goal-oriented join discovery), a Starmie-style union search, SkSFM
+// (scikit-learn SelectFromModel) and an H2O-style linear filter, plus a
+// HydraGAN-style synthetic row generator. Each produces a single output
+// table, evaluated with the same task model as MODis for fair comparison.
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/skyline"
+	"repro/internal/table"
+)
+
+// EvalTable runs the workload's model over a candidate table and returns
+// the normalized (minimize-space) performance vector.
+func EvalTable(w *datagen.Workload, d *table.Table) (skyline.Vector, error) {
+	raw, err := w.Model.Evaluate(d)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: evaluate: %w", err)
+	}
+	if len(raw) != len(w.Measures) {
+		return nil, fmt.Errorf("baselines: got %d metrics, want %d", len(raw), len(w.Measures))
+	}
+	v := make(skyline.Vector, len(raw))
+	for i, m := range w.Measures {
+		v[i] = m.Normalize(raw[i])
+	}
+	return v, nil
+}
+
+// baseTable returns the lake table containing the target attribute (the
+// initial dataset D_M the augmentation baselines start from).
+func baseTable(w *datagen.Workload) *table.Table {
+	for _, t := range w.Lake.Tables {
+		if t.Schema.Has(w.Lake.Target) {
+			return t
+		}
+	}
+	return w.Lake.Tables[0]
+}
+
+// candidateTables returns the lake tables other than base.
+func candidateTables(w *datagen.Workload, base *table.Table) []*table.Table {
+	var out []*table.Table
+	for _, t := range w.Lake.Tables {
+		if t != base {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Output is a baseline's result: the discovered table and its vector.
+type Output struct {
+	Method string
+	Table  *table.Table
+	Perf   skyline.Vector
+}

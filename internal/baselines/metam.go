@@ -1,0 +1,64 @@
+package baselines
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/table"
+)
+
+// METAM is the goal-oriented data discovery baseline [Galhotra et al.,
+// ICDE 2023]: starting from the base table it greedily performs
+// consecutive joins with candidate tables, keeping a join only when it
+// improves a single utility — here the normalized measure at index
+// utilityIdx (smaller is better). It stops when no candidate improves.
+func METAM(w *datagen.Workload, utilityIdx int) (*Output, error) {
+	return metamImpl(w, func(v []float64) float64 { return v[utilityIdx] }, "METAM")
+}
+
+// METAMMO is the METAM-MO extension of the paper: the utility is the
+// unweighted linear sum of all normalized measures, turning the
+// multi-objective need into a single objective.
+func METAMMO(w *datagen.Workload) (*Output, error) {
+	return metamImpl(w, func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}, "METAM-MO")
+}
+
+func metamImpl(w *datagen.Workload, utility func([]float64) float64, name string) (*Output, error) {
+	cur := baseTable(w).Clone()
+	perf, err := EvalTable(w, cur)
+	if err != nil {
+		return nil, err
+	}
+	curU := utility(perf)
+	remaining := candidateTables(w, baseTable(w))
+
+	for {
+		bestIdx := -1
+		var bestTable *table.Table
+		var bestPerf []float64
+		bestU := curU
+		for i, cand := range remaining {
+			joined := table.EquiJoin(cur, cand)
+			if joined.NumRows() == 0 {
+				joined = table.OuterJoin(cur, cand)
+			}
+			v, err := EvalTable(w, joined)
+			if err != nil {
+				return nil, err
+			}
+			if u := utility(v); u < bestU {
+				bestU, bestIdx, bestTable, bestPerf = u, i, joined, v
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		cur, curU, perf = bestTable, bestU, bestPerf
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return &Output{Method: name, Table: cur, Perf: perf}, nil
+}

@@ -1,0 +1,138 @@
+package baselines
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// columnProfile is a lightweight contextualized column sketch standing
+// in for Starmie's learned column representations: name tokens plus
+// value-distribution statistics.
+type columnProfile struct {
+	nameTokens map[string]bool
+	kind       table.Kind
+	mean, std  float64
+	distinct   int
+}
+
+func profileColumn(t *table.Table, col table.Column) columnProfile {
+	p := columnProfile{nameTokens: map[string]bool{}, kind: col.Kind}
+	for _, tok := range tokenize(col.Name) {
+		p.nameTokens[tok] = true
+	}
+	var xs []float64
+	for _, v := range t.Column(col.Name) {
+		if !v.IsNull() && col.Kind != table.KindString {
+			xs = append(xs, v.AsFloat())
+		}
+	}
+	if len(xs) > 0 {
+		p.mean = stats.Mean(xs)
+		p.std = stats.StdDev(xs)
+	}
+	p.distinct = len(t.ActiveDomain(col.Name))
+	return p
+}
+
+func tokenize(name string) []string {
+	name = strings.ToLower(name)
+	var toks []string
+	cur := strings.Builder{}
+	for _, r := range name {
+		if r == '_' || r == '-' || (r >= '0' && r <= '9') {
+			if cur.Len() > 0 {
+				toks = append(toks, cur.String())
+				cur.Reset()
+			}
+			continue
+		}
+		cur.WriteRune(r)
+	}
+	if cur.Len() > 0 {
+		toks = append(toks, cur.String())
+	}
+	return toks
+}
+
+// similarity scores two column profiles in [0, 1]: Jaccard of name
+// tokens blended with distribution closeness when kinds agree.
+func (p columnProfile) similarity(o columnProfile) float64 {
+	inter, union := 0, 0
+	for t := range p.nameTokens {
+		union++
+		if o.nameTokens[t] {
+			inter++
+		}
+	}
+	for t := range o.nameTokens {
+		if !p.nameTokens[t] {
+			union++
+		}
+	}
+	jac := 0.0
+	if union > 0 {
+		jac = float64(inter) / float64(union)
+	}
+	if p.kind != o.kind {
+		return 0.5 * jac
+	}
+	distSim := 1.0
+	if p.std > 0 || o.std > 0 {
+		distSim = 1 / (1 + math.Abs(p.mean-o.mean) + math.Abs(p.std-o.std))
+	}
+	return 0.5*jac + 0.5*distSim
+}
+
+// Starmie performs table-union/joinability search in the style of
+// Starmie [Fan et al., VLDB 2023]: candidate tables are ranked by the
+// best average column-profile similarity against the base table, and
+// every candidate above the threshold is joined in, without model
+// feedback (the discovery is semantics-driven, not utility-driven).
+func Starmie(w *datagen.Workload, threshold float64) (*Output, error) {
+	if threshold <= 0 {
+		threshold = 0.25
+	}
+	base := baseTable(w)
+	baseProfiles := make([]columnProfile, 0, len(base.Schema))
+	for _, c := range base.Schema {
+		baseProfiles = append(baseProfiles, profileColumn(base, c))
+	}
+
+	cur := base.Clone()
+	for _, cand := range candidateTables(w, base) {
+		var best float64
+		var n int
+		for _, c := range cand.Schema {
+			cp := profileColumn(cand, c)
+			colBest := 0.0
+			for _, bp := range baseProfiles {
+				if s := bp.similarity(cp); s > colBest {
+					colBest = s
+				}
+			}
+			best += colBest
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		if best/float64(n) >= threshold {
+			joined := table.EquiJoin(cur, cand)
+			if joined.NumRows() == 0 {
+				// Non-overlapping keys: fall back to a union-preserving
+				// outer join so earlier augmentations survive.
+				joined = table.OuterJoin(cur, cand)
+			}
+			cur = joined
+		}
+	}
+	perf, err := EvalTable(w, cur)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{Method: "Starmie", Table: cur, Perf: perf}, nil
+}

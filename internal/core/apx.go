@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fst"
+)
+
+// ApxMODis is Algorithm 1: the (N, ε)-approximation that reduces from
+// the universal dataset. Starting at s_U it spawns one-flip Reduct
+// children level by level, valuates each through the configuration's
+// estimator-backed Valuate, and maintains the ε-skyline set with
+// procedure UPareto until N states are valuated or the space (bounded by
+// MaxLevel) is exhausted.
+func ApxMODis(cfg *fst.Config, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: ApxMODis: %w", err)
+	}
+	start := time.Now()
+	g := newGrid(cfg, opts.Eps, opts.decisiveIdx(len(cfg.Measures)))
+	var rg *fst.RunningGraph
+	if opts.RecordGraph {
+		rg = fst.NewRunningGraph()
+	}
+
+	su := &fst.State{Bits: cfg.Space.FullBitmap(), Level: 0, Via: -1}
+	perf, err := cfg.Valuate(su.Bits)
+	if err != nil {
+		return nil, err
+	}
+	su.Perf = perf
+	g.upareto(su.Bits, perf)
+	if rg != nil {
+		rg.AddNode(su)
+	}
+
+	queue := []*fst.State{su}
+	visited := map[string]bool{su.Key(): true}
+	maxLevel := 0
+
+	for len(queue) > 0 {
+		if opts.N > 0 && cfg.Valuations() >= opts.N {
+			break
+		}
+		var s *fst.State
+		s, queue = popBest(queue)
+		if opts.MaxLevel > 0 && s.Level >= opts.MaxLevel {
+			continue
+		}
+		for _, child := range fst.OpGen(s, fst.Forward) {
+			if opts.N > 0 && cfg.Valuations() >= opts.N {
+				break
+			}
+			k := child.Key()
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			cp, err := cfg.Valuate(child.Bits)
+			if err != nil {
+				return nil, err
+			}
+			child.Perf = cp
+			if child.Level > maxLevel {
+				maxLevel = child.Level
+			}
+			if rg != nil {
+				rg.AddEdge(s, rg.AddNode(child), child.Via, fst.Forward)
+			}
+			// Early pruning (Section 5.2, "Advantage"): under a budget,
+			// only states that enter the ε-skyline set keep spawning
+			// reductions — extending "shortest paths" first so deep
+			// levels stay reachable within N. Unbudgeted runs stay
+			// exhaustive, matching Algorithm 1 exactly.
+			if g.upareto(child.Bits, cp) || opts.N == 0 {
+				queue = append(queue, child)
+			}
+		}
+	}
+
+	return &Result{
+		Skyline: g.finalize(),
+		Stats: RunStats{
+			Valuated:   cfg.Valuations(),
+			ExactCalls: cfg.ExactCalls(),
+			Levels:     maxLevel,
+			Elapsed:    time.Since(start),
+		},
+		Graph: rg,
+	}, nil
+}

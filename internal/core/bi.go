@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/fst"
+	"repro/internal/skyline"
+	"repro/internal/stats"
+)
+
+// corrGraph is G_C: nodes are measures, edges connect strongly
+// (Spearman ≥ θ) correlated pairs, rebuilt as the test set T grows.
+type corrGraph struct {
+	strong [][]bool
+	hasAny bool
+}
+
+func buildCorrGraph(cols [][]float64, theta float64) *corrGraph {
+	n := len(cols)
+	g := &corrGraph{strong: make([][]bool, n)}
+	for i := range g.strong {
+		g.strong[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if len(cols[i]) < 3 {
+				continue
+			}
+			if math.Abs(stats.Spearman(cols[i], cols[j])) >= theta {
+				g.strong[i][j], g.strong[j][i] = true, true
+				g.hasAny = true
+			}
+		}
+	}
+	return g
+}
+
+// paramRange derives the parameterized range [p̂_l, p̂_u] of an
+// unvaluated state from the historical tests whose dataset size
+// (bitmap weight) brackets the state's — the inference of Example 6,
+// using |D| as the conditioning variable of the correlation analysis.
+func paramRange(tests []*fst.Test, ones, numMeasures int) (lo, hi skyline.Vector, ok bool) {
+	for window := 2; window <= 16; window *= 2 {
+		lo = make(skyline.Vector, numMeasures)
+		hi = make(skyline.Vector, numMeasures)
+		for i := range lo {
+			lo[i] = math.Inf(1)
+			hi[i] = math.Inf(-1)
+		}
+		found := 0
+		for _, t := range tests {
+			w := 0
+			for _, f := range t.Features {
+				if f > 0.5 {
+					w++
+				}
+			}
+			if w < ones-window || w > ones+window {
+				continue
+			}
+			found++
+			for i := 0; i < numMeasures && i < len(t.Perf); i++ {
+				if t.Perf[i] < lo[i] {
+					lo[i] = t.Perf[i]
+				}
+				if t.Perf[i] > hi[i] {
+					hi[i] = t.Perf[i]
+				}
+			}
+		}
+		if found >= 2 {
+			return lo, hi, true
+		}
+	}
+	return nil, nil, false
+}
+
+// canPrune applies the operational form of Lemma 4: if a skyline member
+// already ε-dominates the child's optimistic bound vector p̂_l, the child
+// (and, under the monotonicity condition on its path, its descendants)
+// cannot enter any ε-skyline over the valuated states, so its valuation
+// is skipped.
+func canPrune(members []*Candidate, lo skyline.Vector, eps float64) bool {
+	for _, m := range members {
+		dominated := true
+		for i := range lo {
+			if i >= len(m.Perf) || m.Perf[i] > (1+eps)*lo[i] {
+				dominated = false
+				break
+			}
+		}
+		if dominated {
+			return true
+		}
+	}
+	return false
+}
+
+// BiMODis is Algorithm 2: bi-directional skyline set generation. A
+// forward frontier reduces from the universal state s_U while a backward
+// frontier augments from the back state s_b (procedure BackSt); both
+// update the shared ε-skyline set via UPareto. Correlation-based pruning
+// (unless disabled) skips valuating states whose parameterized range is
+// already ε-dominated.
+func BiMODis(cfg *fst.Config, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: BiMODis: %w", err)
+	}
+	start := time.Now()
+	nm := len(cfg.Measures)
+	g := newGrid(cfg, opts.Eps, opts.decisiveIdx(nm))
+	pruned := 0
+
+	su := &fst.State{Bits: cfg.Space.FullBitmap(), Level: 0}
+	sb := &fst.State{Bits: fst.BackSt(cfg.Space), Level: 0}
+
+	for _, s := range []*fst.State{su, sb} {
+		perf, err := cfg.Valuate(s.Bits)
+		if err != nil {
+			return nil, err
+		}
+		s.Perf = perf
+		g.upareto(s.Bits, perf)
+	}
+
+	qf := []*fst.State{su}
+	qb := []*fst.State{sb}
+	visitedF := map[string]bool{su.Key(): true}
+	visitedB := map[string]bool{sb.Key(): true}
+	maxLevel := 0
+
+	budget := func() bool { return opts.N > 0 && cfg.Valuations() >= opts.N }
+
+	expand := func(s *fst.State, dir fst.Direction, visited, other map[string]bool) ([]*fst.State, bool, error) {
+		var next []*fst.State
+		met := false
+		var gc *corrGraph
+		if !opts.DisablePrune {
+			gc = buildCorrGraph(cfg.Tests.Columns(nm), opts.Theta)
+		}
+		for _, child := range fst.OpGen(s, dir) {
+			if budget() {
+				break
+			}
+			k := child.Key()
+			if other[k] {
+				met = true
+			}
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+
+			if gc != nil && gc.hasAny {
+				if lo, _, ok := paramRange(cfg.Tests.All(), child.Bits.Ones(), nm); ok {
+					if canPrune(g.members(), lo, opts.Eps) {
+						pruned++
+						continue
+					}
+				}
+			}
+
+			perf, err := cfg.Valuate(child.Bits)
+			if err != nil {
+				return nil, false, err
+			}
+			child.Perf = perf
+			if child.Level > maxLevel {
+				maxLevel = child.Level
+			}
+			// Skyline-guided expansion under a budget; exhaustive when
+			// unbudgeted (see ApxMODis).
+			if g.upareto(child.Bits, perf) || opts.N == 0 {
+				next = append(next, child)
+			}
+		}
+		return next, met, nil
+	}
+
+	// The search terminates when both frontiers are exhausted, the
+	// budget is spent, or the frontiers meet (a full path s_U → s_b is
+	// formed), per Section 5.3.
+	for (len(qf) > 0 || len(qb) > 0) && !budget() {
+		var met bool
+		if len(qf) > 0 {
+			var sf *fst.State
+			sf, qf = popBest(qf)
+			if opts.MaxLevel == 0 || sf.Level < opts.MaxLevel {
+				nf, m, err := expand(sf, fst.Forward, visitedF, visitedB)
+				if err != nil {
+					return nil, err
+				}
+				met = met || m
+				qf = append(qf, nf...)
+			}
+		}
+		if len(qb) > 0 {
+			var sback *fst.State
+			sback, qb = popBest(qb)
+			if opts.MaxLevel == 0 || sback.Level < opts.MaxLevel {
+				nb, m, err := expand(sback, fst.Backward, visitedB, visitedF)
+				if err != nil {
+					return nil, err
+				}
+				met = met || m
+				qb = append(qb, nb...)
+			}
+		}
+		if met {
+			break
+		}
+	}
+
+	return &Result{
+		Skyline: g.finalize(),
+		Stats: RunStats{
+			Valuated:   cfg.Valuations(),
+			ExactCalls: cfg.ExactCalls(),
+			Levels:     maxLevel,
+			Pruned:     pruned,
+			Elapsed:    time.Since(start),
+		},
+	}, nil
+}
+
+// NOBiMODis is BiMODis without correlation-based pruning, the ablation
+// used throughout the paper's experiments.
+func NOBiMODis(cfg *fst.Config, opts Options) (*Result, error) {
+	opts.DisablePrune = true
+	return BiMODis(cfg, opts)
+}

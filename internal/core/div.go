@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/fst"
+	"repro/internal/stats"
+)
+
+// Dis quantifies the difference of two candidates: a convex combination
+// of content distance (cosine over bitmaps) and performance distance
+// (normalized euclidean over vectors), per Section 5.4.
+//
+//	dis(Di, Dj) = α·(1-cos(Li, Lj))/2 + (1-α)·euc(Pi, Pj)/eucm
+func Dis(a, b *Candidate, alpha, eucMax float64) float64 {
+	content := (1 - stats.Cosine(a.Bits.Floats(), b.Bits.Floats())) / 2
+	perf := stats.Euclidean(a.Perf, b.Perf)
+	if eucMax > 0 {
+		perf /= eucMax
+	}
+	return alpha*content + (1-alpha)*perf
+}
+
+// Div is the diversification score of Equation (2): the sum of pairwise
+// distances over the candidate set.
+func Div(set []*Candidate, alpha, eucMax float64) float64 {
+	var s float64
+	for i := 0; i < len(set)-1; i++ {
+		for j := i + 1; j < len(set); j++ {
+			s += Dis(set[i], set[j], alpha, eucMax)
+		}
+	}
+	return s
+}
+
+// maxEuc returns the maximum pairwise euclidean distance of the recorded
+// performance vectors, the normalizer euc_m of dis.
+func maxEuc(ts *fst.TestSet) float64 {
+	all := ts.All()
+	best := 0.0
+	for i := 0; i < len(all)-1; i++ {
+		for j := i + 1; j < len(all); j++ {
+			if d := stats.Euclidean(all[i].Perf, all[j].Perf); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// diversifyStep is Algorithm 3: the level-wise greedy
+// selection-and-replace that keeps at most k candidates maximizing Div.
+func diversifyStep(set []*Candidate, k int, alpha, eucMax float64, rng *rand.Rand) []*Candidate {
+	if len(set) <= k {
+		return set
+	}
+	perm := rng.Perm(len(set))
+	chosen := make([]*Candidate, k)
+	inChosen := map[*Candidate]bool{}
+	for i := 0; i < k; i++ {
+		chosen[i] = set[perm[i]]
+		inChosen[chosen[i]] = true
+	}
+	score := Div(chosen, alpha, eucMax)
+	for i := range chosen {
+		for _, cand := range set {
+			if inChosen[cand] {
+				continue
+			}
+			old := chosen[i]
+			chosen[i] = cand
+			if ns := Div(chosen, alpha, eucMax); ns > score {
+				score = ns
+				delete(inChosen, old)
+				inChosen[cand] = true
+			} else {
+				chosen[i] = old
+			}
+		}
+	}
+	return chosen
+}
+
+// DivMODis extends the bi-directional generation with the level-wise
+// diversification of Section 5.4: after each frontier expansion the
+// ε-skyline set is restricted to a k-subset maximizing the submodular
+// diversification score Div, achieving a 1/4-approximation (Lemma 5).
+func DivMODis(cfg *fst.Config, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: DivMODis: %w", err)
+	}
+	start := time.Now()
+	nm := len(cfg.Measures)
+	g := newGrid(cfg, opts.Eps, opts.decisiveIdx(nm))
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+
+	su := &fst.State{Bits: cfg.Space.FullBitmap(), Level: 0}
+	sb := &fst.State{Bits: fst.BackSt(cfg.Space), Level: 0}
+	for _, s := range []*fst.State{su, sb} {
+		perf, err := cfg.Valuate(s.Bits)
+		if err != nil {
+			return nil, err
+		}
+		s.Perf = perf
+		g.upareto(s.Bits, perf)
+	}
+
+	qf := []*fst.State{su}
+	qb := []*fst.State{sb}
+	visitedF := map[string]bool{su.Key(): true}
+	visitedB := map[string]bool{sb.Key(): true}
+	maxLevel := 0
+	budget := func() bool { return opts.N > 0 && cfg.Valuations() >= opts.N }
+
+	expand := func(s *fst.State, dir fst.Direction, visited map[string]bool) ([]*fst.State, error) {
+		var next []*fst.State
+		for _, child := range fst.OpGen(s, dir) {
+			if budget() {
+				break
+			}
+			k := child.Key()
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			perf, err := cfg.Valuate(child.Bits)
+			if err != nil {
+				return nil, err
+			}
+			child.Perf = perf
+			if child.Level > maxLevel {
+				maxLevel = child.Level
+			}
+			// Skyline-guided expansion, as in ApxMODis/BiMODis.
+			if g.upareto(child.Bits, perf) || opts.N == 0 {
+				next = append(next, child)
+			}
+		}
+		return next, nil
+	}
+
+	for (len(qf) > 0 || len(qb) > 0) && !budget() {
+		if len(qf) > 0 {
+			var sf *fst.State
+			sf, qf = popBest(qf)
+			if opts.MaxLevel == 0 || sf.Level < opts.MaxLevel {
+				nf, err := expand(sf, fst.Forward, visitedF)
+				if err != nil {
+					return nil, err
+				}
+				qf = append(qf, nf...)
+			}
+		}
+		if len(qb) > 0 {
+			var sback *fst.State
+			sback, qb = popBest(qb)
+			if opts.MaxLevel == 0 || sback.Level < opts.MaxLevel {
+				nb, err := expand(sback, fst.Backward, visitedB)
+				if err != nil {
+					return nil, err
+				}
+				qb = append(qb, nb...)
+			}
+		}
+		// Level-wise diversification: carry at most k candidates forward.
+		if members := g.members(); len(members) > opts.K {
+			em := maxEuc(cfg.Tests)
+			g.restrict(diversifyStep(members, opts.K, opts.Alpha, em, rng))
+		}
+	}
+
+	return &Result{
+		Skyline: g.finalize(),
+		Stats: RunStats{
+			Valuated:   cfg.Valuations(),
+			ExactCalls: cfg.ExactCalls(),
+			Levels:     maxLevel,
+			Elapsed:    time.Since(start),
+		},
+	}, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fst"
+	"repro/internal/skyline"
+)
+
+// ExactMODis is the exact algorithm behind the fixed-parameter
+// tractability of Theorem 1: it exhausts the runnings of the generator
+// (every reachable state up to MaxLevel, or at most N valuations),
+// valuates each dataset, and computes the exact skyline with Kung's
+// algorithm. Exponential in the space size — use only on small spaces,
+// e.g. to validate the (N, ε)-approximations in tests and ablations.
+func ExactMODis(cfg *fst.Config, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: ExactMODis: %w", err)
+	}
+	start := time.Now()
+
+	su := &fst.State{Bits: cfg.Space.FullBitmap(), Level: 0}
+	perf, err := cfg.Valuate(su.Bits)
+	if err != nil {
+		return nil, err
+	}
+	su.Perf = perf
+
+	var all []*Candidate
+	withinBounds := func(v skyline.Vector) bool { return cfg.WithinBounds(v) }
+	if withinBounds(perf) {
+		all = append(all, &Candidate{Bits: su.Bits.Clone(), Perf: perf.Clone()})
+	}
+
+	queue := []*fst.State{su}
+	visited := map[string]bool{su.Key(): true}
+	maxLevel := 0
+	for len(queue) > 0 {
+		if opts.N > 0 && cfg.Valuations() >= opts.N {
+			break
+		}
+		s := queue[0]
+		queue = queue[1:]
+		if opts.MaxLevel > 0 && s.Level >= opts.MaxLevel {
+			continue
+		}
+		for _, child := range fst.OpGen(s, fst.Forward) {
+			if opts.N > 0 && cfg.Valuations() >= opts.N {
+				break
+			}
+			k := child.Key()
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			cp, err := cfg.Valuate(child.Bits)
+			if err != nil {
+				return nil, err
+			}
+			child.Perf = cp
+			if child.Level > maxLevel {
+				maxLevel = child.Level
+			}
+			if withinBounds(cp) {
+				all = append(all, &Candidate{Bits: child.Bits.Clone(), Perf: cp.Clone()})
+			}
+			queue = append(queue, child)
+		}
+	}
+
+	// Exact Pareto filter via Kung's algorithm (Theorem 1's
+	// multi-objective optimizer step).
+	vs := make([]skyline.Vector, len(all))
+	for i, c := range all {
+		vs[i] = c.Perf
+	}
+	keep := skyline.KungSkyline(vs)
+	out := make([]*Candidate, 0, len(keep))
+	for _, i := range keep {
+		out = append(out, all[i])
+	}
+
+	return &Result{
+		Skyline: out,
+		Stats: RunStats{
+			Valuated:   cfg.Valuations(),
+			ExactCalls: cfg.ExactCalls(),
+			Levels:     maxLevel,
+			Elapsed:    time.Since(start),
+		},
+	}, nil
+}

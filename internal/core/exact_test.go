@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mosp"
+	"repro/internal/skyline"
+)
+
+func TestExactMODisComputesTrueSkyline(t *testing.T) {
+	cfg := newTestConfig(t, 2)
+	res, err := ExactMODis(cfg, Options{Eps: 0.1, MaxLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Skyline) == 0 {
+		t.Fatal("empty exact skyline")
+	}
+	// Every valuated state is (exactly) dominated-or-equal by some member.
+	for _, tst := range cfg.Tests.All() {
+		covered := false
+		for _, c := range res.Skyline {
+			if c.Perf.Dominates(tst.Perf) || vecEqual(c.Perf, tst.Perf) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("state %v not covered by the exact skyline", tst.Perf)
+		}
+	}
+}
+
+// The headline guarantee of Lemma 2: every exact-skyline vector is
+// ε-dominated by some member of ApxMODis' output on the same space.
+func TestApxCoversExactWithinEps(t *testing.T) {
+	eps := 0.2
+	exactCfg := newTestConfig(t, 2)
+	exact, err := ExactMODis(exactCfg, Options{Eps: eps, MaxLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apxCfg := newTestConfig(t, 2)
+	apx, err := ApxMODis(apxCfg, Options{Eps: eps, MaxLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exact.Skyline {
+		covered := false
+		for _, a := range apx.Skyline {
+			if a.Perf.EpsDominates(e.Perf, eps) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("exact skyline member %v not ε-covered by ApxMODis", e.Perf)
+		}
+	}
+}
+
+// ApxMODis must valuate no more states than the exhaustive algorithm on
+// the same bounded space (the point of the approximation).
+func TestApxValuatesNoMoreThanExact(t *testing.T) {
+	exactCfg := newTestConfig(t, 2)
+	exact, err := ExactMODis(exactCfg, Options{Eps: 0.2, MaxLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apxCfg := newTestConfig(t, 2)
+	apx, err := ApxMODis(apxCfg, Options{Eps: 0.2, MaxLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apx.Stats.Valuated > exact.Stats.Valuated {
+		t.Errorf("ApxMODis valuated %d > exact %d", apx.Stats.Valuated, exact.Stats.Valuated)
+	}
+}
+
+// BuildMOSP: path costs telescope, so every label cost at a node equals
+// that node's performance delta from the start state — validating the
+// Lemma 2 correspondence executable-y.
+func TestMOSPBridgeTelescopes(t *testing.T) {
+	cfg := newTestConfig(t, 2)
+	res, err := ApxMODis(cfg, Options{Eps: 0.2, MaxLevel: 3, RecordGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph == nil {
+		t.Fatal("running graph not recorded")
+	}
+	startKey := cfg.Space.FullBitmap().Key()
+	g, start, ids, err := BuildMOSP(res.Graph, cfg.Tests, startKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startPerf, _ := cfg.Tests.Get(startKey)
+
+	labels := mosp.Exact(g, start)
+	// Every reached node's label cost must equal node.P - start.P.
+	for key, id := range ids {
+		tst, ok := cfg.Tests.Get(key)
+		if !ok {
+			continue
+		}
+		for _, l := range labels[id] {
+			for i := range l.Cost {
+				want := tst.Perf[i] - startPerf.Perf[i]
+				if math.Abs(l.Cost[i]-want) > 1e-9 {
+					t.Fatalf("label cost %v != telescoped delta %v", l.Cost[i], want)
+				}
+			}
+		}
+	}
+}
+
+func vecEqual(a, b skyline.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

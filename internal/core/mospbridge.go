@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fst"
+	"repro/internal/mosp"
+	"repro/internal/skyline"
+)
+
+// BuildMOSP realizes the Lemma 2 reduction: the recorded running graph
+// G_T becomes an edge-weighted graph G_w where each transition (s, s')
+// carries the cost vector s'.P − s.P. A path's cumulative cost from the
+// start state then telescopes to s_end.P − s_start.P, so the ε-skyline
+// of path costs coincides with the ε-skyline of the reached datasets —
+// the equivalence the paper's approximability proof rests on.
+//
+// It returns the MOSP instance, the node id of the start state, and the
+// mapping from state keys to node ids.
+func BuildMOSP(rg *fst.RunningGraph, tests *fst.TestSet, startKey string) (*mosp.Graph, int, map[string]int, error) {
+	if rg == nil {
+		return nil, 0, nil, fmt.Errorf("core: BuildMOSP: nil running graph")
+	}
+	ids := make(map[string]int, rg.NumNodes())
+	// Deterministic node numbering: start first, then discovery order of
+	// edges.
+	assign := func(key string) int {
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		id := len(ids)
+		ids[key] = id
+		return id
+	}
+	assign(startKey)
+	for _, e := range rg.Edges {
+		assign(e.From)
+		assign(e.To)
+	}
+
+	perfOf := func(key string) (skyline.Vector, error) {
+		if t, ok := tests.Get(key); ok {
+			return t.Perf, nil
+		}
+		return nil, fmt.Errorf("core: BuildMOSP: state %q has no valuated test", fmt.Sprintf("%x", key))
+	}
+
+	g := mosp.NewGraph(len(ids))
+	for _, e := range rg.Edges {
+		fromP, err := perfOf(e.From)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		toP, err := perfOf(e.To)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		cost := make(skyline.Vector, len(toP))
+		for i := range cost {
+			cost[i] = toP[i] - fromP[i]
+		}
+		g.AddEdge(ids[e.From], ids[e.To], cost)
+	}
+	return g, ids[startKey], ids, nil
+}

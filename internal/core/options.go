@@ -1,0 +1,124 @@
+// Package core implements the MODis skyline data generation algorithms:
+// ApxMODis (Algorithm 1, reduce-from-universal), BiMODis (Algorithm 2,
+// bi-directional search with correlation-based pruning), NOBiMODis
+// (BiMODis without pruning), and DivMODis (Algorithm 3, level-wise
+// diversification).
+package core
+
+import (
+	"time"
+
+	"repro/internal/fst"
+	"repro/internal/skyline"
+)
+
+// Options are the shared tuning knobs of the MODis algorithms.
+type Options struct {
+	// N is the valuation budget (the paper's N). 0 means unbounded.
+	N int
+	// Eps is the ε of ε-dominance; must be > 0. Default 0.1.
+	Eps float64
+	// MaxLevel is the maximum path length maxl. 0 means the full space.
+	MaxLevel int
+	// Decisive is the index of the decisive measure p_d; -1 selects the
+	// last measure (the paper's default).
+	Decisive int
+	// Theta is the Spearman threshold θ of the correlation graph G_C
+	// (BiMODis). Default 0.8.
+	Theta float64
+	// DisablePrune turns correlation-based pruning off (NOBiMODis).
+	DisablePrune bool
+	// K is the diversified skyline size (DivMODis). Default 5.
+	K int
+	// Alpha balances content diversity (bitmap cosine) against
+	// performance diversity (vector euclidean) in dis(·,·). Default 0.5.
+	Alpha float64
+	// Seed drives the diversification initialization.
+	Seed int64
+	// RecordGraph captures the running graph G_T (nodes and transition
+	// edges) in the result, for analysis and the MOSP reduction.
+	RecordGraph bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps <= 0 {
+		o.Eps = 0.1
+	}
+	if o.Decisive == 0 {
+		// Zero value means "unset": the canonical default is the last
+		// measure, resolved at run time. Callers wanting measure 0 as
+		// decisive set Decisive = -0 via DecisiveFirst.
+		o.Decisive = -1
+	}
+	if o.Theta <= 0 {
+		o.Theta = 0.8
+	}
+	if o.K <= 0 {
+		o.K = 5
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 0.5
+	}
+	return o
+}
+
+func (o Options) decisiveIdx(numMeasures int) int {
+	if o.Decisive >= 0 && o.Decisive < numMeasures {
+		return o.Decisive
+	}
+	return numMeasures - 1
+}
+
+// Candidate is one member of the output skyline set D_F: a state bitmap
+// and its valuated performance vector.
+type Candidate struct {
+	Bits fst.Bitmap
+	Perf skyline.Vector
+}
+
+// Clone deep-copies the candidate.
+func (c *Candidate) Clone() *Candidate {
+	return &Candidate{Bits: c.Bits.Clone(), Perf: c.Perf.Clone()}
+}
+
+// RunStats summarizes a discovery run for efficiency experiments.
+type RunStats struct {
+	Valuated   int
+	ExactCalls int
+	Levels     int
+	Pruned     int
+	Elapsed    time.Duration
+}
+
+// Result is the output of a MODis run: the ε-skyline set and run stats.
+type Result struct {
+	Skyline []*Candidate
+	Stats   RunStats
+	// Graph is the recorded running graph G_T (nil unless
+	// Options.RecordGraph was set).
+	Graph *fst.RunningGraph
+}
+
+// Best returns the candidate minimizing the given measure index, or nil
+// for an empty skyline.
+func (r *Result) Best(measure int) *Candidate {
+	var best *Candidate
+	for _, c := range r.Skyline {
+		if measure >= len(c.Perf) {
+			continue
+		}
+		if best == nil || c.Perf[measure] < best.Perf[measure] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Vectors extracts the performance vectors of the skyline set.
+func (r *Result) Vectors() []skyline.Vector {
+	out := make([]skyline.Vector, len(r.Skyline))
+	for i, c := range r.Skyline {
+		out[i] = c.Perf
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"repro/internal/fst"
+	"repro/internal/skyline"
+)
+
+// popBest removes and returns the queue state with the smallest mean
+// performance — the "extend shortest paths first" prioritization of
+// Section 5.2 that keeps deep levels reachable under the valuation
+// budget N.
+func popBest(queue []*fst.State) (*fst.State, []*fst.State) {
+	best := 0
+	bestScore := meanPerf(queue[0])
+	for i := 1; i < len(queue); i++ {
+		if s := meanPerf(queue[i]); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	s := queue[best]
+	queue[best] = queue[len(queue)-1]
+	return s, queue[:len(queue)-1]
+}
+
+func meanPerf(s *fst.State) float64 {
+	if len(s.Perf) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Perf {
+		sum += v
+	}
+	return sum / float64(len(s.Perf))
+}
+
+// grid maintains the ε-skyline set of procedure UPareto: a discretized
+// (|P|-1)-ary position space (Equation 1) holding at most one candidate
+// per cell, replaced when a newcomer wins on the decisive measure.
+//
+// Two cell maps are kept. cells is the output skyline D_F, subject to
+// the early skip on bound violation (Algorithm 1 line 23). search is the
+// same structure without the bound filter: it guides which states keep
+// expanding, so tight user bounds do not strangle exploration before any
+// satisfying state is reachable (the paper enqueues all children;
+// search-grid gating is the budget-conscious middle ground).
+type grid struct {
+	cells    map[string]*Candidate
+	search   map[string]*Candidate
+	bounds   []skyline.Bounds
+	eps      float64
+	decisive int
+}
+
+func newGrid(cfg *fst.Config, eps float64, decisive int) *grid {
+	return &grid{
+		cells:    map[string]*Candidate{},
+		search:   map[string]*Candidate{},
+		bounds:   cfg.Bounds(),
+		eps:      eps,
+		decisive: decisive,
+	}
+}
+
+// insert merges the candidate into one cell map by decisive-measure
+// comparison, reporting whether it entered.
+func (g *grid) insert(cells map[string]*Candidate, bits fst.Bitmap, perf skyline.Vector) bool {
+	key := skyline.PosKey(skyline.GridPos(perf, g.bounds, g.eps))
+	cur, ok := cells[key]
+	if !ok || perf[g.decisive] < cur.Perf[g.decisive] {
+		cells[key] = &Candidate{Bits: bits.Clone(), Perf: perf.Clone()}
+		return true
+	}
+	return false
+}
+
+// upareto implements procedure UPareto (Algorithm 1, lines 20-30) for a
+// freshly valuated state: early-skip on bound violation for the output
+// set, merge into the grid cell by decisive-measure comparison. It
+// reports whether the candidate improved the search grid (the expansion
+// signal).
+func (g *grid) upareto(bits fst.Bitmap, perf skyline.Vector) bool {
+	entered := g.insert(g.search, bits, perf)
+	within := true
+	for i, b := range g.bounds {
+		if i < len(perf) && perf[i] > b.Upper {
+			within = false
+			break
+		}
+	}
+	if within {
+		g.insert(g.cells, bits, perf)
+	}
+	return entered
+}
+
+// members returns the current skyline candidates in no particular order.
+func (g *grid) members() []*Candidate {
+	out := make([]*Candidate, 0, len(g.cells))
+	for _, c := range g.cells {
+		out = append(out, c)
+	}
+	return out
+}
+
+// restrict replaces the grid contents — output and search alike — with
+// the given subset: the diversification step carries its k-set to the
+// next level, so future states compete against the diversified set.
+func (g *grid) restrict(keep []*Candidate) {
+	g.cells = map[string]*Candidate{}
+	g.search = map[string]*Candidate{}
+	for _, c := range keep {
+		key := skyline.PosKey(skyline.GridPos(c.Perf, g.bounds, g.eps))
+		g.cells[key] = c
+		g.search[key] = c
+	}
+}
+
+// finalize removes exactly dominated members: if A ≺ B both sit in the
+// set, dropping the dominated one preserves the ε-skyline property (the
+// dominator ε-dominates everything the dominated member covered).
+func (g *grid) finalize() []*Candidate {
+	ms := g.members()
+	vs := make([]skyline.Vector, len(ms))
+	for i, c := range ms {
+		vs[i] = c.Perf
+	}
+	keep := skyline.Skyline(vs)
+	out := make([]*Candidate, 0, len(keep))
+	for _, i := range keep {
+		out = append(out, ms[i])
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fst"
+	"repro/internal/skyline"
+)
+
+// Property: after feeding any stream of vectors to the grid, the search
+// members jointly ε-dominate every vector seen — the invariant behind
+// Lemma 2's correctness induction.
+func TestGridCoverageInvariant(t *testing.T) {
+	cfg := newTestConfig(t, 3)
+	cfg.Validate()
+	f := func(seed int64) bool {
+		g := newGrid(cfg, 0.25, 2)
+		rng := rand.New(rand.NewSource(seed))
+		bits := cfg.Space.FullBitmap()
+		var seen []skyline.Vector
+		for i := 0; i < 40; i++ {
+			v := skyline.Vector{
+				0.05 + 0.95*rng.Float64(),
+				0.05 + 0.95*rng.Float64(),
+				0.05 + 0.95*rng.Float64(),
+			}
+			seen = append(seen, v)
+			g.upareto(bits, v)
+		}
+		members := make([]skyline.Vector, 0, len(g.search))
+		for _, c := range g.search {
+			members = append(members, c.Perf)
+		}
+		return skyline.IsEpsSkylineOf(members, seen, 0.25)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: finalize never returns mutually dominating members, for any
+// vector stream.
+func TestGridFinalizeNonDominated(t *testing.T) {
+	cfg := newTestConfig(t, 2)
+	cfg.Validate()
+	f := func(seed int64) bool {
+		g := newGrid(cfg, 0.15, 1)
+		rng := rand.New(rand.NewSource(seed))
+		bits := cfg.Space.FullBitmap()
+		for i := 0; i < 30; i++ {
+			g.upareto(bits, skyline.Vector{
+				0.05 + 0.95*rng.Float64(),
+				0.05 + 0.95*rng.Float64(),
+			})
+		}
+		out := g.finalize()
+		for i := range out {
+			for j := range out {
+				if i != j && out[i].Perf.Dominates(out[j].Perf) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: grid cell count is bounded by the ε-grid volume (the space
+// cost bound of Section 5.2's analysis).
+func TestGridSizeBounded(t *testing.T) {
+	cfg := newTestConfig(t, 2)
+	cfg.Validate()
+	g := newGrid(cfg, 0.5, 1)
+	bits := cfg.Space.FullBitmap()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		g.upareto(bits, skyline.Vector{
+			0.001 + 0.999*rng.Float64(),
+			0.001 + 0.999*rng.Float64(),
+		})
+	}
+	// One non-decisive dimension, eps=0.5, lower bound 1e-3: at most
+	// floor(log_1.5(1000)) + 1 = 18 cells.
+	if len(g.search) > 18 {
+		t.Errorf("grid cells = %d, exceeds the ε-grid bound 18", len(g.search))
+	}
+}
+
+func TestPopBestOrder(t *testing.T) {
+	a := &fst.State{Perf: skyline.Vector{0.9, 0.9}}
+	b := &fst.State{Perf: skyline.Vector{0.1, 0.1}}
+	c := &fst.State{Perf: skyline.Vector{0.5, 0.5}}
+	queue := []*fst.State{a, b, c}
+	got, rest := popBest(queue)
+	if got != b {
+		t.Fatal("popBest should pick the smallest mean")
+	}
+	if len(rest) != 2 {
+		t.Fatal("rest size wrong")
+	}
+	got2, _ := popBest(rest)
+	if got2 != c {
+		t.Fatal("second pop should pick the next smallest")
+	}
+}

@@ -1,0 +1,185 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func TestLakeStructure(t *testing.T) {
+	l := NewLake(LakeConfig{Name: "x", Rows: 100, InfoAttrs: 4, NoiseAttrs: 2, NoisyRowFrac: 0.2, AdomK: 3, Seed: 1})
+	if len(l.Tables) != 3 {
+		t.Fatalf("tables = %d, want 3 (base, info, noise)", len(l.Tables))
+	}
+	if !l.Universal.Schema.Has(TargetAttr) {
+		t.Fatal("universal missing target")
+	}
+	// Universal rows = clean + dirty.
+	if l.Universal.NumRows() != 120 {
+		t.Errorf("universal rows = %d, want 120", l.Universal.NumRows())
+	}
+	// Universal schema: id, season, 4 info, 2 noise, target = 9.
+	if l.Universal.NumCols() != 9 {
+		t.Errorf("universal cols = %d, want 9", l.Universal.NumCols())
+	}
+}
+
+func TestLakeCompressionBoundsAdom(t *testing.T) {
+	l := NewLake(LakeConfig{Rows: 200, InfoAttrs: 4, AdomK: 3, Seed: 2})
+	for _, c := range l.Universal.Schema {
+		if c.Name == "id" || c.Name == TargetAttr || c.Kind == 3 /* string */ {
+			continue
+		}
+		if got := len(l.Universal.ActiveDomain(c.Name)); got > 3 {
+			t.Errorf("adom(%s) = %d, want <= 3", c.Name, got)
+		}
+	}
+}
+
+func TestLakeDeterministic(t *testing.T) {
+	a := NewLake(LakeConfig{Rows: 50, InfoAttrs: 3, Seed: 7})
+	b := NewLake(LakeConfig{Rows: 50, InfoAttrs: 3, Seed: 7})
+	if a.Universal.NumRows() != b.Universal.NumRows() {
+		t.Fatal("same seed must give identical lakes")
+	}
+	for i, r := range a.Universal.Rows {
+		for j, v := range r {
+			got := b.Universal.Rows[i][j]
+			if v.IsNull() != got.IsNull() || (!v.IsNull() && !v.Equal(got)) {
+				t.Fatalf("cell (%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestClassTargetsBalanced(t *testing.T) {
+	l := NewLake(LakeConfig{Rows: 300, InfoAttrs: 3, Classes: 3, Seed: 3})
+	counts := map[int64]int{}
+	idx := l.Universal.Schema.Index(TargetAttr)
+	for _, r := range l.Universal.Rows {
+		counts[r[idx].AsInt()]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("classes = %d, want 3", len(counts))
+	}
+	for c, n := range counts {
+		if n < 60 {
+			t.Errorf("class %d count = %d, heavily imbalanced", c, n)
+		}
+	}
+}
+
+func workloadSmoke(t *testing.T, w *Workload, nMeasures int) {
+	t.Helper()
+	if len(w.Measures) != nMeasures {
+		t.Fatalf("%s measures = %d, want %d", w.Name, len(w.Measures), nMeasures)
+	}
+	raw, err := w.Model.Evaluate(w.Lake.Universal)
+	if err != nil {
+		t.Fatalf("%s evaluate: %v", w.Name, err)
+	}
+	if len(raw) != nMeasures {
+		t.Fatalf("%s raw metrics = %d, want %d", w.Name, len(raw), nMeasures)
+	}
+	for i, m := range w.Measures {
+		v := m.Normalize(raw[i])
+		if v <= 0 || v > 1 {
+			t.Errorf("%s measure %s normalized to %v, want (0,1]", w.Name, m.Name, v)
+		}
+	}
+	if w.Space.Size() == 0 {
+		t.Fatalf("%s space is empty", w.Name)
+	}
+}
+
+func TestT1Workload(t *testing.T) { workloadSmoke(t, T1Movie(TaskConfig{Rows: 120}), 4) }
+func TestT2Workload(t *testing.T) { workloadSmoke(t, T2House(TaskConfig{Rows: 120}), 5) }
+func TestT3Workload(t *testing.T) { workloadSmoke(t, T3Avocado(TaskConfig{Rows: 120}), 3) }
+func TestT4Workload(t *testing.T) { workloadSmoke(t, T4Mental(TaskConfig{Rows: 120}), 6) }
+
+func TestT5Workload(t *testing.T) {
+	w := T5Link(T5Config{Users: 20, Items: 20, EdgesPerUser: 5})
+	workloadSmoke(t, w, 6)
+}
+
+// Removing the dirty rows (the planted noise cluster) must improve the
+// model — this is the signal MODis discovers.
+func TestDirtyRowsHurtModel(t *testing.T) {
+	w := T2House(TaskConfig{Rows: 200, Seed: 31})
+	rawAll, err := w.Model.Evaluate(w.Lake.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean = universal without the dirty rows (id >= Rows).
+	cleanTbl := w.Lake.Universal.Clone()
+	idIdx := cleanTbl.Schema.Index("id")
+	var kept int
+	for _, r := range cleanTbl.Rows {
+		if r[idIdx].AsInt() < 200 {
+			cleanTbl.Rows[kept] = r
+			kept++
+		}
+	}
+	cleanTbl.Rows = cleanTbl.Rows[:kept]
+	rawClean, err := w.Model.Evaluate(cleanTbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure 1 = accuracy (raw, higher better).
+	if rawClean[1] <= rawAll[1] {
+		t.Errorf("clean accuracy %v should beat dirty %v", rawClean[1], rawAll[1])
+	}
+}
+
+func TestModelEvaluationDeterministic(t *testing.T) {
+	w := T1Movie(TaskConfig{Rows: 100})
+	a, err := w.Model.Evaluate(w.Lake.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Model.Evaluate(w.Lake.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("metric %d nondeterministic: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNewConfigSurrogateToggle(t *testing.T) {
+	w := T3Avocado(TaskConfig{Rows: 80})
+	with := w.NewConfig(true)
+	if with.Est == nil || with.WarmupExact == 0 {
+		t.Error("surrogate config incomplete")
+	}
+	without := w.NewConfig(false)
+	if without.Est != nil {
+		t.Error("exact config should have no estimator")
+	}
+}
+
+func TestFeatureScoresSeparateSignalFromNoise(t *testing.T) {
+	w := T2House(TaskConfig{Rows: 200})
+	ds := ml.FromTable(w.Lake.Universal, w.Lake.Target)
+	fsc, mi := featureScores(ds, 3)
+	if fsc <= 0 || mi <= 0 {
+		t.Errorf("feature scores should be positive: fsc=%v mi=%v", fsc, mi)
+	}
+}
+
+func TestSquash(t *testing.T) {
+	if squash(-1) != 0 {
+		t.Error("negative squash")
+	}
+	if squash(0) != 0 {
+		t.Error("zero squash")
+	}
+	if v := squash(1); v != 0.5 {
+		t.Errorf("squash(1) = %v", v)
+	}
+	if squash(1e12) >= 1 {
+		t.Error("squash must stay below 1")
+	}
+}

@@ -1,0 +1,241 @@
+// Package datagen builds the deterministic synthetic data lakes and
+// workloads T1–T5 of the experimental study. The paper evaluates on
+// Kaggle / data.gov / HuggingFace lakes (Table 2); those are replaced by
+// seeded generators that plant the same structure the algorithms exploit:
+// informative features split across joinable tables, distractor features,
+// and noisy row clusters whose removal (Reduct) improves the model — see
+// the substitution table in DESIGN.md.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// LakeConfig parameterizes a synthetic tabular data lake.
+type LakeConfig struct {
+	Name string
+	// Rows is the number of clean base entities.
+	Rows int
+	// InfoAttrs is the number of informative features the target depends on.
+	InfoAttrs int
+	// NoiseAttrs is the number of distractor features (pure noise).
+	NoiseAttrs int
+	// NoisyRowFrac adds this fraction of Rows as corrupted tuples whose
+	// targets are random; they arrive via a separate "dirty" source table.
+	NoisyRowFrac float64
+	// Classes > 0 makes the target a class label with that many classes;
+	// 0 keeps a continuous regression target.
+	Classes int
+	// AdomK is the per-attribute cluster count of the compressed
+	// universal table (the paper's k-means literal derivation, max 30).
+	AdomK int
+	Seed  int64
+}
+
+func (c LakeConfig) withDefaults() LakeConfig {
+	if c.Rows <= 0 {
+		c.Rows = 400
+	}
+	if c.InfoAttrs <= 0 {
+		c.InfoAttrs = 4
+	}
+	if c.AdomK <= 0 {
+		// Four clusters cover the three clean feature levels plus the
+		// corrupted-value region.
+		c.AdomK = 4
+	}
+	if c.NoisyRowFrac < 0 {
+		c.NoisyRowFrac = 0
+	}
+	return c
+}
+
+// Lake is a generated data lake: the source tables D, the compressed
+// universal table D_U, and the target attribute name.
+type Lake struct {
+	Config    LakeConfig
+	Tables    []*table.Table
+	Universal *table.Table
+	Target    string
+}
+
+// TargetAttr is the planted target column name.
+const TargetAttr = "target"
+
+// NewLake generates a lake. The base table carries the id, a seasonal
+// categorical attribute, half of the informative features and the
+// target — plus a fraction of corrupted tuples whose targets are random
+// and whose feature values concentrate in a separate value region
+// (cluster literals can isolate and remove them, but no join or column
+// selection can). Companion tables carry the remaining informative
+// features and the distractors, covering all ids so augmentation
+// baselines keep the corrupted rows.
+func NewLake(cfg LakeConfig) *Lake {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Planted linear weights over informative features.
+	w := make([]float64, cfg.InfoAttrs)
+	for i := range w {
+		w[i] = 0.5 + rng.Float64() // all positive, in [0.5, 1.5)
+	}
+
+	infoNames := make([]string, cfg.InfoAttrs)
+	for i := range infoNames {
+		infoNames[i] = fmt.Sprintf("info%d", i)
+	}
+	noiseNames := make([]string, cfg.NoiseAttrs)
+	for i := range noiseNames {
+		noiseNames[i] = fmt.Sprintf("noise%d", i)
+	}
+	seasons := []string{"spring", "summer", "fall", "winter"}
+
+	// Per-entity features and targets. Informative features take three
+	// discrete levels {0, 0.5, 1}: the k-means compression of D_U is then
+	// lossless on clean data, so the planted signal survives literal
+	// derivation (the paper's lakes are likewise pre-clustered).
+	X := make([][]float64, cfg.Rows)
+	y := make([]float64, cfg.Rows)
+	for r := 0; r < cfg.Rows; r++ {
+		X[r] = make([]float64, cfg.InfoAttrs)
+		s := 0.0
+		for j := range X[r] {
+			X[r][j] = float64(rng.Intn(3)) / 2
+			s += w[j] * X[r][j]
+		}
+		y[r] = s + 0.05*rng.NormFloat64()
+	}
+	if cfg.Classes > 0 {
+		y = toClasses(y, cfg.Classes)
+	}
+
+	nHalf := (cfg.InfoAttrs + 1) / 2
+	nDirty := int(float64(cfg.Rows) * cfg.NoisyRowFrac)
+	total := cfg.Rows + nDirty
+
+	// Base table: id, season, first half of informative features,
+	// target. Clean rows first, then the corrupted tuples: feature
+	// values shifted into [2, 3) (a separable cluster) and random
+	// targets.
+	baseSchema := table.Schema{{Name: "id", Kind: table.KindInt}, {Name: "season", Kind: table.KindString}}
+	for j := 0; j < nHalf; j++ {
+		baseSchema = append(baseSchema, table.Column{Name: infoNames[j], Kind: table.KindFloat})
+	}
+	baseSchema = append(baseSchema, table.Column{Name: TargetAttr, Kind: targetKind(cfg)})
+	base := table.New(cfg.Name+"_base", baseSchema)
+	for r := 0; r < cfg.Rows; r++ {
+		row := table.Row{table.Int(int64(r)), table.Str(seasons[rng.Intn(len(seasons))])}
+		for j := 0; j < nHalf; j++ {
+			row = append(row, table.Float(X[r][j]))
+		}
+		row = append(row, targetValue(cfg, y[r]))
+		base.MustAppend(row)
+	}
+	for r := cfg.Rows; r < total; r++ {
+		row := table.Row{table.Int(int64(r)), table.Str(seasons[rng.Intn(len(seasons))])}
+		for j := 0; j < nHalf; j++ {
+			row = append(row, table.Float(2+rng.Float64()))
+		}
+		var ty float64
+		if cfg.Classes > 0 {
+			ty = float64(rng.Intn(cfg.Classes))
+		} else {
+			ty = 3 * rng.Float64()
+		}
+		row = append(row, targetValue(cfg, ty))
+		base.MustAppend(row)
+	}
+
+	tables := []*table.Table{base}
+
+	// Companion table with the remaining informative features, covering
+	// every id (the corruption lives in the labels, not here).
+	if cfg.InfoAttrs > nHalf {
+		sch := table.Schema{{Name: "id", Kind: table.KindInt}}
+		for j := nHalf; j < cfg.InfoAttrs; j++ {
+			sch = append(sch, table.Column{Name: infoNames[j], Kind: table.KindFloat})
+		}
+		t := table.New(cfg.Name+"_info", sch)
+		for r := 0; r < total; r++ {
+			row := table.Row{table.Int(int64(r))}
+			for j := nHalf; j < cfg.InfoAttrs; j++ {
+				if r < cfg.Rows {
+					row = append(row, table.Float(X[r][j]))
+				} else {
+					row = append(row, table.Float(rng.Float64()))
+				}
+			}
+			t.MustAppend(row)
+		}
+		tables = append(tables, t)
+	}
+
+	// Distractor table: pure-noise features joined by id, all ids.
+	if cfg.NoiseAttrs > 0 {
+		sch := table.Schema{{Name: "id", Kind: table.KindInt}}
+		for _, n := range noiseNames {
+			sch = append(sch, table.Column{Name: n, Kind: table.KindFloat})
+		}
+		t := table.New(cfg.Name+"_noise", sch)
+		for r := 0; r < total; r++ {
+			row := table.Row{table.Int(int64(r))}
+			for range noiseNames {
+				row = append(row, table.Float(rng.Float64()))
+			}
+			t.MustAppend(row)
+		}
+		tables = append(tables, t)
+	}
+
+	// Universal table via multi-way outer join, then per-attribute
+	// k-means compression (the paper's D_U construction).
+	u := table.Universal(tables...)
+	for _, c := range u.Schema {
+		if c.Name == TargetAttr || c.Name == "id" || c.Kind == table.KindString {
+			continue
+		}
+		u = table.Compress(u, c.Name, cfg.AdomK)
+	}
+
+	return &Lake{Config: cfg, Tables: tables, Universal: u, Target: TargetAttr}
+}
+
+func targetKind(cfg LakeConfig) table.Kind {
+	if cfg.Classes > 0 {
+		return table.KindInt
+	}
+	return table.KindFloat
+}
+
+func targetValue(cfg LakeConfig, y float64) table.Value {
+	if cfg.Classes > 0 {
+		return table.Int(int64(y))
+	}
+	return table.Float(y)
+}
+
+// toClasses buckets a continuous series into equal-frequency class
+// labels 0..k-1.
+func toClasses(y []float64, k int) []float64 {
+	sorted := append([]float64(nil), y...)
+	sort.Float64s(sorted)
+	edges := make([]float64, 0, k-1)
+	for b := 1; b < k; b++ {
+		edges = append(edges, sorted[b*len(sorted)/k])
+	}
+	out := make([]float64, len(y))
+	for i, v := range y {
+		c := 0
+		for _, e := range edges {
+			if v >= e {
+				c++
+			}
+		}
+		out[i] = float64(c)
+	}
+	return out
+}

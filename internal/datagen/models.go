@@ -1,0 +1,127 @@
+package datagen
+
+import (
+	"math"
+
+	"repro/internal/estimator"
+	"repro/internal/fst"
+	"repro/internal/ml"
+	"repro/internal/table"
+)
+
+// TableModel adapts a learner family to the fst.Model interface: a
+// fixed, deterministic model whose Evaluate trains on the dataset's
+// train split and reports raw metrics on the test split.
+type TableModel struct {
+	ModelName string
+	Eval      func(d *table.Table) ([]float64, error)
+}
+
+// Name implements fst.Model.
+func (m *TableModel) Name() string { return m.ModelName }
+
+// Evaluate implements fst.Model.
+func (m *TableModel) Evaluate(d *table.Table) ([]float64, error) { return m.Eval(d) }
+
+// Workload bundles everything a discovery run needs: the lake, the FST
+// space over its universal table, the task model and its measures.
+type Workload struct {
+	Name     string
+	Lake     *Lake
+	Space    *fst.Space
+	Model    fst.Model
+	Measures []fst.Measure
+}
+
+// NewConfig builds a discovery configuration; useSurrogate enables the
+// MO-GBM estimator after a short exact warm-up, matching the paper's
+// setting; without it every state runs real model inference.
+func (w *Workload) NewConfig(useSurrogate bool) *fst.Config {
+	cfg := &fst.Config{
+		Space:    w.Space,
+		Model:    w.Model,
+		Measures: w.Measures,
+		Tests:    fst.NewTestSet(),
+	}
+	if useSurrogate {
+		cfg.Est = estimator.NewMOGBM()
+		// Warm up on at least the whole first BFS level so the surrogate
+		// has seen the effect of every single-entry flip before it is
+		// trusted, then keep refreshing with periodic exact calls.
+		cfg.WarmupExact = w.Space.Size() + 1
+		cfg.ExactEvery = 4
+	}
+	return cfg
+}
+
+// minEvalRows is the smallest dataset a model will train on; below it
+// the evaluation reports worst-case metrics. The floor keeps discovery
+// from converging to unusable micro-datasets whose test split is so
+// small that metrics saturate (a handful of rows classify perfectly).
+const minEvalRows = 40
+
+// trainCost is the deterministic training-cost proxy: examples ×
+// features × a per-family constant. The paper measures wall-clock
+// training time; a deterministic proxy with the same monotone shape
+// keeps runs reproducible (see DESIGN.md).
+func trainCost(n, f int, k float64) float64 { return float64(n) * float64(max(f, 1)) * k }
+
+// squash maps an unbounded non-negative score into [0, 1).
+func squash(x float64) float64 {
+	if x < 0 || math.IsNaN(x) {
+		return 0
+	}
+	return x / (1 + x)
+}
+
+// featureScores returns the mean Fisher score and mean mutual
+// information of the dataset's features against the (discretized) target.
+func featureScores(d *ml.Dataset, classes int) (fsc, mi float64) {
+	if d.NumRows() == 0 || d.NumFeatures() == 0 {
+		return 0, 0
+	}
+	y := d.Y
+	if classes <= 0 {
+		// Regression target: discretize into quintiles for scoring.
+		y = discretizeTarget(d.Y, 5)
+	}
+	fs := ml.FisherScore(d.X, y)
+	ms := ml.MutualInformation(d.X, y, 8)
+	var sf, sm float64
+	for i := range fs {
+		sf += fs[i]
+	}
+	for i := range ms {
+		sm += ms[i]
+	}
+	n := float64(len(fs))
+	if n == 0 {
+		return 0, 0
+	}
+	return sf / n, sm / n
+}
+
+func discretizeTarget(y []float64, k int) []float64 {
+	return toClasses(y, k)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// worst returns the all-worst raw metric vector for a metric layout
+// where higherBetter[i] marks metrics that are maximized.
+func worst(higherBetter []bool) []float64 {
+	out := make([]float64, len(higherBetter))
+	for i, hb := range higherBetter {
+		if hb {
+			out[i] = 0
+		} else {
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}

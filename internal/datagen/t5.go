@@ -1,0 +1,182 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fst"
+	"repro/internal/graph"
+	"repro/internal/skyline"
+	"repro/internal/table"
+)
+
+// T5Config parameterizes the bipartite link-regression workload.
+type T5Config struct {
+	Users       int // default 40
+	Items       int // default 40
+	Communities int // default 4
+	// EdgesPerUser is the count of genuine within-community interactions.
+	EdgesPerUser int // default 8
+	// NoiseFrac adds this fraction of random cross-community edges.
+	NoiseFrac float64 // default 0.5
+	// AdomK controls edge-cluster literal granularity.
+	AdomK int // default 4
+	Seed  int64
+}
+
+func (c T5Config) withDefaults() T5Config {
+	if c.Users <= 0 {
+		c.Users = 40
+	}
+	if c.Items <= 0 {
+		c.Items = 40
+	}
+	if c.Communities <= 0 {
+		c.Communities = 4
+	}
+	if c.EdgesPerUser <= 0 {
+		c.EdgesPerUser = 8
+	}
+	if c.NoiseFrac <= 0 {
+		c.NoiseFrac = 0.5
+	}
+	if c.AdomK <= 0 {
+		c.AdomK = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 113
+	}
+	return c
+}
+
+// T5Link builds task T5: link regression for recommendation over a
+// bipartite graph, evaluated by a LightGCN-style scorer. The graph is
+// represented as an edge table so the generic FST operators apply —
+// Augment/Reduct become edge insertions/deletions, exactly the paper's
+// graph counterpart of the operators (Section 6). Genuine edges follow a
+// planted community structure; noisy cross-community edges form
+// separable clusters the Reduct literals can remove.
+func T5Link(tc T5Config) *Workload {
+	tc = tc.withDefaults()
+	rng := rand.New(rand.NewSource(tc.Seed))
+
+	schema := table.Schema{
+		{Name: "user", Kind: table.KindInt},
+		{Name: "item", Kind: table.KindInt},
+		{Name: "ucomm", Kind: table.KindInt},
+		{Name: "icomm", Kind: table.KindInt},
+		{Name: "match", Kind: table.KindInt},
+		{Name: "strength", Kind: table.KindFloat},
+		{Name: "weight", Kind: table.KindFloat},
+	}
+	edges := table.New("edges", schema)
+
+	ucomm := make([]int, tc.Users)
+	icomm := make([]int, tc.Items)
+	for u := range ucomm {
+		ucomm[u] = u % tc.Communities
+	}
+	for i := range icomm {
+		icomm[i] = i % tc.Communities
+	}
+
+	addEdge := func(u, i int, genuine bool) {
+		m := int64(0)
+		strength := 0.2 + 0.3*rng.Float64()
+		if genuine {
+			m = 1
+			strength = 0.7 + 0.3*rng.Float64()
+		}
+		edges.MustAppend(table.Row{
+			table.Int(int64(u)), table.Int(int64(i)),
+			table.Int(int64(ucomm[u])), table.Int(int64(icomm[i])),
+			table.Int(m), table.Float(strength), table.Float(strength),
+		})
+	}
+
+	for u := 0; u < tc.Users; u++ {
+		for e := 0; e < tc.EdgesPerUser; e++ {
+			// Pick an item in the user's community.
+			i := ucomm[u] + tc.Communities*rng.Intn(tc.Items/tc.Communities)
+			addEdge(u, i, true)
+		}
+	}
+	nNoise := int(float64(tc.Users*tc.EdgesPerUser) * tc.NoiseFrac)
+	for e := 0; e < nNoise; e++ {
+		u := rng.Intn(tc.Users)
+		// Cross-community item.
+		i := rng.Intn(tc.Items)
+		for icomm[i] == ucomm[u] {
+			i = rng.Intn(tc.Items)
+		}
+		addEdge(u, i, false)
+	}
+
+	// Compress the strength attribute to derive cluster literals.
+	universal := table.Compress(edges, "strength", tc.AdomK)
+	universal.Name = "D_U"
+
+	space := fst.NewSpace(universal, "weight", fst.SpaceConfig{
+		MaxLiteralsPerAttr: tc.AdomK,
+		SkipLiteralAttrs:   []string{"user", "item"},
+		ProtectedAttrs:     []string{"user", "item", "match", "ucomm", "icomm", "strength"},
+	})
+
+	model := &TableModel{
+		ModelName: "LGRmodel",
+		Eval: func(d *table.Table) ([]float64, error) {
+			b, err := bipartiteFromTable(d, tc.Users, tc.Items)
+			if err != nil {
+				return nil, err
+			}
+			if len(b.Edges) < minEvalRows {
+				return []float64{0, 0, 0, 0, 0, 0}, nil
+			}
+			r := graph.Evaluate(b, graph.EvalConfig{
+				HoldoutFrac:  0.3,
+				NumNegatives: 15,
+				Seed:         42,
+				Scorer:       graph.ScorerConfig{Dim: 12, Layers: 2, Seed: 7},
+			})
+			return []float64{r.P5, r.P10, r.R5, r.R10, r.N5, r.N10}, nil
+		},
+	}
+	inv := fst.Inverted(measureFloor)
+	measures := []fst.Measure{
+		{Name: "pPc5", Bounds: skyline.DefaultBounds(), Normalize: inv},
+		{Name: "pPc10", Bounds: skyline.DefaultBounds(), Normalize: inv},
+		{Name: "pRc5", Bounds: skyline.DefaultBounds(), Normalize: inv},
+		{Name: "pRc10", Bounds: skyline.DefaultBounds(), Normalize: inv},
+		{Name: "pNc5", Bounds: skyline.DefaultBounds(), Normalize: inv},
+		{Name: "pNc10", Bounds: skyline.DefaultBounds(), Normalize: inv},
+	}
+
+	lake := &Lake{
+		Config:    LakeConfig{Name: "links", AdomK: tc.AdomK, Seed: tc.Seed},
+		Tables:    []*table.Table{edges},
+		Universal: universal,
+		Target:    "weight",
+	}
+	return &Workload{Name: "T5", Lake: lake, Space: space, Model: model, Measures: measures}
+}
+
+func bipartiteFromTable(d *table.Table, users, items int) (*graph.Bipartite, error) {
+	ui := d.Schema.Index("user")
+	ii := d.Schema.Index("item")
+	wi := d.Schema.Index("weight")
+	if ui < 0 || ii < 0 {
+		return nil, fmt.Errorf("datagen: edge table missing user/item columns")
+	}
+	b := graph.NewBipartite(users, items)
+	for _, r := range d.Rows {
+		if r[ui].IsNull() || r[ii].IsNull() {
+			continue
+		}
+		w := 1.0
+		if wi >= 0 && !r[wi].IsNull() {
+			w = r[wi].AsFloat()
+		}
+		b.AddEdge(int(r[ui].AsInt()), int(r[ii].AsInt()), w)
+	}
+	return b, nil
+}

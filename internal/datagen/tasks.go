@@ -1,0 +1,244 @@
+package datagen
+
+import (
+	"math"
+
+	"repro/internal/fst"
+	"repro/internal/ml"
+	"repro/internal/skyline"
+	"repro/internal/table"
+)
+
+// TaskConfig scales a workload; zero values take task defaults.
+type TaskConfig struct {
+	Rows       int
+	InfoAttrs  int
+	NoiseAttrs int
+	AdomK      int
+	Seed       int64
+}
+
+func (c TaskConfig) merge(rows, info, noise, adomK int, seed int64) LakeConfig {
+	out := LakeConfig{Rows: rows, InfoAttrs: info, NoiseAttrs: noise, AdomK: adomK, Seed: seed}
+	if c.Rows > 0 {
+		out.Rows = c.Rows
+	}
+	if c.InfoAttrs > 0 {
+		out.InfoAttrs = c.InfoAttrs
+	}
+	if c.NoiseAttrs > 0 {
+		out.NoiseAttrs = c.NoiseAttrs
+	}
+	if c.AdomK > 0 {
+		out.AdomK = c.AdomK
+	}
+	if c.Seed != 0 {
+		out.Seed = c.Seed
+	}
+	return out
+}
+
+const measureFloor = 1e-3
+
+// newSpace builds the FST space over a lake's universal table.
+func newSpace(l *Lake) *fst.Space {
+	return fst.NewSpace(l.Universal, l.Target, fst.SpaceConfig{
+		MaxLiteralsPerAttr: l.Config.AdomK,
+		SkipLiteralAttrs:   []string{"id"},
+		ProtectedAttrs:     []string{"id"},
+	})
+}
+
+// T1Movie is task T1: a gradient boosting regressor predicting movie
+// gross, with measures P1 = {p_Acc, p_Train, p_Fsc, p_MI}.
+func T1Movie(tc TaskConfig) *Workload {
+	lc := tc.merge(360, 5, 4, 4, 101)
+	lc.Name = "movie"
+	lc.Classes = 0
+	lc.NoisyRowFrac = 0.3
+	lake := NewLake(lc)
+	maxCost := trainCost(lake.Universal.NumRows(), lake.Universal.NumCols(), 1)
+
+	model := &TableModel{
+		ModelName: "GBmovie",
+		Eval: func(d *table.Table) ([]float64, error) {
+			ds := ml.FromTable(d.DropColumn("id"), lake.Target)
+			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
+				return worst([]bool{true, false, true, true}), nil
+			}
+			train, test := ds.Split(0.3, 42)
+			g := &ml.GBMRegressor{Config: ml.GBMConfig{NumTrees: 30, MaxDepth: 3, Seed: 1}}
+			g.Fit(train.X, train.Y)
+			pred := make([]float64, len(test.Y))
+			for i, x := range test.X {
+				pred[i] = g.Predict(x)
+			}
+			acc := math.Max(0, ml.R2(test.Y, pred))
+			fsc, mi := featureScores(ds, 0)
+			cost := trainCost(train.NumRows(), train.NumFeatures(), 1)
+			return []float64{acc, cost, fsc, mi}, nil
+		},
+	}
+	measures := []fst.Measure{
+		{Name: "pAcc", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
+		{Name: "pTrain", Bounds: skyline.DefaultBounds(), Normalize: fst.Scaled(maxCost, measureFloor)},
+		{Name: "pFsc", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
+		{Name: "pMI", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
+	}
+	return &Workload{Name: "T1", Lake: lake, Space: newSpace(lake), Model: model, Measures: measures}
+}
+
+// T2House is task T2: a random forest classifying house price levels,
+// with measures P2 = {p_F1, p_Acc, p_Train, p_Fsc, p_MI}.
+func T2House(tc TaskConfig) *Workload {
+	lc := tc.merge(300, 4, 4, 4, 103)
+	lc.Name = "house"
+	lc.Classes = 3
+	lc.NoisyRowFrac = 0.35
+	lake := NewLake(lc)
+	maxCost := trainCost(lake.Universal.NumRows(), lake.Universal.NumCols(), 2)
+
+	model := &TableModel{
+		ModelName: "RFhouse",
+		Eval: func(d *table.Table) ([]float64, error) {
+			ds := ml.FromTable(d.DropColumn("id"), lake.Target)
+			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
+				return worst([]bool{true, true, false, true, true}), nil
+			}
+			train, test := ds.Split(0.3, 42)
+			f := &ml.ForestClassifier{Config: ml.ForestConfig{NumTrees: 12, MaxDepth: 6, Seed: 1}, NumClass: 3}
+			f.Fit(train.X, train.Y)
+			pred := make([]float64, len(test.Y))
+			for i, x := range test.X {
+				pred[i] = f.Predict(x)
+			}
+			acc := ml.Accuracy(test.Y, pred)
+			_, _, f1 := ml.PrecisionRecallF1(test.Y, pred)
+			fsc, mi := featureScores(ds, 3)
+			cost := trainCost(train.NumRows(), train.NumFeatures(), 2)
+			return []float64{f1, acc, cost, fsc, mi}, nil
+		},
+	}
+	measures := []fst.Measure{
+		{Name: "pF1", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
+		{Name: "pAcc", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
+		{Name: "pTrain", Bounds: skyline.DefaultBounds(), Normalize: fst.Scaled(maxCost, measureFloor)},
+		{Name: "pFsc", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
+		{Name: "pMI", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
+	}
+	return &Workload{Name: "T2", Lake: lake, Space: newSpace(lake), Model: model, Measures: measures}
+}
+
+// T3Avocado is task T3: a linear model predicting avocado prices, with
+// measures P3 = {p_MSE, p_MAE, p_Train}.
+func T3Avocado(tc TaskConfig) *Workload {
+	lc := tc.merge(420, 4, 3, 4, 107)
+	lc.Name = "avocado"
+	lc.Classes = 0
+	lc.NoisyRowFrac = 0.3
+	lake := NewLake(lc)
+	maxCost := trainCost(lake.Universal.NumRows(), lake.Universal.NumCols(), 0.5)
+
+	model := &TableModel{
+		ModelName: "LRavocado",
+		Eval: func(d *table.Table) ([]float64, error) {
+			ds := ml.FromTable(d.DropColumn("id"), lake.Target)
+			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
+				return []float64{1, 1, maxCost}, nil
+			}
+			train, test := ds.Split(0.3, 42)
+			lr := &ml.LinearRegression{}
+			lr.Fit(train.X, train.Y)
+			pred := make([]float64, len(test.Y))
+			for i, x := range test.X {
+				pred[i] = lr.Predict(x)
+			}
+			// Relative errors: MSE over target variance, MAE over target
+			// spread, keeping the raw metrics in (0,1] regardless of scale.
+			vy := variance(test.Y)
+			if vy == 0 {
+				vy = 1
+			}
+			mse := math.Min(1, ml.MSE(test.Y, pred)/vy)
+			mae := math.Min(1, ml.MAE(test.Y, pred)/math.Sqrt(vy))
+			cost := trainCost(train.NumRows(), train.NumFeatures(), 0.5)
+			return []float64{mse, mae, cost}, nil
+		},
+	}
+	measures := []fst.Measure{
+		{Name: "pMSE", Bounds: skyline.DefaultBounds(), Normalize: fst.Identity(measureFloor)},
+		{Name: "pMAE", Bounds: skyline.DefaultBounds(), Normalize: fst.Identity(measureFloor)},
+		{Name: "pTrain", Bounds: skyline.DefaultBounds(), Normalize: fst.Scaled(maxCost, measureFloor)},
+	}
+	return &Workload{Name: "T3", Lake: lake, Space: newSpace(lake), Model: model, Measures: measures}
+}
+
+// T4Mental is task T4: a histogram-GBDT (LightGBM stand-in) classifying
+// mental health status, with measures P4 = {p_Acc, p_Pc, p_Rc, p_F1,
+// p_AUC, p_Train}.
+func T4Mental(tc TaskConfig) *Workload {
+	lc := tc.merge(320, 5, 4, 4, 109)
+	lc.Name = "mental"
+	lc.Classes = 2
+	lc.NoisyRowFrac = 0.35
+	lake := NewLake(lc)
+	maxCost := trainCost(lake.Universal.NumRows(), lake.Universal.NumCols(), 1.5)
+
+	model := &TableModel{
+		ModelName: "LGCmental",
+		Eval: func(d *table.Table) ([]float64, error) {
+			ds := ml.FromTable(d.DropColumn("id"), lake.Target)
+			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
+				return worst([]bool{true, true, true, true, true, false}), nil
+			}
+			train, test := ds.Split(0.3, 42)
+			h := &ml.HistGBMClassifier{Config: ml.HistGBMConfig{
+				GBM:     ml.GBMConfig{NumTrees: 25, MaxDepth: 3, Seed: 1},
+				NumBins: 16,
+			}}
+			h.Fit(train.X, train.Y)
+			pred := make([]float64, len(test.Y))
+			scores := make([]float64, len(test.Y))
+			for i, x := range test.X {
+				scores[i] = h.PredictProba(x)
+				pred[i] = math.Round(scores[i])
+			}
+			acc := ml.Accuracy(test.Y, pred)
+			pc, rc, f1 := ml.PrecisionRecallF1(test.Y, pred)
+			auc := ml.AUC(test.Y, scores)
+			cost := trainCost(train.NumRows(), train.NumFeatures(), 1.5)
+			return []float64{acc, pc, rc, f1, auc, cost}, nil
+		},
+	}
+	measures := []fst.Measure{
+		{Name: "pAcc", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
+		{Name: "pPc", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
+		{Name: "pRc", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
+		{Name: "pF1", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
+		{Name: "pAUC", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
+		{Name: "pTrain", Bounds: skyline.DefaultBounds(), Normalize: fst.Scaled(maxCost, measureFloor)},
+	}
+	return &Workload{Name: "T4", Lake: lake, Space: newSpace(lake), Model: model, Measures: measures}
+}
+
+func invSquash() func(float64) float64 {
+	inv := fst.Inverted(measureFloor)
+	return func(raw float64) float64 { return inv(squash(raw)) }
+}
+
+func variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var m float64
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return v / float64(len(xs))
+}

@@ -1,0 +1,89 @@
+// Package estimator provides the model-performance estimators E of the
+// MODis framework. The default is MO-GBM: a multi-output gradient
+// boosting surrogate that predicts the full performance vector of a
+// state from its bitmap features in one call (Section 2, "Estimators"),
+// trained online from the historical test set T.
+package estimator
+
+import (
+	"repro/internal/ml"
+	"repro/internal/skyline"
+)
+
+// MOGBM is the multi-output gradient boosting surrogate.
+type MOGBM struct {
+	// MinObs is the minimum number of observations before estimates are
+	// trusted (default 12).
+	MinObs int
+	// RefitEvery retrains the surrogate after this many new observations
+	// (default 8).
+	RefitEvery int
+	// Config tunes the underlying boosted trees.
+	Config ml.GBMConfig
+
+	feats    [][]float64
+	targets  [][]float64
+	model    *ml.MultiOutputGBM
+	sinceFit int
+}
+
+// NewMOGBM returns a surrogate with the defaults used in the paper's
+// experiments (small, fast boosted trees).
+func NewMOGBM() *MOGBM {
+	return &MOGBM{
+		MinObs:     12,
+		RefitEvery: 8,
+		Config: ml.GBMConfig{
+			NumTrees:     40,
+			MaxDepth:     3,
+			LearningRate: 0.15,
+			Seed:         7,
+		},
+	}
+}
+
+// Observe records an exactly valuated test for training.
+func (e *MOGBM) Observe(features []float64, v skyline.Vector) {
+	e.feats = append(e.feats, append([]float64(nil), features...))
+	e.targets = append(e.targets, append([]float64(nil), v...))
+	e.sinceFit++
+}
+
+// NumObservations reports the training-set size.
+func (e *MOGBM) NumObservations() int { return len(e.feats) }
+
+// Estimate predicts the performance vector; ok=false until enough
+// observations have accumulated. Refitting is lazy and incremental by
+// observation count.
+func (e *MOGBM) Estimate(features []float64) (skyline.Vector, bool) {
+	minObs := e.MinObs
+	if minObs <= 0 {
+		minObs = 12
+	}
+	if len(e.feats) < minObs {
+		return nil, false
+	}
+	refit := e.RefitEvery
+	if refit <= 0 {
+		refit = 8
+	}
+	if e.model == nil || e.sinceFit >= refit {
+		m := &ml.MultiOutputGBM{Config: e.Config}
+		m.Fit(e.feats, e.targets)
+		e.model = m
+		e.sinceFit = 0
+	}
+	pred := e.model.Predict(features)
+	return skyline.Vector(pred), true
+}
+
+// Exact is a no-op estimator: it never answers, forcing every valuation
+// through real model inference. Used for ablations comparing surrogate
+// versus exact discovery.
+type Exact struct{}
+
+// Estimate always reports not-ready.
+func (Exact) Estimate([]float64) (skyline.Vector, bool) { return nil, false }
+
+// Observe discards the observation.
+func (Exact) Observe([]float64, skyline.Vector) {}

@@ -1,0 +1,105 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/skyline"
+)
+
+func TestMOGBMNotReadyUntilMinObs(t *testing.T) {
+	e := NewMOGBM()
+	e.MinObs = 5
+	for i := 0; i < 4; i++ {
+		e.Observe([]float64{float64(i)}, skyline.Vector{0.5})
+	}
+	if _, ok := e.Estimate([]float64{1}); ok {
+		t.Error("estimator should not answer before MinObs")
+	}
+	e.Observe([]float64{4}, skyline.Vector{0.5})
+	if _, ok := e.Estimate([]float64{1}); !ok {
+		t.Error("estimator should answer at MinObs")
+	}
+}
+
+func TestMOGBMLearnsBitmapSignal(t *testing.T) {
+	// Target vector is a simple function of the bitmap: p0 = mean(bits),
+	// p1 = 1 - mean(bits). The surrogate should recover it.
+	e := NewMOGBM()
+	e.MinObs = 20
+	rng := rand.New(rand.NewSource(1))
+	dim := 10
+	for i := 0; i < 120; i++ {
+		feats := make([]float64, dim)
+		s := 0.0
+		for j := range feats {
+			feats[j] = float64(rng.Intn(2))
+			s += feats[j]
+		}
+		m := s / float64(dim)
+		e.Observe(feats, skyline.Vector{m, 1 - m})
+	}
+	var errSum float64
+	n := 40
+	for i := 0; i < n; i++ {
+		feats := make([]float64, dim)
+		s := 0.0
+		for j := range feats {
+			feats[j] = float64(rng.Intn(2))
+			s += feats[j]
+		}
+		m := s / float64(dim)
+		pred, ok := e.Estimate(feats)
+		if !ok {
+			t.Fatal("estimator should be ready")
+		}
+		errSum += math.Abs(pred[0]-m) + math.Abs(pred[1]-(1-m))
+	}
+	avg := errSum / float64(2*n)
+	if avg > 0.08 {
+		t.Errorf("surrogate avg error = %v, want <= 0.08", avg)
+	}
+}
+
+func TestMOGBMOutputDimension(t *testing.T) {
+	e := NewMOGBM()
+	e.MinObs = 2
+	e.Observe([]float64{0}, skyline.Vector{0.1, 0.2, 0.3})
+	e.Observe([]float64{1}, skyline.Vector{0.4, 0.5, 0.6})
+	v, ok := e.Estimate([]float64{0.5})
+	if !ok {
+		t.Fatal("should be ready")
+	}
+	if len(v) != 3 {
+		t.Errorf("output dim = %d, want 3", len(v))
+	}
+}
+
+func TestMOGBMRefitPicksUpNewData(t *testing.T) {
+	e := NewMOGBM()
+	e.MinObs = 4
+	e.RefitEvery = 4
+	// First regime: constant 0.2.
+	for i := 0; i < 4; i++ {
+		e.Observe([]float64{float64(i)}, skyline.Vector{0.2})
+	}
+	v1, _ := e.Estimate([]float64{1})
+	// Second regime: constant 0.8; after RefitEvery observations the
+	// model must shift upward.
+	for i := 0; i < 12; i++ {
+		e.Observe([]float64{float64(i)}, skyline.Vector{0.8})
+	}
+	v2, _ := e.Estimate([]float64{1})
+	if v2[0] <= v1[0] {
+		t.Errorf("refit did not move estimate: %v -> %v", v1[0], v2[0])
+	}
+}
+
+func TestExactNeverAnswers(t *testing.T) {
+	var e Exact
+	e.Observe([]float64{1}, skyline.Vector{0.5})
+	if _, ok := e.Estimate([]float64{1}); ok {
+		t.Error("Exact must never answer")
+	}
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"repro/internal/datagen"
+)
+
+// defaultScale is the row scale of the comparison experiments; benches
+// may pass larger TaskConfigs for scalability runs.
+var defaultScale = datagen.TaskConfig{Rows: 220}
+
+// Table4T2 reproduces Table 4 (upper half): all methods on task T2
+// (house price classification, RF), measures P2.
+func Table4T2() (*Report, error) {
+	w := datagen.T2House(defaultScale)
+	rs, err := RunAllMethods(w, MODisOptions(), 0) // select by p_F1
+	if err != nil {
+		return nil, err
+	}
+	return ComparisonReport("Table 4 (T2: House) — normalized measures, smaller is better", w, rs), nil
+}
+
+// Table4T4 reproduces Table 4 (lower half): all methods on task T4
+// (mental health classification, histogram GBDT), measures P4.
+func Table4T4() (*Report, error) {
+	w := datagen.T4Mental(defaultScale)
+	rs, err := RunAllMethods(w, MODisOptions(), 0) // select by p_Acc
+	if err != nil {
+		return nil, err
+	}
+	return ComparisonReport("Table 4 (T4: Mental) — normalized measures, smaller is better", w, rs), nil
+}
+
+// Table5T5 reproduces Table 5: the MODis methods on task T5 (link
+// regression for recommendation, LightGCN-style scorer), measures P5.
+func Table5T5() (*Report, error) {
+	w := datagen.T5Link(datagen.T5Config{})
+	rs, err := RunMODisOnly(w, MODisOptions(), 0) // select by p_Pc5
+	if err != nil {
+		return nil, err
+	}
+	return ComparisonReport("Table 5 (T5: Link Regression) — normalized measures, smaller is better", w, rs), nil
+}
+
+// Table6T1 reproduces Table 6 (upper half): all methods on task T1
+// (movie gross regression, GBM), measures P1.
+func Table6T1() (*Report, error) {
+	w := datagen.T1Movie(defaultScale)
+	rs, err := RunAllMethods(w, MODisOptions(), 0) // select by p_Acc
+	if err != nil {
+		return nil, err
+	}
+	return ComparisonReport("Table 6 (T1: Movie) — normalized measures, smaller is better", w, rs), nil
+}
+
+// Table6T3 reproduces Table 6 (lower half): all methods on task T3
+// (avocado price regression, linear model), measures P3.
+func Table6T3() (*Report, error) {
+	w := datagen.T3Avocado(defaultScale)
+	rs, err := RunAllMethods(w, MODisOptions(), 0) // select by p_MSE
+	if err != nil {
+		return nil, err
+	}
+	return ComparisonReport("Table 6 (T3: Avocado) — normalized measures, smaller is better", w, rs), nil
+}
+
+// Fig7 reproduces Figure 7: the per-measure effectiveness radar for T1
+// and T3 — emitted as the same comparison series (one axis per row).
+func Fig7() ([]*Report, error) {
+	t1, err := Table6T1()
+	if err != nil {
+		return nil, err
+	}
+	t1.Title = "Figure 7 (left, T1: Movie) — radar series, smaller is better"
+	t3, err := Table6T3()
+	if err != nil {
+		return nil, err
+	}
+	t3.Title = "Figure 7 (right, T3: Avocado) — radar series, smaller is better"
+	return []*Report{t1, t3}, nil
+}

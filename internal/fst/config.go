@@ -1,0 +1,271 @@
+package fst
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/skyline"
+	"repro/internal/table"
+)
+
+// Measure is one user-defined performance measure p ∈ P: a name, a
+// desired range [p_l, p_u] ⊆ (0,1], and a normalizer mapping the model's
+// raw metric value into the unified minimize-space.
+type Measure struct {
+	Name      string
+	Bounds    skyline.Bounds
+	Normalize func(raw float64) float64
+}
+
+// Inverted returns a measure normalizer for metrics to be maximized
+// (accuracy, F1, ...): raw x in [0,1] maps to 1-x, floored at lo.
+func Inverted(lo float64) func(float64) float64 {
+	return func(raw float64) float64 {
+		v := 1 - raw
+		if v < lo {
+			v = lo
+		}
+		if v > 1 {
+			v = 1
+		}
+		return v
+	}
+}
+
+// Scaled returns a normalizer for cost-like metrics: raw/max clipped to
+// (lo, 1].
+func Scaled(max, lo float64) func(float64) float64 {
+	return func(raw float64) float64 {
+		if max <= 0 {
+			return 1
+		}
+		v := raw / max
+		if v < lo {
+			v = lo
+		}
+		if v > 1 {
+			v = 1
+		}
+		return v
+	}
+}
+
+// Identity returns a normalizer that clips raw to [lo, 1].
+func Identity(lo float64) func(float64) float64 {
+	return func(raw float64) float64 {
+		if math.IsNaN(raw) {
+			return 1
+		}
+		if raw < lo {
+			return lo
+		}
+		if raw > 1 {
+			return 1
+		}
+		return raw
+	}
+}
+
+// Model is a fixed deterministic data science model M: D → R^d whose
+// performance over a dataset is what MODis optimizes. Evaluate returns
+// the raw metric vector aligned with the configured measures (e.g.
+// accuracy, training cost), before normalization.
+type Model interface {
+	Name() string
+	Evaluate(d *table.Table) ([]float64, error)
+}
+
+// Estimator predicts the normalized performance vector of a state from
+// its features without running the model — the role of MO-GBM in the
+// paper. Implementations live in internal/estimator.
+type Estimator interface {
+	// Estimate returns the predicted vector; ok=false when the estimator
+	// is not yet trained well enough to be trusted.
+	Estimate(features []float64) (v skyline.Vector, ok bool)
+	// Observe records an exactly valuated test for future fitting.
+	Observe(features []float64, v skyline.Vector)
+}
+
+// Test is one valuated test tuple t = (M, D, P) with its performance
+// vector.
+type Test struct {
+	Key  string
+	Perf skyline.Vector
+	// Features is the state feature vector used to train estimators.
+	Features []float64
+}
+
+// TestSet is the historical record T of valuated tests, memoizing by
+// state key so repeated states load their vector instead of re-valuating.
+type TestSet struct {
+	byKey map[string]*Test
+	order []*Test
+}
+
+// NewTestSet returns an empty record.
+func NewTestSet() *TestSet { return &TestSet{byKey: map[string]*Test{}} }
+
+// Get loads a memoized test.
+func (ts *TestSet) Get(key string) (*Test, bool) {
+	t, ok := ts.byKey[key]
+	return t, ok
+}
+
+// Put records a valuated test (idempotent per key).
+func (ts *TestSet) Put(t *Test) {
+	if _, ok := ts.byKey[t.Key]; ok {
+		return
+	}
+	ts.byKey[t.Key] = t
+	ts.order = append(ts.order, t)
+}
+
+// Len returns the number of recorded tests.
+func (ts *TestSet) Len() int { return len(ts.order) }
+
+// All returns the tests in valuation order.
+func (ts *TestSet) All() []*Test { return ts.order }
+
+// Columns returns, for measure index j, the series of recorded values —
+// the distribution the correlation graph G_C is computed from.
+func (ts *TestSet) Columns(numMeasures int) [][]float64 {
+	cols := make([][]float64, numMeasures)
+	for _, t := range ts.order {
+		for j := 0; j < numMeasures && j < len(t.Perf); j++ {
+			cols[j] = append(cols[j], t.Perf[j])
+		}
+	}
+	return cols
+}
+
+// Config is the configuration C = (s_M, O, M, T, E) of a data discovery
+// system run.
+type Config struct {
+	Space    *Space
+	Model    Model
+	Measures []Measure
+	Tests    *TestSet
+	Est      Estimator
+	// WarmupExact is the number of exact model valuations performed
+	// before the surrogate estimator is trusted; 0 disables the
+	// surrogate entirely (every state is valuated by model inference).
+	WarmupExact int
+	// ExactEvery forces an exact valuation every k-th state even after
+	// warmup, feeding the estimator fresh observations. 0 = never.
+	ExactEvery int
+
+	valuations int
+	exactCalls int
+}
+
+// Validate checks internal consistency.
+func (c *Config) Validate() error {
+	if c.Space == nil {
+		return fmt.Errorf("fst: config requires a Space")
+	}
+	if c.Model == nil {
+		return fmt.Errorf("fst: config requires a Model")
+	}
+	if len(c.Measures) == 0 {
+		return fmt.Errorf("fst: config requires at least one measure")
+	}
+	if c.Tests == nil {
+		c.Tests = NewTestSet()
+	}
+	return nil
+}
+
+// Bounds returns the measure bounds slice aligned with the vector.
+func (c *Config) Bounds() []skyline.Bounds {
+	out := make([]skyline.Bounds, len(c.Measures))
+	for i, m := range c.Measures {
+		b := m.Bounds
+		if b.Lower <= 0 {
+			b.Lower = skyline.DefaultBounds().Lower
+		}
+		if b.Upper <= 0 {
+			b.Upper = skyline.DefaultBounds().Upper
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// WithinBounds reports whether the vector satisfies every measure's
+// user-specified range.
+func (c *Config) WithinBounds(v skyline.Vector) bool {
+	for i, b := range c.Bounds() {
+		if i >= len(v) || v[i] > b.Upper {
+			return false
+		}
+	}
+	return true
+}
+
+// Valuations reports the number of states valuated so far (the N budget).
+func (c *Config) Valuations() int { return c.valuations }
+
+// ExactCalls reports how many valuations ran real model inference.
+func (c *Config) ExactCalls() int { return c.exactCalls }
+
+// ResetCounters clears the valuation counters (for reuse across runs).
+func (c *Config) ResetCounters() { c.valuations, c.exactCalls = 0, 0 }
+
+// Valuate produces the normalized performance vector of a state bitmap,
+// memoizing through the test set T. It prefers the surrogate estimator
+// after warmup and falls back to exact model inference.
+func (c *Config) Valuate(bits Bitmap) (skyline.Vector, error) {
+	key := bits.Key()
+	if t, ok := c.Tests.Get(key); ok {
+		return t.Perf, nil
+	}
+	c.valuations++
+	feats := bits.Floats()
+
+	useSurrogate := c.Est != nil && c.exactCalls >= c.WarmupExact
+	if useSurrogate && c.ExactEvery > 0 && c.valuations%c.ExactEvery == 0 {
+		useSurrogate = false
+	}
+	if useSurrogate {
+		if v, ok := c.Est.Estimate(feats); ok {
+			v = clampVec(v)
+			c.Tests.Put(&Test{Key: key, Perf: v, Features: feats})
+			return v, nil
+		}
+	}
+
+	d := c.Space.Materialize(bits)
+	raw, err := c.Model.Evaluate(d)
+	if err != nil {
+		return nil, fmt.Errorf("fst: valuate state: %w", err)
+	}
+	if len(raw) != len(c.Measures) {
+		return nil, fmt.Errorf("fst: model returned %d metrics, want %d", len(raw), len(c.Measures))
+	}
+	v := make(skyline.Vector, len(raw))
+	for i, m := range c.Measures {
+		if m.Normalize != nil {
+			v[i] = m.Normalize(raw[i])
+		} else {
+			v[i] = Identity(1e-3)(raw[i])
+		}
+	}
+	c.exactCalls++
+	if c.Est != nil {
+		c.Est.Observe(feats, v)
+	}
+	c.Tests.Put(&Test{Key: key, Perf: v, Features: feats})
+	return v, nil
+}
+
+func clampVec(v skyline.Vector) skyline.Vector {
+	for i := range v {
+		if math.IsNaN(v[i]) || v[i] > 1 {
+			v[i] = 1
+		}
+		if v[i] < 1e-3 {
+			v[i] = 1e-3
+		}
+	}
+	return v
+}

@@ -1,0 +1,244 @@
+// Package fst formalizes the skyline data generator of the MODis paper
+// as a finite state transducer T = (s_M, S, O, S_F, δ) (Section 3): a
+// state is a bitmap over the universal table that encodes which
+// attributes and which active-domain clusters are present; Reduct flips
+// entries 1→0 and Augment flips 0→1; materializing a bitmap yields the
+// state's dataset D_s via SPJ queries.
+package fst
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// EntryKind distinguishes the two bitmap entry classes.
+type EntryKind uint8
+
+const (
+	// EntryAttr toggles participation of a whole attribute (adom_s(A) = ∅
+	// versus wildcard).
+	EntryAttr EntryKind = iota
+	// EntryLiteral toggles the tuples of one active-domain cluster,
+	// identified by an equality literal A = a.
+	EntryLiteral
+)
+
+// Entry is one position of the state bitmap L.
+type Entry struct {
+	Kind    EntryKind
+	Attr    string
+	Literal table.Literal // valid when Kind == EntryLiteral
+}
+
+// String renders the entry for debugging.
+func (e Entry) String() string {
+	if e.Kind == EntryAttr {
+		return "attr:" + e.Attr
+	}
+	return "lit:" + e.Literal.String()
+}
+
+// Bitmap encodes a state: Bitmap[i] reports whether entry i is present.
+type Bitmap []bool
+
+// Clone deep-copies the bitmap.
+func (b Bitmap) Clone() Bitmap { return append(Bitmap(nil), b...) }
+
+// Key packs the bitmap into a compact string map key.
+func (b Bitmap) Key() string {
+	var sb strings.Builder
+	sb.Grow((len(b) + 7) / 8)
+	var cur byte
+	for i, v := range b {
+		if v {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			sb.WriteByte(cur)
+			cur = 0
+		}
+	}
+	if len(b)%8 != 0 {
+		sb.WriteByte(cur)
+	}
+	return sb.String()
+}
+
+// Ones counts the set entries.
+func (b Bitmap) Ones() int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Floats renders the bitmap as a feature vector for surrogate estimators.
+func (b Bitmap) Floats() []float64 {
+	out := make([]float64, len(b))
+	for i, v := range b {
+		if v {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Space is the dataset exploration space induced by a universal table: it
+// fixes the entry ordering so every Bitmap identifies one dataset.
+type Space struct {
+	Universal *table.Table
+	Target    string
+	Entries   []Entry
+	// attrEntry maps attribute name to its EntryAttr index.
+	attrEntry map[string]int
+	// litEntries maps attribute name to its EntryLiteral indexes.
+	litEntries map[string][]int
+	// udfs are post-materialization task-specific operators (see udf.go).
+	udfs []UDF
+}
+
+// SpaceConfig controls space construction.
+type SpaceConfig struct {
+	// MaxLiteralsPerAttr caps the cluster literals per attribute (the
+	// paper uses k-means with max k = 30; the experiments use far fewer).
+	MaxLiteralsPerAttr int
+	// SkipLiteralAttrs lists attributes that contribute no literal
+	// entries (e.g. identifier columns).
+	SkipLiteralAttrs []string
+	// ProtectedAttrs lists attributes that contribute no attribute entry
+	// either: they can never be masked (e.g. the endpoints of a graph's
+	// edge table, without which the model cannot run).
+	ProtectedAttrs []string
+}
+
+// NewSpace derives the bitmap layout from a (pre-compressed) universal
+// table: one EntryAttr per non-target attribute and one EntryLiteral per
+// derived cluster literal. The target attribute is never droppable.
+func NewSpace(universal *table.Table, target string, cfg SpaceConfig) *Space {
+	if cfg.MaxLiteralsPerAttr <= 0 {
+		cfg.MaxLiteralsPerAttr = 30
+	}
+	skip := map[string]bool{}
+	for _, a := range cfg.SkipLiteralAttrs {
+		skip[a] = true
+	}
+	protected := map[string]bool{}
+	for _, a := range cfg.ProtectedAttrs {
+		protected[a] = true
+	}
+	sp := &Space{
+		Universal:  universal,
+		Target:     target,
+		attrEntry:  map[string]int{},
+		litEntries: map[string][]int{},
+	}
+	for _, c := range universal.Schema {
+		if c.Name == target || protected[c.Name] {
+			continue
+		}
+		sp.attrEntry[c.Name] = len(sp.Entries)
+		sp.Entries = append(sp.Entries, Entry{Kind: EntryAttr, Attr: c.Name})
+	}
+	for _, c := range universal.Schema {
+		if c.Name == target || skip[c.Name] {
+			continue
+		}
+		for _, lit := range table.DeriveLiterals(universal, c.Name, cfg.MaxLiteralsPerAttr) {
+			sp.litEntries[c.Name] = append(sp.litEntries[c.Name], len(sp.Entries))
+			sp.Entries = append(sp.Entries, Entry{Kind: EntryLiteral, Attr: c.Name, Literal: lit})
+		}
+	}
+	return sp
+}
+
+// Size returns the number of bitmap entries.
+func (sp *Space) Size() int { return len(sp.Entries) }
+
+// FullBitmap returns the start state s_U of the forward search: every
+// entry present, i.e. the universal dataset itself.
+func (sp *Space) FullBitmap() Bitmap {
+	b := make(Bitmap, len(sp.Entries))
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}
+
+// AttrEntry returns the EntryAttr index for the attribute, or -1.
+func (sp *Space) AttrEntry(attr string) int {
+	if i, ok := sp.attrEntry[attr]; ok {
+		return i
+	}
+	return -1
+}
+
+// LiteralEntries returns the EntryLiteral indexes of the attribute.
+func (sp *Space) LiteralEntries(attr string) []int { return sp.litEntries[attr] }
+
+// Materialize produces the dataset D_s of a state by applying the
+// sequence of Reduct operators implied by the cleared bitmap entries to
+// the universal table: cleared literal entries remove their cluster's
+// tuples (⊖), cleared attribute entries mask their column (adom_s = ∅).
+func (sp *Space) Materialize(bits Bitmap) *table.Table {
+	if len(bits) != len(sp.Entries) {
+		panic(fmt.Sprintf("fst: bitmap width %d != space size %d", len(bits), len(sp.Entries)))
+	}
+	// Collect cleared literals per attribute index for one row scan.
+	cleared := map[string][]table.Value{}
+	maskedAttrs := map[string]bool{}
+	for i, e := range sp.Entries {
+		if bits[i] {
+			continue
+		}
+		switch e.Kind {
+		case EntryAttr:
+			maskedAttrs[e.Attr] = true
+		case EntryLiteral:
+			cleared[e.Attr] = append(cleared[e.Attr], e.Literal.Value)
+		}
+	}
+	u := sp.Universal
+	out := table.New("D_s", u.Schema)
+	colIdx := make(map[string]int, len(u.Schema))
+	for i, c := range u.Schema {
+		colIdx[c.Name] = i
+	}
+rows:
+	for _, r := range u.Rows {
+		for attr, vals := range cleared {
+			ci := colIdx[attr]
+			cell := r[ci]
+			if cell.IsNull() {
+				continue
+			}
+			for _, v := range vals {
+				if cell.Equal(v) {
+					continue rows
+				}
+			}
+		}
+		nr := r.Clone()
+		for attr := range maskedAttrs {
+			nr[colIdx[attr]] = table.Null
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	// Drop fully masked attributes from the schema view (output size
+	// excludes attributes with all cells masked, per Section 6).
+	if len(maskedAttrs) > 0 {
+		keep := make([]string, 0, len(u.Schema))
+		for _, c := range u.Schema {
+			if !maskedAttrs[c.Name] {
+				keep = append(keep, c.Name)
+			}
+		}
+		out = out.Project(keep...)
+		out.Name = "D_s"
+	}
+	return sp.applyUDFs(out)
+}

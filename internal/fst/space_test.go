@@ -1,0 +1,167 @@
+package fst
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/table"
+)
+
+func testUniversal() *table.Table {
+	u := table.New("D_U", table.Schema{
+		{Name: "id", Kind: table.KindInt},
+		{Name: "x", Kind: table.KindFloat},
+		{Name: "season", Kind: table.KindString},
+		{Name: "target", Kind: table.KindInt},
+	})
+	seasons := []string{"spring", "summer"}
+	for i := 0; i < 20; i++ {
+		u.MustAppend(table.Row{
+			table.Int(int64(i)),
+			table.Float(float64(i % 4)),
+			table.Str(seasons[i%2]),
+			table.Int(int64(i % 2)),
+		})
+	}
+	return u
+}
+
+func testSpace() *Space {
+	return NewSpace(testUniversal(), "target", SpaceConfig{
+		MaxLiteralsPerAttr: 4,
+		SkipLiteralAttrs:   []string{"id"},
+		ProtectedAttrs:     []string{"id"},
+	})
+}
+
+func TestSpaceLayout(t *testing.T) {
+	sp := testSpace()
+	// Attribute entries: x, season (target and protected id excluded).
+	if sp.AttrEntry("x") < 0 || sp.AttrEntry("season") < 0 {
+		t.Error("missing attribute entries")
+	}
+	if sp.AttrEntry("target") >= 0 {
+		t.Error("target must not have an attribute entry")
+	}
+	if sp.AttrEntry("id") >= 0 {
+		t.Error("protected attr must not have an attribute entry")
+	}
+	// Literal entries: x has 4 distinct values, season 2; id skipped.
+	if got := len(sp.LiteralEntries("x")); got != 4 {
+		t.Errorf("x literals = %d, want 4", got)
+	}
+	if got := len(sp.LiteralEntries("season")); got != 2 {
+		t.Errorf("season literals = %d, want 2", got)
+	}
+	if len(sp.LiteralEntries("id")) != 0 {
+		t.Error("id literals should be skipped")
+	}
+}
+
+func TestFullBitmapMaterializesUniversal(t *testing.T) {
+	sp := testSpace()
+	d := sp.Materialize(sp.FullBitmap())
+	if d.NumRows() != sp.Universal.NumRows() {
+		t.Errorf("full bitmap rows = %d, want %d", d.NumRows(), sp.Universal.NumRows())
+	}
+	if d.NumCols() != sp.Universal.NumCols() {
+		t.Errorf("full bitmap cols = %d, want %d", d.NumCols(), sp.Universal.NumCols())
+	}
+}
+
+func TestMaterializeClearedLiteralRemovesCluster(t *testing.T) {
+	sp := testSpace()
+	bits := sp.FullBitmap()
+	// Clear the first x literal.
+	li := sp.LiteralEntries("x")[0]
+	bits[li] = false
+	d := sp.Materialize(bits)
+	removedVal := sp.Entries[li].Literal.Value
+	for _, r := range d.Rows {
+		if r[d.Schema.Index("x")].Equal(removedVal) {
+			t.Fatalf("rows with x=%v should be gone", removedVal)
+		}
+	}
+	if d.NumRows() != 15 {
+		t.Errorf("rows after reduct = %d, want 15 (20 - 5 in cluster)", d.NumRows())
+	}
+}
+
+func TestMaterializeClearedAttrDropsColumn(t *testing.T) {
+	sp := testSpace()
+	bits := sp.FullBitmap()
+	bits[sp.AttrEntry("x")] = false
+	d := sp.Materialize(bits)
+	if d.Schema.Has("x") {
+		t.Error("masked attribute should be dropped from the schema view")
+	}
+	if d.NumRows() != 20 {
+		t.Error("masking a column must not remove rows")
+	}
+}
+
+func TestMaterializeWidthPanic(t *testing.T) {
+	sp := testSpace()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on bitmap width mismatch")
+		}
+	}()
+	sp.Materialize(make(Bitmap, 1))
+}
+
+func TestBitmapKeyUnique(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ba := make(Bitmap, 16)
+		bb := make(Bitmap, 16)
+		for i := 0; i < 16; i++ {
+			ba[i] = a&(1<<i) != 0
+			bb[i] = b&(1<<i) != 0
+		}
+		if a == b {
+			return ba.Key() == bb.Key()
+		}
+		return ba.Key() != bb.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmapOnesAndFloats(t *testing.T) {
+	b := Bitmap{true, false, true}
+	if b.Ones() != 2 {
+		t.Errorf("Ones = %d", b.Ones())
+	}
+	f := b.Floats()
+	if f[0] != 1 || f[1] != 0 || f[2] != 1 {
+		t.Errorf("Floats = %v", f)
+	}
+}
+
+// Property: materialized datasets shrink monotonically as bits clear.
+func TestMaterializeMonotone(t *testing.T) {
+	sp := testSpace()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := sp.FullBitmap()
+		prev := sp.Materialize(bits).NumRows()
+		// Clear literal entries one by one; row count must not grow.
+		for _, li := range sp.LiteralEntries("x") {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			bits[li] = false
+			cur := sp.Materialize(bits).NumRows()
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package fst
+
+import (
+	"repro/internal/skyline"
+)
+
+// State is a node of the running graph G_T: a bitmap identifying a
+// dataset, the level it was spawned at, and (once valuated) its
+// performance vector s.P.
+type State struct {
+	Bits  Bitmap
+	Level int
+	Perf  skyline.Vector
+	// Via is the bitmap entry whose flip produced this state from its
+	// parent (-1 for start states), recording the transition operator.
+	Via int
+	// EstLo and EstHi are the parameterized ranges [p̂_l, p̂_u] used by
+	// BiMODis' correlation-based pruning for unvaluated measures; nil
+	// when no parameterization has been performed.
+	EstLo skyline.Vector
+	EstHi skyline.Vector
+}
+
+// Key returns the state's identity.
+func (s *State) Key() string { return s.Bits.Key() }
+
+// Valuated reports whether s.P has been filled.
+func (s *State) Valuated() bool { return len(s.Perf) > 0 }
+
+// Direction selects how OpGen spawns children.
+type Direction uint8
+
+const (
+	// Forward applies Reduct operators (flip 1 → 0), the
+	// reduce-from-universal strategy.
+	Forward Direction = iota
+	// Backward applies Augment operators (flip 0 → 1), the backward
+	// frontier of BiMODis.
+	Backward
+)
+
+// Transition records one edge (s, op, s') of the running graph.
+type Transition struct {
+	From  string
+	To    string
+	Entry int
+	Dir   Direction
+}
+
+// RunningGraph is the DAG G_T = (V, δ) spawned by a running of T.
+type RunningGraph struct {
+	Nodes map[string]*State
+	Edges []Transition
+}
+
+// NewRunningGraph returns an empty graph.
+func NewRunningGraph() *RunningGraph {
+	return &RunningGraph{Nodes: map[string]*State{}}
+}
+
+// AddNode registers a state if new, returning the canonical instance.
+func (g *RunningGraph) AddNode(s *State) *State {
+	k := s.Key()
+	if ex, ok := g.Nodes[k]; ok {
+		return ex
+	}
+	g.Nodes[k] = s
+	return s
+}
+
+// AddEdge records a transition.
+func (g *RunningGraph) AddEdge(from, to *State, entry int, dir Direction) {
+	g.Edges = append(g.Edges, Transition{From: from.Key(), To: to.Key(), Entry: entry, Dir: dir})
+}
+
+// NumNodes returns |V|.
+func (g *RunningGraph) NumNodes() int { return len(g.Nodes) }
+
+// OpGen spawns all one-flip children of s in the given direction,
+// mirroring procedure OpGen of Algorithm 1: every set (resp. cleared)
+// bitmap entry yields one applicable Reduct (resp. Augment) operator.
+func OpGen(s *State, dir Direction) []*State {
+	var out []*State
+	for i, set := range s.Bits {
+		if (dir == Forward) != set {
+			continue
+		}
+		nb := s.Bits.Clone()
+		nb[i] = !set
+		out = append(out, &State{Bits: nb, Level: s.Level + 1, Via: i})
+	}
+	return out
+}
+
+// OpGenEntries is OpGen restricted to a subset of entry indexes; used by
+// the backward search to only re-augment entries absent from the back
+// state.
+func OpGenEntries(s *State, dir Direction, entries []int) []*State {
+	var out []*State
+	for _, i := range entries {
+		set := s.Bits[i]
+		if (dir == Forward) != set {
+			continue
+		}
+		nb := s.Bits.Clone()
+		nb[i] = !set
+		out = append(out, &State{Bits: nb, Level: s.Level + 1, Via: i})
+	}
+	return out
+}
+
+// BackSt initializes the backward start state s_b of BiMODis: all
+// attribute entries stay present, and literal entries are greedily
+// cleared while every value of the target's active domain remains
+// covered by at least one surviving tuple — the paper's "minimal set of
+// tuples that covers all values of adom of the target".
+func BackSt(sp *Space) Bitmap {
+	bits := sp.FullBitmap()
+	tgtIdx := sp.Universal.Schema.Index(sp.Target)
+
+	// coverage counts, per target value, how many present tuples carry it.
+	coverage := map[string]int{}
+	if tgtIdx >= 0 {
+		for _, r := range sp.Universal.Rows {
+			if !r[tgtIdx].IsNull() {
+				coverage[r[tgtIdx].Key()]++
+			}
+		}
+	}
+
+	// rowsOfLiteral pre-indexes which rows each literal entry would remove.
+	colIdx := map[string]int{}
+	for i, c := range sp.Universal.Schema {
+		colIdx[c.Name] = i
+	}
+	for i, e := range sp.Entries {
+		if e.Kind != EntryLiteral {
+			continue
+		}
+		ci := colIdx[e.Attr]
+		// Tally target coverage lost if this literal's rows go away.
+		lost := map[string]int{}
+		for _, r := range sp.Universal.Rows {
+			if r[ci].Equal(e.Literal.Value) {
+				if tgtIdx >= 0 && !r[tgtIdx].IsNull() {
+					lost[r[tgtIdx].Key()]++
+				}
+			}
+		}
+		ok := true
+		for k, n := range lost {
+			if coverage[k]-n <= 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			bits[i] = false
+			for k, n := range lost {
+				coverage[k] -= n
+			}
+		}
+	}
+	return bits
+}

@@ -1,0 +1,68 @@
+package fst
+
+import (
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestImputeMeansUDF(t *testing.T) {
+	sp := testSpace()
+	sp.RegisterUDF(ImputeMeansUDF("target"))
+	bits := sp.FullBitmap()
+	// Mask x, then verify... masking drops the column, so instead build
+	// a table with a null directly through the UDF.
+	udf := ImputeMeansUDF("target")
+	tb := table.New("t", table.Schema{
+		{Name: "x", Kind: table.KindFloat},
+		{Name: "target", Kind: table.KindInt},
+	})
+	tb.MustAppend(table.Row{table.Float(2), table.Int(0)})
+	tb.MustAppend(table.Row{table.Null, table.Int(1)})
+	tb.MustAppend(table.Row{table.Float(4), table.Int(0)})
+	out := udf(tb)
+	if got := out.Rows[1][0].AsFloat(); got != 3 {
+		t.Errorf("imputed value = %v, want 3 (mean of 2,4)", got)
+	}
+	// Target column untouched even when null-free requirement not met.
+	if out.Rows[1][1].AsInt() != 1 {
+		t.Error("target column must pass through")
+	}
+	// Materialize applies the registered chain without error.
+	d := sp.Materialize(bits)
+	if d.NumRows() != sp.Universal.NumRows() {
+		t.Error("UDF chain changed the full-bitmap row count unexpectedly")
+	}
+}
+
+func TestDropSparseRowsUDF(t *testing.T) {
+	udf := DropSparseRowsUDF(0.5)
+	tb := table.New("t", table.Schema{
+		{Name: "a", Kind: table.KindFloat},
+		{Name: "b", Kind: table.KindFloat},
+	})
+	tb.MustAppend(table.Row{table.Float(1), table.Float(2)}) // 0% null: keep
+	tb.MustAppend(table.Row{table.Null, table.Float(2)})     // 50% null: keep (not >)
+	tb.MustAppend(table.Row{table.Null, table.Null})         // 100% null: drop
+	out := udf(tb)
+	if out.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", out.NumRows())
+	}
+}
+
+func TestUDFChainOrder(t *testing.T) {
+	sp := testSpace()
+	var order []int
+	sp.RegisterUDF(func(d *table.Table) *table.Table {
+		order = append(order, 1)
+		return d
+	})
+	sp.RegisterUDF(func(d *table.Table) *table.Table {
+		order = append(order, 2)
+		return d
+	})
+	sp.Materialize(sp.FullBitmap())
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("UDF order = %v, want [1 2]", order)
+	}
+}

@@ -1,0 +1,166 @@
+// Package graph provides the bipartite-graph substrate of task T5: a
+// user–item interaction graph and a LightGCN-style link scorer. The
+// scorer is a fixed deterministic model (no SGD): one-hot initial
+// embeddings propagated through the symmetric normalized adjacency and
+// layer-averaged — the exact closed-form expectation of LightGCN's
+// untrained forward pass [He et al. 2020].
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// Edge is one user–item interaction.
+type Edge struct {
+	User, Item int
+	Weight     float64
+}
+
+// Bipartite is a user–item interaction graph.
+type Bipartite struct {
+	NumUsers, NumItems int
+	Edges              []Edge
+}
+
+// NewBipartite returns an empty graph with the given node counts.
+func NewBipartite(users, items int) *Bipartite {
+	return &Bipartite{NumUsers: users, NumItems: items}
+}
+
+// AddEdge appends an interaction; out-of-range endpoints are ignored.
+func (b *Bipartite) AddEdge(u, i int, w float64) {
+	if u < 0 || u >= b.NumUsers || i < 0 || i >= b.NumItems {
+		return
+	}
+	b.Edges = append(b.Edges, Edge{User: u, Item: i, Weight: w})
+}
+
+// Clone deep-copies the graph.
+func (b *Bipartite) Clone() *Bipartite {
+	out := NewBipartite(b.NumUsers, b.NumItems)
+	out.Edges = append([]Edge(nil), b.Edges...)
+	return out
+}
+
+// Degrees returns user and item degrees.
+func (b *Bipartite) Degrees() (du, di []float64) {
+	du = make([]float64, b.NumUsers)
+	di = make([]float64, b.NumItems)
+	for _, e := range b.Edges {
+		du[e.User]++
+		di[e.Item]++
+	}
+	return du, di
+}
+
+// ScorerConfig controls the LightGCN-style propagation. Dim and Seed are
+// retained for the training-cost proxy and API stability; the scorer
+// itself is the closed-form dim→∞ limit (one-hot initial embeddings), so
+// no seed enters the scores.
+type ScorerConfig struct {
+	Dim    int // nominal embedding dimension (cost proxy), default 16
+	Layers int // propagation layers, default 2
+	Seed   int64
+}
+
+// Scorer predicts link scores by layer-averaged embedding propagation
+// with one-hot initial embeddings: score(u,i) is the symmetric
+// degree-normalized 2-hop path count between u and i, the exact
+// expectation of LightGCN's untrained forward pass.
+type Scorer struct {
+	cfg ScorerConfig
+	// userItems[u] and itemUsers[i] hold (neighbor, normalized weight).
+	userItems [][]arc
+	itemUsers [][]arc
+	// userProf caches the user→user affinity vector c_u (lazy).
+	userProf []map[int]float64
+}
+
+type arc struct {
+	to int
+	w  float64
+}
+
+// FitScorer builds the scorer over the training graph: it indexes the
+// symmetric normalized adjacency Â (weights n_ui = w_ui/√(d_u d_i)).
+func FitScorer(b *Bipartite, cfg ScorerConfig) *Scorer {
+	if cfg.Dim <= 0 {
+		cfg.Dim = 16
+	}
+	if cfg.Layers <= 0 {
+		cfg.Layers = 2
+	}
+	s := &Scorer{
+		cfg:       cfg,
+		userItems: make([][]arc, b.NumUsers),
+		itemUsers: make([][]arc, b.NumItems),
+		userProf:  make([]map[int]float64, b.NumUsers),
+	}
+	du, di := b.Degrees()
+	for _, e := range b.Edges {
+		w := e.Weight
+		if w == 0 {
+			w = 1
+		}
+		norm := w / math.Sqrt(math.Max(du[e.User], 1)*math.Max(di[e.Item], 1))
+		s.userItems[e.User] = append(s.userItems[e.User], arc{e.Item, norm})
+		s.itemUsers[e.Item] = append(s.itemUsers[e.Item], arc{e.User, norm})
+	}
+	return s
+}
+
+// profile returns c_u[v] = Σ_{j∈N(u)} n_uj · n_vj: u's affinity to every
+// user v sharing an item with u (the layer-2 one-hot embedding of u
+// restricted to the user basis).
+func (s *Scorer) profile(u int) map[int]float64 {
+	if s.userProf[u] != nil {
+		return s.userProf[u]
+	}
+	c := map[int]float64{}
+	for _, ji := range s.userItems[u] {
+		for _, vi := range s.itemUsers[ji.to] {
+			c[vi.to] += ji.w * vi.w
+		}
+	}
+	s.userProf[u] = c
+	return c
+}
+
+// Score returns the predicted affinity of a user–item pair: the
+// layer-averaged dot product <e_u^{1..L}, e_i^{1..L}> with one-hot
+// initial embeddings, which reduces to normalized common-neighbor path
+// counts ⟨u→*→v→i⟩ plus ⟨u→j→*→i⟩.
+func (s *Scorer) Score(u, i int) float64 {
+	if u < 0 || u >= len(s.userItems) || i < 0 || i >= len(s.itemUsers) {
+		return 0
+	}
+	cu := s.profile(u)
+	var sc float64
+	// User-basis term: Σ_{v∈N(i)} n_vi · c_u[v].
+	for _, vi := range s.itemUsers[i] {
+		sc += vi.w * cu[vi.to]
+	}
+	// Item-basis term: Σ_{j∈N(u)} n_uj · (Σ_{v∈N(i)} n_vi·n_vj),
+	// computed through i's user neighborhood to stay O(deg²).
+	inU := map[int]float64{}
+	for _, ji := range s.userItems[u] {
+		inU[ji.to] += ji.w
+	}
+	for _, vi := range s.itemUsers[i] {
+		for _, jv := range s.userItems[vi.to] {
+			if wu, ok := inU[jv.to]; ok {
+				sc += wu * vi.w * jv.w
+			}
+		}
+	}
+	return sc
+}
+
+// RankItems returns the item ids of the candidate set ordered by
+// descending score for the user.
+func (s *Scorer) RankItems(u int, candidates []int) []int {
+	out := append([]int(nil), candidates...)
+	sort.SliceStable(out, func(x, y int) bool { return s.Score(u, out[x]) > s.Score(u, out[y]) })
+	return out
+}

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/ml"
+)
+
+// EvalConfig controls link-prediction evaluation.
+type EvalConfig struct {
+	// HoldoutFrac is the per-user fraction of edges held out for testing.
+	HoldoutFrac float64
+	// NumNegatives is the number of sampled non-edges ranked against
+	// each user's held-out items.
+	NumNegatives int
+	Seed         int64
+	Scorer       ScorerConfig
+}
+
+// EvalResult holds the ranking metrics of one evaluation: the measures
+// P5 of the paper (Table 3).
+type EvalResult struct {
+	P5, P10 float64 // precision@5, @10
+	R5, R10 float64 // recall@5, @10
+	N5, N10 float64 // NDCG@5, @10
+	// TrainCost is a deterministic training-cost proxy: propagation work
+	// in edge·layer·dim units.
+	TrainCost float64
+}
+
+// Evaluate splits the graph per user into train/test edges, fits the
+// scorer on the training part, and ranks held-out items against sampled
+// negatives, averaging P@n / R@n / NDCG@n over users with test edges.
+func Evaluate(b *Bipartite, cfg EvalConfig) EvalResult {
+	if cfg.HoldoutFrac <= 0 || cfg.HoldoutFrac >= 1 {
+		cfg.HoldoutFrac = 0.3
+	}
+	if cfg.NumNegatives <= 0 {
+		cfg.NumNegatives = 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	byUser := map[int][]Edge{}
+	for _, e := range b.Edges {
+		byUser[e.User] = append(byUser[e.User], e)
+	}
+	train := NewBipartite(b.NumUsers, b.NumItems)
+	test := map[int]map[int]bool{}
+	for u := 0; u < b.NumUsers; u++ {
+		edges := byUser[u]
+		if len(edges) == 0 {
+			continue
+		}
+		perm := rng.Perm(len(edges))
+		nTest := int(float64(len(edges)) * cfg.HoldoutFrac)
+		if nTest < 1 && len(edges) > 1 {
+			nTest = 1
+		}
+		for i, p := range perm {
+			e := edges[p]
+			if i < nTest {
+				if test[u] == nil {
+					test[u] = map[int]bool{}
+				}
+				test[u][e.Item] = true
+			} else {
+				train.Edges = append(train.Edges, e)
+			}
+		}
+	}
+
+	scorer := FitScorer(train, cfg.Scorer)
+	hasEdge := map[[2]int]bool{}
+	for _, e := range b.Edges {
+		hasEdge[[2]int{e.User, e.Item}] = true
+	}
+
+	// Iterate users in ascending order: map iteration would make the
+	// negative sampling — and thus the whole evaluation — nondeterministic.
+	users := make([]int, 0, len(test))
+	for u := range test {
+		users = append(users, u)
+	}
+	sort.Ints(users)
+
+	var lists []ml.RankedList
+	for _, u := range users {
+		items := test[u]
+		if len(items) == 0 {
+			continue
+		}
+		candidates := make([]int, 0, len(items)+cfg.NumNegatives)
+		for i := range items {
+			candidates = append(candidates, i)
+		}
+		sort.Ints(candidates)
+		for tries := 0; len(candidates) < len(items)+cfg.NumNegatives && tries < 10*cfg.NumNegatives; tries++ {
+			i := rng.Intn(b.NumItems)
+			if !hasEdge[[2]int{u, i}] {
+				candidates = append(candidates, i)
+			}
+		}
+		ranked := scorer.RankItems(u, candidates)
+		rl := make(ml.RankedList, len(ranked))
+		for pos, item := range ranked {
+			if items[item] {
+				rl[pos] = 1
+			}
+		}
+		lists = append(lists, rl)
+	}
+
+	dim := cfg.Scorer.Dim
+	if dim <= 0 {
+		dim = 16
+	}
+	layers := cfg.Scorer.Layers
+	if layers <= 0 {
+		layers = 2
+	}
+	return EvalResult{
+		P5:        ml.MeanRanked(lists, func(r ml.RankedList) float64 { return r.PrecisionAt(5) }),
+		P10:       ml.MeanRanked(lists, func(r ml.RankedList) float64 { return r.PrecisionAt(10) }),
+		R5:        ml.MeanRanked(lists, func(r ml.RankedList) float64 { return r.RecallAt(5) }),
+		R10:       ml.MeanRanked(lists, func(r ml.RankedList) float64 { return r.RecallAt(10) }),
+		N5:        ml.MeanRanked(lists, func(r ml.RankedList) float64 { return r.NDCGAt(5) }),
+		N10:       ml.MeanRanked(lists, func(r ml.RankedList) float64 { return r.NDCGAt(10) }),
+		TrainCost: float64(len(train.Edges)) * float64(layers) * float64(dim),
+	}
+}

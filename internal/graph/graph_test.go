@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// communityGraph builds a planted 2-community bipartite graph plus
+// optional noise edges.
+func communityGraph(users, items, perUser int, noise int, seed int64) *Bipartite {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBipartite(users, items)
+	for u := 0; u < users; u++ {
+		comm := u % 2
+		for e := 0; e < perUser; e++ {
+			i := comm + 2*rng.Intn(items/2)
+			b.AddEdge(u, i, 1)
+		}
+	}
+	for e := 0; e < noise; e++ {
+		u := rng.Intn(users)
+		i := rng.Intn(items)
+		for i%2 == u%2 {
+			i = rng.Intn(items)
+		}
+		b.AddEdge(u, i, 0.3)
+	}
+	return b
+}
+
+func TestAddEdgeBounds(t *testing.T) {
+	b := NewBipartite(2, 2)
+	b.AddEdge(5, 0, 1)
+	b.AddEdge(0, -1, 1)
+	if len(b.Edges) != 0 {
+		t.Error("out-of-range edges must be ignored")
+	}
+	b.AddEdge(1, 1, 1)
+	if len(b.Edges) != 1 {
+		t.Error("valid edge dropped")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0, 1)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 1, 1)
+	du, di := b.Degrees()
+	if du[0] != 2 || du[1] != 1 || di[0] != 1 || di[1] != 2 {
+		t.Errorf("degrees = %v %v", du, di)
+	}
+}
+
+func TestScorerDeterministic(t *testing.T) {
+	b := communityGraph(20, 20, 5, 10, 1)
+	s1 := FitScorer(b, ScorerConfig{Dim: 8, Layers: 2, Seed: 3})
+	s2 := FitScorer(b, ScorerConfig{Dim: 8, Layers: 2, Seed: 3})
+	for u := 0; u < 5; u++ {
+		for i := 0; i < 5; i++ {
+			if s1.Score(u, i) != s2.Score(u, i) {
+				t.Fatal("same seed must give identical scores")
+			}
+		}
+	}
+}
+
+func TestScorerPrefersCommunityItems(t *testing.T) {
+	b := communityGraph(30, 30, 8, 0, 2)
+	s := FitScorer(b, ScorerConfig{Dim: 16, Layers: 2, Seed: 1})
+	// For user 0 (community 0), mean score over even (same community)
+	// items should exceed mean over odd items.
+	var same, cross float64
+	for i := 0; i < 30; i += 2 {
+		same += s.Score(0, i)
+	}
+	for i := 1; i < 30; i += 2 {
+		cross += s.Score(0, i)
+	}
+	if same <= cross {
+		t.Errorf("community structure not captured: same=%v cross=%v", same, cross)
+	}
+}
+
+func TestScorerOutOfRange(t *testing.T) {
+	b := communityGraph(4, 4, 2, 0, 3)
+	s := FitScorer(b, ScorerConfig{})
+	if s.Score(99, 0) != 0 || s.Score(0, 99) != 0 {
+		t.Error("out-of-range score should be 0")
+	}
+}
+
+func TestRankItemsOrdering(t *testing.T) {
+	b := communityGraph(20, 20, 6, 0, 4)
+	s := FitScorer(b, ScorerConfig{Dim: 8, Layers: 2, Seed: 1})
+	cands := []int{0, 1, 2, 3, 4, 5}
+	ranked := s.RankItems(0, cands)
+	if len(ranked) != len(cands) {
+		t.Fatal("rank must preserve candidate count")
+	}
+	for i := 1; i < len(ranked); i++ {
+		if s.Score(0, ranked[i-1]) < s.Score(0, ranked[i]) {
+			t.Fatal("ranking not descending")
+		}
+	}
+}
+
+func TestEvaluateMetricsInRange(t *testing.T) {
+	b := communityGraph(30, 30, 8, 20, 5)
+	r := Evaluate(b, EvalConfig{Seed: 7})
+	for _, v := range []float64{r.P5, r.P10, r.R5, r.R10, r.N5, r.N10} {
+		if v < 0 || v > 1 {
+			t.Fatalf("metric out of range: %+v", r)
+		}
+	}
+	if r.TrainCost <= 0 {
+		t.Error("train cost must be positive")
+	}
+}
+
+func TestEvaluateCleanBeatsNoisy(t *testing.T) {
+	clean := communityGraph(30, 30, 8, 0, 6)
+	noisy := communityGraph(30, 30, 8, 120, 6)
+	rc := Evaluate(clean, EvalConfig{Seed: 7})
+	rn := Evaluate(noisy, EvalConfig{Seed: 7})
+	if rc.P10 <= rn.P10 {
+		t.Errorf("clean graph P@10 %v should beat noisy %v", rc.P10, rn.P10)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	b := communityGraph(20, 20, 6, 10, 8)
+	r1 := Evaluate(b, EvalConfig{Seed: 7})
+	r2 := Evaluate(b, EvalConfig{Seed: 7})
+	if r1 != r2 {
+		t.Error("evaluation must be deterministic under a fixed seed")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	b := communityGraph(5, 5, 2, 0, 9)
+	cp := b.Clone()
+	cp.Edges[0].Weight = 99
+	if b.Edges[0].Weight == 99 {
+		t.Error("Clone must deep-copy edges")
+	}
+}

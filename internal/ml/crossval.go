@@ -1,0 +1,60 @@
+package ml
+
+import "math/rand"
+
+// Fold is one train/validation split of a k-fold partition.
+type Fold struct {
+	Train *Dataset
+	Valid *Dataset
+}
+
+// KFold deterministically partitions the dataset into k folds and
+// returns the k train/validation pairs. k is clamped to [2, n].
+func (d *Dataset) KFold(k int, seed int64) []Fold {
+	n := len(d.X)
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		train := &Dataset{Features: d.Features}
+		valid := &Dataset{Features: d.Features}
+		for i, p := range perm {
+			if i >= lo && i < hi {
+				valid.X = append(valid.X, d.X[p])
+				valid.Y = append(valid.Y, d.Y[p])
+			} else {
+				train.X = append(train.X, d.X[p])
+				train.Y = append(train.Y, d.Y[p])
+			}
+		}
+		folds[f] = Fold{Train: train, Valid: valid}
+	}
+	return folds
+}
+
+// CrossValidate runs k-fold cross-validation: fit trains a model on a
+// fold and returns a predictor; score compares predictions against the
+// validation labels. It returns the per-fold scores.
+func CrossValidate(d *Dataset, k int, seed int64,
+	fit func(train *Dataset) func(x []float64) float64,
+	score func(yTrue, yPred []float64) float64) []float64 {
+
+	folds := d.KFold(k, seed)
+	out := make([]float64, len(folds))
+	for i, f := range folds {
+		predict := fit(f.Train)
+		pred := make([]float64, len(f.Valid.Y))
+		for j, x := range f.Valid.X {
+			pred[j] = predict(x)
+		}
+		out[i] = score(f.Valid.Y, pred)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package ml
+
+import (
+	"testing"
+)
+
+func cvDataset(n int) *Dataset {
+	d := &Dataset{Features: []string{"x"}}
+	for i := 0; i < n; i++ {
+		d.X = append(d.X, []float64{float64(i)})
+		d.Y = append(d.Y, 2*float64(i))
+	}
+	return d
+}
+
+func TestKFoldPartition(t *testing.T) {
+	d := cvDataset(50)
+	folds := d.KFold(5, 1)
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d, want 5", len(folds))
+	}
+	seen := map[float64]int{}
+	for _, f := range folds {
+		if f.Train.NumRows()+f.Valid.NumRows() != 50 {
+			t.Fatal("fold does not partition the data")
+		}
+		for _, y := range f.Valid.Y {
+			seen[y]++
+		}
+	}
+	// Every example validates exactly once across folds.
+	if len(seen) != 50 {
+		t.Fatalf("validation coverage = %d, want 50", len(seen))
+	}
+	for y, c := range seen {
+		if c != 1 {
+			t.Fatalf("example %v validated %d times", y, c)
+		}
+	}
+}
+
+func TestKFoldClamps(t *testing.T) {
+	d := cvDataset(3)
+	if got := len(d.KFold(10, 1)); got != 3 {
+		t.Errorf("k clamped to n: folds = %d, want 3", got)
+	}
+	if got := len(d.KFold(0, 1)); got != 2 {
+		t.Errorf("k clamped up to 2: folds = %d, want 2", got)
+	}
+}
+
+func TestKFoldDeterministic(t *testing.T) {
+	d := cvDataset(30)
+	a := d.KFold(3, 7)
+	b := d.KFold(3, 7)
+	for i := range a {
+		if a[i].Valid.Y[0] != b[i].Valid.Y[0] {
+			t.Fatal("same seed must give identical folds")
+		}
+	}
+}
+
+func TestCrossValidateLinear(t *testing.T) {
+	d := cvDataset(60)
+	scores := CrossValidate(d, 4, 1,
+		func(train *Dataset) func([]float64) float64 {
+			lr := &LinearRegression{}
+			lr.Fit(train.X, train.Y)
+			return lr.Predict
+		},
+		R2)
+	if len(scores) != 4 {
+		t.Fatalf("scores = %d, want 4", len(scores))
+	}
+	for _, s := range scores {
+		if s < 0.99 {
+			t.Errorf("linear CV R2 = %v, want ~1 on a perfectly linear set", s)
+		}
+	}
+}

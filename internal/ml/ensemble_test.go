@@ -1,0 +1,163 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestForestClassifierBeatsChance(t *testing.T) {
+	X, y := xorData(400, 7)
+	f := &ForestClassifier{Config: ForestConfig{NumTrees: 10, MaxDepth: 5, Seed: 1}}
+	f.Fit(X, y)
+	Xt, yt := xorData(200, 8)
+	pred := make([]float64, len(yt))
+	for i, x := range Xt {
+		pred[i] = f.Predict(x)
+	}
+	if acc := Accuracy(yt, pred); acc < 0.8 {
+		t.Errorf("forest test accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+func TestForestRegressor(t *testing.T) {
+	X, y := linearData(300, 9)
+	f := &ForestRegressor{Config: ForestConfig{NumTrees: 10, MaxDepth: 7, Seed: 1}}
+	f.Fit(X, y)
+	Xt, yt := linearData(150, 10)
+	pred := make([]float64, len(yt))
+	for i, x := range Xt {
+		pred[i] = f.Predict(x)
+	}
+	if r2 := R2(yt, pred); r2 < 0.6 {
+		t.Errorf("forest test R2 = %v, want >= 0.6", r2)
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	X, y := xorData(150, 11)
+	f1 := &ForestClassifier{Config: ForestConfig{NumTrees: 5, Seed: 3}}
+	f2 := &ForestClassifier{Config: ForestConfig{NumTrees: 5, Seed: 3}}
+	f1.Fit(X, y)
+	f2.Fit(X, y)
+	for _, x := range X[:20] {
+		if f1.Predict(x) != f2.Predict(x) {
+			t.Fatal("same-seed forests must agree")
+		}
+	}
+}
+
+func TestGBMRegressorBeatsSingleTree(t *testing.T) {
+	X, y := linearData(300, 12)
+	Xt, yt := linearData(150, 13)
+
+	tree := &TreeRegressor{Config: TreeConfig{MaxDepth: 2}}
+	tree.Fit(X, y)
+	gbm := &GBMRegressor{Config: GBMConfig{NumTrees: 60, MaxDepth: 2, Seed: 1}}
+	gbm.Fit(X, y)
+
+	msTree, msGBM := 0.0, 0.0
+	predT := make([]float64, len(yt))
+	predG := make([]float64, len(yt))
+	for i, x := range Xt {
+		predT[i] = tree.Predict(x)
+		predG[i] = gbm.Predict(x)
+	}
+	msTree = MSE(yt, predT)
+	msGBM = MSE(yt, predG)
+	if msGBM >= msTree {
+		t.Errorf("boosting MSE %v should beat single shallow tree %v", msGBM, msTree)
+	}
+}
+
+func TestGBMClassifier(t *testing.T) {
+	X, y := xorData(400, 14)
+	g := &GBMClassifier{Config: GBMConfig{NumTrees: 50, MaxDepth: 3, Seed: 1}}
+	g.Fit(X, y)
+	Xt, yt := xorData(200, 15)
+	pred := make([]float64, len(yt))
+	for i, x := range Xt {
+		p := g.PredictProba(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		pred[i] = g.Predict(x)
+	}
+	if acc := Accuracy(yt, pred); acc < 0.85 {
+		t.Errorf("GBM classifier accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestMultiOutputGBM(t *testing.T) {
+	X, _ := linearData(200, 16)
+	Y := make([][]float64, len(X))
+	for i, x := range X {
+		Y[i] = []float64{x[0] + x[1], x[0] - x[1], 2 * x[0]}
+	}
+	m := &MultiOutputGBM{Config: GBMConfig{NumTrees: 40, MaxDepth: 3, Seed: 1}}
+	m.Fit(X, Y)
+	if m.NumOutputs() != 3 {
+		t.Fatalf("outputs = %d, want 3", m.NumOutputs())
+	}
+	var errSum float64
+	for i, x := range X {
+		p := m.Predict(x)
+		for j := range p {
+			errSum += math.Abs(p[j] - Y[i][j])
+		}
+	}
+	avgErr := errSum / float64(len(X)*3)
+	if avgErr > 0.15 {
+		t.Errorf("MO-GBM avg abs error = %v, want <= 0.15", avgErr)
+	}
+}
+
+func TestMultiOutputGBMEmpty(t *testing.T) {
+	m := &MultiOutputGBM{}
+	m.Fit(nil, nil)
+	if m.NumOutputs() != 0 {
+		t.Error("empty fit should produce no outputs")
+	}
+}
+
+func TestHistGBMClassifier(t *testing.T) {
+	X, y := xorData(400, 17)
+	h := &HistGBMClassifier{Config: HistGBMConfig{
+		GBM:     GBMConfig{NumTrees: 40, MaxDepth: 3, Seed: 1},
+		NumBins: 16,
+	}}
+	h.Fit(X, y)
+	Xt, yt := xorData(200, 18)
+	pred := make([]float64, len(yt))
+	for i, x := range Xt {
+		pred[i] = h.Predict(x)
+	}
+	if acc := Accuracy(yt, pred); acc < 0.8 {
+		t.Errorf("hist-GBM accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+func TestHistGBMRegressor(t *testing.T) {
+	X, y := linearData(300, 19)
+	h := &HistGBMRegressor{Config: HistGBMConfig{
+		GBM:     GBMConfig{NumTrees: 50, MaxDepth: 3, Seed: 1},
+		NumBins: 24,
+	}}
+	h.Fit(X, y)
+	pred := make([]float64, len(y))
+	for i, x := range X {
+		pred[i] = h.Predict(x)
+	}
+	if r2 := R2(y, pred); r2 < 0.8 {
+		t.Errorf("hist-GBM regressor R2 = %v, want >= 0.8", r2)
+	}
+}
+
+func TestBinRowMonotone(t *testing.T) {
+	bins := [][]float64{{1, 2, 3}}
+	lo := binRow([]float64{0.5}, bins)[0]
+	mid := binRow([]float64{2.5}, bins)[0]
+	hi := binRow([]float64{9}, bins)[0]
+	if !(lo < mid && mid < hi) {
+		t.Errorf("binning not monotone: %v %v %v", lo, mid, hi)
+	}
+}

@@ -1,0 +1,160 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// FisherScore returns the Fisher score of each feature for a labelled
+// dataset (classification): the ratio of between-class variance to
+// within-class variance [Li et al., Feature Selection: A Data
+// Perspective]. Higher is more discriminative. p_Fsc in Table 3.
+func FisherScore(X [][]float64, y []float64) []float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	nf := len(X[0])
+	out := make([]float64, nf)
+	byClass := map[int][]int{}
+	for i, yv := range y {
+		c := int(yv)
+		byClass[c] = append(byClass[c], i)
+	}
+	// Iterate classes in sorted order: float summation order must be
+	// deterministic for the fixed-model guarantee.
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for f := 0; f < nf; f++ {
+		var overall float64
+		for _, r := range X {
+			overall += r[f]
+		}
+		overall /= float64(len(X))
+		var num, den float64
+		for _, c := range classes {
+			idx := byClass[c]
+			nc := float64(len(idx))
+			var mc float64
+			for _, i := range idx {
+				mc += X[i][f]
+			}
+			mc /= nc
+			var vc float64
+			for _, i := range idx {
+				d := X[i][f] - mc
+				vc += d * d
+			}
+			vc /= nc
+			num += nc * (mc - overall) * (mc - overall)
+			den += nc * vc
+		}
+		if den > 0 {
+			out[f] = num / den
+		}
+	}
+	return out
+}
+
+// MutualInformation estimates I(X_f; Y) per feature by equal-frequency
+// discretization into bins (default 10) of both the feature and, when
+// continuous, the target. p_MI in Table 3.
+func MutualInformation(X [][]float64, y []float64, bins int) []float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	if bins <= 0 {
+		bins = 10
+	}
+	nf := len(X[0])
+	yd := discretize(y, bins)
+	out := make([]float64, nf)
+	col := make([]float64, len(X))
+	for f := 0; f < nf; f++ {
+		for i := range X {
+			col[i] = X[i][f]
+		}
+		xd := discretize(col, bins)
+		out[f] = discreteMI(xd, yd)
+	}
+	return out
+}
+
+// discretize maps values to equal-frequency bin ids; values with few
+// distinct levels keep their level ids.
+func discretize(xs []float64, bins int) []int {
+	distinct := map[float64]bool{}
+	for _, x := range xs {
+		distinct[x] = true
+	}
+	if len(distinct) <= bins {
+		levels := make([]float64, 0, len(distinct))
+		for x := range distinct {
+			levels = append(levels, x)
+		}
+		sort.Float64s(levels)
+		lvl := map[float64]int{}
+		for i, x := range levels {
+			lvl[x] = i
+		}
+		out := make([]int, len(xs))
+		for i, x := range xs {
+			out[i] = lvl[x]
+		}
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	edges := make([]float64, 0, bins-1)
+	for b := 1; b < bins; b++ {
+		e := sorted[b*len(sorted)/bins]
+		if len(edges) == 0 || e != edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = sort.SearchFloat64s(edges, x)
+	}
+	return out
+}
+
+func discreteMI(a, b []int) float64 {
+	n := float64(len(a))
+	if n == 0 {
+		return 0
+	}
+	joint := map[[2]int]float64{}
+	pa := map[int]float64{}
+	pb := map[int]float64{}
+	for i := range a {
+		joint[[2]int{a[i], b[i]}]++
+		pa[a[i]]++
+		pb[b[i]]++
+	}
+	// Sorted key iteration keeps the summation order — and thus the
+	// returned float — deterministic.
+	keys := make([][2]int, 0, len(joint))
+	for k := range joint {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var mi float64
+	for _, k := range keys {
+		pxy := joint[k] / n
+		px := pa[k[0]] / n
+		py := pb[k[1]] / n
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}

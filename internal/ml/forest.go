@@ -1,0 +1,175 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	NumTrees    int // default 20
+	MaxDepth    int // default 8
+	MinLeaf     int
+	MaxFeatures int // default sqrt(#features) for classification, #features/3 for regression
+	Seed        int64
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 20
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	return c
+}
+
+// ForestClassifier is a bootstrap-aggregated ensemble of CART
+// classification trees — the paper's RF_house model (T2).
+type ForestClassifier struct {
+	Config   ForestConfig
+	NumClass int
+	trees    []*TreeClassifier
+}
+
+// Fit trains the forest.
+func (f *ForestClassifier) Fit(X [][]float64, y []float64) {
+	cfg := f.Config.withDefaults()
+	if f.NumClass <= 0 {
+		f.NumClass = countClasses(y)
+	}
+	nf := 0
+	if len(X) > 0 {
+		nf = len(X[0])
+	}
+	mf := cfg.MaxFeatures
+	if mf <= 0 && nf > 0 {
+		mf = int(math.Sqrt(float64(nf)))
+		if mf < 1 {
+			mf = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f.trees = make([]*TreeClassifier, cfg.NumTrees)
+	for t := 0; t < cfg.NumTrees; t++ {
+		bx, by := bootstrap(X, y, rng)
+		tree := &TreeClassifier{
+			Config: TreeConfig{
+				MaxDepth:    cfg.MaxDepth,
+				MinLeaf:     cfg.MinLeaf,
+				MaxFeatures: mf,
+				Seed:        rng.Int63(),
+			},
+			NumClass: f.NumClass,
+		}
+		tree.Fit(bx, by)
+		f.trees[t] = tree
+	}
+}
+
+// PredictProba returns averaged class probabilities.
+func (f *ForestClassifier) PredictProba(x []float64) []float64 {
+	p := make([]float64, f.NumClass)
+	for _, t := range f.trees {
+		tp := t.PredictProba(x)
+		for c := range p {
+			if c < len(tp) {
+				p[c] += tp[c]
+			}
+		}
+	}
+	for c := range p {
+		p[c] /= float64(len(f.trees))
+	}
+	return p
+}
+
+// Predict returns the majority class.
+func (f *ForestClassifier) Predict(x []float64) float64 {
+	return float64(argmax(f.PredictProba(x)))
+}
+
+// Importances averages per-tree split importances.
+func (f *ForestClassifier) Importances(nf int) []float64 {
+	acc := make([]float64, nf)
+	for _, t := range f.trees {
+		ti := t.Importances(nf)
+		for i := range acc {
+			acc[i] += ti[i]
+		}
+	}
+	normalizeSum(acc)
+	return acc
+}
+
+// ForestRegressor is a bagged ensemble of CART regression trees.
+type ForestRegressor struct {
+	Config ForestConfig
+	trees  []*TreeRegressor
+}
+
+// Fit trains the forest.
+func (f *ForestRegressor) Fit(X [][]float64, y []float64) {
+	cfg := f.Config.withDefaults()
+	nf := 0
+	if len(X) > 0 {
+		nf = len(X[0])
+	}
+	mf := cfg.MaxFeatures
+	if mf <= 0 && nf > 0 {
+		mf = nf / 3
+		if mf < 1 {
+			mf = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f.trees = make([]*TreeRegressor, cfg.NumTrees)
+	for t := 0; t < cfg.NumTrees; t++ {
+		bx, by := bootstrap(X, y, rng)
+		tree := &TreeRegressor{Config: TreeConfig{
+			MaxDepth:    cfg.MaxDepth,
+			MinLeaf:     cfg.MinLeaf,
+			MaxFeatures: mf,
+			Seed:        rng.Int63(),
+		}}
+		tree.Fit(bx, by)
+		f.trees[t] = tree
+	}
+}
+
+// Predict averages tree outputs.
+func (f *ForestRegressor) Predict(x []float64) float64 {
+	var s float64
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// Importances averages per-tree split importances.
+func (f *ForestRegressor) Importances(nf int) []float64 {
+	acc := make([]float64, nf)
+	for _, t := range f.trees {
+		ti := t.Importances(nf)
+		for i := range acc {
+			acc[i] += ti[i]
+		}
+	}
+	normalizeSum(acc)
+	return acc
+}
+
+func bootstrap(X [][]float64, y []float64, rng *rand.Rand) ([][]float64, []float64) {
+	n := len(X)
+	bx := make([][]float64, n)
+	by := make([]float64, n)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(n)
+		bx[i] = X[j]
+		by[i] = y[j]
+	}
+	return bx, by
+}

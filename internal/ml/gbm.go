@@ -1,0 +1,246 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GBMConfig controls gradient boosting.
+type GBMConfig struct {
+	NumTrees     int     // default 50
+	MaxDepth     int     // default 3
+	MinLeaf      int     // default 2
+	LearningRate float64 // default 0.1
+	Subsample    float64 // row subsample fraction per tree, default 1
+	Seed         int64
+}
+
+func (c GBMConfig) withDefaults() GBMConfig {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 50
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Subsample <= 0 || c.Subsample > 1 {
+		c.Subsample = 1
+	}
+	return c
+}
+
+// GBMRegressor is gradient boosting with squared loss — the paper's
+// GB_movie model (T1) and the base learner of the MO-GBM estimator.
+type GBMRegressor struct {
+	Config GBMConfig
+	bias   float64
+	trees  []*TreeRegressor
+	lr     float64
+}
+
+// Fit trains the boosted ensemble on (X, y).
+func (g *GBMRegressor) Fit(X [][]float64, y []float64) {
+	cfg := g.Config.withDefaults()
+	g.lr = cfg.LearningRate
+	g.bias = mean(y)
+	g.trees = g.trees[:0]
+	if len(X) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = g.bias
+	}
+	resid := make([]float64, len(y))
+	for t := 0; t < cfg.NumTrees; t++ {
+		for i := range y {
+			resid[i] = y[i] - pred[i]
+		}
+		sx, sy := subsample(X, resid, cfg.Subsample, rng)
+		tree := &TreeRegressor{Config: TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, Seed: rng.Int63()}}
+		tree.Fit(sx, sy)
+		g.trees = append(g.trees, tree)
+		for i := range pred {
+			pred[i] += g.lr * tree.Predict(X[i])
+		}
+	}
+}
+
+// Predict returns the boosted prediction for one example.
+func (g *GBMRegressor) Predict(x []float64) float64 {
+	out := g.bias
+	for _, t := range g.trees {
+		out += g.lr * t.Predict(x)
+	}
+	return out
+}
+
+// Importances averages split importances over all boosting stages.
+func (g *GBMRegressor) Importances(nf int) []float64 {
+	acc := make([]float64, nf)
+	for _, t := range g.trees {
+		ti := t.Importances(nf)
+		for i := range acc {
+			acc[i] += ti[i]
+		}
+	}
+	normalizeSum(acc)
+	return acc
+}
+
+// GBMClassifier is binary gradient boosting with logistic loss; labels
+// must be 0/1. Multi-class inputs are handled one-vs-rest by callers.
+type GBMClassifier struct {
+	Config GBMConfig
+	bias   float64
+	trees  []*TreeRegressor
+	lr     float64
+}
+
+// Fit trains the boosted classifier on (X, y) with y in {0, 1}.
+func (g *GBMClassifier) Fit(X [][]float64, y []float64) {
+	cfg := g.Config.withDefaults()
+	g.lr = cfg.LearningRate
+	g.trees = g.trees[:0]
+	if len(X) == 0 {
+		return
+	}
+	p := mean(y)
+	p = clamp(p, 1e-6, 1-1e-6)
+	g.bias = math.Log(p / (1 - p))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	raw := make([]float64, len(y))
+	for i := range raw {
+		raw[i] = g.bias
+	}
+	grad := make([]float64, len(y))
+	for t := 0; t < cfg.NumTrees; t++ {
+		for i := range y {
+			grad[i] = y[i] - sigmoid(raw[i])
+		}
+		sx, sy := subsample(X, grad, cfg.Subsample, rng)
+		tree := &TreeRegressor{Config: TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, Seed: rng.Int63()}}
+		tree.Fit(sx, sy)
+		g.trees = append(g.trees, tree)
+		for i := range raw {
+			raw[i] += g.lr * tree.Predict(X[i])
+		}
+	}
+}
+
+// PredictProba returns P(y=1 | x).
+func (g *GBMClassifier) PredictProba(x []float64) float64 {
+	raw := g.bias
+	for _, t := range g.trees {
+		raw += g.lr * t.Predict(x)
+	}
+	return sigmoid(raw)
+}
+
+// Predict returns the hard 0/1 label at threshold 0.5.
+func (g *GBMClassifier) Predict(x []float64) float64 {
+	if g.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Importances averages split importances over all boosting stages.
+func (g *GBMClassifier) Importances(nf int) []float64 {
+	acc := make([]float64, nf)
+	for _, t := range g.trees {
+		ti := t.Importances(nf)
+		for i := range acc {
+			acc[i] += ti[i]
+		}
+	}
+	normalizeSum(acc)
+	return acc
+}
+
+// MultiOutputGBM fits one GBMRegressor per output dimension: the MO-GBM
+// surrogate (Section 2, "Estimators") that valuates a whole performance
+// vector with a single call.
+type MultiOutputGBM struct {
+	Config GBMConfig
+	models []*GBMRegressor
+}
+
+// Fit trains on targets Y where Y[i] is the output vector of example i.
+func (m *MultiOutputGBM) Fit(X [][]float64, Y [][]float64) {
+	if len(Y) == 0 {
+		m.models = nil
+		return
+	}
+	d := len(Y[0])
+	m.models = make([]*GBMRegressor, d)
+	col := make([]float64, len(Y))
+	for j := 0; j < d; j++ {
+		for i := range Y {
+			col[i] = Y[i][j]
+		}
+		g := &GBMRegressor{Config: m.Config}
+		g.Config.Seed = m.Config.Seed + int64(j)*7919
+		g.Fit(X, append([]float64(nil), col...))
+		m.models[j] = g
+	}
+}
+
+// Predict returns the full output vector for one example.
+func (m *MultiOutputGBM) Predict(x []float64) []float64 {
+	out := make([]float64, len(m.models))
+	for j, g := range m.models {
+		out[j] = g.Predict(x)
+	}
+	return out
+}
+
+// NumOutputs reports the output dimensionality.
+func (m *MultiOutputGBM) NumOutputs() int { return len(m.models) }
+
+func subsample(X [][]float64, y []float64, frac float64, rng *rand.Rand) ([][]float64, []float64) {
+	if frac >= 1 {
+		return X, y
+	}
+	n := int(float64(len(X)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	perm := rng.Perm(len(X))[:n]
+	sx := make([][]float64, n)
+	sy := make([]float64, n)
+	for i, p := range perm {
+		sx[i] = X[p]
+		sy[i] = y[p]
+	}
+	return sx, sy
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,119 @@
+package ml
+
+import (
+	"sort"
+)
+
+// HistGBMConfig controls histogram-based gradient boosting — the stand-in
+// for LightGBM (LGC_mental, T4). Features are quantized into at most
+// NumBins bins before boosting; split search then scans bin boundaries
+// only, the core LightGBM trick.
+type HistGBMConfig struct {
+	GBM     GBMConfig
+	NumBins int // default 32
+}
+
+// HistGBMClassifier is a binned binary gradient-boosted classifier.
+type HistGBMClassifier struct {
+	Config HistGBMConfig
+	inner  GBMClassifier
+	bins   [][]float64 // per-feature bin upper edges
+}
+
+// Fit quantizes X then trains the boosted classifier.
+func (h *HistGBMClassifier) Fit(X [][]float64, y []float64) {
+	nb := h.Config.NumBins
+	if nb <= 0 {
+		nb = 32
+	}
+	h.bins = computeBins(X, nb)
+	bx := binAll(X, h.bins)
+	h.inner = GBMClassifier{Config: h.Config.GBM}
+	h.inner.Fit(bx, y)
+}
+
+// PredictProba returns P(y=1 | x).
+func (h *HistGBMClassifier) PredictProba(x []float64) float64 {
+	return h.inner.PredictProba(binRow(x, h.bins))
+}
+
+// Predict returns the hard 0/1 label.
+func (h *HistGBMClassifier) Predict(x []float64) float64 {
+	return h.inner.Predict(binRow(x, h.bins))
+}
+
+// Importances proxies the inner model's importances.
+func (h *HistGBMClassifier) Importances(nf int) []float64 { return h.inner.Importances(nf) }
+
+// HistGBMRegressor is a binned gradient-boosted regressor.
+type HistGBMRegressor struct {
+	Config HistGBMConfig
+	inner  GBMRegressor
+	bins   [][]float64
+}
+
+// Fit quantizes X then trains the boosted regressor.
+func (h *HistGBMRegressor) Fit(X [][]float64, y []float64) {
+	nb := h.Config.NumBins
+	if nb <= 0 {
+		nb = 32
+	}
+	h.bins = computeBins(X, nb)
+	bx := binAll(X, h.bins)
+	h.inner = GBMRegressor{Config: h.Config.GBM}
+	h.inner.Fit(bx, y)
+}
+
+// Predict returns the boosted prediction for one example.
+func (h *HistGBMRegressor) Predict(x []float64) float64 {
+	return h.inner.Predict(binRow(x, h.bins))
+}
+
+// computeBins derives per-feature quantile bin edges.
+func computeBins(X [][]float64, nb int) [][]float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	nf := len(X[0])
+	bins := make([][]float64, nf)
+	col := make([]float64, len(X))
+	for f := 0; f < nf; f++ {
+		for i := range X {
+			col[i] = X[i][f]
+		}
+		sorted := append([]float64(nil), col...)
+		sort.Float64s(sorted)
+		var edges []float64
+		for b := 1; b < nb; b++ {
+			q := sorted[b*len(sorted)/nb]
+			if len(edges) == 0 || q != edges[len(edges)-1] {
+				edges = append(edges, q)
+			}
+		}
+		bins[f] = edges
+	}
+	return bins
+}
+
+func binAll(X [][]float64, bins [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, r := range X {
+		out[i] = binRow(r, bins)
+	}
+	return out
+}
+
+// binRow maps a raw row to bin indexes (as floats, so trees split on them).
+func binRow(x []float64, bins [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for f, v := range x {
+		if f >= len(bins) {
+			out[f] = v
+			continue
+		}
+		// Binary search for the bin index.
+		b := sort.SearchFloat64s(bins[f], v)
+		out[f] = float64(b)
+	}
+	return out
+}

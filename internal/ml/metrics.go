@@ -1,0 +1,236 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// Accuracy returns the fraction of exact label matches.
+func Accuracy(yTrue, yPred []float64) float64 {
+	if len(yTrue) == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range yTrue {
+		if yTrue[i] == yPred[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(yTrue))
+}
+
+// PrecisionRecallF1 returns macro-averaged precision, recall and F1 over
+// the classes present in yTrue.
+func PrecisionRecallF1(yTrue, yPred []float64) (precision, recall, f1 float64) {
+	classSet := map[int]bool{}
+	for _, y := range yTrue {
+		classSet[int(y)] = true
+	}
+	if len(classSet) == 0 {
+		return 0, 0, 0
+	}
+	classes := make([]int, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	var sp, sr, sf float64
+	for _, c := range classes {
+		var tp, fp, fn float64
+		for i := range yTrue {
+			pt := int(yTrue[i]) == c
+			pp := int(yPred[i]) == c
+			switch {
+			case pt && pp:
+				tp++
+			case !pt && pp:
+				fp++
+			case pt && !pp:
+				fn++
+			}
+		}
+		var p, r float64
+		if tp+fp > 0 {
+			p = tp / (tp + fp)
+		}
+		if tp+fn > 0 {
+			r = tp / (tp + fn)
+		}
+		var f float64
+		if p+r > 0 {
+			f = 2 * p * r / (p + r)
+		}
+		sp += p
+		sr += r
+		sf += f
+	}
+	n := float64(len(classes))
+	return sp / n, sr / n, sf / n
+}
+
+// AUC returns the area under the ROC curve for binary labels (0/1) and
+// real-valued scores, computed via the rank statistic. Degenerate inputs
+// (single class) return 0.5.
+func AUC(yTrue, scores []float64) float64 {
+	type sc struct {
+		s float64
+		y float64
+	}
+	pairs := make([]sc, len(yTrue))
+	var nPos, nNeg float64
+	for i := range yTrue {
+		pairs[i] = sc{scores[i], yTrue[i]}
+		if yTrue[i] > 0.5 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].s < pairs[b].s })
+	// Sum ranks of positives with tie-averaged ranks.
+	var sumRankPos float64
+	for i := 0; i < len(pairs); {
+		j := i
+		for j+1 < len(pairs) && pairs[j+1].s == pairs[i].s {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			if pairs[k].y > 0.5 {
+				sumRankPos += avg
+			}
+		}
+		i = j + 1
+	}
+	return (sumRankPos - nPos*(nPos+1)/2) / (nPos * nNeg)
+}
+
+// MSE returns the mean squared error.
+func MSE(yTrue, yPred []float64) float64 {
+	if len(yTrue) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range yTrue {
+		d := yTrue[i] - yPred[i]
+		s += d * d
+	}
+	return s / float64(len(yTrue))
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(yTrue, yPred []float64) float64 { return math.Sqrt(MSE(yTrue, yPred)) }
+
+// MAE returns the mean absolute error.
+func MAE(yTrue, yPred []float64) float64 {
+	if len(yTrue) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range yTrue {
+		s += math.Abs(yTrue[i] - yPred[i])
+	}
+	return s / float64(len(yTrue))
+}
+
+// R2 returns the coefficient of determination; a constant yTrue yields 0.
+func R2(yTrue, yPred []float64) float64 {
+	if len(yTrue) == 0 {
+		return 0
+	}
+	m := mean(yTrue)
+	var ssRes, ssTot float64
+	for i := range yTrue {
+		d := yTrue[i] - yPred[i]
+		ssRes += d * d
+		t := yTrue[i] - m
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// RankedList is one query's ranking: item relevance labels ordered by
+// descending predicted score.
+type RankedList []float64
+
+// PrecisionAt returns P@n: the fraction of the top-n that is relevant.
+func (r RankedList) PrecisionAt(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n > len(r) {
+		n = len(r)
+	}
+	if n == 0 {
+		return 0
+	}
+	var hit float64
+	for _, rel := range r[:n] {
+		if rel > 0 {
+			hit++
+		}
+	}
+	return hit / float64(n)
+}
+
+// RecallAt returns R@n: the fraction of all relevant items in the top-n.
+func (r RankedList) RecallAt(n int) float64 {
+	var total float64
+	for _, rel := range r {
+		if rel > 0 {
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	if n > len(r) {
+		n = len(r)
+	}
+	var hit float64
+	for _, rel := range r[:n] {
+		if rel > 0 {
+			hit++
+		}
+	}
+	return hit / total
+}
+
+// NDCGAt returns NDCG@n with binary or graded relevance labels.
+func (r RankedList) NDCGAt(n int) float64 {
+	if n > len(r) {
+		n = len(r)
+	}
+	var dcg float64
+	for i := 0; i < n; i++ {
+		dcg += (math.Pow(2, r[i]) - 1) / math.Log2(float64(i)+2)
+	}
+	ideal := append(RankedList(nil), r...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+	var idcg float64
+	for i := 0; i < n; i++ {
+		idcg += (math.Pow(2, ideal[i]) - 1) / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// MeanRanked averages a metric over a set of ranked lists.
+func MeanRanked(lists []RankedList, metric func(RankedList) float64) float64 {
+	if len(lists) == 0 {
+		return 0
+	}
+	var s float64
+	for _, l := range lists {
+		s += metric(l)
+	}
+	return s / float64(len(lists))
+}

@@ -1,0 +1,152 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]float64{1, 0, 1, 1}, []float64{1, 0, 0, 1}); got != 0.75 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestPrecisionRecallF1Perfect(t *testing.T) {
+	y := []float64{0, 1, 0, 1}
+	p, r, f := PrecisionRecallF1(y, y)
+	if p != 1 || r != 1 || f != 1 {
+		t.Errorf("perfect P/R/F1 = %v %v %v", p, r, f)
+	}
+}
+
+func TestPrecisionRecallF1Known(t *testing.T) {
+	// Class 1: tp=1 fp=1 fn=1 -> p=r=0.5, f=0.5
+	// Class 0: tp=1 fp=1 fn=1 -> p=r=0.5, f=0.5; macro = 0.5
+	yTrue := []float64{1, 1, 0, 0}
+	yPred := []float64{1, 0, 1, 0}
+	p, r, f := PrecisionRecallF1(yTrue, yPred)
+	if p != 0.5 || r != 0.5 || f != 0.5 {
+		t.Errorf("macro P/R/F1 = %v %v %v, want 0.5", p, r, f)
+	}
+}
+
+func TestAUCPerfectAndReversed(t *testing.T) {
+	y := []float64{0, 0, 1, 1}
+	if got := AUC(y, []float64{0.1, 0.2, 0.8, 0.9}); got != 1 {
+		t.Errorf("perfect AUC = %v", got)
+	}
+	if got := AUC(y, []float64{0.9, 0.8, 0.2, 0.1}); got != 0 {
+		t.Errorf("reversed AUC = %v", got)
+	}
+	if got := AUC([]float64{1, 1}, []float64{0.5, 0.6}); got != 0.5 {
+		t.Errorf("degenerate AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCWithTies(t *testing.T) {
+	y := []float64{0, 1, 0, 1}
+	s := []float64{0.5, 0.5, 0.5, 0.5}
+	if got := AUC(y, s); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("all-tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestRegressionMetrics(t *testing.T) {
+	yt := []float64{1, 2, 3}
+	yp := []float64{1, 2, 5}
+	if got := MSE(yt, yp); math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("MSE = %v", got)
+	}
+	if got := MAE(yt, yp); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("MAE = %v", got)
+	}
+	if got := RMSE(yt, yp); math.Abs(got-math.Sqrt(4.0/3)) > 1e-12 {
+		t.Errorf("RMSE = %v", got)
+	}
+	if got := R2(yt, yt); got != 1 {
+		t.Errorf("perfect R2 = %v", got)
+	}
+	if got := R2([]float64{5, 5}, []float64{4, 6}); got != 0 {
+		t.Errorf("constant-target R2 = %v, want 0", got)
+	}
+}
+
+func TestRankedListMetrics(t *testing.T) {
+	// Relevance by rank position: relevant at 1 and 3.
+	r := RankedList{1, 0, 1, 0, 0}
+	if got := r.PrecisionAt(3); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("P@3 = %v", got)
+	}
+	if got := r.RecallAt(3); got != 1 {
+		t.Errorf("R@3 = %v, want 1 (all 2 relevant in top 3)", got)
+	}
+	if got := r.RecallAt(1); got != 0.5 {
+		t.Errorf("R@1 = %v", got)
+	}
+	// Perfect ranking NDCG = 1.
+	perfect := RankedList{1, 1, 0, 0}
+	if got := perfect.NDCGAt(4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect NDCG = %v", got)
+	}
+	// Worst ranking strictly below 1.
+	worst := RankedList{0, 0, 1, 1}
+	if got := worst.NDCGAt(4); got >= 1 {
+		t.Errorf("worst NDCG = %v, want < 1", got)
+	}
+	if got := (RankedList{0, 0}).NDCGAt(2); got != 0 {
+		t.Errorf("no-relevant NDCG = %v, want 0", got)
+	}
+}
+
+func TestMeanRanked(t *testing.T) {
+	lists := []RankedList{{1, 0}, {0, 1}}
+	got := MeanRanked(lists, func(r RankedList) float64 { return r.PrecisionAt(1) })
+	if got != 0.5 {
+		t.Errorf("MeanRanked = %v", got)
+	}
+	if MeanRanked(nil, nil) != 0 {
+		t.Error("empty MeanRanked should be 0")
+	}
+}
+
+func TestAUCInvariantToScoreScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		y := make([]float64, n)
+		s := make([]float64, n)
+		for i := range y {
+			y[i] = float64(rng.Intn(2))
+			s[i] = rng.Float64()
+		}
+		scaled := make([]float64, n)
+		for i := range s {
+			scaled[i] = 3*s[i] + 7 // monotone transform
+		}
+		return math.Abs(AUC(y, s)-AUC(y, scaled)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNDCGBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		r := make(RankedList, n)
+		for i := range r {
+			r[i] = float64(rng.Intn(2))
+		}
+		v := r.NDCGAt(n)
+		return v >= 0 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

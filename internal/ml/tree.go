@@ -1,0 +1,410 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// treeNode is a binary CART node. Leaves hold a value (regression) or a
+// class-probability vector (classification).
+type treeNode struct {
+	feature  int
+	thresh   float64
+	left     *treeNode
+	right    *treeNode
+	value    float64
+	proba    []float64
+	leaf     bool
+	nSamples int
+}
+
+// TreeConfig controls CART growth.
+type TreeConfig struct {
+	MaxDepth    int // default 6
+	MinLeaf     int // minimum samples per leaf, default 2
+	MaxFeatures int // features sampled per split; 0 = all
+	Seed        int64
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 6
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	return c
+}
+
+// TreeRegressor is a CART regression tree using variance reduction.
+type TreeRegressor struct {
+	Config TreeConfig
+	root   *treeNode
+}
+
+// Fit grows the tree on (X, y).
+func (t *TreeRegressor) Fit(X [][]float64, y []float64) {
+	cfg := t.Config.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := allIndexes(len(X))
+	t.root = growTree(X, y, nil, idx, cfg, 0, rng, false, 0)
+}
+
+// Predict returns the tree's output for a single example.
+func (t *TreeRegressor) Predict(x []float64) float64 {
+	return descend(t.root, x).value
+}
+
+// TreeClassifier is a CART classification tree using Gini impurity.
+type TreeClassifier struct {
+	Config   TreeConfig
+	NumClass int
+	root     *treeNode
+}
+
+// Fit grows the tree on (X, y) where y holds class ids 0..NumClass-1.
+func (t *TreeClassifier) Fit(X [][]float64, y []float64) {
+	if t.NumClass <= 0 {
+		t.NumClass = countClasses(y)
+	}
+	cfg := t.Config.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := allIndexes(len(X))
+	t.root = growTree(X, y, nil, idx, cfg, 0, rng, true, t.NumClass)
+}
+
+// PredictProba returns class probabilities for a single example.
+func (t *TreeClassifier) PredictProba(x []float64) []float64 {
+	return descend(t.root, x).proba
+}
+
+// Predict returns the arg-max class for a single example.
+func (t *TreeClassifier) Predict(x []float64) float64 {
+	return float64(argmax(t.PredictProba(x)))
+}
+
+func countClasses(y []float64) int {
+	m := 0
+	for _, v := range y {
+		if int(v) > m {
+			m = int(v)
+		}
+	}
+	return m + 1
+}
+
+func allIndexes(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func descend(n *treeNode, x []float64) *treeNode {
+	for !n.leaf {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// growTree recursively grows a CART tree over the row subset idx.
+// sampleW, when non-nil, holds per-row weights (used by boosting).
+func growTree(X [][]float64, y, sampleW []float64, idx []int, cfg TreeConfig, depth int, rng *rand.Rand, clf bool, nClass int) *treeNode {
+	node := &treeNode{nSamples: len(idx)}
+	if clf {
+		node.proba = classProba(y, sampleW, idx, nClass)
+	} else {
+		node.value = weightedMean(y, sampleW, idx)
+	}
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || pure(y, idx) {
+		node.leaf = true
+		return node
+	}
+
+	nf := len(X[0])
+	feats := allIndexes(nf)
+	if cfg.MaxFeatures > 0 && cfg.MaxFeatures < nf {
+		rng.Shuffle(nf, func(i, j int) { feats[i], feats[j] = feats[j], feats[i] })
+		feats = feats[:cfg.MaxFeatures]
+		sort.Ints(feats)
+	}
+
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	parentImp := impurity(y, sampleW, idx, clf, nClass)
+	for _, f := range feats {
+		gain, thresh, ok := bestSplit(X, y, sampleW, idx, f, cfg.MinLeaf, parentImp, clf, nClass)
+		if ok && gain > bestGain+1e-12 {
+			bestGain, bestFeat, bestThresh = gain, f, thresh
+		}
+	}
+	if bestFeat < 0 {
+		node.leaf = true
+		return node
+	}
+
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < cfg.MinLeaf || len(ri) < cfg.MinLeaf {
+		node.leaf = true
+		return node
+	}
+	node.feature = bestFeat
+	node.thresh = bestThresh
+	node.left = growTree(X, y, sampleW, li, cfg, depth+1, rng, clf, nClass)
+	node.right = growTree(X, y, sampleW, ri, cfg, depth+1, rng, clf, nClass)
+	return node
+}
+
+func pure(y []float64, idx []int) bool {
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+func weightedMean(y, w []float64, idx []int) float64 {
+	var s, tw float64
+	for _, i := range idx {
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		s += wi * y[i]
+		tw += wi
+	}
+	if tw == 0 {
+		return 0
+	}
+	return s / tw
+}
+
+func classProba(y, w []float64, idx []int, nClass int) []float64 {
+	p := make([]float64, nClass)
+	var tw float64
+	for _, i := range idx {
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		c := int(y[i])
+		if c >= 0 && c < nClass {
+			p[c] += wi
+			tw += wi
+		}
+	}
+	if tw > 0 {
+		for c := range p {
+			p[c] /= tw
+		}
+	}
+	return p
+}
+
+func impurity(y, w []float64, idx []int, clf bool, nClass int) float64 {
+	if clf {
+		p := classProba(y, w, idx, nClass)
+		g := 1.0
+		for _, pc := range p {
+			g -= pc * pc
+		}
+		return g
+	}
+	m := weightedMean(y, w, idx)
+	var s, tw float64
+	for _, i := range idx {
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		d := y[i] - m
+		s += wi * d * d
+		tw += wi
+	}
+	if tw == 0 {
+		return 0
+	}
+	return s / tw
+}
+
+// bestSplit scans sorted thresholds of feature f for the impurity-gain
+// maximizing split, in a single pass with running statistics.
+func bestSplit(X [][]float64, y, w []float64, idx []int, f, minLeaf int, parentImp float64, clf bool, nClass int) (gain, thresh float64, ok bool) {
+	type pair struct {
+		x, y, w float64
+	}
+	pairs := make([]pair, len(idx))
+	for j, i := range idx {
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		pairs[j] = pair{X[i][f], y[i], wi}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].x < pairs[b].x })
+
+	n := len(pairs)
+	if clf {
+		leftCnt := make([]float64, nClass)
+		rightCnt := make([]float64, nClass)
+		var lw, rw float64
+		for _, p := range pairs {
+			rightCnt[clampClass(int(p.y), nClass)] += p.w
+			rw += p.w
+		}
+		best := -1.0
+		for j := 0; j < n-1; j++ {
+			c := clampClass(int(pairs[j].y), nClass)
+			leftCnt[c] += pairs[j].w
+			rightCnt[c] -= pairs[j].w
+			lw += pairs[j].w
+			rw -= pairs[j].w
+			if pairs[j].x == pairs[j+1].x || j+1 < minLeaf || n-j-1 < minLeaf {
+				continue
+			}
+			g := parentImp - (lw*gini(leftCnt, lw)+rw*gini(rightCnt, rw))/(lw+rw)
+			if g > best {
+				best = g
+				thresh = (pairs[j].x + pairs[j+1].x) / 2
+			}
+		}
+		if best <= 0 {
+			return 0, 0, false
+		}
+		return best, thresh, true
+	}
+
+	// Regression: incremental weighted variance via sums.
+	var ls, ls2, lw float64
+	var rs, rs2, rw float64
+	for _, p := range pairs {
+		rs += p.w * p.y
+		rs2 += p.w * p.y * p.y
+		rw += p.w
+	}
+	best := -1.0
+	for j := 0; j < n-1; j++ {
+		ls += pairs[j].w * pairs[j].y
+		ls2 += pairs[j].w * pairs[j].y * pairs[j].y
+		lw += pairs[j].w
+		rs -= pairs[j].w * pairs[j].y
+		rs2 -= pairs[j].w * pairs[j].y * pairs[j].y
+		rw -= pairs[j].w
+		if pairs[j].x == pairs[j+1].x || j+1 < minLeaf || n-j-1 < minLeaf {
+			continue
+		}
+		lv := varFromSums(ls, ls2, lw)
+		rv := varFromSums(rs, rs2, rw)
+		g := parentImp - (lw*lv+rw*rv)/(lw+rw)
+		if g > best {
+			best = g
+			thresh = (pairs[j].x + pairs[j+1].x) / 2
+		}
+	}
+	if best <= 0 {
+		return 0, 0, false
+	}
+	return best, thresh, true
+}
+
+// clampClass maps out-of-range labels into [0, nClass): a fixed model
+// must tolerate noisy inputs (e.g. synthetic rows with labels outside the
+// training classes) without panicking.
+func clampClass(c, nClass int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= nClass {
+		return nClass - 1
+	}
+	return c
+}
+
+func gini(cnt []float64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range cnt {
+		p := c / total
+		g -= p * p
+	}
+	return g
+}
+
+func varFromSums(s, s2, w float64) float64 {
+	if w == 0 {
+		return 0
+	}
+	m := s / w
+	v := s2/w - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func argmax(xs []float64) int {
+	best, bv := 0, math.Inf(-1)
+	for i, x := range xs {
+		if x > bv {
+			bv, best = x, i
+		}
+	}
+	return best
+}
+
+// FeatureImportances accumulates impurity-weighted split counts per
+// feature, normalized to sum to 1 (scikit-learn style). Used by the
+// SkSFM baseline.
+func treeImportances(n *treeNode, nf int, acc []float64) {
+	if n == nil || n.leaf {
+		return
+	}
+	acc[n.feature] += float64(n.nSamples)
+	treeImportances(n.left, nf, acc)
+	treeImportances(n.right, nf, acc)
+}
+
+// Importances returns normalized split importances of the regressor.
+func (t *TreeRegressor) Importances(nf int) []float64 {
+	acc := make([]float64, nf)
+	treeImportances(t.root, nf, acc)
+	normalizeSum(acc)
+	return acc
+}
+
+// Importances returns normalized split importances of the classifier.
+func (t *TreeClassifier) Importances(nf int) []float64 {
+	acc := make([]float64, nf)
+	treeImportances(t.root, nf, acc)
+	normalizeSum(acc)
+	return acc
+}
+
+func normalizeSum(xs []float64) {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if s == 0 {
+		return
+	}
+	for i := range xs {
+		xs[i] /= s
+	}
+}

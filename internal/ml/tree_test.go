@@ -1,0 +1,142 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// xorData builds a dataset where y = x0 XOR x1 (thresholded at 0.5):
+// unlearnable by a linear model, learnable by a depth-2+ tree.
+func xorData(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a, b := rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b}
+		if (a > 0.5) != (b > 0.5) {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func linearData(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a, b := rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b}
+		y[i] = 3*a - 2*b + 0.01*rng.NormFloat64()
+	}
+	return X, y
+}
+
+func TestTreeRegressorFitsLinear(t *testing.T) {
+	X, y := linearData(300, 1)
+	tr := &TreeRegressor{Config: TreeConfig{MaxDepth: 8}}
+	tr.Fit(X, y)
+	pred := make([]float64, len(y))
+	for i, x := range X {
+		pred[i] = tr.Predict(x)
+	}
+	if r2 := R2(y, pred); r2 < 0.8 {
+		t.Errorf("train R2 = %v, want >= 0.8", r2)
+	}
+}
+
+func TestTreeClassifierLearnsXOR(t *testing.T) {
+	X, y := xorData(400, 2)
+	tc := &TreeClassifier{Config: TreeConfig{MaxDepth: 4}}
+	tc.Fit(X, y)
+	pred := make([]float64, len(y))
+	for i, x := range X {
+		pred[i] = tc.Predict(x)
+	}
+	if acc := Accuracy(y, pred); acc < 0.9 {
+		t.Errorf("XOR accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestTreeClassifierProbaSumsToOne(t *testing.T) {
+	X, y := xorData(100, 3)
+	tc := &TreeClassifier{Config: TreeConfig{MaxDepth: 3}}
+	tc.Fit(X, y)
+	for _, x := range X[:10] {
+		p := tc.PredictProba(x)
+		var s float64
+		for _, v := range p {
+			if v < 0 {
+				t.Fatal("negative probability")
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("proba sums to %v", s)
+		}
+	}
+}
+
+func TestTreePureLeafStopsEarly(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{5, 5, 5, 5}
+	tr := &TreeRegressor{Config: TreeConfig{MaxDepth: 5}}
+	tr.Fit(X, y)
+	if !tr.root.leaf {
+		t.Error("constant target should produce a single leaf")
+	}
+	if tr.Predict([]float64{10}) != 5 {
+		t.Error("constant prediction expected")
+	}
+}
+
+func TestTreeMinLeafRespected(t *testing.T) {
+	X, y := linearData(50, 4)
+	tr := &TreeRegressor{Config: TreeConfig{MaxDepth: 20, MinLeaf: 10}}
+	tr.Fit(X, y)
+	var check func(n *treeNode) bool
+	check = func(n *treeNode) bool {
+		if n == nil {
+			return true
+		}
+		if n.leaf {
+			return n.nSamples >= 10
+		}
+		return check(n.left) && check(n.right)
+	}
+	if !check(tr.root) {
+		t.Error("leaf smaller than MinLeaf found")
+	}
+}
+
+func TestTreeDeterministic(t *testing.T) {
+	X, y := linearData(200, 5)
+	t1 := &TreeRegressor{Config: TreeConfig{MaxDepth: 6, Seed: 9}}
+	t2 := &TreeRegressor{Config: TreeConfig{MaxDepth: 6, Seed: 9}}
+	t1.Fit(X, y)
+	t2.Fit(X, y)
+	for _, x := range X[:20] {
+		if t1.Predict(x) != t2.Predict(x) {
+			t.Fatal("same seed must give identical trees")
+		}
+	}
+}
+
+func TestTreeImportancesNormalized(t *testing.T) {
+	X, y := linearData(200, 6)
+	tr := &TreeRegressor{Config: TreeConfig{MaxDepth: 6}}
+	tr.Fit(X, y)
+	imp := tr.Importances(2)
+	var s float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatal("negative importance")
+		}
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("importances sum to %v, want 1", s)
+	}
+}

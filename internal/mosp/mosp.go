@@ -1,0 +1,200 @@
+// Package mosp implements the multi-objective shortest path problem,
+// the combinatorial core of the MODis hardness and approximation results
+// (Theorem 1, Lemmas 2-3): an exact Pareto label-correcting algorithm
+// and an ε-grid FPTAS variant in the style of Tsaggouris & Zaroliagis.
+// MODis' ApxMODis is an optimized run of the latter over the running
+// graph; the tests of this package validate the reduction both ways.
+package mosp
+
+import (
+	"repro/internal/skyline"
+)
+
+// Edge is a directed edge with a d-dimensional cost vector.
+type Edge struct {
+	From, To int
+	Cost     skyline.Vector
+}
+
+// Graph is an edge-weighted directed graph for MOSP instances.
+type Graph struct {
+	NumNodes int
+	Adj      [][]Edge
+}
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{NumNodes: n, Adj: make([][]Edge, n)}
+}
+
+// AddEdge inserts a directed edge.
+func (g *Graph) AddEdge(from, to int, cost skyline.Vector) {
+	g.Adj[from] = append(g.Adj[from], Edge{From: from, To: to, Cost: cost.Clone()})
+}
+
+// Label is one Pareto-optimal path to a node: its cumulative cost and
+// the predecessor chain for path recovery.
+type Label struct {
+	Node int
+	Cost skyline.Vector
+	Prev *Label
+	Via  *Edge
+}
+
+// Path reconstructs the edge sequence of the label.
+func (l *Label) Path() []Edge {
+	var rev []Edge
+	for cur := l; cur.Prev != nil; cur = cur.Prev {
+		rev = append(rev, *cur.Via)
+	}
+	out := make([]Edge, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Exact computes the full Pareto label sets from the source node via
+// label-correcting search with dominance filtering. It returns, per
+// node, the non-dominated labels.
+func Exact(g *Graph, source int) [][]*Label {
+	labels := make([][]*Label, g.NumNodes)
+	start := &Label{Node: source, Cost: make(skyline.Vector, costDim(g))}
+	labels[source] = []*Label{start}
+	queue := []*Label{start}
+	for len(queue) > 0 {
+		l := queue[0]
+		queue = queue[1:]
+		if !contains(labels[l.Node], l) {
+			continue // superseded since enqueue
+		}
+		for i := range g.Adj[l.Node] {
+			e := &g.Adj[l.Node][i]
+			nc := addVec(l.Cost, e.Cost)
+			nl := &Label{Node: e.To, Cost: nc, Prev: l, Via: e}
+			if merged, added := mergeLabel(labels[e.To], nl); added {
+				labels[e.To] = merged
+				queue = append(queue, nl)
+			}
+		}
+	}
+	return labels
+}
+
+// FPTAS computes ε-Pareto label sets: labels are bucketed by the ε-grid
+// position of their cost (all but the last dimension) and each cell
+// keeps the label minimizing the last (decisive) dimension — the same
+// replacement strategy ApxMODis inherits.
+func FPTAS(g *Graph, source int, eps float64, bounds []skyline.Bounds) [][]*Label {
+	if len(bounds) == 0 {
+		bounds = defaultBounds(costDim(g))
+	}
+	cells := make([]map[string]*Label, g.NumNodes)
+	for i := range cells {
+		cells[i] = map[string]*Label{}
+	}
+	start := &Label{Node: source, Cost: make(skyline.Vector, costDim(g))}
+	cells[source][gridKey(start.Cost, bounds, eps)] = start
+	queue := []*Label{start}
+	d := costDim(g)
+	for len(queue) > 0 {
+		l := queue[0]
+		queue = queue[1:]
+		for i := range g.Adj[l.Node] {
+			e := &g.Adj[l.Node][i]
+			nc := addVec(l.Cost, e.Cost)
+			nl := &Label{Node: e.To, Cost: nc, Prev: l, Via: e}
+			key := gridKey(nc, bounds, eps)
+			cur, ok := cells[e.To][key]
+			if !ok || nc[d-1] < cur.Cost[d-1] {
+				cells[e.To][key] = nl
+				queue = append(queue, nl)
+			}
+		}
+	}
+	out := make([][]*Label, g.NumNodes)
+	for i, m := range cells {
+		for _, l := range m {
+			out[i] = append(out[i], l)
+		}
+	}
+	return out
+}
+
+func costDim(g *Graph) int {
+	for _, adj := range g.Adj {
+		for _, e := range adj {
+			return len(e.Cost)
+		}
+	}
+	return 1
+}
+
+func defaultBounds(d int) []skyline.Bounds {
+	out := make([]skyline.Bounds, d)
+	for i := range out {
+		out[i] = skyline.Bounds{Lower: 1e-3, Upper: 1e9}
+	}
+	return out
+}
+
+func gridKey(v skyline.Vector, bounds []skyline.Bounds, eps float64) string {
+	// Shift costs by the lower bound so zero-cost prefixes are valid.
+	shifted := make(skyline.Vector, len(v))
+	for i, x := range v {
+		lo := bounds[i].Lower
+		if x < lo {
+			x = lo
+		}
+		shifted[i] = x
+	}
+	return skyline.PosKey(skyline.GridPos(shifted, bounds, eps))
+}
+
+func addVec(a, b skyline.Vector) skyline.Vector {
+	out := a.Clone()
+	for i := range out {
+		if i < len(b) {
+			out[i] += b[i]
+		}
+	}
+	return out
+}
+
+// mergeLabel inserts nl into the node's Pareto set, dropping dominated
+// labels; added=false if nl is itself dominated (or duplicated).
+func mergeLabel(set []*Label, nl *Label) ([]*Label, bool) {
+	for _, l := range set {
+		if l.Cost.Dominates(nl.Cost) || equalVec(l.Cost, nl.Cost) {
+			return set, false
+		}
+	}
+	out := set[:0]
+	for _, l := range set {
+		if !nl.Cost.Dominates(l.Cost) {
+			out = append(out, l)
+		}
+	}
+	return append(out, nl), true
+}
+
+func contains(set []*Label, l *Label) bool {
+	for _, x := range set {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func equalVec(a, b skyline.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

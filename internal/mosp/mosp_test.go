@@ -1,0 +1,160 @@
+package mosp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/skyline"
+)
+
+// diamondGraph: two incomparable paths 0→1→3 (cost {1,3}) and 0→2→3
+// (cost {3,1}), plus a dominated path 0→3 (cost {5,5}).
+func diamondGraph() *Graph {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, skyline.Vector{0.5, 1.5})
+	g.AddEdge(1, 3, skyline.Vector{0.5, 1.5})
+	g.AddEdge(0, 2, skyline.Vector{1.5, 0.5})
+	g.AddEdge(2, 3, skyline.Vector{1.5, 0.5})
+	g.AddEdge(0, 3, skyline.Vector{5, 5})
+	return g
+}
+
+func TestExactParetoPaths(t *testing.T) {
+	labels := Exact(diamondGraph(), 0)
+	at3 := labels[3]
+	if len(at3) != 2 {
+		t.Fatalf("Pareto labels at t = %d, want 2", len(at3))
+	}
+	// The dominated direct edge must be filtered.
+	for _, l := range at3 {
+		if l.Cost[0] == 5 {
+			t.Error("dominated path survived")
+		}
+	}
+}
+
+func TestLabelPathReconstruction(t *testing.T) {
+	labels := Exact(diamondGraph(), 0)
+	for _, l := range labels[3] {
+		p := l.Path()
+		if len(p) != 2 {
+			t.Fatalf("path length = %d, want 2", len(p))
+		}
+		if p[0].From != 0 || p[1].To != 3 {
+			t.Error("path endpoints wrong")
+		}
+	}
+}
+
+func TestFPTASCoversExact(t *testing.T) {
+	g := diamondGraph()
+	exact := Exact(g, 0)
+	approx := FPTAS(g, 0, 0.2, nil)
+	// Every exact Pareto cost must be eps-dominated by some approx label.
+	for node := range exact {
+		for _, el := range exact[node] {
+			covered := false
+			for _, al := range approx[node] {
+				if al.Cost.EpsDominates(el.Cost, 0.2) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("exact label %v at node %d not eps-covered", el.Cost, node)
+			}
+		}
+	}
+}
+
+func TestFPTASNeverLargerThanExactOnSmall(t *testing.T) {
+	g := diamondGraph()
+	exact := Exact(g, 0)
+	approx := FPTAS(g, 0, 0.5, nil)
+	if len(approx[3]) > len(exact[3])+1 {
+		t.Errorf("FPTAS label count %d unexpectedly large vs exact %d", len(approx[3]), len(exact[3]))
+	}
+}
+
+func randomDAG(seed int64, nodes int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(nodes)
+	for u := 0; u < nodes; u++ {
+		for v := u + 1; v < nodes; v++ {
+			if rng.Float64() < 0.4 {
+				g.AddEdge(u, v, skyline.Vector{
+					0.1 + rng.Float64(),
+					0.1 + rng.Float64(),
+				})
+			}
+		}
+	}
+	return g
+}
+
+// Property: exact label sets are mutually non-dominated.
+func TestExactLabelsNonDominated(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 8)
+		labels := Exact(g, 0)
+		for _, ls := range labels {
+			for i := range ls {
+				for j := range ls {
+					if i != j && ls[i].Cost.Dominates(ls[j].Cost) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Lemma 2 direction): FPTAS labels eps-cover exact labels on
+// random DAGs.
+func TestFPTASEpsCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 7)
+		exact := Exact(g, 0)
+		approx := FPTAS(g, 0, 0.3, nil)
+		for node := range exact {
+			for _, el := range exact[node] {
+				covered := false
+				for _, al := range approx[node] {
+					if al.Cost.EpsDominates(el.Cost, 0.3) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeLabelDropsDominated(t *testing.T) {
+	a := &Label{Cost: skyline.Vector{1, 1}}
+	b := &Label{Cost: skyline.Vector{2, 2}}
+	set, added := mergeLabel([]*Label{b}, a)
+	if !added || len(set) != 1 || set[0] != a {
+		t.Error("dominating label should replace dominated one")
+	}
+	_, added = mergeLabel(set, b)
+	if added {
+		t.Error("dominated label must not be added")
+	}
+	_, added = mergeLabel(set, &Label{Cost: skyline.Vector{1, 1}})
+	if added {
+		t.Error("duplicate cost must not be added")
+	}
+}

@@ -1,0 +1,204 @@
+// Package skyline implements the Pareto-optimality machinery of MODis:
+// dominance and ε-dominance over performance vectors (Section 4), the
+// ε-grid position function of Equation (1), and skyline computation via
+// Kung's algorithm and sort-filter-scan.
+package skyline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Vector is a performance vector t.P: one value per measure, all
+// normalized to (0,1] and to be minimized.
+type Vector []float64
+
+// Clone deep-copies the vector.
+func (v Vector) Clone() Vector { return append(Vector(nil), v...) }
+
+// String renders the vector compactly.
+func (v Vector) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.4f", x)
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Dominates reports a ≺-dominance: v is no worse than o on every measure
+// and strictly better on at least one (all measures minimized).
+func (v Vector) Dominates(o Vector) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	strict := false
+	for i := range v {
+		if v[i] > o[i] {
+			return false
+		}
+		if v[i] < o[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// EpsDominates reports ε-dominance (Section 5.1): v.p ≤ (1+ε)·o.p for
+// every p, and v.p* ≤ o.p* for at least one decisive measure p*.
+func (v Vector) EpsDominates(o Vector, eps float64) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	decisive := false
+	for i := range v {
+		if v[i] > (1+eps)*o[i] {
+			return false
+		}
+		if v[i] <= o[i] {
+			decisive = true
+		}
+	}
+	return decisive
+}
+
+// Bounds is a user-specified measure range [Lower, Upper] ⊆ (0,1].
+type Bounds struct {
+	Lower float64
+	Upper float64
+}
+
+// DefaultBounds is the full admissible range with the paper's strictly
+// positive lower bound.
+func DefaultBounds() Bounds { return Bounds{Lower: 1e-3, Upper: 1} }
+
+// Within reports whether x satisfies the bounds.
+func (b Bounds) Within(x float64) bool { return x >= b.Lower && x <= b.Upper }
+
+// GridPos computes the discretized position of Equation (1): for the
+// first |P|-1 measures, pos_i = floor(log_{1+eps}(v_i / lower_i)). The
+// last measure is the decisive measure and is excluded, per the paper.
+func GridPos(v Vector, bounds []Bounds, eps float64) []int {
+	n := len(v) - 1
+	if n < 0 {
+		n = 0
+	}
+	pos := make([]int, n)
+	base := math.Log1p(eps)
+	for i := 0; i < n; i++ {
+		lo := 1e-3
+		if i < len(bounds) && bounds[i].Lower > 0 {
+			lo = bounds[i].Lower
+		}
+		x := v[i]
+		if x < lo {
+			x = lo
+		}
+		pos[i] = int(math.Floor(math.Log(x/lo) / base))
+	}
+	return pos
+}
+
+// PosKey renders a grid position as a map key.
+func PosKey(pos []int) string {
+	parts := make([]string, len(pos))
+	for i, p := range pos {
+		parts[i] = fmt.Sprintf("%d", p)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Skyline computes the exact Pareto front of the vectors by
+// sort-filter-scan: sort lexicographically, keep non-dominated. It
+// returns the indexes of skyline members in input order.
+func Skyline(vs []Vector) []int {
+	idx := make([]int, len(vs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return lexLess(vs[idx[a]], vs[idx[b]]) })
+	var keep []int
+	for _, i := range idx {
+		dominated := false
+		for _, k := range keep {
+			if vs[k].Dominates(vs[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep = append(keep, i)
+		}
+	}
+	sort.Ints(keep)
+	return keep
+}
+
+// KungSkyline computes the Pareto front with Kung's divide-and-conquer
+// algorithm [Kung, Luccio & Preparata 1975], as cited by the paper's
+// exact algorithm (Theorem 1). It returns indexes in input order.
+func KungSkyline(vs []Vector) []int {
+	idx := make([]int, len(vs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return lexLess(vs[idx[a]], vs[idx[b]]) })
+	res := kungRec(vs, idx)
+	sort.Ints(res)
+	return res
+}
+
+func kungRec(vs []Vector, idx []int) []int {
+	if len(idx) <= 1 {
+		return append([]int(nil), idx...)
+	}
+	mid := len(idx) / 2
+	top := kungRec(vs, idx[:mid])
+	bot := kungRec(vs, idx[mid:])
+	// Keep members of bot not dominated by any member of top.
+	out := append([]int(nil), top...)
+	for _, b := range bot {
+		dominated := false
+		for _, t := range top {
+			if vs[t].Dominates(vs[b]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func lexLess(a, b Vector) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// IsEpsSkylineOf verifies the ε-skyline property (Section 5.1): every
+// vector in all is ε-dominated by some member of set.
+func IsEpsSkylineOf(set, all []Vector, eps float64) bool {
+	for _, v := range all {
+		covered := false
+		for _, s := range set {
+			if s.EpsDominates(v, eps) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}

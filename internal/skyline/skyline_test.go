@@ -1,0 +1,204 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want bool
+	}{
+		{Vector{1, 1}, Vector{2, 2}, true},
+		{Vector{1, 2}, Vector{2, 1}, false}, // incomparable
+		{Vector{1, 1}, Vector{1, 1}, false}, // no strict improvement
+		{Vector{1, 1}, Vector{1, 2}, true},
+		{Vector{2, 2}, Vector{1, 1}, false},
+		{Vector{1}, Vector{1, 2}, false}, // length mismatch
+	}
+	for _, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.want {
+			t.Errorf("%v Dominates %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEpsDominates(t *testing.T) {
+	// Paper Example 5 style: within (1+eps) on all, <= on one.
+	a := Vector{0.40, 0.17}
+	b := Vector{0.45, 0.22}
+	if !a.EpsDominates(b, 0.3) {
+		t.Error("a should 0.3-dominate b")
+	}
+	// b also eps-dominates a at eps=0.3: 0.45 <= 1.3*0.40 and 0.22 <= 1.3*0.17=0.221,
+	// decisive needs b.p <= a.p for some p — none holds, so no.
+	if b.EpsDominates(a, 0.3) {
+		t.Error("b must not 0.3-dominate a (no decisive measure)")
+	}
+	// eps-dominance is weaker than dominance.
+	if !(Vector{1, 1}).EpsDominates(Vector{1.05, 1.05}, 0.1) {
+		t.Error("near-equal should eps-dominate")
+	}
+}
+
+func TestGridPosExcludesDecisive(t *testing.T) {
+	v := Vector{0.5, 0.25, 0.9}
+	bounds := []Bounds{{Lower: 0.01}, {Lower: 0.01}, {Lower: 0.01}}
+	pos := GridPos(v, bounds, 0.1)
+	if len(pos) != 2 {
+		t.Fatalf("pos dims = %d, want |P|-1 = 2", len(pos))
+	}
+}
+
+func TestGridPosMonotone(t *testing.T) {
+	bounds := []Bounds{{Lower: 0.001}, {Lower: 0.001}}
+	lo := GridPos(Vector{0.01, 1}, bounds, 0.2)
+	hi := GridPos(Vector{0.5, 1}, bounds, 0.2)
+	if lo[0] >= hi[0] {
+		t.Errorf("grid position should grow with the measure: %v vs %v", lo, hi)
+	}
+}
+
+func TestGridPosFloorsBelowLower(t *testing.T) {
+	bounds := []Bounds{{Lower: 0.1}, {Lower: 0.1}}
+	pos := GridPos(Vector{0.0001, 1}, bounds, 0.2)
+	if pos[0] != 0 {
+		t.Errorf("values below the lower bound should land in cell 0, got %d", pos[0])
+	}
+}
+
+func TestSkylineKnown(t *testing.T) {
+	// Example 4 of the paper: D3 and D5 are the skyline.
+	vs := []Vector{
+		{0.48, 0.33, 0.37}, // D1
+		{0.41, 0.24, 0.37}, // D2
+		{0.26, 0.15, 0.37}, // D3
+		{0.37, 0.22, 0.39}, // D4
+		{0.25, 0.18, 0.35}, // D5
+	}
+	got := Skyline(vs)
+	want := map[int]bool{2: true, 4: true}
+	if len(got) != 2 {
+		t.Fatalf("skyline = %v, want indices {2,4}", got)
+	}
+	for _, i := range got {
+		if !want[i] {
+			t.Fatalf("skyline = %v, want indices {2,4}", got)
+		}
+	}
+}
+
+func TestKungMatchesSortFilter(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		d := 2 + rng.Intn(3)
+		vs := make([]Vector, n)
+		for i := range vs {
+			vs[i] = make(Vector, d)
+			for j := range vs[i] {
+				vs[i][j] = float64(rng.Intn(8)) / 8
+			}
+		}
+		a := Skyline(vs)
+		b := KungSkyline(vs)
+		// Both must be valid skylines of the same size covering all points.
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkylineProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		vs := make([]Vector, n)
+		for i := range vs {
+			vs[i] = Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		sk := Skyline(vs)
+		inSk := map[int]bool{}
+		for _, i := range sk {
+			inSk[i] = true
+		}
+		// (1) No skyline member dominates another.
+		for _, i := range sk {
+			for _, j := range sk {
+				if i != j && vs[i].Dominates(vs[j]) {
+					return false
+				}
+			}
+		}
+		// (2) Every non-member is dominated by some member.
+		for i := range vs {
+			if inSk[i] {
+				continue
+			}
+			dominated := false
+			for _, j := range sk {
+				if vs[j].Dominates(vs[i]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsEpsSkylineOf(t *testing.T) {
+	all := []Vector{{0.5, 0.5}, {0.52, 0.52}, {1, 1}}
+	set := []Vector{{0.5, 0.5}}
+	if !IsEpsSkylineOf(set, all, 0.1) {
+		t.Error("{0.5,0.5} should 0.1-cover all")
+	}
+	if IsEpsSkylineOf([]Vector{{1, 1}}, all, 0.1) {
+		t.Error("{1,1} should not 0.1-cover {0.5,0.5}")
+	}
+}
+
+func TestEpsDominanceSubsumesDominance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Vector{rng.Float64() + 0.01, rng.Float64() + 0.01}
+		b := Vector{rng.Float64() + 0.01, rng.Float64() + 0.01}
+		if a.Dominates(b) && !a.EpsDominates(b, 0.1) {
+			return false
+		}
+		// Reflexive eps-dominance always holds.
+		return a.EpsDominates(a, 0.1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	if got := (Vector{0.5}).String(); got != "<0.5000>" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPosKey(t *testing.T) {
+	if PosKey([]int{1, -2, 3}) != "1,-2,3" {
+		t.Error("PosKey format")
+	}
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KMeans1D clusters scalar values into at most k clusters by Lloyd's
+// algorithm with deterministic quantile seeding. It returns the sorted
+// centroids and the assignment of each input to a centroid index.
+// Fewer than k distinct values yield one cluster per distinct value.
+//
+// MODis uses this to compress attribute active domains: one equality
+// literal is derived per cluster (Section 6, "Construction of D_U").
+func KMeans1D(xs []float64, k int, maxIter int) (centroids []float64, assign []int) {
+	assign = make([]int, len(xs))
+	if len(xs) == 0 || k <= 0 {
+		return nil, assign
+	}
+
+	distinct := distinctSorted(xs)
+	if len(distinct) <= k {
+		centroids = distinct
+		for i, x := range xs {
+			assign[i] = nearestIdx(centroids, x)
+		}
+		return centroids, assign
+	}
+
+	// Mass-weighted quantile seeding keeps the run deterministic and
+	// places seeds where the data actually concentrates: seeding over
+	// distinct values alone would let a long tail of rare values steal
+	// every centroid from a few high-mass levels.
+	sortedAll := append([]float64(nil), xs...)
+	sort.Float64s(sortedAll)
+	seen := map[float64]bool{}
+	centroids = centroids[:0]
+	for i := 0; i < k; i++ {
+		var pos int
+		if k == 1 {
+			pos = len(sortedAll) / 2
+		} else {
+			pos = i * (len(sortedAll) - 1) / (k - 1)
+		}
+		v := sortedAll[pos]
+		if !seen[v] {
+			seen[v] = true
+			centroids = append(centroids, v)
+		}
+	}
+	// Supplement duplicated quantiles with the distinct values farthest
+	// from the current seeds (farthest-point heuristic), so k clusters
+	// are used whenever k distinct values exist.
+	for len(centroids) < k {
+		bestV, bestD := 0.0, -1.0
+		for _, v := range distinct {
+			if seen[v] {
+				continue
+			}
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := math.Abs(v - c); dd < d {
+					d = dd
+				}
+			}
+			if d > bestD {
+				bestD, bestV = d, v
+			}
+		}
+		if bestD < 0 {
+			break
+		}
+		seen[bestV] = true
+		centroids = append(centroids, bestV)
+	}
+	sort.Float64s(centroids)
+
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, x := range xs {
+			c := nearestIdx(centroids, x)
+			assign[i] = c
+			sums[c] += x
+			counts[c]++
+		}
+		moved := false
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			nc := sums[c] / float64(counts[c])
+			if nc != centroids[c] {
+				centroids[c] = nc
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	sort.Float64s(centroids)
+	centroids = dedupFloats(centroids)
+	for i, x := range xs {
+		assign[i] = nearestIdx(centroids, x)
+	}
+	return centroids, assign
+}
+
+func distinctSorted(xs []float64) []float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return dedupFloats(cp)
+}
+
+func dedupFloats(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, x := range sorted {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func nearestIdx(centroids []float64, x float64) int {
+	best, bd := 0, math.Inf(1)
+	for i, c := range centroids {
+		d := math.Abs(x - c)
+		if d < bd {
+			bd, best = d, i
+		}
+	}
+	return best
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKMeansSeparatedClusters(t *testing.T) {
+	var xs []float64
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		xs = append(xs, rng.Float64())     // cluster around [0,1]
+		xs = append(xs, 10+rng.Float64())  // cluster around [10,11]
+		xs = append(xs, 100+rng.Float64()) // cluster around [100,101]
+	}
+	centroids, assign := KMeans1D(xs, 3, 50)
+	if len(centroids) != 3 {
+		t.Fatalf("centroids = %d, want 3", len(centroids))
+	}
+	// Centroids should land near 0.5, 10.5, 100.5.
+	wants := []float64{0.5, 10.5, 100.5}
+	for i, w := range wants {
+		if math.Abs(centroids[i]-w) > 1 {
+			t.Errorf("centroid[%d] = %v, want ~%v", i, centroids[i], w)
+		}
+	}
+	// Every assignment points at the nearest centroid.
+	for i, x := range xs {
+		c := centroids[assign[i]]
+		for _, other := range centroids {
+			if math.Abs(x-other) < math.Abs(x-c)-1e-9 {
+				t.Fatalf("x=%v assigned to %v but %v is closer", x, c, other)
+			}
+		}
+	}
+}
+
+func TestKMeansFewDistinct(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 2}
+	centroids, assign := KMeans1D(xs, 10, 50)
+	if len(centroids) != 2 {
+		t.Fatalf("distinct-limited centroids = %d, want 2", len(centroids))
+	}
+	for i, x := range xs {
+		if centroids[assign[i]] != x {
+			t.Errorf("x=%v mapped to %v", x, centroids[assign[i]])
+		}
+	}
+}
+
+func TestKMeansEmptyAndZeroK(t *testing.T) {
+	if c, _ := KMeans1D(nil, 3, 10); c != nil {
+		t.Error("empty input should yield nil centroids")
+	}
+	if c, _ := KMeans1D([]float64{1, 2}, 0, 10); c != nil {
+		t.Error("k=0 should yield nil centroids")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	c1, a1 := KMeans1D(xs, 5, 50)
+	c2, a2 := KMeans1D(xs, 5, 50)
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatal("k-means must be deterministic")
+		}
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("assignments must be deterministic")
+		}
+	}
+}
+
+func TestKMeansProperties(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		k := 1 + int(kRaw%8)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+		}
+		centroids, assign := KMeans1D(xs, k, 30)
+		if len(centroids) == 0 || len(centroids) > k {
+			return false
+		}
+		// Centroids are sorted and assignments in range.
+		for i := 1; i < len(centroids); i++ {
+			if centroids[i] < centroids[i-1] {
+				return false
+			}
+		}
+		for _, a := range assign {
+			if a < 0 || a >= len(centroids) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package table
+
+import (
+	"repro/internal/stats"
+)
+
+// DeriveLiterals produces the equality literals for one attribute,
+// following the paper's D_U construction: k-means clustering over the
+// active domain (max k = 30 by default), one literal per cluster.
+// Numeric attributes are clustered; categorical attributes contribute one
+// literal per distinct value, capped at maxK most frequent values.
+func DeriveLiterals(t *Table, attr string, maxK int) []Literal {
+	if maxK <= 0 {
+		maxK = 30
+	}
+	idx := t.Schema.Index(attr)
+	if idx < 0 {
+		return nil
+	}
+	if t.Schema[idx].Kind == KindString {
+		return categoricalLiterals(t, attr, idx, maxK)
+	}
+	var xs []float64
+	for _, r := range t.Rows {
+		if !r[idx].IsNull() {
+			xs = append(xs, r[idx].AsFloat())
+		}
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	centroids, _ := stats.KMeans1D(xs, maxK, 50)
+	out := make([]Literal, len(centroids))
+	for i, c := range centroids {
+		out[i] = Literal{Attr: attr, Value: Float(c)}
+	}
+	return out
+}
+
+func categoricalLiterals(t *Table, attr string, idx, maxK int) []Literal {
+	counts := make(map[string]int)
+	vals := make(map[string]Value)
+	for _, r := range t.Rows {
+		v := r[idx]
+		if v.IsNull() {
+			continue
+		}
+		counts[v.Key()]++
+		vals[v.Key()] = v
+	}
+	adom := t.ActiveDomain(attr)
+	if len(adom) <= maxK {
+		out := make([]Literal, len(adom))
+		for i, v := range adom {
+			out[i] = Literal{Attr: attr, Value: v}
+		}
+		return out
+	}
+	// Keep the maxK most frequent values, in deterministic adom order.
+	type kv struct {
+		v Value
+		n int
+	}
+	ordered := make([]kv, 0, len(adom))
+	for _, v := range adom {
+		ordered = append(ordered, kv{v, counts[v.Key()]})
+	}
+	// Stable selection of top-maxK by count.
+	for i := 0; i < maxK && i < len(ordered); i++ {
+		best := i
+		for j := i + 1; j < len(ordered); j++ {
+			if ordered[j].n > ordered[best].n {
+				best = j
+			}
+		}
+		ordered[i], ordered[best] = ordered[best], ordered[i]
+	}
+	out := make([]Literal, 0, maxK)
+	for i := 0; i < maxK; i++ {
+		out = append(out, Literal{Attr: attr, Value: ordered[i].v})
+	}
+	return out
+}
+
+// Compress replaces each numeric cell of attr with its cluster centroid,
+// shrinking the active domain to at most maxK values ("replacing rows into
+// tuple clusters" in Section 6). Categorical and null cells pass through.
+func Compress(t *Table, attr string, maxK int) *Table {
+	idx := t.Schema.Index(attr)
+	out := t.Clone()
+	if idx < 0 || t.Schema[idx].Kind == KindString {
+		return out
+	}
+	var xs []float64
+	var rowIdx []int
+	for i, r := range t.Rows {
+		if !r[idx].IsNull() {
+			xs = append(xs, r[idx].AsFloat())
+			rowIdx = append(rowIdx, i)
+		}
+	}
+	if len(xs) == 0 {
+		return out
+	}
+	centroids, assign := stats.KMeans1D(xs, maxK, 50)
+	for j, ri := range rowIdx {
+		out.Rows[ri][idx] = Float(centroids[assign[j]])
+	}
+	return out
+}
+
+// CompressAll applies Compress to every numeric attribute.
+func CompressAll(t *Table, maxK int) *Table {
+	out := t
+	for _, c := range t.Schema {
+		if c.Kind != KindString {
+			out = Compress(out, c.Name, maxK)
+		}
+	}
+	return out
+}

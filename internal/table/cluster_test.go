@@ -1,0 +1,110 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func numericTable(n int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	tb := New("t", Schema{{Name: "x", Kind: KindFloat}, {Name: "c", Kind: KindString}})
+	cats := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < n; i++ {
+		tb.MustAppend(Row{Float(rng.Float64() * 100), Str(cats[rng.Intn(len(cats))])})
+	}
+	return tb
+}
+
+func TestDeriveLiteralsNumeric(t *testing.T) {
+	tb := numericTable(200, 1)
+	lits := DeriveLiterals(tb, "x", 4)
+	if len(lits) == 0 || len(lits) > 4 {
+		t.Fatalf("literal count = %d, want 1..4", len(lits))
+	}
+	for _, l := range lits {
+		if l.Attr != "x" {
+			t.Errorf("literal attr = %q, want x", l.Attr)
+		}
+	}
+}
+
+func TestDeriveLiteralsCategorical(t *testing.T) {
+	tb := numericTable(100, 2)
+	lits := DeriveLiterals(tb, "c", 30)
+	if len(lits) != 5 {
+		t.Fatalf("categorical literals = %d, want 5 (one per distinct)", len(lits))
+	}
+	capped := DeriveLiterals(tb, "c", 3)
+	if len(capped) != 3 {
+		t.Fatalf("capped categorical literals = %d, want 3", len(capped))
+	}
+}
+
+func TestDeriveLiteralsMissingAttr(t *testing.T) {
+	tb := numericTable(10, 3)
+	if lits := DeriveLiterals(tb, "ghost", 5); lits != nil {
+		t.Error("missing attr should yield no literals")
+	}
+}
+
+func TestCompressShrinksAdom(t *testing.T) {
+	tb := numericTable(300, 4)
+	before := len(tb.ActiveDomain("x"))
+	c := Compress(tb, "x", 5)
+	after := len(c.ActiveDomain("x"))
+	if after > 5 {
+		t.Fatalf("compressed adom = %d, want <= 5", after)
+	}
+	if after >= before {
+		t.Fatalf("compression should shrink adom (%d -> %d)", before, after)
+	}
+	if c.NumRows() != tb.NumRows() {
+		t.Error("compression must keep row count")
+	}
+}
+
+func TestCompressLeavesStringsAndNulls(t *testing.T) {
+	tb := New("t", Schema{{Name: "x", Kind: KindFloat}, {Name: "s", Kind: KindString}})
+	tb.MustAppend(Row{Null, Str("q")})
+	tb.MustAppend(Row{Float(1), Str("r")})
+	c := Compress(tb, "s", 2)
+	if c.Rows[0][1].AsString() != "q" {
+		t.Error("string column must pass through")
+	}
+	c = Compress(tb, "x", 2)
+	if !c.Rows[0][0].IsNull() {
+		t.Error("null cells must remain null")
+	}
+}
+
+func TestCompressAll(t *testing.T) {
+	tb := numericTable(200, 5)
+	c := CompressAll(tb, 4)
+	if got := len(c.ActiveDomain("x")); got > 4 {
+		t.Errorf("CompressAll adom(x) = %d, want <= 4", got)
+	}
+	// Categorical untouched.
+	if got := len(c.ActiveDomain("c")); got != len(tb.ActiveDomain("c")) {
+		t.Error("CompressAll must not change categoricals")
+	}
+}
+
+// Every compressed cell must equal one of the derived literal values, so
+// Reduct by cluster literal removes complete clusters.
+func TestCompressAlignsWithLiterals(t *testing.T) {
+	tb := numericTable(150, 6)
+	c := Compress(tb, "x", 3)
+	lits := DeriveLiterals(c, "x", 3)
+	allowed := map[string]bool{}
+	for _, l := range lits {
+		allowed[l.Value.Key()] = true
+	}
+	for _, v := range c.Column("x") {
+		if v.IsNull() {
+			continue
+		}
+		if !allowed[v.Key()] {
+			t.Fatalf("cell %v not covered by any literal", v)
+		}
+	}
+}

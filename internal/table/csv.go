@@ -1,0 +1,114 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV encodes the table as CSV with a header row. Nulls encode as
+// empty cells.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Schema))
+	for _, r := range t.Rows {
+		for i, v := range r {
+			rec[i] = v.AsString()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a CSV stream with a header row into a table, inferring
+// column kinds from the data: a column is int if every non-empty cell
+// parses as an integer, else float if every non-empty cell parses as a
+// number, else string. Empty cells decode as null.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read csv %s: %w", name, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("read csv %s: empty input", name)
+	}
+	header := recs[0]
+	body := recs[1:]
+
+	kinds := make([]Kind, len(header))
+	for c := range header {
+		kinds[c] = inferKind(body, c)
+	}
+	schema := make(Schema, len(header))
+	for c, h := range header {
+		schema[c] = Column{Name: h, Kind: kinds[c]}
+	}
+	t := New(name, schema)
+	for _, rec := range body {
+		row := make(Row, len(header))
+		for c := range header {
+			if c >= len(rec) || rec[c] == "" {
+				row[c] = Null
+				continue
+			}
+			row[c] = parseAs(rec[c], kinds[c])
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func inferKind(body [][]string, col int) Kind {
+	allInt, allNum, any := true, true, false
+	for _, rec := range body {
+		if col >= len(rec) || rec[col] == "" {
+			continue
+		}
+		any = true
+		s := rec[col]
+		if _, err := strconv.ParseInt(s, 10, 64); err != nil {
+			allInt = false
+		}
+		if _, err := strconv.ParseFloat(s, 64); err != nil {
+			allNum = false
+		}
+	}
+	switch {
+	case !any:
+		return KindString
+	case allInt:
+		return KindInt
+	case allNum:
+		return KindFloat
+	default:
+		return KindString
+	}
+}
+
+func parseAs(s string, k Kind) Value {
+	switch k {
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Str(s)
+		}
+		return Int(i)
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Str(s)
+		}
+		return Float(f)
+	default:
+		return Str(s)
+	}
+}

@@ -1,0 +1,81 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := New("t", Schema{
+		{Name: "id", Kind: KindInt},
+		{Name: "x", Kind: KindFloat},
+		{Name: "s", Kind: KindString},
+	})
+	tb.MustAppend(Row{Int(1), Float(1.5), Str("hello")})
+	tb.MustAppend(Row{Int(2), Null, Str("world")})
+	tb.MustAppend(Row{Null, Float(-2.25), Null})
+
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("t", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tb.NumRows() || back.NumCols() != tb.NumCols() {
+		t.Fatalf("roundtrip shape %dx%d, want %dx%d", back.NumRows(), back.NumCols(), tb.NumRows(), tb.NumCols())
+	}
+	for i, r := range tb.Rows {
+		for j, v := range r {
+			got := back.Rows[i][j]
+			if v.IsNull() != got.IsNull() {
+				t.Fatalf("row %d col %d null mismatch", i, j)
+			}
+			if !v.IsNull() && !v.Equal(got) {
+				t.Fatalf("row %d col %d: got %v want %v", i, j, got, v)
+			}
+		}
+	}
+}
+
+func TestReadCSVKindInference(t *testing.T) {
+	src := "a,b,c\n1,1.5,x\n2,2,y\n,,\n"
+	tb, err := ReadCSV("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []Kind{KindInt, KindFloat, KindString}
+	for i, k := range wantKinds {
+		if tb.Schema[i].Kind != k {
+			t.Errorf("col %d kind = %v, want %v", i, tb.Schema[i].Kind, k)
+		}
+	}
+	// Third row is all nulls.
+	for j := range tb.Schema {
+		if !tb.Rows[2][j].IsNull() {
+			t.Errorf("empty cell should decode null (col %d)", j)
+		}
+	}
+}
+
+func TestReadCSVEmptyInput(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader("")); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+}
+
+func TestReadCSVHeaderOnly(t *testing.T) {
+	tb, err := ReadCSV("t", strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 0 || tb.NumCols() != 2 {
+		t.Fatalf("header-only shape %dx%d", tb.NumRows(), tb.NumCols())
+	}
+	// Columns with no data default to string.
+	if tb.Schema[0].Kind != KindString {
+		t.Error("empty column should default to string kind")
+	}
+}

@@ -1,0 +1,88 @@
+package table
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ColumnStats summarizes one attribute of a table.
+type ColumnStats struct {
+	Name     string
+	Kind     Kind
+	Count    int // non-null cells
+	Nulls    int
+	Distinct int
+	// Mean, Std, Min, Max are NaN for string columns.
+	Mean, Std, Min, Max float64
+}
+
+// Describe profiles every column: counts, null counts, distinct values,
+// and moments for numeric columns. Used by data inspection tooling and
+// the Starmie-style column sketches.
+func (t *Table) Describe() []ColumnStats {
+	out := make([]ColumnStats, len(t.Schema))
+	for ci, col := range t.Schema {
+		st := ColumnStats{
+			Name: col.Name,
+			Kind: col.Kind,
+			Mean: math.NaN(), Std: math.NaN(), Min: math.NaN(), Max: math.NaN(),
+		}
+		var sum, sum2 float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range t.Rows {
+			v := r[ci]
+			if v.IsNull() {
+				st.Nulls++
+				continue
+			}
+			st.Count++
+			if col.Kind != KindString {
+				x := v.AsFloat()
+				sum += x
+				sum2 += x * x
+				if x < lo {
+					lo = x
+				}
+				if x > hi {
+					hi = x
+				}
+			}
+		}
+		st.Distinct = len(t.ActiveDomain(col.Name))
+		if col.Kind != KindString && st.Count > 0 {
+			n := float64(st.Count)
+			st.Mean = sum / n
+			variance := sum2/n - st.Mean*st.Mean
+			if variance < 0 {
+				variance = 0
+			}
+			st.Std = math.Sqrt(variance)
+			st.Min, st.Max = lo, hi
+		}
+		out[ci] = st
+	}
+	return out
+}
+
+// WriteDescription renders Describe as an aligned text table.
+func (t *Table) WriteDescription(w io.Writer) error {
+	stats := t.Describe()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-7s %6s %6s %8s %10s %10s %10s %10s\n",
+		"column", "kind", "count", "nulls", "distinct", "mean", "std", "min", "max")
+	for _, s := range stats {
+		num := func(x float64) string {
+			if math.IsNaN(x) {
+				return "-"
+			}
+			return fmt.Sprintf("%.4g", x)
+		}
+		fmt.Fprintf(&b, "%-16s %-7s %6d %6d %8d %10s %10s %10s %10s\n",
+			s.Name, s.Kind, s.Count, s.Nulls, s.Distinct,
+			num(s.Mean), num(s.Std), num(s.Min), num(s.Max))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

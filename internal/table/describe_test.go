@@ -1,0 +1,62 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	tb := New("t", Schema{
+		{Name: "x", Kind: KindFloat},
+		{Name: "s", Kind: KindString},
+	})
+	tb.MustAppend(Row{Float(1), Str("a")})
+	tb.MustAppend(Row{Float(3), Str("b")})
+	tb.MustAppend(Row{Null, Str("a")})
+
+	stats := tb.Describe()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d, want 2", len(stats))
+	}
+	x := stats[0]
+	if x.Count != 2 || x.Nulls != 1 || x.Distinct != 2 {
+		t.Errorf("x stats: %+v", x)
+	}
+	if x.Mean != 2 || x.Min != 1 || x.Max != 3 {
+		t.Errorf("x moments: mean=%v min=%v max=%v", x.Mean, x.Min, x.Max)
+	}
+	if x.Std != 1 {
+		t.Errorf("x std = %v, want 1", x.Std)
+	}
+	s := stats[1]
+	if !math.IsNaN(s.Mean) {
+		t.Error("string column mean should be NaN")
+	}
+	if s.Count != 3 || s.Distinct != 2 {
+		t.Errorf("s stats: %+v", s)
+	}
+}
+
+func TestWriteDescription(t *testing.T) {
+	tb := New("t", Schema{{Name: "col", Kind: KindInt}})
+	tb.MustAppend(Row{Int(5)})
+	var b strings.Builder
+	if err := tb.WriteDescription(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "col") || !strings.Contains(out, "distinct") {
+		t.Errorf("description output missing fields:\n%s", out)
+	}
+	// String columns render moments as dashes.
+	tb2 := New("t2", Schema{{Name: "s", Kind: KindString}})
+	tb2.MustAppend(Row{Str("x")})
+	b.Reset()
+	if err := tb2.WriteDescription(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "-") {
+		t.Error("NaN moments should render as dashes")
+	}
+}

@@ -1,0 +1,209 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func leftTable() *Table {
+	a := New("A", Schema{{Name: "id", Kind: KindInt}, {Name: "x", Kind: KindFloat}})
+	a.MustAppend(Row{Int(1), Float(10)})
+	a.MustAppend(Row{Int(2), Float(20)})
+	a.MustAppend(Row{Int(3), Float(30)})
+	return a
+}
+
+func rightTable() *Table {
+	b := New("B", Schema{{Name: "id", Kind: KindInt}, {Name: "y", Kind: KindFloat}})
+	b.MustAppend(Row{Int(2), Float(200)})
+	b.MustAppend(Row{Int(3), Float(300)})
+	b.MustAppend(Row{Int(4), Float(400)})
+	return b
+}
+
+func TestEquiJoin(t *testing.T) {
+	j := EquiJoin(leftTable(), rightTable())
+	if j.NumRows() != 2 {
+		t.Fatalf("equi join rows = %d, want 2", j.NumRows())
+	}
+	if j.NumCols() != 3 {
+		t.Fatalf("equi join cols = %d, want 3 (shared id appears once)", j.NumCols())
+	}
+	// id=2 row joined correctly.
+	found := false
+	for _, r := range j.Rows {
+		if r[j.Schema.Index("id")].AsInt() == 2 {
+			found = true
+			if r[j.Schema.Index("y")].AsFloat() != 200 {
+				t.Error("join mismatched y for id=2")
+			}
+		}
+	}
+	if !found {
+		t.Error("missing id=2 in equi join")
+	}
+}
+
+func TestOuterJoinPreservesAll(t *testing.T) {
+	j := OuterJoin(leftTable(), rightTable())
+	if j.NumRows() != 4 {
+		t.Fatalf("outer join rows = %d, want 4 (ids 1..4)", j.NumRows())
+	}
+	ids := map[int64]bool{}
+	for _, r := range j.Rows {
+		ids[r[j.Schema.Index("id")].AsInt()] = true
+	}
+	for want := int64(1); want <= 4; want++ {
+		if !ids[want] {
+			t.Errorf("outer join lost id=%d", want)
+		}
+	}
+	// Unmatched left row (id=1) has null y; unmatched right (id=4) null x.
+	for _, r := range j.Rows {
+		id := r[j.Schema.Index("id")].AsInt()
+		if id == 1 && !r[j.Schema.Index("y")].IsNull() {
+			t.Error("id=1 should have null y")
+		}
+		if id == 4 && !r[j.Schema.Index("x")].IsNull() {
+			t.Error("id=4 should have null x")
+		}
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	a := New("A", Schema{{Name: "k", Kind: KindInt}, {Name: "x", Kind: KindFloat}})
+	a.MustAppend(Row{Null, Float(1)})
+	b := New("B", Schema{{Name: "k", Kind: KindInt}, {Name: "y", Kind: KindFloat}})
+	b.MustAppend(Row{Null, Float(2)})
+	if j := EquiJoin(a, b); j.NumRows() != 0 {
+		t.Error("null join keys must not match")
+	}
+	// Outer join still preserves both unmatched sides.
+	if j := OuterJoin(a, b); j.NumRows() != 2 {
+		t.Errorf("outer join with null keys rows = %d, want 2", j.NumRows())
+	}
+}
+
+func TestZipJoinNoSharedAttrs(t *testing.T) {
+	a := New("A", Schema{{Name: "x", Kind: KindFloat}})
+	a.MustAppend(Row{Float(1)})
+	a.MustAppend(Row{Float(2)})
+	b := New("B", Schema{{Name: "y", Kind: KindFloat}})
+	b.MustAppend(Row{Float(9)})
+	j := OuterJoin(a, b)
+	if j.NumRows() != 2 || j.NumCols() != 2 {
+		t.Fatalf("zip join shape = %dx%d, want 2x2", j.NumRows(), j.NumCols())
+	}
+	if j.Rows[1][1].IsNull() != true {
+		t.Error("short side should null-pad")
+	}
+}
+
+func TestUniversalSchemaIsUnion(t *testing.T) {
+	u := Universal(leftTable(), rightTable())
+	for _, name := range []string{"id", "x", "y"} {
+		if !u.Schema.Has(name) {
+			t.Errorf("universal schema missing %s", name)
+		}
+	}
+	if u.Name != "D_U" {
+		t.Errorf("universal name = %q", u.Name)
+	}
+	if empty := Universal(); empty.NumRows() != 0 {
+		t.Error("empty universal should be empty")
+	}
+}
+
+func TestAugmentOperator(t *testing.T) {
+	base := leftTable()
+	src := rightTable()
+	aug := Augment(base, src, Literal{Attr: "id", Value: Int(4)})
+	// Schema united.
+	if !aug.Schema.Has("y") {
+		t.Fatal("augment must extend the schema")
+	}
+	// Base rows preserved + one matching source row appended.
+	if aug.NumRows() != base.NumRows()+1 {
+		t.Fatalf("augment rows = %d, want %d", aug.NumRows(), base.NumRows()+1)
+	}
+	last := aug.Rows[aug.NumRows()-1]
+	if last[aug.Schema.Index("y")].AsFloat() != 400 {
+		t.Error("appended row should carry y=400")
+	}
+	if !last[aug.Schema.Index("x")].IsNull() {
+		t.Error("unknown cells must null-fill")
+	}
+}
+
+func TestAugmentEmptyLiteralTakesAll(t *testing.T) {
+	aug := Augment(leftTable(), rightTable(), Literal{})
+	if aug.NumRows() != 6 {
+		t.Fatalf("augment-all rows = %d, want 6", aug.NumRows())
+	}
+}
+
+func TestReductOperator(t *testing.T) {
+	base := leftTable()
+	red := Reduct(base, Literal{Attr: "id", Value: Int(2)})
+	if red.NumRows() != 2 {
+		t.Fatalf("reduct rows = %d, want 2", red.NumRows())
+	}
+	for _, r := range red.Rows {
+		if r[0].AsInt() == 2 {
+			t.Fatal("reduct failed to remove id=2")
+		}
+	}
+	// Reducting a non-matching literal is identity on rows.
+	same := Reduct(base, Literal{Attr: "id", Value: Int(99)})
+	if same.NumRows() != base.NumRows() {
+		t.Error("non-matching reduct must keep all rows")
+	}
+}
+
+// Property: Reduct output is always a subset of rows, and Augment output
+// a superset of the base, for arbitrary literal values.
+func TestReductAugmentMonotone(t *testing.T) {
+	f := func(seed int64, key uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New("A", Schema{{Name: "k", Kind: KindInt}, {Name: "v", Kind: KindFloat}})
+		for i := 0; i < 20; i++ {
+			a.MustAppend(Row{Int(int64(rng.Intn(5))), Float(rng.Float64())})
+		}
+		lit := Literal{Attr: "k", Value: Int(int64(key % 5))}
+		red := Reduct(a, lit)
+		if red.NumRows() > a.NumRows() {
+			return false
+		}
+		aug := Augment(a, a, lit)
+		return aug.NumRows() >= a.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: outer join row count is at least max of the inputs and at
+// most the product, and the schema is the union.
+func TestOuterJoinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New("A", Schema{{Name: "k", Kind: KindInt}, {Name: "x", Kind: KindFloat}})
+		b := New("B", Schema{{Name: "k", Kind: KindInt}, {Name: "y", Kind: KindFloat}})
+		na, nb := 1+rng.Intn(8), 1+rng.Intn(8)
+		for i := 0; i < na; i++ {
+			a.MustAppend(Row{Int(int64(rng.Intn(4))), Float(rng.Float64())})
+		}
+		for i := 0; i < nb; i++ {
+			b.MustAppend(Row{Int(int64(rng.Intn(4))), Float(rng.Float64())})
+		}
+		j := OuterJoin(a, b)
+		if j.NumRows() < na && j.NumRows() < nb {
+			return false
+		}
+		return j.NumRows() <= na*nb+na+nb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

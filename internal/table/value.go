@@ -1,0 +1,182 @@
+// Package table implements the relational substrate of MODis: typed,
+// null-aware tables with the select/project/join operators that the
+// paper's Augment (⊕) and Reduct (⊖) primitives are expressed in.
+package table
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the value types a cell may hold.
+type Kind uint8
+
+const (
+	// KindNull marks a missing value (t.A = ∅ in the paper).
+	KindNull Kind = iota
+	// KindFloat is a 64-bit floating point value.
+	KindFloat
+	// KindInt is a 64-bit integer value.
+	KindInt
+	// KindString is a string value.
+	KindString
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindFloat:
+		return "float"
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single cell. The zero Value is null, so tables can be
+// null-filled without further initialization.
+type Value struct {
+	kind Kind
+	f    float64
+	i    int64
+	s    string
+}
+
+// Null is the missing-value cell.
+var Null = Value{}
+
+// Float returns a float-typed cell.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Int returns an int-typed cell.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// String returns a string-typed cell.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind reports the type of the cell.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the cell is missing.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsFloat converts the cell to float64. Nulls map to NaN, strings that
+// fail to parse map to NaN.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	case KindString:
+		if f, err := strconv.ParseFloat(v.s, 64); err == nil {
+			return f
+		}
+		return math.NaN()
+	default:
+		return math.NaN()
+	}
+}
+
+// AsInt converts the cell to int64 (truncating floats). Nulls map to 0.
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return int64(v.f)
+	case KindString:
+		if i, err := strconv.ParseInt(v.s, 10, 64); err == nil {
+			return i
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// AsString renders the cell for display or CSV output. Nulls render as "".
+func (v Value) AsString() string {
+	switch v.kind {
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindString:
+		return v.s
+	default:
+		return ""
+	}
+}
+
+// Equal reports value equality. Nulls are never equal to anything,
+// matching SQL three-valued comparison semantics for joins.
+func (v Value) Equal(o Value) bool {
+	if v.kind == KindNull || o.kind == KindNull {
+		return false
+	}
+	if v.kind == o.kind {
+		switch v.kind {
+		case KindFloat:
+			return v.f == o.f
+		case KindInt:
+			return v.i == o.i
+		case KindString:
+			return v.s == o.s
+		}
+	}
+	// Cross numeric comparison (int vs float).
+	if v.isNumeric() && o.isNumeric() {
+		return v.AsFloat() == o.AsFloat()
+	}
+	return false
+}
+
+// Less orders values: nulls first, then numerics by magnitude, then strings.
+func (v Value) Less(o Value) bool {
+	if v.kind == KindNull {
+		return o.kind != KindNull
+	}
+	if o.kind == KindNull {
+		return false
+	}
+	if v.isNumeric() && o.isNumeric() {
+		return v.AsFloat() < o.AsFloat()
+	}
+	if v.kind == KindString && o.kind == KindString {
+		return v.s < o.s
+	}
+	// Numerics sort before strings.
+	return v.isNumeric() && o.kind == KindString
+}
+
+func (v Value) isNumeric() bool { return v.kind == KindFloat || v.kind == KindInt }
+
+// Key returns a canonical map key for grouping and hashing. Distinct
+// values yield distinct keys; numerically equal int/float collapse.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindFloat:
+		return "f" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindInt:
+		return "f" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case KindString:
+		return "s" + v.s
+	default:
+		return ""
+	}
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	if v.IsNull() {
+		return "∅"
+	}
+	return v.AsString()
+}

@@ -1,0 +1,139 @@
+package table
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null, KindNull},
+		{Float(1.5), KindFloat},
+		{Int(3), KindInt},
+		{Str("x"), KindString},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind(%v) = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Error("zero Value should be null")
+	}
+	if !math.IsNaN(v.AsFloat()) {
+		t.Error("null.AsFloat() should be NaN")
+	}
+	if v.AsString() != "" {
+		t.Errorf("null.AsString() = %q, want empty", v.AsString())
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if got := Float(2.5).AsInt(); got != 2 {
+		t.Errorf("Float(2.5).AsInt() = %d, want 2", got)
+	}
+	if got := Int(7).AsFloat(); got != 7 {
+		t.Errorf("Int(7).AsFloat() = %v, want 7", got)
+	}
+	if got := Str("3.25").AsFloat(); got != 3.25 {
+		t.Errorf("Str(3.25).AsFloat() = %v, want 3.25", got)
+	}
+	if got := Str("12").AsInt(); got != 12 {
+		t.Errorf("Str(12).AsInt() = %d, want 12", got)
+	}
+	if !math.IsNaN(Str("abc").AsFloat()) {
+		t.Error("non-numeric string should convert to NaN")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Float(1), Float(1), true},
+		{Float(1), Int(1), true}, // cross numeric
+		{Int(2), Int(2), true},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Null, Null, false}, // SQL semantics: null != null
+		{Null, Float(0), false},
+		{Float(0), Null, false},
+		{Str("1"), Int(1), false}, // no string coercion in equality
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueLessOrdering(t *testing.T) {
+	// nulls < numerics < strings
+	if !Null.Less(Float(0)) {
+		t.Error("null should sort before numerics")
+	}
+	if !Float(1).Less(Float(2)) {
+		t.Error("1 < 2")
+	}
+	if !Int(1).Less(Float(1.5)) {
+		t.Error("cross-numeric ordering")
+	}
+	if !Float(9).Less(Str("a")) {
+		t.Error("numerics should sort before strings")
+	}
+	if Str("b").Less(Str("a")) {
+		t.Error("string ordering")
+	}
+}
+
+func TestValueKeyCollapsesNumerics(t *testing.T) {
+	if Int(3).Key() != Float(3).Key() {
+		t.Error("Int(3) and Float(3) should share a key")
+	}
+	if Int(3).Key() == Str("3").Key() {
+		t.Error("Str(3) must not collide with numeric 3")
+	}
+	if Null.Key() != "" {
+		t.Error("null key should be empty")
+	}
+}
+
+func TestValueEqualSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		va, vb := Float(a), Float(b)
+		return va.Equal(vb) == vb.Equal(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueLessIrreflexive(t *testing.T) {
+	f := func(a float64) bool {
+		return !Float(a).Less(Float(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueKeyInjectiveOnFloats(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a == b {
+			return true
+		}
+		return Float(a).Key() != Float(b).Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
