@@ -233,8 +233,8 @@ func BenchmarkOuterJoin(b *testing.B) {
 func BenchmarkMaterialize(b *testing.B) {
 	w := datagen.T1Movie(datagen.TaskConfig{Rows: 400})
 	bits := w.Space.FullBitmap()
-	for i := 0; i < len(bits); i += 3 {
-		bits[i] = false
+	for i := 0; i < bits.Len(); i += 3 {
+		bits.Clear(i)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -296,9 +296,48 @@ func BenchmarkEstimatorValuate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nb := bits.Clone()
-		nb[i%len(nb)] = false
+		nb.Clear(i % nb.Len())
 		if _, err := cfg.Valuate(nb); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBitmapKey exercises the memoization path of the search inner
+// loop — flip an entry, compute the state key, probe a visited map — and
+// must run allocation-free per lookup.
+func BenchmarkBitmapKey(b *testing.B) {
+	const n = 512
+	bits := fst.NewBitmap(n)
+	for i := 0; i < n; i += 2 {
+		bits.Set(i)
+	}
+	visited := make(map[fst.StateKey]bool, 2*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bits.Flip(i % n)
+		visited[bits.Key()] = true
+	}
+	if len(visited) == 0 {
+		b.Fatal("no keys recorded")
+	}
+}
+
+// BenchmarkOpGen measures child spawning from a wide state: the State
+// headers come from one slab and each child's packed words are a single
+// word-wise copy.
+func BenchmarkOpGen(b *testing.B) {
+	bits := fst.NewBitmap(512)
+	for i := 0; i < 512; i += 2 {
+		bits.Set(i)
+	}
+	s := &fst.State{Bits: bits}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if kids := fst.OpGen(s, fst.Forward); len(kids) != 256 {
+			b.Fatal("wrong fan-out")
 		}
 	}
 }

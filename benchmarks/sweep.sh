@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Benchmark sweep harness: runs the paper-experiment benchmark suite
+# (BenchmarkTable*/BenchmarkFig*) with -benchmem and consolidates the
+# results into a TSV and a JSON file, so every PR leaves a comparable
+# perf record next to the previous ones (BENCH_<n>.json).
+#
+# Usage:
+#   sh benchmarks/sweep.sh [out-prefix] [benchtime] [pattern]
+#
+#   out-prefix  basename for the outputs (default: benchmarks/sweep)
+#               writes <out-prefix>.txt, <out-prefix>.tsv, <out-prefix>.json
+#   benchtime   passed to -benchtime (default: 3x — fixed iteration
+#               counts stabilize comparisons across machines)
+#   pattern     -bench regexp (default: 'BenchmarkTable|BenchmarkFig')
+
+set -eu
+
+SCRIPT_DIR="$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)"
+cd "$SCRIPT_DIR/.."
+
+OUT_PREFIX="${1:-benchmarks/sweep}"
+BENCHTIME="${2:-3x}"
+PATTERN="${3:-BenchmarkTable|BenchmarkFig}"
+
+RAW="$OUT_PREFIX.txt"
+TSV="$OUT_PREFIX.tsv"
+JSON="$OUT_PREFIX.json"
+
+mkdir -p "$(dirname "$OUT_PREFIX")"
+
+echo "# sweep: -bench '$PATTERN' -benchtime $BENCHTIME" >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
+
+# Consolidated TSV: one row per benchmark.
+awk 'BEGIN {
+       OFS = "\t"
+       print "benchmark", "iters", "ns_per_op", "bytes_per_op", "allocs_per_op"
+     }
+     /^Benchmark/ {
+       ns = ""; bytes = ""; allocs = ""
+       for (i = 3; i < NF; i++) {
+         if ($(i+1) == "ns/op") ns = $i
+         if ($(i+1) == "B/op") bytes = $i
+         if ($(i+1) == "allocs/op") allocs = $i
+       }
+       print $1, $2, ns, bytes, allocs
+     }' "$RAW" >"$TSV"
+
+# Same rows as JSON for structured diffing across PRs.
+awk 'BEGIN { print "{"; printf "  \"benchmarks\": [" ; first = 1 }
+     /^Benchmark/ {
+       ns = ""; bytes = ""; allocs = ""
+       for (i = 3; i < NF; i++) {
+         if ($(i+1) == "ns/op") ns = $i
+         if ($(i+1) == "B/op") bytes = $i
+         if ($(i+1) == "allocs/op") allocs = $i
+       }
+       if (!first) printf ","
+       first = 0
+       printf "\n    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $1, $2, ns, bytes, allocs
+     }
+     END { print "\n  ]"; print "}" }' "$RAW" >"$JSON"
+
+echo "wrote $RAW, $TSV, $JSON" >&2

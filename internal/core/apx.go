@@ -36,16 +36,15 @@ func ApxMODis(cfg *fst.Config, opts Options) (*Result, error) {
 		rg.AddNode(su)
 	}
 
-	queue := []*fst.State{su}
-	visited := map[string]bool{su.Key(): true}
+	queue := newFrontier(su)
+	visited := map[fst.StateKey]bool{su.Key(): true}
 	maxLevel := 0
 
-	for len(queue) > 0 {
+	for queue.Len() > 0 {
 		if opts.N > 0 && cfg.Valuations() >= opts.N {
 			break
 		}
-		var s *fst.State
-		s, queue = popBest(queue)
+		s := queue.pop()
 		if opts.MaxLevel > 0 && s.Level >= opts.MaxLevel {
 			continue
 		}
@@ -75,7 +74,7 @@ func ApxMODis(cfg *fst.Config, opts Options) (*Result, error) {
 			// levels stay reachable within N. Unbudgeted runs stay
 			// exhaustive, matching Algorithm 1 exactly.
 			if g.upareto(child.Bits, cp) || opts.N == 0 {
-				queue = append(queue, child)
+				queue.push(child)
 			}
 		}
 	}

@@ -126,15 +126,15 @@ func BiMODis(cfg *fst.Config, opts Options) (*Result, error) {
 		g.upareto(s.Bits, perf)
 	}
 
-	qf := []*fst.State{su}
-	qb := []*fst.State{sb}
-	visitedF := map[string]bool{su.Key(): true}
-	visitedB := map[string]bool{sb.Key(): true}
+	qf := newFrontier(su)
+	qb := newFrontier(sb)
+	visitedF := map[fst.StateKey]bool{su.Key(): true}
+	visitedB := map[fst.StateKey]bool{sb.Key(): true}
 	maxLevel := 0
 
 	budget := func() bool { return opts.N > 0 && cfg.Valuations() >= opts.N }
 
-	expand := func(s *fst.State, dir fst.Direction, visited, other map[string]bool) ([]*fst.State, bool, error) {
+	expand := func(s *fst.State, dir fst.Direction, visited, other map[fst.StateKey]bool) ([]*fst.State, bool, error) {
 		var next []*fst.State
 		met := false
 		var gc *corrGraph
@@ -183,30 +183,32 @@ func BiMODis(cfg *fst.Config, opts Options) (*Result, error) {
 	// The search terminates when both frontiers are exhausted, the
 	// budget is spent, or the frontiers meet (a full path s_U → s_b is
 	// formed), per Section 5.3.
-	for (len(qf) > 0 || len(qb) > 0) && !budget() {
+	for (qf.Len() > 0 || qb.Len() > 0) && !budget() {
 		var met bool
-		if len(qf) > 0 {
-			var sf *fst.State
-			sf, qf = popBest(qf)
+		if qf.Len() > 0 {
+			sf := qf.pop()
 			if opts.MaxLevel == 0 || sf.Level < opts.MaxLevel {
 				nf, m, err := expand(sf, fst.Forward, visitedF, visitedB)
 				if err != nil {
 					return nil, err
 				}
 				met = met || m
-				qf = append(qf, nf...)
+				for _, s := range nf {
+					qf.push(s)
+				}
 			}
 		}
-		if len(qb) > 0 {
-			var sback *fst.State
-			sback, qb = popBest(qb)
+		if qb.Len() > 0 {
+			sback := qb.pop()
 			if opts.MaxLevel == 0 || sback.Level < opts.MaxLevel {
 				nb, m, err := expand(sback, fst.Backward, visitedB, visitedF)
 				if err != nil {
 					return nil, err
 				}
 				met = met || m
-				qb = append(qb, nb...)
+				for _, s := range nb {
+					qb.push(s)
+				}
 			}
 		}
 		if met {

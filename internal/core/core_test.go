@@ -198,9 +198,9 @@ func TestDivMODisRespectsK(t *testing.T) {
 }
 
 func TestDivScoreMonotoneInSetSize(t *testing.T) {
-	a := &Candidate{Bits: fst.Bitmap{true, false}, Perf: skyline.Vector{0.1, 0.9}}
-	b := &Candidate{Bits: fst.Bitmap{false, true}, Perf: skyline.Vector{0.9, 0.1}}
-	c := &Candidate{Bits: fst.Bitmap{true, true}, Perf: skyline.Vector{0.5, 0.5}}
+	a := &Candidate{Bits: fst.BitmapOf(true, false), Perf: skyline.Vector{0.1, 0.9}}
+	b := &Candidate{Bits: fst.BitmapOf(false, true), Perf: skyline.Vector{0.9, 0.1}}
+	c := &Candidate{Bits: fst.BitmapOf(true, true), Perf: skyline.Vector{0.5, 0.5}}
 	d2 := Div([]*Candidate{a, b}, 0.5, 1)
 	d3 := Div([]*Candidate{a, b, c}, 0.5, 1)
 	if d3 <= d2 {
@@ -209,8 +209,8 @@ func TestDivScoreMonotoneInSetSize(t *testing.T) {
 }
 
 func TestDisSymmetricAndZeroOnSelf(t *testing.T) {
-	a := &Candidate{Bits: fst.Bitmap{true, false}, Perf: skyline.Vector{0.1, 0.9}}
-	b := &Candidate{Bits: fst.Bitmap{false, true}, Perf: skyline.Vector{0.9, 0.1}}
+	a := &Candidate{Bits: fst.BitmapOf(true, false), Perf: skyline.Vector{0.1, 0.9}}
+	b := &Candidate{Bits: fst.BitmapOf(false, true), Perf: skyline.Vector{0.9, 0.1}}
 	if Dis(a, b, 0.5, 1) != Dis(b, a, 0.5, 1) {
 		t.Error("Dis must be symmetric")
 	}
@@ -230,6 +230,27 @@ func TestOptionsDefaults(t *testing.T) {
 	o.Decisive = 1
 	if o.decisiveIdx(3) != 1 {
 		t.Error("explicit decisive index ignored")
+	}
+}
+
+func TestOptionsSentinels(t *testing.T) {
+	o := Options{Decisive: DecisiveFirst, Alpha: AlphaZero}.withDefaults()
+	if o.decisiveIdx(3) != 0 {
+		t.Error("DecisiveFirst should select measure 0")
+	}
+	if o.Alpha != 0 {
+		t.Errorf("AlphaZero should yield α = 0, got %v", o.Alpha)
+	}
+	// Out-of-range explicit indexes fall back to the last measure.
+	if (Options{Decisive: 7}.withDefaults()).decisiveIdx(3) != 2 {
+		t.Error("out-of-range decisive should fall back to the last measure")
+	}
+	// AlphaZero changes DivMODis' distance weighting: with α = 0 the
+	// content term vanishes entirely.
+	a := &Candidate{Bits: fst.BitmapOf(true, false), Perf: skyline.Vector{0.3, 0.3}}
+	b := &Candidate{Bits: fst.BitmapOf(false, true), Perf: skyline.Vector{0.3, 0.3}}
+	if Dis(a, b, 0, 1) != 0 {
+		t.Error("α = 0 must ignore content distance")
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -15,12 +16,27 @@ import (
 //
 //	dis(Di, Dj) = α·(1-cos(Li, Lj))/2 + (1-α)·euc(Pi, Pj)/eucm
 func Dis(a, b *Candidate, alpha, eucMax float64) float64 {
-	content := (1 - stats.Cosine(a.Bits.Floats(), b.Bits.Floats())) / 2
+	content := (1 - bitsCosine(a.Bits, b.Bits)) / 2
 	perf := stats.Euclidean(a.Perf, b.Perf)
 	if eucMax > 0 {
 		perf /= eucMax
 	}
 	return alpha*content + (1-alpha)*perf
+}
+
+// bitsCosine is the cosine similarity of two bitmaps viewed as 0/1
+// vectors — |a ∧ b| / sqrt(|a|·|b|) by popcount, with the same
+// degenerate-input conventions as stats.Cosine but no float
+// materialization.
+func bitsCosine(a, b fst.Bitmap) float64 {
+	if a.Len() != b.Len() || a.Len() == 0 {
+		return 0
+	}
+	na, nb := a.Ones(), b.Ones()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return float64(a.AndOnes(b)) / math.Sqrt(float64(na)*float64(nb))
 }
 
 // Div is the diversification score of Equation (2): the sum of pairwise
@@ -108,14 +124,14 @@ func DivMODis(cfg *fst.Config, opts Options) (*Result, error) {
 		g.upareto(s.Bits, perf)
 	}
 
-	qf := []*fst.State{su}
-	qb := []*fst.State{sb}
-	visitedF := map[string]bool{su.Key(): true}
-	visitedB := map[string]bool{sb.Key(): true}
+	qf := newFrontier(su)
+	qb := newFrontier(sb)
+	visitedF := map[fst.StateKey]bool{su.Key(): true}
+	visitedB := map[fst.StateKey]bool{sb.Key(): true}
 	maxLevel := 0
 	budget := func() bool { return opts.N > 0 && cfg.Valuations() >= opts.N }
 
-	expand := func(s *fst.State, dir fst.Direction, visited map[string]bool) ([]*fst.State, error) {
+	expand := func(s *fst.State, dir fst.Direction, visited map[fst.StateKey]bool) ([]*fst.State, error) {
 		var next []*fst.State
 		for _, child := range fst.OpGen(s, dir) {
 			if budget() {
@@ -142,27 +158,29 @@ func DivMODis(cfg *fst.Config, opts Options) (*Result, error) {
 		return next, nil
 	}
 
-	for (len(qf) > 0 || len(qb) > 0) && !budget() {
-		if len(qf) > 0 {
-			var sf *fst.State
-			sf, qf = popBest(qf)
+	for (qf.Len() > 0 || qb.Len() > 0) && !budget() {
+		if qf.Len() > 0 {
+			sf := qf.pop()
 			if opts.MaxLevel == 0 || sf.Level < opts.MaxLevel {
 				nf, err := expand(sf, fst.Forward, visitedF)
 				if err != nil {
 					return nil, err
 				}
-				qf = append(qf, nf...)
+				for _, s := range nf {
+					qf.push(s)
+				}
 			}
 		}
-		if len(qb) > 0 {
-			var sback *fst.State
-			sback, qb = popBest(qb)
+		if qb.Len() > 0 {
+			sback := qb.pop()
 			if opts.MaxLevel == 0 || sback.Level < opts.MaxLevel {
 				nb, err := expand(sback, fst.Backward, visitedB)
 				if err != nil {
 					return nil, err
 				}
-				qb = append(qb, nb...)
+				for _, s := range nb {
+					qb.push(s)
+				}
 			}
 		}
 		// Level-wise diversification: carry at most k candidates forward.

@@ -35,7 +35,7 @@ func ExactMODis(cfg *fst.Config, opts Options) (*Result, error) {
 	}
 
 	queue := []*fst.State{su}
-	visited := map[string]bool{su.Key(): true}
+	visited := map[fst.StateKey]bool{su.Key(): true}
 	maxLevel := 0
 	for len(queue) > 0 {
 		if opts.N > 0 && cfg.Valuations() >= opts.N {

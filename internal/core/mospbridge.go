@@ -17,14 +17,14 @@ import (
 //
 // It returns the MOSP instance, the node id of the start state, and the
 // mapping from state keys to node ids.
-func BuildMOSP(rg *fst.RunningGraph, tests *fst.TestSet, startKey string) (*mosp.Graph, int, map[string]int, error) {
+func BuildMOSP(rg *fst.RunningGraph, tests *fst.TestSet, startKey fst.StateKey) (*mosp.Graph, int, map[fst.StateKey]int, error) {
 	if rg == nil {
 		return nil, 0, nil, fmt.Errorf("core: BuildMOSP: nil running graph")
 	}
-	ids := make(map[string]int, rg.NumNodes())
+	ids := make(map[fst.StateKey]int, rg.NumNodes())
 	// Deterministic node numbering: start first, then discovery order of
 	// edges.
-	assign := func(key string) int {
+	assign := func(key fst.StateKey) int {
 		if id, ok := ids[key]; ok {
 			return id
 		}
@@ -38,11 +38,11 @@ func BuildMOSP(rg *fst.RunningGraph, tests *fst.TestSet, startKey string) (*mosp
 		assign(e.To)
 	}
 
-	perfOf := func(key string) (skyline.Vector, error) {
+	perfOf := func(key fst.StateKey) (skyline.Vector, error) {
 		if t, ok := tests.Get(key); ok {
 			return t.Perf, nil
 		}
-		return nil, fmt.Errorf("core: BuildMOSP: state %q has no valuated test", fmt.Sprintf("%x", key))
+		return nil, fmt.Errorf("core: BuildMOSP: state %#x has no valuated test", uint64(key))
 	}
 
 	g := mosp.NewGraph(len(ids))

@@ -12,6 +12,20 @@ import (
 	"repro/internal/skyline"
 )
 
+// Sentinel option values. The zero value of an Options field means
+// "unset, use the default", so intents that collide with the zero value
+// need explicit sentinels.
+const (
+	// DecisiveFirst selects measure index 0 as the decisive measure p_d.
+	// Decisive's zero value defaults to the last measure, so index 0 is
+	// requested through this sentinel.
+	DecisiveFirst = -2
+	// AlphaZero requests α = 0 in dis(·,·) — pure performance diversity,
+	// no content term. Alpha's zero value defaults to 0.5, so α = 0 is
+	// requested through this sentinel.
+	AlphaZero = -1.0
+)
+
 // Options are the shared tuning knobs of the MODis algorithms.
 type Options struct {
 	// N is the valuation budget (the paper's N). 0 means unbounded.
@@ -20,8 +34,9 @@ type Options struct {
 	Eps float64
 	// MaxLevel is the maximum path length maxl. 0 means the full space.
 	MaxLevel int
-	// Decisive is the index of the decisive measure p_d; -1 selects the
-	// last measure (the paper's default).
+	// Decisive is the index of the decisive measure p_d. The zero value
+	// (and any out-of-range index) selects the last measure, the paper's
+	// default; use DecisiveFirst to select measure 0.
 	Decisive int
 	// Theta is the Spearman threshold θ of the correlation graph G_C
 	// (BiMODis). Default 0.8.
@@ -31,7 +46,8 @@ type Options struct {
 	// K is the diversified skyline size (DivMODis). Default 5.
 	K int
 	// Alpha balances content diversity (bitmap cosine) against
-	// performance diversity (vector euclidean) in dis(·,·). Default 0.5.
+	// performance diversity (vector euclidean) in dis(·,·). Default 0.5;
+	// use AlphaZero for pure performance diversity.
 	Alpha float64
 	// Seed drives the diversification initialization.
 	Seed int64
@@ -44,26 +60,27 @@ func (o Options) withDefaults() Options {
 	if o.Eps <= 0 {
 		o.Eps = 0.1
 	}
-	if o.Decisive == 0 {
-		// Zero value means "unset": the canonical default is the last
-		// measure, resolved at run time. Callers wanting measure 0 as
-		// decisive set Decisive = -0 via DecisiveFirst.
-		o.Decisive = -1
-	}
 	if o.Theta <= 0 {
 		o.Theta = 0.8
 	}
 	if o.K <= 0 {
 		o.K = 5
 	}
-	if o.Alpha <= 0 {
+	if o.Alpha == AlphaZero {
+		o.Alpha = 0
+	} else if o.Alpha <= 0 {
 		o.Alpha = 0.5
 	}
 	return o
 }
 
 func (o Options) decisiveIdx(numMeasures int) int {
-	if o.Decisive >= 0 && o.Decisive < numMeasures {
+	if o.Decisive == DecisiveFirst {
+		return 0
+	}
+	// Zero means unset: default to the last measure, as do out-of-range
+	// indexes.
+	if o.Decisive > 0 && o.Decisive < numMeasures {
 		return o.Decisive
 	}
 	return numMeasures - 1

@@ -1,26 +1,43 @@
 package core
 
 import (
+	"container/heap"
+
 	"repro/internal/fst"
 	"repro/internal/skyline"
 )
 
-// popBest removes and returns the queue state with the smallest mean
-// performance — the "extend shortest paths first" prioritization of
-// Section 5.2 that keeps deep levels reachable under the valuation
-// budget N.
-func popBest(queue []*fst.State) (*fst.State, []*fst.State) {
-	best := 0
-	bestScore := meanPerf(queue[0])
-	for i := 1; i < len(queue); i++ {
-		if s := meanPerf(queue[i]); s < bestScore {
-			best, bestScore = i, s
-		}
-	}
-	s := queue[best]
-	queue[best] = queue[len(queue)-1]
-	return s, queue[:len(queue)-1]
+// frontier is the search queue of the budgeted algorithms: a min-heap
+// on mean performance, so the "extend shortest paths first"
+// prioritization of Section 5.2 pops in O(log n) instead of the former
+// O(n) linear scan. States are valuated before they are pushed, so the
+// ordering score is stable while queued.
+type frontier []*fst.State
+
+func (f frontier) Len() int           { return len(f) }
+func (f frontier) Less(i, j int) bool { return meanPerf(f[i]) < meanPerf(f[j]) }
+func (f frontier) Swap(i, j int)      { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x any)        { *f = append(*f, x.(*fst.State)) }
+func (f *frontier) Pop() any {
+	old := *f
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*f = old[:n-1]
+	return s
 }
+
+// newFrontier heapifies the seed states.
+func newFrontier(states ...*fst.State) *frontier {
+	f := frontier(states)
+	heap.Init(&f)
+	return &f
+}
+
+func (f *frontier) push(s *fst.State) { heap.Push(f, s) }
+
+// pop removes and returns the state with the smallest mean performance.
+func (f *frontier) pop() *fst.State { return heap.Pop(f).(*fst.State) }
 
 func meanPerf(s *fst.State) float64 {
 	if len(s.Perf) == 0 {
@@ -36,6 +53,9 @@ func meanPerf(s *fst.State) float64 {
 // grid maintains the ε-skyline set of procedure UPareto: a discretized
 // (|P|-1)-ary position space (Equation 1) holding at most one candidate
 // per cell, replaced when a newcomer wins on the decisive measure.
+// Cells are keyed by the integer-packed position (PackedPosKey) and the
+// position scratch slice is reused across insertions, so an insert
+// allocates only when a candidate actually enters.
 //
 // Two cell maps are kept. cells is the output skyline D_F, subject to
 // the early skip on bound violation (Algorithm 1 line 23). search is the
@@ -44,27 +64,35 @@ func meanPerf(s *fst.State) float64 {
 // satisfying state is reachable (the paper enqueues all children;
 // search-grid gating is the budget-conscious middle ground).
 type grid struct {
-	cells    map[string]*Candidate
-	search   map[string]*Candidate
+	cells    map[uint64]*Candidate
+	search   map[uint64]*Candidate
 	bounds   []skyline.Bounds
 	eps      float64
 	decisive int
+	pos      []int
 }
 
 func newGrid(cfg *fst.Config, eps float64, decisive int) *grid {
 	return &grid{
-		cells:    map[string]*Candidate{},
-		search:   map[string]*Candidate{},
+		cells:    map[uint64]*Candidate{},
+		search:   map[uint64]*Candidate{},
 		bounds:   cfg.Bounds(),
 		eps:      eps,
 		decisive: decisive,
 	}
 }
 
+// posKey computes the packed cell key of a vector via the shared
+// scratch buffer.
+func (g *grid) posKey(perf skyline.Vector) uint64 {
+	g.pos = skyline.GridPosInto(g.pos, perf, g.bounds, g.eps)
+	return skyline.PackedPosKey(g.pos)
+}
+
 // insert merges the candidate into one cell map by decisive-measure
 // comparison, reporting whether it entered.
-func (g *grid) insert(cells map[string]*Candidate, bits fst.Bitmap, perf skyline.Vector) bool {
-	key := skyline.PosKey(skyline.GridPos(perf, g.bounds, g.eps))
+func (g *grid) insert(cells map[uint64]*Candidate, bits fst.Bitmap, perf skyline.Vector) bool {
+	key := g.posKey(perf)
 	cur, ok := cells[key]
 	if !ok || perf[g.decisive] < cur.Perf[g.decisive] {
 		cells[key] = &Candidate{Bits: bits.Clone(), Perf: perf.Clone()}
@@ -106,10 +134,10 @@ func (g *grid) members() []*Candidate {
 // the given subset: the diversification step carries its k-set to the
 // next level, so future states compete against the diversified set.
 func (g *grid) restrict(keep []*Candidate) {
-	g.cells = map[string]*Candidate{}
-	g.search = map[string]*Candidate{}
+	g.cells = map[uint64]*Candidate{}
+	g.search = map[uint64]*Candidate{}
 	for _, c := range keep {
-		key := skyline.PosKey(skyline.GridPos(c.Perf, g.bounds, g.eps))
+		key := g.posKey(c.Perf)
 		g.cells[key] = c
 		g.search[key] = c
 	}

@@ -91,20 +91,67 @@ func TestGridSizeBounded(t *testing.T) {
 	}
 }
 
-func TestPopBestOrder(t *testing.T) {
+func TestFrontierPopOrder(t *testing.T) {
 	a := &fst.State{Perf: skyline.Vector{0.9, 0.9}}
 	b := &fst.State{Perf: skyline.Vector{0.1, 0.1}}
 	c := &fst.State{Perf: skyline.Vector{0.5, 0.5}}
-	queue := []*fst.State{a, b, c}
-	got, rest := popBest(queue)
-	if got != b {
-		t.Fatal("popBest should pick the smallest mean")
+	q := newFrontier(a, b, c)
+	if got := q.pop(); got != b {
+		t.Fatal("pop should pick the smallest mean")
 	}
-	if len(rest) != 2 {
-		t.Fatal("rest size wrong")
+	if q.Len() != 2 {
+		t.Fatal("frontier size wrong after pop")
 	}
-	got2, _ := popBest(rest)
-	if got2 != c {
+	if got := q.pop(); got != c {
 		t.Fatal("second pop should pick the next smallest")
+	}
+}
+
+// popBestScan is the pre-heap reference implementation: an O(n) linear
+// scan for the queue state with the smallest mean performance.
+func popBestScan(queue []*fst.State) (*fst.State, []*fst.State) {
+	best := 0
+	bestScore := meanPerf(queue[0])
+	for i := 1; i < len(queue); i++ {
+		if s := meanPerf(queue[i]); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	s := queue[best]
+	queue[best] = queue[len(queue)-1]
+	return s, queue[:len(queue)-1]
+}
+
+// Property: under interleaved pushes and pops, the heap frontier yields
+// exactly the same mean-performance sequence as the old linear scan.
+func TestFrontierMatchesLinearScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := newFrontier()
+		var ref []*fst.State
+		for step := 0; step < 120; step++ {
+			if rng.Intn(3) > 0 || len(ref) == 0 {
+				s := &fst.State{Perf: skyline.Vector{rng.Float64(), rng.Float64()}}
+				q.push(s)
+				ref = append(ref, s)
+				continue
+			}
+			var want *fst.State
+			want, ref = popBestScan(ref)
+			if got := q.pop(); meanPerf(got) != meanPerf(want) {
+				return false
+			}
+		}
+		for len(ref) > 0 {
+			var want *fst.State
+			want, ref = popBestScan(ref)
+			if got := q.pop(); meanPerf(got) != meanPerf(want) {
+				return false
+			}
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
 	}
 }

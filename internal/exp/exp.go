@@ -273,17 +273,14 @@ func adomContribution(w *datagen.Workload, cands []*core.Candidate) (attrs []str
 	perAttr := map[string]float64{}
 	var total float64
 	for _, c := range cands {
-		for i, set := range c.Bits {
-			if !set {
-				continue
-			}
+		c.Bits.ForEachSet(func(i int) {
 			e := w.Space.Entries[i]
 			if e.Kind != fst.EntryLiteral {
-				continue
+				return
 			}
 			perAttr[e.Attr]++
 			total++
-		}
+		})
 	}
 	for a := range perAttr {
 		attrs = append(attrs, a)

@@ -1,0 +1,210 @@
+package fst
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// StateKey is the 64-bit identity of a state bitmap, used for dedup,
+// memoization, and running-graph node identity. It is a Zobrist hash of
+// the set entries: each entry index contributes a fixed pseudo-random
+// word, XORed together, so single-bit flips update the key in O(1) and
+// any two bitmaps differing in one entry always have distinct keys.
+//
+// Identity is probabilistic for bitmaps differing in two or more
+// entries: unlike the seed's lossless packed-string key, two distinct
+// states can in principle collide and be treated as one (memoization
+// returns the other's vector, visited maps skip the state). By the
+// birthday bound the probability is ~n²/2⁶⁵ — about 5e-8 for a run
+// valuating a million states — which we accept in exchange for
+// allocation-free O(1) keys on the search hot path; even ExactMODis
+// is exact only up to this hash identity.
+type StateKey uint64
+
+const wordBits = 64
+
+// Bitmap encodes a state as packed uint64 words: bit i of the state is
+// bit i%64 of words[i/64]. Bits at positions >= Len() are always zero.
+// The Zobrist key is maintained incrementally by Set/Clear/Flip, so
+// Key() is O(1) and allocation-free. Construct with NewBitmap or
+// BitmapOf; the zero value is an empty (width-0) bitmap.
+//
+// Bitmap values copied by assignment share their backing words while
+// each carries its own cached key, so mutating one copy desynchronizes
+// the others' Key() from the shared bits. Treat each Bitmap as owned
+// by a single holder: Clone before mutating anything received or
+// handed out by value.
+type Bitmap struct {
+	words []uint64
+	n     int
+	key   uint64
+}
+
+// zval is the Zobrist word of entry index i: a splitmix64-style mix of
+// the index, deterministic across runs so keys are stable.
+func zval(i int) uint64 {
+	x := uint64(i)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// lenSeed folds the bitmap width into the key so that all-clear bitmaps
+// of different widths stay distinct. The offset keeps the seed domain
+// disjoint from entry indexes.
+func lenSeed(n int) uint64 { return zval(n + 1<<30) }
+
+// NewBitmap returns an all-clear bitmap of width n.
+func NewBitmap(n int) Bitmap {
+	return Bitmap{
+		words: make([]uint64, (n+wordBits-1)/wordBits),
+		n:     n,
+		key:   lenSeed(n),
+	}
+}
+
+// BitmapOf builds a bitmap from literal bools (test and example helper).
+func BitmapOf(vals ...bool) Bitmap {
+	b := NewBitmap(len(vals))
+	for i, v := range vals {
+		if v {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+// Len returns the bitmap width (the number of entries).
+func (b Bitmap) Len() int { return b.n }
+
+// check panics on out-of-width indexes, including those landing in the
+// final word's zero padding, which raw word indexing would accept.
+func (b Bitmap) check(i int) {
+	if uint(i) >= uint(b.n) {
+		panic("fst: bitmap index out of range")
+	}
+}
+
+// Get reports whether entry i is present.
+func (b Bitmap) Get(i int) bool {
+	b.check(i)
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set marks entry i present (no-op if already set).
+func (b *Bitmap) Set(i int) {
+	b.check(i)
+	w, m := i/wordBits, uint64(1)<<(uint(i)%wordBits)
+	if b.words[w]&m == 0 {
+		b.words[w] |= m
+		b.key ^= zval(i)
+	}
+}
+
+// Clear marks entry i absent (no-op if already cleared).
+func (b *Bitmap) Clear(i int) {
+	b.check(i)
+	w, m := i/wordBits, uint64(1)<<(uint(i)%wordBits)
+	if b.words[w]&m != 0 {
+		b.words[w] &^= m
+		b.key ^= zval(i)
+	}
+}
+
+// Flip toggles entry i.
+func (b *Bitmap) Flip(i int) {
+	b.check(i)
+	b.words[i/wordBits] ^= 1 << (uint(i) % wordBits)
+	b.key ^= zval(i)
+}
+
+// Clone deep-copies the bitmap in one word-wise copy.
+func (b Bitmap) Clone() Bitmap {
+	nw := make([]uint64, len(b.words))
+	copy(nw, b.words)
+	return Bitmap{words: nw, n: b.n, key: b.key}
+}
+
+// Key returns the state's 64-bit identity. O(1): the Zobrist hash is
+// carried through Clone and updated incrementally on every flip.
+func (b Bitmap) Key() StateKey { return StateKey(b.key) }
+
+// Ones counts the set entries by per-word popcount.
+func (b Bitmap) Ones() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AndOnes counts the entries set in both bitmaps (the dot product of
+// the corresponding 0/1 vectors), without materializing floats.
+func (b Bitmap) AndOnes(o Bitmap) int {
+	n := 0
+	for i, w := range b.words {
+		if i >= len(o.words) {
+			break
+		}
+		n += bits.OnesCount64(w & o.words[i])
+	}
+	return n
+}
+
+// lastMask returns the valid-bit mask of word wi (all ones except for a
+// partial trailing word).
+func (b Bitmap) lastMask(wi int) uint64 {
+	if valid := b.n - wi*wordBits; valid < wordBits {
+		return 1<<uint(valid) - 1
+	}
+	return ^uint64(0)
+}
+
+// ForEachSet calls f with every set entry index in ascending order,
+// iterating word-wise with trailing-zero scans.
+func (b Bitmap) ForEachSet(f func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			f(wi*wordBits + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// ForEachClear calls f with every cleared entry index in ascending
+// order, masking the partial trailing word.
+func (b Bitmap) ForEachClear(f func(i int)) {
+	for wi, w := range b.words {
+		w = ^w & b.lastMask(wi)
+		for w != 0 {
+			f(wi*wordBits + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Floats renders the bitmap as a feature vector for surrogate
+// estimators.
+func (b Bitmap) Floats() []float64 {
+	out := make([]float64, b.n)
+	b.ForEachSet(func(i int) { out[i] = 1 })
+	return out
+}
+
+// String renders the bitmap as a 0/1 string for debugging and figures;
+// state identity comparisons should use Key instead.
+func (b Bitmap) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -89,7 +89,7 @@ type Estimator interface {
 // Test is one valuated test tuple t = (M, D, P) with its performance
 // vector.
 type Test struct {
-	Key  string
+	Key  StateKey
 	Perf skyline.Vector
 	// Features is the state feature vector used to train estimators.
 	Features []float64
@@ -98,15 +98,15 @@ type Test struct {
 // TestSet is the historical record T of valuated tests, memoizing by
 // state key so repeated states load their vector instead of re-valuating.
 type TestSet struct {
-	byKey map[string]*Test
+	byKey map[StateKey]*Test
 	order []*Test
 }
 
 // NewTestSet returns an empty record.
-func NewTestSet() *TestSet { return &TestSet{byKey: map[string]*Test{}} }
+func NewTestSet() *TestSet { return &TestSet{byKey: map[StateKey]*Test{}} }
 
 // Get loads a memoized test.
-func (ts *TestSet) Get(key string) (*Test, bool) {
+func (ts *TestSet) Get(key StateKey) (*Test, bool) {
 	t, ok := ts.byKey[key]
 	return t, ok
 }
@@ -156,6 +156,7 @@ type Config struct {
 
 	valuations int
 	exactCalls int
+	bounds     []skyline.Bounds
 }
 
 // Validate checks internal consistency.
@@ -175,20 +176,23 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// Bounds returns the measure bounds slice aligned with the vector.
+// Bounds returns the measure bounds slice aligned with the vector,
+// built once and cached: Measures must not change after the first call.
 func (c *Config) Bounds() []skyline.Bounds {
-	out := make([]skyline.Bounds, len(c.Measures))
-	for i, m := range c.Measures {
-		b := m.Bounds
-		if b.Lower <= 0 {
-			b.Lower = skyline.DefaultBounds().Lower
+	if c.bounds == nil {
+		c.bounds = make([]skyline.Bounds, len(c.Measures))
+		for i, m := range c.Measures {
+			b := m.Bounds
+			if b.Lower <= 0 {
+				b.Lower = skyline.DefaultBounds().Lower
+			}
+			if b.Upper <= 0 {
+				b.Upper = skyline.DefaultBounds().Upper
+			}
+			c.bounds[i] = b
 		}
-		if b.Upper <= 0 {
-			b.Upper = skyline.DefaultBounds().Upper
-		}
-		out[i] = b
 	}
-	return out
+	return c.bounds
 }
 
 // WithinBounds reports whether the vector satisfies every measure's

@@ -155,7 +155,7 @@ func TestValuateUsesSurrogateAfterWarmup(t *testing.T) {
 	}
 	// Second distinct state: surrogate should answer.
 	b2 := b1.Clone()
-	b2[0] = false
+	b2.Clear(0)
 	v, err := cfg.Valuate(b2)
 	if err != nil {
 		t.Fatal(err)
@@ -210,9 +210,9 @@ func TestMeasureNormalizers(t *testing.T) {
 
 func TestTestSetColumns(t *testing.T) {
 	ts := NewTestSet()
-	ts.Put(&Test{Key: "a", Perf: skyline.Vector{0.1, 0.2}})
-	ts.Put(&Test{Key: "b", Perf: skyline.Vector{0.3, 0.4}})
-	ts.Put(&Test{Key: "a", Perf: skyline.Vector{9, 9}}) // dup ignored
+	ts.Put(&Test{Key: 1, Perf: skyline.Vector{0.1, 0.2}})
+	ts.Put(&Test{Key: 2, Perf: skyline.Vector{0.3, 0.4}})
+	ts.Put(&Test{Key: 1, Perf: skyline.Vector{9, 9}}) // dup ignored
 	if ts.Len() != 2 {
 		t.Fatalf("len = %d, want 2", ts.Len())
 	}

@@ -8,7 +8,6 @@ package fst
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/table"
 )
@@ -38,54 +37,6 @@ func (e Entry) String() string {
 		return "attr:" + e.Attr
 	}
 	return "lit:" + e.Literal.String()
-}
-
-// Bitmap encodes a state: Bitmap[i] reports whether entry i is present.
-type Bitmap []bool
-
-// Clone deep-copies the bitmap.
-func (b Bitmap) Clone() Bitmap { return append(Bitmap(nil), b...) }
-
-// Key packs the bitmap into a compact string map key.
-func (b Bitmap) Key() string {
-	var sb strings.Builder
-	sb.Grow((len(b) + 7) / 8)
-	var cur byte
-	for i, v := range b {
-		if v {
-			cur |= 1 << (i % 8)
-		}
-		if i%8 == 7 {
-			sb.WriteByte(cur)
-			cur = 0
-		}
-	}
-	if len(b)%8 != 0 {
-		sb.WriteByte(cur)
-	}
-	return sb.String()
-}
-
-// Ones counts the set entries.
-func (b Bitmap) Ones() int {
-	n := 0
-	for _, v := range b {
-		if v {
-			n++
-		}
-	}
-	return n
-}
-
-// Floats renders the bitmap as a feature vector for surrogate estimators.
-func (b Bitmap) Floats() []float64 {
-	out := make([]float64, len(b))
-	for i, v := range b {
-		if v {
-			out[i] = 1
-		}
-	}
-	return out
 }
 
 // Space is the dataset exploration space induced by a universal table: it
@@ -162,9 +113,9 @@ func (sp *Space) Size() int { return len(sp.Entries) }
 // FullBitmap returns the start state s_U of the forward search: every
 // entry present, i.e. the universal dataset itself.
 func (sp *Space) FullBitmap() Bitmap {
-	b := make(Bitmap, len(sp.Entries))
-	for i := range b {
-		b[i] = true
+	b := NewBitmap(len(sp.Entries))
+	for i := range sp.Entries {
+		b.Set(i)
 	}
 	return b
 }
@@ -185,23 +136,21 @@ func (sp *Space) LiteralEntries(attr string) []int { return sp.litEntries[attr] 
 // the universal table: cleared literal entries remove their cluster's
 // tuples (⊖), cleared attribute entries mask their column (adom_s = ∅).
 func (sp *Space) Materialize(bits Bitmap) *table.Table {
-	if len(bits) != len(sp.Entries) {
-		panic(fmt.Sprintf("fst: bitmap width %d != space size %d", len(bits), len(sp.Entries)))
+	if bits.Len() != len(sp.Entries) {
+		panic(fmt.Sprintf("fst: bitmap width %d != space size %d", bits.Len(), len(sp.Entries)))
 	}
 	// Collect cleared literals per attribute index for one row scan.
 	cleared := map[string][]table.Value{}
 	maskedAttrs := map[string]bool{}
-	for i, e := range sp.Entries {
-		if bits[i] {
-			continue
-		}
+	bits.ForEachClear(func(i int) {
+		e := sp.Entries[i]
 		switch e.Kind {
 		case EntryAttr:
 			maskedAttrs[e.Attr] = true
 		case EntryLiteral:
 			cleared[e.Attr] = append(cleared[e.Attr], e.Literal.Value)
 		}
-	}
+	})
 	u := sp.Universal
 	out := table.New("D_s", u.Schema)
 	colIdx := make(map[string]int, len(u.Schema))

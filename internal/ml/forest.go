@@ -54,8 +54,10 @@ func (f *ForestClassifier) Fit(X [][]float64, y []float64) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	f.trees = make([]*TreeClassifier, cfg.NumTrees)
+	ws := &treeScratch{}
+	bx, by := make([][]float64, len(X)), make([]float64, len(X))
 	for t := 0; t < cfg.NumTrees; t++ {
-		bx, by := bootstrap(X, y, rng)
+		bootstrapInto(bx, by, X, y, rng)
 		tree := &TreeClassifier{
 			Config: TreeConfig{
 				MaxDepth:    cfg.MaxDepth,
@@ -65,7 +67,7 @@ func (f *ForestClassifier) Fit(X [][]float64, y []float64) {
 			},
 			NumClass: f.NumClass,
 		}
-		tree.Fit(bx, by)
+		tree.fit(bx, by, ws)
 		f.trees[t] = tree
 	}
 }
@@ -127,15 +129,17 @@ func (f *ForestRegressor) Fit(X [][]float64, y []float64) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	f.trees = make([]*TreeRegressor, cfg.NumTrees)
+	ws := &treeScratch{}
+	bx, by := make([][]float64, len(X)), make([]float64, len(X))
 	for t := 0; t < cfg.NumTrees; t++ {
-		bx, by := bootstrap(X, y, rng)
+		bootstrapInto(bx, by, X, y, rng)
 		tree := &TreeRegressor{Config: TreeConfig{
 			MaxDepth:    cfg.MaxDepth,
 			MinLeaf:     cfg.MinLeaf,
 			MaxFeatures: mf,
 			Seed:        rng.Int63(),
 		}}
-		tree.Fit(bx, by)
+		tree.fit(bx, by, ws)
 		f.trees[t] = tree
 	}
 }
@@ -162,14 +166,13 @@ func (f *ForestRegressor) Importances(nf int) []float64 {
 	return acc
 }
 
-func bootstrap(X [][]float64, y []float64, rng *rand.Rand) ([][]float64, []float64) {
+// bootstrapInto fills bx/by with a with-replacement resample of (X, y),
+// reusing the caller's buffers across an ensemble's trees.
+func bootstrapInto(bx [][]float64, by []float64, X [][]float64, y []float64, rng *rand.Rand) {
 	n := len(X)
-	bx := make([][]float64, n)
-	by := make([]float64, n)
 	for i := 0; i < n; i++ {
 		j := rng.Intn(n)
 		bx[i] = X[j]
 		by[i] = y[j]
 	}
-	return bx, by
 }

@@ -58,13 +58,14 @@ func (g *GBMRegressor) Fit(X [][]float64, y []float64) {
 		pred[i] = g.bias
 	}
 	resid := make([]float64, len(y))
+	ws := &treeScratch{}
 	for t := 0; t < cfg.NumTrees; t++ {
 		for i := range y {
 			resid[i] = y[i] - pred[i]
 		}
 		sx, sy := subsample(X, resid, cfg.Subsample, rng)
 		tree := &TreeRegressor{Config: TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, Seed: rng.Int63()}}
-		tree.Fit(sx, sy)
+		tree.fit(sx, sy, ws)
 		g.trees = append(g.trees, tree)
 		for i := range pred {
 			pred[i] += g.lr * tree.Predict(X[i])
@@ -120,13 +121,14 @@ func (g *GBMClassifier) Fit(X [][]float64, y []float64) {
 		raw[i] = g.bias
 	}
 	grad := make([]float64, len(y))
+	ws := &treeScratch{}
 	for t := 0; t < cfg.NumTrees; t++ {
 		for i := range y {
 			grad[i] = y[i] - sigmoid(raw[i])
 		}
 		sx, sy := subsample(X, grad, cfg.Subsample, rng)
 		tree := &TreeRegressor{Config: TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, Seed: rng.Int63()}}
-		tree.Fit(sx, sy)
+		tree.fit(sx, sy, ws)
 		g.trees = append(g.trees, tree)
 		for i := range raw {
 			raw[i] += g.lr * tree.Predict(X[i])

@@ -37,6 +37,18 @@ func (c TreeConfig) withDefaults() TreeConfig {
 	return c
 }
 
+// treeScratch holds the buffers reused across every node of a fit —
+// split pairs, feature order, class counts — so growing a tree
+// allocates only its persistent nodes and leaf probability vectors.
+// Ensemble fits share one scratch across all their trees.
+type treeScratch struct {
+	pairs    pairSorter
+	feats    []int
+	leftCnt  []float64
+	rightCnt []float64
+	counts   []float64
+}
+
 // TreeRegressor is a CART regression tree using variance reduction.
 type TreeRegressor struct {
 	Config TreeConfig
@@ -45,10 +57,14 @@ type TreeRegressor struct {
 
 // Fit grows the tree on (X, y).
 func (t *TreeRegressor) Fit(X [][]float64, y []float64) {
+	t.fit(X, y, &treeScratch{})
+}
+
+func (t *TreeRegressor) fit(X [][]float64, y []float64, ws *treeScratch) {
 	cfg := t.Config.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	idx := allIndexes(len(X))
-	t.root = growTree(X, y, nil, idx, cfg, 0, rng, false, 0)
+	t.root = growTree(X, y, nil, idx, cfg, 0, rng, false, 0, ws)
 }
 
 // Predict returns the tree's output for a single example.
@@ -65,13 +81,17 @@ type TreeClassifier struct {
 
 // Fit grows the tree on (X, y) where y holds class ids 0..NumClass-1.
 func (t *TreeClassifier) Fit(X [][]float64, y []float64) {
+	t.fit(X, y, &treeScratch{})
+}
+
+func (t *TreeClassifier) fit(X [][]float64, y []float64, ws *treeScratch) {
 	if t.NumClass <= 0 {
 		t.NumClass = countClasses(y)
 	}
 	cfg := t.Config.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	idx := allIndexes(len(X))
-	t.root = growTree(X, y, nil, idx, cfg, 0, rng, true, t.NumClass)
+	t.root = growTree(X, y, nil, idx, cfg, 0, rng, true, t.NumClass, ws)
 }
 
 // PredictProba returns class probabilities for a single example.
@@ -113,22 +133,36 @@ func descend(n *treeNode, x []float64) *treeNode {
 	return n
 }
 
-// growTree recursively grows a CART tree over the row subset idx.
-// sampleW, when non-nil, holds per-row weights (used by boosting).
-func growTree(X [][]float64, y, sampleW []float64, idx []int, cfg TreeConfig, depth int, rng *rand.Rand, clf bool, nClass int) *treeNode {
-	node := &treeNode{nSamples: len(idx)}
+// asLeaf finalizes a node as a leaf: the prediction payload (mean value
+// or class probabilities) is only materialized here, since descend never
+// reads it off internal nodes.
+func asLeaf(node *treeNode, y, sampleW []float64, idx []int, clf bool, nClass int) *treeNode {
+	node.leaf = true
 	if clf {
 		node.proba = classProba(y, sampleW, idx, nClass)
 	} else {
 		node.value = weightedMean(y, sampleW, idx)
 	}
+	return node
+}
+
+// growTree recursively grows a CART tree over the row subset idx, which
+// it is free to reorder (children recurse on in-place partitions of it).
+// sampleW, when non-nil, holds per-row weights (used by boosting).
+func growTree(X [][]float64, y, sampleW []float64, idx []int, cfg TreeConfig, depth int, rng *rand.Rand, clf bool, nClass int, ws *treeScratch) *treeNode {
+	node := &treeNode{nSamples: len(idx)}
 	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || pure(y, idx) {
-		node.leaf = true
-		return node
+		return asLeaf(node, y, sampleW, idx, clf, nClass)
 	}
 
 	nf := len(X[0])
-	feats := allIndexes(nf)
+	if cap(ws.feats) < nf {
+		ws.feats = make([]int, nf)
+	}
+	feats := ws.feats[:nf]
+	for i := range feats {
+		feats[i] = i
+	}
 	if cfg.MaxFeatures > 0 && cfg.MaxFeatures < nf {
 		rng.Shuffle(nf, func(i, j int) { feats[i], feats[j] = feats[j], feats[i] })
 		feats = feats[:cfg.MaxFeatures]
@@ -137,34 +171,32 @@ func growTree(X [][]float64, y, sampleW []float64, idx []int, cfg TreeConfig, de
 
 	bestGain := 0.0
 	bestFeat, bestThresh := -1, 0.0
-	parentImp := impurity(y, sampleW, idx, clf, nClass)
+	parentImp := impurity(y, sampleW, idx, clf, nClass, ws)
 	for _, f := range feats {
-		gain, thresh, ok := bestSplit(X, y, sampleW, idx, f, cfg.MinLeaf, parentImp, clf, nClass)
+		gain, thresh, ok := bestSplit(X, y, sampleW, idx, f, cfg.MinLeaf, parentImp, clf, nClass, ws)
 		if ok && gain > bestGain+1e-12 {
 			bestGain, bestFeat, bestThresh = gain, f, thresh
 		}
 	}
 	if bestFeat < 0 {
-		node.leaf = true
-		return node
+		return asLeaf(node, y, sampleW, idx, clf, nClass)
 	}
 
-	var li, ri []int
-	for _, i := range idx {
-		if X[i][bestFeat] <= bestThresh {
-			li = append(li, i)
-		} else {
-			ri = append(ri, i)
+	// Partition idx in place: left rows first, right rows after.
+	k := 0
+	for j := 0; j < len(idx); j++ {
+		if X[idx[j]][bestFeat] <= bestThresh {
+			idx[k], idx[j] = idx[j], idx[k]
+			k++
 		}
 	}
-	if len(li) < cfg.MinLeaf || len(ri) < cfg.MinLeaf {
-		node.leaf = true
-		return node
+	if k < cfg.MinLeaf || len(idx)-k < cfg.MinLeaf {
+		return asLeaf(node, y, sampleW, idx, clf, nClass)
 	}
 	node.feature = bestFeat
 	node.thresh = bestThresh
-	node.left = growTree(X, y, sampleW, li, cfg, depth+1, rng, clf, nClass)
-	node.right = growTree(X, y, sampleW, ri, cfg, depth+1, rng, clf, nClass)
+	node.left = growTree(X, y, sampleW, idx[:k], cfg, depth+1, rng, clf, nClass, ws)
+	node.right = growTree(X, y, sampleW, idx[k:], cfg, depth+1, rng, clf, nClass, ws)
 	return node
 }
 
@@ -194,7 +226,13 @@ func weightedMean(y, w []float64, idx []int) float64 {
 }
 
 func classProba(y, w []float64, idx []int, nClass int) []float64 {
-	p := make([]float64, nClass)
+	return classProbaInto(make([]float64, nClass), y, w, idx)
+}
+
+// classProbaInto tallies normalized class weights into p (len(p) is the
+// class count), for callers reusing a scratch buffer.
+func classProbaInto(p []float64, y, w []float64, idx []int) []float64 {
+	nClass := len(p)
 	var tw float64
 	for _, i := range idx {
 		wi := 1.0
@@ -215,9 +253,12 @@ func classProba(y, w []float64, idx []int, nClass int) []float64 {
 	return p
 }
 
-func impurity(y, w []float64, idx []int, clf bool, nClass int) float64 {
+func impurity(y, w []float64, idx []int, clf bool, nClass int, ws *treeScratch) float64 {
 	if clf {
-		p := classProba(y, w, idx, nClass)
+		if cap(ws.counts) < nClass {
+			ws.counts = make([]float64, nClass)
+		}
+		p := classProbaInto(zeroed(ws.counts[:nClass]), y, w, idx)
 		g := 1.0
 		for _, pc := range p {
 			g -= pc * pc
@@ -241,26 +282,54 @@ func impurity(y, w []float64, idx []int, clf bool, nClass int) float64 {
 	return s / tw
 }
 
-// bestSplit scans sorted thresholds of feature f for the impurity-gain
-// maximizing split, in a single pass with running statistics.
-func bestSplit(X [][]float64, y, w []float64, idx []int, f, minLeaf int, parentImp float64, clf bool, nClass int) (gain, thresh float64, ok bool) {
-	type pair struct {
-		x, y, w float64
+// splitPair is one (feature value, target, weight) row of a split scan.
+type splitPair struct {
+	x, y, w float64
+}
+
+// pairSorter orders split pairs by feature value through a concrete
+// sort.Interface, avoiding sort.Slice's per-call reflection allocations.
+type pairSorter struct {
+	p []splitPair
+}
+
+func (s *pairSorter) Len() int           { return len(s.p) }
+func (s *pairSorter) Less(i, j int) bool { return s.p[i].x < s.p[j].x }
+func (s *pairSorter) Swap(i, j int)      { s.p[i], s.p[j] = s.p[j], s.p[i] }
+
+func zeroed(xs []float64) []float64 {
+	for i := range xs {
+		xs[i] = 0
 	}
-	pairs := make([]pair, len(idx))
+	return xs
+}
+
+// bestSplit scans sorted thresholds of feature f for the impurity-gain
+// maximizing split, in a single pass with running statistics over the
+// scratch buffers (no allocation per call).
+func bestSplit(X [][]float64, y, w []float64, idx []int, f, minLeaf int, parentImp float64, clf bool, nClass int, ws *treeScratch) (gain, thresh float64, ok bool) {
+	if cap(ws.pairs.p) < len(idx) {
+		ws.pairs.p = make([]splitPair, len(idx))
+	}
+	ws.pairs.p = ws.pairs.p[:len(idx)]
+	pairs := ws.pairs.p
 	for j, i := range idx {
 		wi := 1.0
 		if w != nil {
 			wi = w[i]
 		}
-		pairs[j] = pair{X[i][f], y[i], wi}
+		pairs[j] = splitPair{X[i][f], y[i], wi}
 	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].x < pairs[b].x })
+	sort.Sort(&ws.pairs)
 
 	n := len(pairs)
 	if clf {
-		leftCnt := make([]float64, nClass)
-		rightCnt := make([]float64, nClass)
+		if cap(ws.leftCnt) < nClass {
+			ws.leftCnt = make([]float64, nClass)
+			ws.rightCnt = make([]float64, nClass)
+		}
+		leftCnt := zeroed(ws.leftCnt[:nClass])
+		rightCnt := zeroed(ws.rightCnt[:nClass])
 		var lw, rw float64
 		for _, p := range pairs {
 			rightCnt[clampClass(int(p.y), nClass)] += p.w

@@ -80,11 +80,20 @@ func (b Bounds) Within(x float64) bool { return x >= b.Lower && x <= b.Upper }
 // first |P|-1 measures, pos_i = floor(log_{1+eps}(v_i / lower_i)). The
 // last measure is the decisive measure and is excluded, per the paper.
 func GridPos(v Vector, bounds []Bounds, eps float64) []int {
+	return GridPosInto(nil, v, bounds, eps)
+}
+
+// GridPosInto is GridPos writing into dst (grown as needed), so hot
+// callers can reuse one scratch slice across insertions.
+func GridPosInto(dst []int, v Vector, bounds []Bounds, eps float64) []int {
 	n := len(v) - 1
 	if n < 0 {
 		n = 0
 	}
-	pos := make([]int, n)
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
 	base := math.Log1p(eps)
 	for i := 0; i < n; i++ {
 		lo := 1e-3
@@ -95,18 +104,57 @@ func GridPos(v Vector, bounds []Bounds, eps float64) []int {
 		if x < lo {
 			x = lo
 		}
-		pos[i] = int(math.Floor(math.Log(x/lo) / base))
+		dst[i] = int(math.Floor(math.Log(x/lo) / base))
 	}
-	return pos
+	return dst
 }
 
-// PosKey renders a grid position as a map key.
+// PosKey renders a grid position as a human-readable key, for debugging
+// and figures; grid maps should key on PackedPosKey instead.
 func PosKey(pos []int) string {
 	parts := make([]string, len(pos))
 	for i, p := range pos {
 		parts[i] = fmt.Sprintf("%d", p)
 	}
 	return strings.Join(parts, ",")
+}
+
+// packedLaneBits is the exact-encoding lane width per dimensionality:
+// the bit 63 tag is reserved for the hashed fallback, so up to four
+// coordinates share the low 63 bits.
+var packedLaneBits = [5]uint{0, 63, 31, 21, 15}
+
+// PackedPosKey encodes a grid position as an allocation-free uint64 map
+// key. Up to four coordinates pack exactly into fixed-width lanes
+// (collision free; ε-grid positions are non-negative and stay far
+// inside the lane range for any practical ε — e.g. three dimensions
+// give 21-bit lanes, covering ε down to ~3e-6 over the default (1e-3,
+// 1] value range). Higher dimensionalities or out-of-lane coordinates
+// fall back to an FNV-1a mix tagged with bit 63, so hashed keys can
+// never collide with exactly-packed ones.
+func PackedPosKey(pos []int) uint64 {
+	if n := len(pos); n >= 1 && n <= 4 {
+		lane := packedLaneBits[n]
+		max := uint64(1)<<lane - 1
+		var k uint64
+		exact := true
+		for _, p := range pos {
+			if p < 0 || uint64(p) > max {
+				exact = false
+				break
+			}
+			k = k<<lane | uint64(p)
+		}
+		if exact {
+			return k
+		}
+	}
+	h := uint64(14695981039346656037)
+	for _, p := range pos {
+		h ^= uint64(p)
+		h *= 1099511628211
+	}
+	return h | 1<<63
 }
 
 // Skyline computes the exact Pareto front of the vectors by
@@ -118,7 +166,7 @@ func Skyline(vs []Vector) []int {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return lexLess(vs[idx[a]], vs[idx[b]]) })
-	var keep []int
+	keep := make([]int, 0, len(vs))
 	for _, i := range idx {
 		dominated := false
 		for _, k := range keep {
@@ -144,21 +192,25 @@ func KungSkyline(vs []Vector) []int {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return lexLess(vs[idx[a]], vs[idx[b]]) })
-	res := kungRec(vs, idx)
+	res := idx[:kungRec(vs, idx)]
 	sort.Ints(res)
 	return res
 }
 
-func kungRec(vs []Vector, idx []int) []int {
+// kungRec compacts the skyline members of idx into its prefix and
+// returns their count, merging in place so the whole recursion performs
+// no allocations beyond KungSkyline's single index slice.
+func kungRec(vs []Vector, idx []int) int {
 	if len(idx) <= 1 {
-		return append([]int(nil), idx...)
+		return len(idx)
 	}
 	mid := len(idx) / 2
-	top := kungRec(vs, idx[:mid])
-	bot := kungRec(vs, idx[mid:])
-	// Keep members of bot not dominated by any member of top.
-	out := append([]int(nil), top...)
-	for _, b := range bot {
+	out := kungRec(vs, idx[:mid])
+	nBot := kungRec(vs, idx[mid:])
+	top := idx[:out]
+	// Keep members of bot not dominated by any member of top. Writes
+	// trail reads: out <= mid+kept always, so the compaction is safe.
+	for _, b := range idx[mid : mid+nBot] {
 		dominated := false
 		for _, t := range top {
 			if vs[t].Dominates(vs[b]) {
@@ -167,7 +219,8 @@ func kungRec(vs []Vector, idx []int) []int {
 			}
 		}
 		if !dominated {
-			out = append(out, b)
+			idx[out] = b
+			out++
 		}
 	}
 	return out

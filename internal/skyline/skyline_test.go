@@ -202,3 +202,68 @@ func TestPosKey(t *testing.T) {
 		t.Error("PosKey format")
 	}
 }
+
+// PackedPosKey must be injective wherever PosKey is, over realistic
+// ε-grid coordinate ranges, at both the exact (≤4 dims) and hashed
+// (>4 dims) encodings.
+func TestPackedPosKeyMatchesPosKey(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := 1 + rng.Intn(6)
+		mk := func() []int {
+			pos := make([]int, dims)
+			for i := range pos {
+				pos[i] = rng.Intn(200) - 10
+			}
+			return pos
+		}
+		a, b := mk(), mk()
+		if PosKey(a) == PosKey(b) {
+			return PackedPosKey(a) == PackedPosKey(b)
+		}
+		return PackedPosKey(a) != PackedPosKey(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Regression: tiny ε produces grid coordinates in the tens of
+// thousands; distinct cells must keep distinct packed keys instead of
+// being truncated together.
+func TestPackedPosKeyTinyEps(t *testing.T) {
+	bounds := []Bounds{{Lower: 1e-3}, {Lower: 1e-3}, {Lower: 1e-3}}
+	lo := GridPos(Vector{0.0014, 0.5, 0.5}, bounds, 1e-4)
+	hi := GridPos(Vector{0.999, 0.5, 0.5}, bounds, 1e-4)
+	if lo[0] == hi[0] {
+		t.Fatal("test expects distinct grid coordinates")
+	}
+	if PackedPosKey(lo) == PackedPosKey(hi) {
+		t.Errorf("distinct cells %v and %v share a packed key", lo, hi)
+	}
+	// Out-of-lane coordinates take the tagged hashed fallback, which can
+	// never equal an exactly-packed key.
+	huge := []int{1 << 40, 1, 2, 3}
+	if PackedPosKey(huge)&(1<<63) == 0 {
+		t.Error("overflowing position should use the tagged fallback")
+	}
+	if PackedPosKey([]int{0, 1, 2, 3})&(1<<63) != 0 {
+		t.Error("in-lane position should pack exactly")
+	}
+}
+
+func TestGridPosIntoReusesScratch(t *testing.T) {
+	bounds := []Bounds{{Lower: 0.01}, {Lower: 0.01}, {Lower: 0.01}}
+	scratch := make([]int, 0, 8)
+	p1 := GridPosInto(scratch, Vector{0.5, 0.25, 0.9}, bounds, 0.1)
+	p2 := GridPosInto(p1, Vector{0.5, 0.25, 0.9}, bounds, 0.1)
+	if &p1[0] != &p2[0] {
+		t.Error("GridPosInto should reuse the scratch backing array")
+	}
+	want := GridPos(Vector{0.5, 0.25, 0.9}, bounds, 0.1)
+	for i := range want {
+		if p2[i] != want[i] {
+			t.Errorf("GridPosInto disagrees with GridPos at %d", i)
+		}
+	}
+}
