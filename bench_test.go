@@ -6,10 +6,10 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/exp"
 	"repro/internal/fst"
@@ -17,23 +17,29 @@ import (
 	"repro/internal/skyline"
 	"repro/internal/stats"
 	"repro/internal/table"
+	"repro/modis"
 )
 
 // benchOpts keeps benchmark iterations affordable: smaller budget than
-// the full modisbench runs, same algorithmic paths.
-func benchOpts() core.Options {
-	return core.Options{N: 100, Eps: 0.1, MaxLevel: 5, Seed: 1}
+// the full modisbench runs, same algorithmic paths. Later options win,
+// so sweeps append their overrides.
+func benchOpts(extra ...modis.Option) []modis.Option {
+	return append([]modis.Option{
+		modis.WithBudget(100),
+		modis.WithEpsilon(0.1),
+		modis.WithMaxLevel(5),
+		modis.WithSeed(1),
+	}, extra...)
 }
 
-func runAlgo(b *testing.B, w *datagen.Workload, algo func(*fst.Config, core.Options) (*core.Result, error)) {
+func runAlgo(b *testing.B, w *datagen.Workload, algo string, extra ...modis.Option) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		cfg := w.NewConfig(true)
-		res, err := algo(cfg, benchOpts())
+		rep, err := modis.NewEngine(w.NewConfig(true)).Run(context.Background(), algo, benchOpts(extra...)...)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(res.Skyline) == 0 {
+		if len(rep.Skyline) == 0 {
 			b.Fatal("empty skyline")
 		}
 	}
@@ -44,13 +50,13 @@ func runAlgo(b *testing.B, w *datagen.Workload, algo func(*fst.Config, core.Opti
 func BenchmarkTable4T2(b *testing.B) {
 	w := datagen.T2House(datagen.TaskConfig{Rows: 140})
 	b.ResetTimer()
-	runAlgo(b, w, core.BiMODis)
+	runAlgo(b, w, "bi")
 }
 
 func BenchmarkTable4T4(b *testing.B) {
 	w := datagen.T4Mental(datagen.TaskConfig{Rows: 140})
 	b.ResetTimer()
-	runAlgo(b, w, core.BiMODis)
+	runAlgo(b, w, "bi")
 }
 
 // --- E3: Table 5 (T5 link regression) ---
@@ -58,7 +64,7 @@ func BenchmarkTable4T4(b *testing.B) {
 func BenchmarkTable5T5(b *testing.B) {
 	w := datagen.T5Link(datagen.T5Config{Users: 30, Items: 30})
 	b.ResetTimer()
-	runAlgo(b, w, core.BiMODis)
+	runAlgo(b, w, "bi")
 }
 
 // --- E4/E5: Table 6 (T1 movie, T3 avocado) ---
@@ -66,13 +72,13 @@ func BenchmarkTable5T5(b *testing.B) {
 func BenchmarkTable6T1(b *testing.B) {
 	w := datagen.T1Movie(datagen.TaskConfig{Rows: 140})
 	b.ResetTimer()
-	runAlgo(b, w, core.BiMODis)
+	runAlgo(b, w, "bi")
 }
 
 func BenchmarkTable6T3(b *testing.B) {
 	w := datagen.T3Avocado(datagen.TaskConfig{Rows: 140})
 	b.ResetTimer()
-	runAlgo(b, w, core.BiMODis)
+	runAlgo(b, w, "bi")
 }
 
 // --- E7/E10: Figure 8(a)/10(a) — epsilon sweeps ---
@@ -81,15 +87,8 @@ func BenchmarkFig8Epsilon(b *testing.B) {
 	for _, eps := range []float64{0.5, 0.3, 0.1} {
 		b.Run(label("eps", eps), func(b *testing.B) {
 			w := datagen.T1Movie(datagen.TaskConfig{Rows: 140})
-			opts := benchOpts()
-			opts.Eps = eps
 			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				cfg := w.NewConfig(true)
-				if _, err := core.BiMODis(cfg, opts); err != nil {
-					b.Fatal(err)
-				}
-			}
+			runAlgo(b, w, "bi", modis.WithEpsilon(eps))
 		})
 	}
 }
@@ -100,15 +99,8 @@ func BenchmarkFig10MaxL(b *testing.B) {
 	for _, maxl := range []int{2, 4, 6} {
 		b.Run(labelInt("maxl", maxl), func(b *testing.B) {
 			w := datagen.T1Movie(datagen.TaskConfig{Rows: 140})
-			opts := benchOpts()
-			opts.MaxLevel = maxl
 			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				cfg := w.NewConfig(true)
-				if _, err := core.ApxMODis(cfg, opts); err != nil {
-					b.Fatal(err)
-				}
-			}
+			runAlgo(b, w, "apx", modis.WithMaxLevel(maxl))
 		})
 	}
 }
@@ -119,16 +111,8 @@ func BenchmarkFig9Alpha(b *testing.B) {
 	for _, alpha := range []float64{0.1, 0.5, 0.9} {
 		b.Run(label("alpha", alpha), func(b *testing.B) {
 			w := datagen.T1Movie(datagen.TaskConfig{Rows: 140})
-			opts := benchOpts()
-			opts.Alpha = alpha
-			opts.K = 4
 			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				cfg := w.NewConfig(true)
-				if _, err := core.DivMODis(cfg, opts); err != nil {
-					b.Fatal(err)
-				}
-			}
+			runAlgo(b, w, "div", modis.WithAlpha(alpha), modis.WithK(4))
 		})
 	}
 }
@@ -140,7 +124,7 @@ func BenchmarkFig10ScalAttrs(b *testing.B) {
 		b.Run(labelInt("info", info), func(b *testing.B) {
 			w := datagen.T1Movie(datagen.TaskConfig{Rows: 140, InfoAttrs: info})
 			b.ResetTimer()
-			runAlgo(b, w, core.BiMODis)
+			runAlgo(b, w, "bi")
 		})
 	}
 }
@@ -150,7 +134,7 @@ func BenchmarkFig10ScalAdom(b *testing.B) {
 		b.Run(labelInt("adom", k), func(b *testing.B) {
 			w := datagen.T1Movie(datagen.TaskConfig{Rows: 140, AdomK: k})
 			b.ResetTimer()
-			runAlgo(b, w, core.BiMODis)
+			runAlgo(b, w, "bi")
 		})
 	}
 }
@@ -160,7 +144,7 @@ func BenchmarkFig10ScalAdom(b *testing.B) {
 func BenchmarkFig13T5(b *testing.B) {
 	w := datagen.T5Link(datagen.T5Config{Users: 30, Items: 30})
 	b.ResetTimer()
-	runAlgo(b, w, core.ApxMODis)
+	runAlgo(b, w, "apx")
 }
 
 func BenchmarkFig14T5Scal(b *testing.B) {
@@ -168,7 +152,7 @@ func BenchmarkFig14T5Scal(b *testing.B) {
 		b.Run(labelInt("nodes", n), func(b *testing.B) {
 			w := datagen.T5Link(datagen.T5Config{Users: n, Items: n})
 			b.ResetTimer()
-			runAlgo(b, w, core.BiMODis)
+			runAlgo(b, w, "bi")
 		})
 	}
 }
@@ -178,22 +162,15 @@ func BenchmarkFig14T5Scal(b *testing.B) {
 // BenchmarkAblationPruning compares BiMODis with and without
 // correlation-based pruning (design choice 1).
 func BenchmarkAblationPruning(b *testing.B) {
-	for _, prune := range []bool{true, false} {
+	for _, algo := range []string{"bi", "nobi"} {
 		name := "prune"
-		if !prune {
+		if algo == "nobi" {
 			name = "noprune"
 		}
 		b.Run(name, func(b *testing.B) {
 			w := datagen.T2House(datagen.TaskConfig{Rows: 140})
-			opts := benchOpts()
-			opts.DisablePrune = !prune
 			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				cfg := w.NewConfig(true)
-				if _, err := core.BiMODis(cfg, opts); err != nil {
-					b.Fatal(err)
-				}
-			}
+			runAlgo(b, w, algo)
 		})
 	}
 }
@@ -210,8 +187,7 @@ func BenchmarkAblationSurrogate(b *testing.B) {
 			w := datagen.T1Movie(datagen.TaskConfig{Rows: 140})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cfg := w.NewConfig(sur)
-				if _, err := core.ApxMODis(cfg, benchOpts()); err != nil {
+				if _, err := modis.NewEngine(w.NewConfig(sur)).Run(context.Background(), "apx", benchOpts()...); err != nil {
 					b.Fatal(err)
 				}
 			}

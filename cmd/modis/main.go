@@ -1,24 +1,29 @@
 // Command modis runs skyline dataset discovery over CSV source tables:
 // given a target column, a model family and a set of performance
 // measures, it generates an ε-skyline set of datasets and writes them
-// out as CSV files.
+// out as CSV files. Searches run through the public engine
+// (repro/modis): algorithms are picked by registry key, runs honor
+// -timeout via context, and -json emits the machine-readable Report.
 //
 // Usage:
 //
 //	modis -tables water.csv,basin.csv -target ci_index -model gbm \
-//	      -algo bimodis -eps 0.1 -maxl 6 -n 300 -out ./skyline
+//	      -algo bi -eps 0.1 -maxl 6 -n 300 -out ./skyline
+//	modis -tables water.csv -target ci_index -json -timeout 30s
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/table"
+	"repro/modis"
 )
 
 func main() {
@@ -26,16 +31,19 @@ func main() {
 		tablesFlag = flag.String("tables", "", "comma-separated CSV files (required)")
 		target     = flag.String("target", "", "target column name (required)")
 		model      = flag.String("model", "gbm", "model family: gbm|forest|histgbm|linear|logistic")
-		algo       = flag.String("algo", "bimodis", "algorithm: apx|bimodis|nobimodis|divmodis")
+		algo       = flag.String("algo", "bi", "algorithm: "+strings.Join(modis.Algorithms(), "|")+" (legacy names like bimodis also accepted)")
 		eps        = flag.Float64("eps", 0.1, "epsilon of the ε-skyline")
 		maxl       = flag.Int("maxl", 6, "maximum operator path length")
 		n          = flag.Int("n", 300, "valuation budget N")
-		k          = flag.Int("k", 5, "diversified set size (divmodis)")
-		alpha      = flag.Float64("alpha", 0.5, "diversification balance (divmodis)")
+		k          = flag.Int("k", 5, "diversified set size (div)")
+		alpha      = flag.Float64("alpha", 0.5, "diversification balance (div)")
 		adomK      = flag.Int("adomk", 8, "max cluster literals per attribute")
 		outDir     = flag.String("out", "skyline_out", "output directory for skyline CSVs")
 		surrogate  = flag.Bool("surrogate", true, "use the MO-GBM performance estimator")
 		describe   = flag.Bool("describe", false, "print per-column profiles of the universal table")
+		timeout    = flag.Duration("timeout", 0, "search deadline (0 = none); expiry aborts with context.DeadlineExceeded")
+		jsonOut    = flag.Bool("json", false, "print the run Report as JSON on stdout (status goes to stderr)")
+		progress   = flag.Bool("progress", false, "stream per-level search progress to stderr")
 	)
 	flag.Parse()
 
@@ -43,6 +51,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "modis: -tables and -target are required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Human-readable chatter goes to stdout normally, but to stderr
+	// under -json so stdout stays one parseable document.
+	info := os.Stdout
+	if *jsonOut {
+		info = os.Stderr
 	}
 
 	var tables []*table.Table
@@ -59,7 +74,7 @@ func main() {
 			fatal(err)
 		}
 		tables = append(tables, t)
-		fmt.Printf("loaded %s\n", t)
+		fmt.Fprintf(info, "loaded %s\n", t)
 	}
 
 	w, err := datagen.NewCustomWorkload(datagen.CustomConfig{
@@ -71,42 +86,47 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("universal table: %d rows, %d cols; search space: %d entries\n",
+	fmt.Fprintf(info, "universal table: %d rows, %d cols; search space: %d entries\n",
 		w.Lake.Universal.NumRows(), w.Lake.Universal.NumCols(), w.Space.Size())
 	if *describe {
-		if err := w.Lake.Universal.WriteDescription(os.Stdout); err != nil {
+		if err := w.Lake.Universal.WriteDescription(info); err != nil {
 			fatal(err)
 		}
 	}
 
-	cfg := w.NewConfig(*surrogate)
-	opts := core.Options{N: *n, Eps: *eps, MaxLevel: *maxl, K: *k, Alpha: *alpha, Seed: 1}
-
-	var run func() (*core.Result, error)
-	switch *algo {
-	case "apx":
-		run = func() (*core.Result, error) { return core.ApxMODis(cfg, opts) }
-	case "bimodis":
-		run = func() (*core.Result, error) { return core.BiMODis(cfg, opts) }
-	case "nobimodis":
-		run = func() (*core.Result, error) { return core.NOBiMODis(cfg, opts) }
-	case "divmodis":
-		run = func() (*core.Result, error) { return core.DivMODis(cfg, opts) }
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	res, err := run()
+	opts := []modis.Option{
+		modis.WithBudget(*n),
+		modis.WithEpsilon(*eps),
+		modis.WithMaxLevel(*maxl),
+		modis.WithK(*k),
+		modis.WithAlpha(*alpha),
+		modis.WithSeed(1),
+	}
+	if *progress {
+		opts = append(opts, modis.WithProgress(func(ev modis.Event) {
+			fmt.Fprintf(os.Stderr, "progress: level=%d frontier=%d valuated=%d skyline=%d done=%v\n",
+				ev.Level, ev.Frontier, ev.Valuated, ev.SkylineSize, ev.Done)
+		}))
+	}
+
+	rep, err := modis.NewEngine(w.NewConfig(*surrogate)).Run(ctx, *algo, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("valuated %d states (%d exact model calls) in %v; skyline size %d\n",
-		res.Stats.Valuated, res.Stats.ExactCalls, res.Stats.Elapsed.Round(1e6), len(res.Skyline))
+	fmt.Fprintf(info, "valuated %d states (%d exact model calls) in %v; skyline size %d\n",
+		rep.Valuated, rep.ExactCalls, rep.Wall.Round(1e6), len(rep.Skyline))
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
-	for i, c := range res.Skyline {
+	for i, c := range rep.Skyline {
 		d := w.Space.Materialize(c.Bits)
 		path := filepath.Join(*outDir, fmt.Sprintf("skyline_%02d.csv", i+1))
 		f, err := os.Create(path)
@@ -118,11 +138,24 @@ func main() {
 			fatal(err)
 		}
 		f.Close()
-		fmt.Printf("  %s: perf=%v size=(%d,%d)\n", path, c.Perf, d.NumRows(), d.NumCols())
+		fmt.Fprintf(info, "  %s: perf=%v size=(%d,%d)\n", path, c.Perf, d.NumRows(), d.NumCols())
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
 	}
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "modis:", err)
+	msg := err.Error()
+	// Engine and option errors already carry the package prefix.
+	if !strings.HasPrefix(msg, "modis:") {
+		msg = "modis: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
 	os.Exit(1)
 }

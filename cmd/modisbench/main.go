@@ -5,11 +5,15 @@
 // Usage:
 //
 //	modisbench -exp all
-//	modisbench -exp table4_t2,fig8_eps
+//	modisbench -exp table4_t2,fig8_eps -timeout 10m
 //	modisbench -list
+//
+// Every experiment runs its searches through the public modis engine
+// (repro/modis) and honors the -timeout deadline via context.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +25,12 @@ import (
 type experiment struct {
 	id   string
 	desc string
-	run  func() ([]*exp.Report, error)
+	run  func(ctx context.Context) ([]*exp.Report, error)
 }
 
-func single(f func() (*exp.Report, error)) func() ([]*exp.Report, error) {
-	return func() ([]*exp.Report, error) {
-		r, err := f()
+func single(f func(ctx context.Context) (*exp.Report, error)) func(ctx context.Context) ([]*exp.Report, error) {
+	return func(ctx context.Context) ([]*exp.Report, error) {
+		r, err := f(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +62,15 @@ func experiments() []experiment {
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the selected experiments (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	all := experiments()
 	if *list {
@@ -79,7 +91,7 @@ func main() {
 		if !runAll && !want[e.id] {
 			continue
 		}
-		reports, err := e.run()
+		reports, err := e.run(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "modisbench: %s: %v\n", e.id, err)
 			os.Exit(1)

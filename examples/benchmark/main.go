@@ -7,12 +7,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/skyline"
+	"repro/modis"
 )
 
 func main() {
@@ -24,14 +25,14 @@ func main() {
 	w.Measures[0].Bounds = skyline.Bounds{Lower: 1e-3, Upper: 0.15}
 	w.Measures[5].Bounds = skyline.Bounds{Lower: 1e-3, Upper: 0.5}
 
-	cfg := w.NewConfig(true)
-	res, err := core.BiMODis(cfg, core.Options{N: 300, Eps: 0.1, MaxLevel: 6})
+	res, err := modis.NewEngine(w.NewConfig(true)).Run(context.Background(), "bi",
+		modis.WithBudget(300), modis.WithEpsilon(0.1), modis.WithMaxLevel(6))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("request: accuracy > 0.85 and training cost < 0.5x budget\n")
-	fmt.Printf("valuated %d states in %v\n\n", res.Stats.Valuated, res.Stats.Elapsed.Round(1e6))
+	fmt.Printf("valuated %d states in %v\n\n", res.Valuated, res.Wall.Round(1e6))
 
 	count := 0
 	for _, c := range res.Skyline {

@@ -9,16 +9,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/fst"
 	"repro/internal/ml"
 	"repro/internal/skyline"
 	"repro/internal/table"
+	"repro/modis"
 )
 
 func main() {
@@ -41,14 +42,15 @@ func main() {
 	w.Measures[2].Bounds = skyline.Bounds{Lower: 1e-3, Upper: 0.5}
 
 	cfg := w.NewConfig(true)
-	res, err := core.BiMODis(cfg, core.Options{N: 250, Eps: 0.1, MaxLevel: 6})
+	res, err := modis.NewEngine(cfg).Run(context.Background(), "bi",
+		modis.WithBudget(250), modis.WithEpsilon(0.1), modis.WithMaxLevel(6))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	orig, _ := cfg.Valuate(w.Space.FullBitmap())
 	fmt.Printf("original <RMSE, 1-R2, Ttrain> = %v\n", orig)
-	fmt.Printf("skyline answers within bounds (%d states valuated):\n", res.Stats.Valuated)
+	fmt.Printf("skyline answers within bounds (%d states valuated):\n", res.Valuated)
 	found := 0
 	for _, c := range res.Skyline {
 		if !cfg.WithinBounds(c.Perf) {

@@ -1,15 +1,16 @@
 // Quickstart: the minimal end-to-end MODis run. It builds a tiny data
 // lake, configures a gradient-boosting task with two measures (accuracy
 // and training cost), and generates an ε-skyline set of datasets with
-// BiMODis.
+// the bi-directional search through the public modis engine.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/modis"
 )
 
 func main() {
@@ -29,18 +30,31 @@ func main() {
 	fmt.Println()
 
 	// 2. NewConfig(true) wires the MO-GBM surrogate estimator, so most
-	//    states are valuated without re-training the model.
+	//    states are valuated without re-training the model. One engine
+	//    per configuration; runs honor context cancellation and stream
+	//    per-level progress.
 	cfg := w.NewConfig(true)
+	eng := modis.NewEngine(cfg)
 
 	// 3. Generate the ε-skyline set: datasets over which the model's
 	//    expected performance is Pareto-optimal within factor (1+ε).
-	res, err := core.BiMODis(cfg, core.Options{N: 200, Eps: 0.1, MaxLevel: 5})
+	res, err := eng.Run(context.Background(), "bi",
+		modis.WithBudget(200),
+		modis.WithEpsilon(0.1),
+		modis.WithMaxLevel(5),
+		modis.WithProgress(func(ev modis.Event) {
+			if !ev.Done {
+				fmt.Printf("  level %d: frontier=%d valuated=%d skyline=%d\n",
+					ev.Level, ev.Frontier, ev.Valuated, ev.SkylineSize)
+			}
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("\nvaluated %d states (%d exact model calls) in %v\n",
-		res.Stats.Valuated, res.Stats.ExactCalls, res.Stats.Elapsed.Round(1e6))
+		res.Valuated, res.ExactCalls, res.Wall.Round(1e6))
 	fmt.Printf("ε-skyline set (%d datasets):\n", len(res.Skyline))
 	for i, c := range res.Skyline {
 		d := w.Space.Materialize(c.Bits)

@@ -7,11 +7,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/modis"
 )
 
 func main() {
@@ -31,15 +32,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := core.DivMODis(cfg, core.Options{
-		N: 200, Eps: 0.1, MaxLevel: 5, K: 4, Alpha: 0.5, Seed: 1,
-	})
+	res, err := modis.NewEngine(cfg).Run(context.Background(), "div",
+		modis.WithBudget(200),
+		modis.WithEpsilon(0.1),
+		modis.WithMaxLevel(5),
+		modis.WithK(4),
+		modis.WithAlpha(0.5),
+		modis.WithSeed(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("valuated %d states in %v; diversified skyline size %d\n\n",
-		res.Stats.Valuated, res.Stats.Elapsed.Round(1e6), len(res.Skyline))
+		res.Valuated, res.Wall.Round(1e6), len(res.Skyline))
 
 	names := make([]string, len(w.Measures))
 	for i, m := range w.Measures {

@@ -1,28 +1,44 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/baselines"
-	"repro/internal/core"
 	"repro/internal/datagen"
-	"repro/internal/fst"
 	"repro/internal/skyline"
+	"repro/modis"
 )
 
 // The integration tests assert the paper's comparative shapes end to end
 // on small workloads: MODis improves the input model on the selected
 // measure, outputs valid ε-skylines, and the algorithm variants behave
-// as documented relative to each other.
+// as documented relative to each other. All discovery runs go through
+// the public modis engine — internal/core is not imported here.
 
-func smallOpts() core.Options {
-	return core.Options{N: 120, Eps: 0.1, MaxLevel: 5, Seed: 1}
+func smallOpts() []modis.Option {
+	return []modis.Option{
+		modis.WithBudget(120),
+		modis.WithEpsilon(0.1),
+		modis.WithMaxLevel(5),
+		modis.WithSeed(1),
+	}
 }
 
-func bestActual(t *testing.T, w *datagen.Workload, res *core.Result, idx int) skyline.Vector {
+func run(t *testing.T, w *datagen.Workload, algo string, opts ...modis.Option) *modis.Report {
+	t.Helper()
+	rep, err := modis.NewEngine(w.NewConfig(true)).Run(context.Background(), algo,
+		append(smallOpts(), opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func bestActual(t *testing.T, w *datagen.Workload, rep *modis.Report, idx int) skyline.Vector {
 	t.Helper()
 	var best skyline.Vector
-	for _, c := range res.Skyline {
+	for _, c := range rep.Skyline {
 		out := w.Space.Materialize(c.Bits)
 		perf, err := baselines.EvalTable(w, out)
 		if err != nil {
@@ -52,12 +68,8 @@ func TestMODisImprovesEveryTask(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			cfg := tk.w.NewConfig(true)
-			res, err := core.BiMODis(cfg, smallOpts())
-			if err != nil {
-				t.Fatal(err)
-			}
-			best := bestActual(t, tk.w, res, 0)
+			rep := run(t, tk.w, "bi")
+			best := bestActual(t, tk.w, rep, 0)
 			if best == nil {
 				t.Fatal("empty skyline")
 			}
@@ -75,12 +87,8 @@ func TestMODisBeatsFeatureSelectionOnQuality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := w.NewConfig(true)
-	res, err := core.BiMODis(cfg, smallOpts())
-	if err != nil {
-		t.Fatal(err)
-	}
-	best := bestActual(t, w, res, 0)
+	rep := run(t, w, "bi")
+	best := bestActual(t, w, rep, 0)
 	// Feature selection cannot remove the corrupted rows, MODis can: the
 	// discovered dataset must be at least as good on F1.
 	if best[0] > sk.Perf[0] {
@@ -94,12 +102,8 @@ func TestGraphTaskEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := w.NewConfig(true)
-	res, err := core.ApxMODis(cfg, smallOpts())
-	if err != nil {
-		t.Fatal(err)
-	}
-	best := bestActual(t, w, res, 0)
+	rep := run(t, w, "apx")
+	best := bestActual(t, w, rep, 0)
 	if best == nil {
 		t.Fatal("empty skyline")
 	}
@@ -110,25 +114,26 @@ func TestGraphTaskEndToEnd(t *testing.T) {
 
 func TestSurrogateReducesExactCalls(t *testing.T) {
 	w := datagen.T1Movie(datagen.TaskConfig{Rows: 140})
-	withSur := w.NewConfig(true)
-	if _, err := core.ApxMODis(withSur, smallOpts()); err != nil {
+	ctx := context.Background()
+	withSur, err := modis.NewEngine(w.NewConfig(true)).Run(ctx, "apx", smallOpts()...)
+	if err != nil {
 		t.Fatal(err)
 	}
-	exact := w.NewConfig(false)
-	if _, err := core.ApxMODis(exact, smallOpts()); err != nil {
+	exact, err := modis.NewEngine(w.NewConfig(false)).Run(ctx, "apx", smallOpts()...)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if withSur.ExactCalls() >= exact.ExactCalls() {
+	if withSur.ExactCalls >= exact.ExactCalls {
 		t.Errorf("surrogate exact calls %d should be below exact-only %d",
-			withSur.ExactCalls(), exact.ExactCalls())
+			withSur.ExactCalls, exact.ExactCalls)
 	}
 }
 
 func TestEpsSkylinePropertyEndToEnd(t *testing.T) {
 	w := datagen.T3Avocado(datagen.TaskConfig{Rows: 140})
 	cfg := w.NewConfig(false) // exact valuations: the property is over T
-	opts := smallOpts()
-	res, err := core.ApxMODis(cfg, opts)
+	eng := modis.NewEngine(cfg)
+	rep, err := eng.Run(context.Background(), "apx", smallOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,40 +141,34 @@ func TestEpsSkylinePropertyEndToEnd(t *testing.T) {
 	for _, tst := range cfg.Tests.All() {
 		all = append(all, tst.Perf)
 	}
+	out := make([]skyline.Vector, 0, len(rep.Skyline))
+	for _, v := range rep.Vectors() {
+		out = append(out, skyline.Vector(v))
+	}
 	// The search-grid members jointly eps-cover the valuated states; the
 	// output set additionally satisfies the bounds. With default bounds
 	// (upper = 1) both coincide.
-	if !skyline.IsEpsSkylineOf(res.Vectors(), all, opts.Eps) {
+	if !skyline.IsEpsSkylineOf(out, all, rep.Options.Epsilon) {
 		t.Error("output is not an ε-skyline of the valuated states")
 	}
 }
 
 func TestDivMODisDiversityExceedsBiMODis(t *testing.T) {
-	mk := func() (*datagen.Workload, *fst.Config) {
-		w := datagen.T1Movie(datagen.TaskConfig{Rows: 140})
-		return w, w.NewConfig(true)
+	mk := func() *datagen.Workload {
+		return datagen.T1Movie(datagen.TaskConfig{Rows: 140})
 	}
-	opts := smallOpts()
-	opts.K = 3
-	opts.Alpha = 0.9 // strongly favor content diversity
+	// Strongly favor content diversity.
+	extra := []modis.Option{modis.WithK(3), modis.WithAlpha(0.9)}
 
-	_, cfgBi := mk()
-	resBi, err := core.BiMODis(cfgBi, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, cfgDiv := mk()
-	resDiv, err := core.DivMODis(cfgDiv, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
+	resBi := run(t, mk(), "bi", extra...)
+	resDiv := run(t, mk(), "div", extra...)
 	// Average pairwise distance of the diversified set should not trail
 	// the plain bi-directional skyline's.
-	avg := func(cs []*core.Candidate) float64 {
+	avg := func(cs []*modis.Candidate) float64 {
 		if len(cs) < 2 {
 			return 0
 		}
-		return core.Div(cs, opts.Alpha, 1) * 2 / float64(len(cs)*(len(cs)-1))
+		return modis.Diversity(cs, 0.9, 1) * 2 / float64(len(cs)*(len(cs)-1))
 	}
 	if len(resDiv.Skyline) >= 2 && len(resBi.Skyline) >= 2 {
 		if avg(resDiv.Skyline) < avg(resBi.Skyline)*0.8 {
@@ -182,14 +181,30 @@ func TestDivMODisDiversityExceedsBiMODis(t *testing.T) {
 func TestBoundedDiscoveryRespectsBounds(t *testing.T) {
 	w := datagen.T4Mental(datagen.TaskConfig{Rows: 160})
 	w.Measures[0].Bounds = skyline.Bounds{Lower: 1e-3, Upper: 0.3}
-	cfg := w.NewConfig(true)
-	res, err := core.BiMODis(cfg, smallOpts())
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, c := range res.Skyline {
+	rep := run(t, w, "bi")
+	for _, c := range rep.Skyline {
 		if c.Perf[0] > 0.3 {
 			t.Errorf("skyline member violates the pAcc bound: %v", c.Perf)
 		}
+	}
+}
+
+// TestCancelledRunLeavesEngineReusable asserts the serving-relevant
+// contract end to end: a cancelled run returns context.Canceled and the
+// same engine still answers the next (uncancelled) run.
+func TestCancelledRunLeavesEngineReusable(t *testing.T) {
+	w := datagen.T1Movie(datagen.TaskConfig{Rows: 140})
+	eng := modis.NewEngine(w.NewConfig(true))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Run(ctx, "bi", smallOpts()...); err != context.Canceled {
+		t.Fatalf("cancelled run err = %v, want context.Canceled", err)
+	}
+	rep, err := eng.Run(context.Background(), "bi", smallOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Skyline) == 0 {
+		t.Fatal("engine unusable after a cancelled run")
 	}
 }

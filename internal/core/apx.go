@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,8 +13,13 @@ import (
 // children level by level, valuates each through the configuration's
 // estimator-backed Valuate, and maintains the ε-skyline set with
 // procedure UPareto until N states are valuated or the space (bounded by
-// MaxLevel) is exhausted.
-func ApxMODis(cfg *fst.Config, opts Options) (*Result, error) {
+// MaxLevel) is exhausted. The context is checked at frontier-pop
+// and child-valuation granularity: cancellation or deadline expiry
+// aborts the search and returns ctx.Err() with no partial result.
+func ApxMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("core: ApxMODis: %w", err)
@@ -41,6 +47,9 @@ func ApxMODis(cfg *fst.Config, opts Options) (*Result, error) {
 	maxLevel := 0
 
 	for queue.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if opts.N > 0 && cfg.Valuations() >= opts.N {
 			break
 		}
@@ -49,6 +58,9 @@ func ApxMODis(cfg *fst.Config, opts Options) (*Result, error) {
 			continue
 		}
 		for _, child := range fst.OpGen(s, fst.Forward) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if opts.N > 0 && cfg.Valuations() >= opts.N {
 				break
 			}
@@ -64,6 +76,7 @@ func ApxMODis(cfg *fst.Config, opts Options) (*Result, error) {
 			child.Perf = cp
 			if child.Level > maxLevel {
 				maxLevel = child.Level
+				opts.emit("apx", maxLevel, queue.Len(), cfg.Valuations(), g.size(), false)
 			}
 			if rg != nil {
 				rg.AddEdge(s, rg.AddNode(child), child.Via, fst.Forward)
@@ -79,6 +92,7 @@ func ApxMODis(cfg *fst.Config, opts Options) (*Result, error) {
 		}
 	}
 
+	opts.emit("apx", maxLevel, queue.Len(), cfg.Valuations(), g.size(), true)
 	return &Result{
 		Skyline: g.finalize(),
 		Stats: RunStats{

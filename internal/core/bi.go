@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -103,11 +104,20 @@ func canPrune(members []*Candidate, lo skyline.Vector, eps float64) bool {
 // frontier augments from the back state s_b (procedure BackSt); both
 // update the shared ε-skyline set via UPareto. Correlation-based pruning
 // (unless disabled) skips valuating states whose parameterized range is
-// already ε-dominated.
-func BiMODis(cfg *fst.Config, opts Options) (*Result, error) {
+// already ε-dominated. The context is checked at frontier-pop
+// and child-valuation granularity: cancellation or deadline expiry
+// aborts the search and returns ctx.Err() with no partial result.
+func BiMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("core: BiMODis: %w", err)
+	}
+	algo := "bi"
+	if opts.DisablePrune {
+		algo = "nobi"
 	}
 	start := time.Now()
 	nm := len(cfg.Measures)
@@ -142,6 +152,9 @@ func BiMODis(cfg *fst.Config, opts Options) (*Result, error) {
 			gc = buildCorrGraph(cfg.Tests.Columns(nm), opts.Theta)
 		}
 		for _, child := range fst.OpGen(s, dir) {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
 			if budget() {
 				break
 			}
@@ -170,6 +183,7 @@ func BiMODis(cfg *fst.Config, opts Options) (*Result, error) {
 			child.Perf = perf
 			if child.Level > maxLevel {
 				maxLevel = child.Level
+				opts.emit(algo, maxLevel, qf.Len()+qb.Len(), cfg.Valuations(), g.size(), false)
 			}
 			// Skyline-guided expansion under a budget; exhaustive when
 			// unbudgeted (see ApxMODis).
@@ -184,6 +198,9 @@ func BiMODis(cfg *fst.Config, opts Options) (*Result, error) {
 	// budget is spent, or the frontiers meet (a full path s_U → s_b is
 	// formed), per Section 5.3.
 	for (qf.Len() > 0 || qb.Len() > 0) && !budget() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var met bool
 		if qf.Len() > 0 {
 			sf := qf.pop()
@@ -216,6 +233,7 @@ func BiMODis(cfg *fst.Config, opts Options) (*Result, error) {
 		}
 	}
 
+	opts.emit(algo, maxLevel, qf.Len()+qb.Len(), cfg.Valuations(), g.size(), true)
 	return &Result{
 		Skyline: g.finalize(),
 		Stats: RunStats{
@@ -230,7 +248,7 @@ func BiMODis(cfg *fst.Config, opts Options) (*Result, error) {
 
 // NOBiMODis is BiMODis without correlation-based pruning, the ablation
 // used throughout the paper's experiments.
-func NOBiMODis(cfg *fst.Config, opts Options) (*Result, error) {
+func NOBiMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error) {
 	opts.DisablePrune = true
-	return BiMODis(cfg, opts)
+	return BiMODis(ctx, cfg, opts)
 }

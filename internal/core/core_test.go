@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fst"
@@ -68,7 +69,7 @@ func newTestConfig(t *testing.T, nMeasures int) *fst.Config {
 
 func TestApxMODisProducesEpsSkyline(t *testing.T) {
 	cfg := newTestConfig(t, 2)
-	res, err := ApxMODis(cfg, Options{N: 80, Eps: 0.2, MaxLevel: 4})
+	res, err := ApxMODis(context.Background(), cfg, Options{N: 80, Eps: 0.2, MaxLevel: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestApxMODisProducesEpsSkyline(t *testing.T) {
 
 func TestApxMODisRespectsBudget(t *testing.T) {
 	cfg := newTestConfig(t, 2)
-	res, err := ApxMODis(cfg, Options{N: 10, Eps: 0.2})
+	res, err := ApxMODis(context.Background(), cfg, Options{N: 10, Eps: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestApxMODisRespectsBudget(t *testing.T) {
 
 func TestApxMODisRespectsMaxLevel(t *testing.T) {
 	cfg := newTestConfig(t, 2)
-	res, err := ApxMODis(cfg, Options{N: 10000, Eps: 0.2, MaxLevel: 2})
+	res, err := ApxMODis(context.Background(), cfg, Options{N: 10000, Eps: 0.2, MaxLevel: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestApxMODisRespectsMaxLevel(t *testing.T) {
 
 func TestApxMODisFindsTradeoff(t *testing.T) {
 	cfg := newTestConfig(t, 2)
-	res, err := ApxMODis(cfg, Options{N: 200, Eps: 0.1, MaxLevel: 5})
+	res, err := ApxMODis(context.Background(), cfg, Options{N: 200, Eps: 0.1, MaxLevel: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestApxMODisFindsTradeoff(t *testing.T) {
 
 func TestBiMODisProducesEpsSkyline(t *testing.T) {
 	cfg := newTestConfig(t, 2)
-	res, err := BiMODis(cfg, Options{N: 120, Eps: 0.2, MaxLevel: 4})
+	res, err := BiMODis(context.Background(), cfg, Options{N: 120, Eps: 0.2, MaxLevel: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestBiMODisProducesEpsSkyline(t *testing.T) {
 
 func TestNOBiMODisNeverPrunes(t *testing.T) {
 	cfg := newTestConfig(t, 2)
-	res, err := NOBiMODis(cfg, Options{N: 100, Eps: 0.2, MaxLevel: 3})
+	res, err := NOBiMODis(context.Background(), cfg, Options{N: 100, Eps: 0.2, MaxLevel: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestNOBiMODisNeverPrunes(t *testing.T) {
 
 func TestBiMODisBackwardReachesSmallStates(t *testing.T) {
 	cfg := newTestConfig(t, 2)
-	res, err := BiMODis(cfg, Options{N: 150, Eps: 0.15, MaxLevel: 4})
+	res, err := BiMODis(context.Background(), cfg, Options{N: 150, Eps: 0.15, MaxLevel: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestBiMODisBackwardReachesSmallStates(t *testing.T) {
 
 func TestDivMODisRespectsK(t *testing.T) {
 	cfg := newTestConfig(t, 2)
-	res, err := DivMODis(cfg, Options{N: 150, Eps: 0.05, MaxLevel: 4, K: 3, Alpha: 0.5, Seed: 1})
+	res, err := DivMODis(context.Background(), cfg, Options{N: 150, Eps: 0.05, MaxLevel: 4, K: 3, Alpha: 0.5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -103,7 +104,13 @@ func diversifyStep(set []*Candidate, k int, alpha, eucMax float64, rng *rand.Ran
 // diversification of Section 5.4: after each frontier expansion the
 // ε-skyline set is restricted to a k-subset maximizing the submodular
 // diversification score Div, achieving a 1/4-approximation (Lemma 5).
-func DivMODis(cfg *fst.Config, opts Options) (*Result, error) {
+// The context is checked at frontier-pop and child-valuation
+// granularity: cancellation or deadline expiry aborts the search and
+// returns ctx.Err() with no partial result.
+func DivMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("core: DivMODis: %w", err)
@@ -134,6 +141,9 @@ func DivMODis(cfg *fst.Config, opts Options) (*Result, error) {
 	expand := func(s *fst.State, dir fst.Direction, visited map[fst.StateKey]bool) ([]*fst.State, error) {
 		var next []*fst.State
 		for _, child := range fst.OpGen(s, dir) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if budget() {
 				break
 			}
@@ -149,6 +159,7 @@ func DivMODis(cfg *fst.Config, opts Options) (*Result, error) {
 			child.Perf = perf
 			if child.Level > maxLevel {
 				maxLevel = child.Level
+				opts.emit("div", maxLevel, qf.Len()+qb.Len(), cfg.Valuations(), g.size(), false)
 			}
 			// Skyline-guided expansion, as in ApxMODis/BiMODis.
 			if g.upareto(child.Bits, perf) || opts.N == 0 {
@@ -159,6 +170,9 @@ func DivMODis(cfg *fst.Config, opts Options) (*Result, error) {
 	}
 
 	for (qf.Len() > 0 || qb.Len() > 0) && !budget() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if qf.Len() > 0 {
 			sf := qf.pop()
 			if opts.MaxLevel == 0 || sf.Level < opts.MaxLevel {
@@ -190,6 +204,7 @@ func DivMODis(cfg *fst.Config, opts Options) (*Result, error) {
 		}
 	}
 
+	opts.emit("div", maxLevel, qf.Len()+qb.Len(), cfg.Valuations(), g.size(), true)
 	return &Result{
 		Skyline: g.finalize(),
 		Stats: RunStats{

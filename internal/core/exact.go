@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,7 +15,13 @@ import (
 // valuates each dataset, and computes the exact skyline with Kung's
 // algorithm. Exponential in the space size — use only on small spaces,
 // e.g. to validate the (N, ε)-approximations in tests and ablations.
-func ExactMODis(cfg *fst.Config, opts Options) (*Result, error) {
+// The context is checked at frontier-pop and child-valuation
+// granularity: cancellation or deadline expiry aborts the search and
+// returns ctx.Err() with no partial result.
+func ExactMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("core: ExactMODis: %w", err)
@@ -38,6 +45,9 @@ func ExactMODis(cfg *fst.Config, opts Options) (*Result, error) {
 	visited := map[fst.StateKey]bool{su.Key(): true}
 	maxLevel := 0
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if opts.N > 0 && cfg.Valuations() >= opts.N {
 			break
 		}
@@ -47,6 +57,9 @@ func ExactMODis(cfg *fst.Config, opts Options) (*Result, error) {
 			continue
 		}
 		for _, child := range fst.OpGen(s, fst.Forward) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if opts.N > 0 && cfg.Valuations() >= opts.N {
 				break
 			}
@@ -62,6 +75,9 @@ func ExactMODis(cfg *fst.Config, opts Options) (*Result, error) {
 			child.Perf = cp
 			if child.Level > maxLevel {
 				maxLevel = child.Level
+				if opts.Progress != nil {
+					opts.emit("exact", maxLevel, len(queue), cfg.Valuations(), incumbentSkyline(all), false)
+				}
 			}
 			if withinBounds(cp) {
 				all = append(all, &Candidate{Bits: child.Bits.Clone(), Perf: cp.Clone()})
@@ -82,6 +98,7 @@ func ExactMODis(cfg *fst.Config, opts Options) (*Result, error) {
 		out = append(out, all[i])
 	}
 
+	opts.emit("exact", maxLevel, 0, cfg.Valuations(), len(out), true)
 	return &Result{
 		Skyline: out,
 		Stats: RunStats{
@@ -91,4 +108,15 @@ func ExactMODis(cfg *fst.Config, opts Options) (*Result, error) {
 			Elapsed:    time.Since(start),
 		},
 	}, nil
+}
+
+// incumbentSkyline is the current exact-skyline cardinality of the
+// accumulated candidates — computed only when a progress hook wants it,
+// at level-advance granularity, so exhaustive runs stay cheap.
+func incumbentSkyline(all []*Candidate) int {
+	vs := make([]skyline.Vector, len(all))
+	for i, c := range all {
+		vs[i] = c.Perf
+	}
+	return len(skyline.Skyline(vs))
 }

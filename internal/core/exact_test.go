@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestExactMODisComputesTrueSkyline(t *testing.T) {
 	cfg := newTestConfig(t, 2)
-	res, err := ExactMODis(cfg, Options{Eps: 0.1, MaxLevel: 3})
+	res, err := ExactMODis(context.Background(), cfg, Options{Eps: 0.1, MaxLevel: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,12 +38,12 @@ func TestExactMODisComputesTrueSkyline(t *testing.T) {
 func TestApxCoversExactWithinEps(t *testing.T) {
 	eps := 0.2
 	exactCfg := newTestConfig(t, 2)
-	exact, err := ExactMODis(exactCfg, Options{Eps: eps, MaxLevel: 3})
+	exact, err := ExactMODis(context.Background(), exactCfg, Options{Eps: eps, MaxLevel: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	apxCfg := newTestConfig(t, 2)
-	apx, err := ApxMODis(apxCfg, Options{Eps: eps, MaxLevel: 3})
+	apx, err := ApxMODis(context.Background(), apxCfg, Options{Eps: eps, MaxLevel: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,12 +65,12 @@ func TestApxCoversExactWithinEps(t *testing.T) {
 // the same bounded space (the point of the approximation).
 func TestApxValuatesNoMoreThanExact(t *testing.T) {
 	exactCfg := newTestConfig(t, 2)
-	exact, err := ExactMODis(exactCfg, Options{Eps: 0.2, MaxLevel: 3})
+	exact, err := ExactMODis(context.Background(), exactCfg, Options{Eps: 0.2, MaxLevel: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	apxCfg := newTestConfig(t, 2)
-	apx, err := ApxMODis(apxCfg, Options{Eps: 0.2, MaxLevel: 3})
+	apx, err := ApxMODis(context.Background(), apxCfg, Options{Eps: 0.2, MaxLevel: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestApxValuatesNoMoreThanExact(t *testing.T) {
 // Lemma 2 correspondence executable-y.
 func TestMOSPBridgeTelescopes(t *testing.T) {
 	cfg := newTestConfig(t, 2)
-	res, err := ApxMODis(cfg, Options{Eps: 0.2, MaxLevel: 3, RecordGraph: true})
+	res, err := ApxMODis(context.Background(), cfg, Options{Eps: 0.2, MaxLevel: 3, RecordGraph: true})
 	if err != nil {
 		t.Fatal(err)
 	}

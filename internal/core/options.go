@@ -54,6 +54,45 @@ type Options struct {
 	// RecordGraph captures the running graph G_T (nodes and transition
 	// edges) in the result, for analysis and the MOSP reduction.
 	RecordGraph bool
+	// Progress, when non-nil, receives streaming snapshots of the running
+	// search: one event whenever the search reaches a deeper level and a
+	// final event (Done=true) when the run terminates. The callback runs
+	// synchronously on the search goroutine — keep it cheap.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is a streaming snapshot of a running search, delivered
+// through Options.Progress.
+type ProgressEvent struct {
+	// Algorithm is the emitting algorithm ("apx", "bi", "nobi", "div",
+	// "exact").
+	Algorithm string
+	// Level is the deepest operator-path length reached so far.
+	Level int
+	// Frontier is the number of states currently queued across all
+	// frontiers.
+	Frontier int
+	// Valuated is the number of valuations used so far.
+	Valuated int
+	// SkylineSize is the size of the incumbent ε-skyline set.
+	SkylineSize int
+	// Done marks the final event of a run.
+	Done bool
+}
+
+// emit delivers a progress snapshot if a hook is installed.
+func (o *Options) emit(algo string, level, frontier, valuated, skyline int, done bool) {
+	if o.Progress == nil {
+		return
+	}
+	o.Progress(ProgressEvent{
+		Algorithm:   algo,
+		Level:       level,
+		Frontier:    frontier,
+		Valuated:    valuated,
+		SkylineSize: skyline,
+		Done:        done,
+	})
 }
 
 func (o Options) withDefaults() Options {

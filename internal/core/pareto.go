@@ -121,6 +121,9 @@ func (g *grid) upareto(bits fst.Bitmap, perf skyline.Vector) bool {
 	return entered
 }
 
+// size is the current output-skyline cardinality (progress reporting).
+func (g *grid) size() int { return len(g.cells) }
+
 // members returns the current skyline candidates in no particular order.
 func (g *grid) members() []*Candidate {
 	out := make([]*Candidate, 0, len(g.cells))

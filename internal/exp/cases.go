@@ -1,12 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baselines"
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/skyline"
+	"repro/modis"
 )
 
 // Case1 reproduces the first case study of Exp-4: "find data with
@@ -14,7 +15,7 @@ import (
 // material-science task) seeks datasets improving accuracy, training
 // cost and F1 simultaneously; BiMODis' skyline is compared with METAM
 // optimizing F1 alone.
-func Case1() (*Report, error) {
+func Case1(ctx context.Context) (*Report, error) {
 	w := datagen.T2House(datagen.TaskConfig{Rows: 240, Seed: 77})
 	rep := &Report{
 		Title:  "Case study 1: discover datasets for peak classification (BiMODis skyline vs METAM)",
@@ -29,8 +30,7 @@ func Case1() (*Report, error) {
 		fmt.Sprintf("%.4f", orig[0]), fmt.Sprintf("%.4f", orig[1]), fmt.Sprintf("%.4f", orig[2]),
 		fmt.Sprintf("(%d,%d)", w.Lake.Universal.NumRows(), w.Lake.Universal.NumCols())})
 
-	cfg := w.NewConfig(true)
-	res, err := core.BiMODis(cfg, MODisOptions())
+	res, err := modis.NewEngine(w.NewConfig(true)).Run(ctx, "bi", modisOptions(MODisOptions())...)
 	if err != nil {
 		return nil, err
 	}
@@ -69,15 +69,14 @@ func Case1() (*Report, error) {
 // benchmarking under explicit performance bounds ("accuracy > 0.85 and
 // training cost < budget"). BiMODis is configured with the bounds as
 // measure ranges; the report lists the generated candidate datasets.
-func Case2() (*Report, error) {
+func Case2(ctx context.Context) (*Report, error) {
 	w := datagen.T4Mental(datagen.TaskConfig{Rows: 240, Seed: 88})
 	// Bounds: normalized p_Acc = 1-acc must be <= 0.15 (acc > 0.85);
 	// normalized training cost <= 0.5 of the universal-table cost.
 	w.Measures[0].Bounds = skyline.Bounds{Lower: 1e-3, Upper: 0.15}
 	w.Measures[5].Bounds = skyline.Bounds{Lower: 1e-3, Upper: 0.5}
 
-	cfg := w.NewConfig(true)
-	res, err := core.BiMODis(cfg, MODisOptions())
+	res, err := modis.NewEngine(w.NewConfig(true)).Run(ctx, "bi", modisOptions(MODisOptions())...)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/fst"
 	"repro/internal/skyline"
 	"repro/internal/table"
+	"repro/modis"
 )
 
 // MethodResult is one method's outcome on a workload: the actual
@@ -77,22 +79,59 @@ func MODisOptions() core.Options {
 	return core.Options{N: 300, Eps: 0.1, MaxLevel: 6, Seed: 1}
 }
 
-// runMODis executes one MODis algorithm, materializes the skyline table
-// with the best value on selectIdx (the paper selects by the task's
-// first measure for cross-method comparison), and re-tests it with real
-// model inference.
-func runMODis(w *datagen.Workload, name string,
-	algo func(cfg *fst.Config, opts core.Options) (*core.Result, error),
+// modisOptions bridges the experiment sweeps' core.Options literals
+// (zero value = default, sentinel-encoded extremes) onto the public
+// engine's functional options.
+func modisOptions(o core.Options) []modis.Option {
+	opts := []modis.Option{modis.WithSeed(o.Seed)}
+	if o.N > 0 {
+		opts = append(opts, modis.WithBudget(o.N))
+	}
+	if o.Eps > 0 {
+		opts = append(opts, modis.WithEpsilon(o.Eps))
+	}
+	if o.MaxLevel > 0 {
+		opts = append(opts, modis.WithMaxLevel(o.MaxLevel))
+	}
+	if o.K > 0 {
+		opts = append(opts, modis.WithK(o.K))
+	}
+	switch {
+	case o.Alpha == core.AlphaZero:
+		opts = append(opts, modis.WithAlpha(0))
+	case o.Alpha > 0:
+		opts = append(opts, modis.WithAlpha(o.Alpha))
+	}
+	if o.Theta > 0 {
+		opts = append(opts, modis.WithTheta(o.Theta))
+	}
+	if o.DisablePrune {
+		opts = append(opts, modis.WithoutPruning())
+	}
+	switch {
+	case o.Decisive == core.DecisiveFirst:
+		opts = append(opts, modis.WithDecisive(0))
+	case o.Decisive > 0:
+		opts = append(opts, modis.WithDecisive(o.Decisive))
+	}
+	if o.RecordGraph {
+		opts = append(opts, modis.WithRecordGraph())
+	}
+	return opts
+}
+
+// runMODis executes one MODis algorithm through the public engine,
+// materializes the skyline table with the best value on selectIdx (the
+// paper selects by the task's first measure for cross-method
+// comparison), and re-tests it with real model inference.
+func runMODis(ctx context.Context, w *datagen.Workload, name, key string,
 	opts core.Options, selectIdx int) (*MethodResult, error) {
 
-	cfg := w.NewConfig(true)
-	start := time.Now()
-	res, err := algo(cfg, opts)
+	rep, err := modis.NewEngine(w.NewConfig(true)).Run(ctx, key, modisOptions(opts)...)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s on %s: %w", name, w.Name, err)
 	}
-	elapsed := time.Since(start)
-	if len(res.Skyline) == 0 {
+	if len(rep.Skyline) == 0 {
 		return nil, fmt.Errorf("exp: %s on %s: empty skyline", name, w.Name)
 	}
 	// The skyline is small; verify every member with real model
@@ -101,7 +140,7 @@ func runMODis(w *datagen.Workload, name string,
 	// report actual performance values").
 	var bestPerf skyline.Vector
 	var bestRows, bestCols int
-	for _, c := range res.Skyline {
+	for _, c := range rep.Skyline {
 		out := w.Space.Materialize(c.Bits)
 		perf, err := baselines.EvalTable(w, out)
 		if err != nil {
@@ -117,15 +156,15 @@ func runMODis(w *datagen.Workload, name string,
 		Perf:        bestPerf,
 		Rows:        bestRows,
 		Cols:        bestCols,
-		Elapsed:     elapsed,
-		SkylineSize: len(res.Skyline),
-		Valuated:    res.Stats.Valuated,
+		Elapsed:     rep.Wall,
+		SkylineSize: len(rep.Skyline),
+		Valuated:    rep.Valuated,
 	}, nil
 }
 
 // RunAllMethods evaluates Original, the baselines, and the four MODis
 // algorithms on a workload, the setting of Tables 4-6.
-func RunAllMethods(w *datagen.Workload, opts core.Options, selectIdx int) ([]*MethodResult, error) {
+func RunAllMethods(ctx context.Context, w *datagen.Workload, opts core.Options, selectIdx int) ([]*MethodResult, error) {
 	var out []*MethodResult
 
 	orig, err := baselines.EvalTable(w, w.Lake.Universal)
@@ -165,7 +204,7 @@ func RunAllMethods(w *datagen.Workload, opts core.Options, selectIdx int) ([]*Me
 	}
 
 	for _, m := range modisMethods() {
-		r, err := runMODis(w, m.name, m.algo, opts, selectIdx)
+		r, err := runMODis(ctx, w, m.name, m.key, opts, selectIdx)
 		if err != nil {
 			return nil, err
 		}
@@ -174,23 +213,26 @@ func RunAllMethods(w *datagen.Workload, opts core.Options, selectIdx int) ([]*Me
 	return out, nil
 }
 
+// modisMethod pairs a display name with the engine registry key that
+// runs it — the registry replaces the per-consumer function-pointer
+// tables the binaries used to carry.
 type modisMethod struct {
 	name string
-	algo func(cfg *fst.Config, opts core.Options) (*core.Result, error)
+	key  string
 }
 
 func modisMethods() []modisMethod {
 	return []modisMethod{
-		{"ApxMODis", core.ApxMODis},
-		{"NOBiMODis", core.NOBiMODis},
-		{"BiMODis", core.BiMODis},
-		{"DivMODis", core.DivMODis},
+		{"ApxMODis", "apx"},
+		{"NOBiMODis", "nobi"},
+		{"BiMODis", "bi"},
+		{"DivMODis", "div"},
 	}
 }
 
 // RunMODisOnly evaluates just the four MODis algorithms (Table 5's
 // setting for T5).
-func RunMODisOnly(w *datagen.Workload, opts core.Options, selectIdx int) ([]*MethodResult, error) {
+func RunMODisOnly(ctx context.Context, w *datagen.Workload, opts core.Options, selectIdx int) ([]*MethodResult, error) {
 	orig, err := baselines.EvalTable(w, w.Lake.Universal)
 	if err != nil {
 		return nil, err
@@ -202,7 +244,7 @@ func RunMODisOnly(w *datagen.Workload, opts core.Options, selectIdx int) ([]*Met
 		Cols:   w.Lake.Universal.NumCols(),
 	}}
 	for _, m := range modisMethods() {
-		r, err := runMODis(w, m.name, m.algo, opts, selectIdx)
+		r, err := runMODis(ctx, w, m.name, m.key, opts, selectIdx)
 		if err != nil {
 			return nil, err
 		}
@@ -269,7 +311,7 @@ func BestOf(results []*MethodResult, idx int) *MethodResult {
 // surviving literal entries per attribute — the content-diversity
 // heatmap of Fig. 9(b). It returns the per-attribute percentages sorted
 // by attribute name and their standard deviation.
-func adomContribution(w *datagen.Workload, cands []*core.Candidate) (attrs []string, pct []float64, std float64) {
+func adomContribution(w *datagen.Workload, cands []*modis.Candidate) (attrs []string, pct []float64, std float64) {
 	perAttr := map[string]float64{}
 	var total float64
 	for _, c := range cands {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/fst"
 	"repro/internal/skyline"
+	"repro/modis"
 )
 
 func TestReportString(t *testing.T) {
@@ -57,7 +59,7 @@ func TestBestOf(t *testing.T) {
 func TestAdomContribution(t *testing.T) {
 	w := datagen.T1Movie(datagen.TaskConfig{Rows: 100})
 	full := w.Space.FullBitmap()
-	cands := []*core.Candidate{{Bits: full, Perf: skyline.Vector{0.5, 0.5, 0.5, 0.5}}}
+	cands := []*modis.Candidate{{Bits: full, Perf: []float64{0.5, 0.5, 0.5, 0.5}}}
 	attrs, pct, std := adomContribution(w, cands)
 	if len(attrs) == 0 || len(pct) != len(attrs) {
 		t.Fatal("no contributions computed")
@@ -80,7 +82,7 @@ func TestRunMODisOnlySmoke(t *testing.T) {
 	}
 	w := datagen.T3Avocado(datagen.TaskConfig{Rows: 120})
 	opts := core.Options{N: 60, Eps: 0.2, MaxLevel: 3, Seed: 1}
-	rs, err := RunMODisOnly(w, opts, 0)
+	rs, err := RunMODisOnly(context.Background(), w, opts, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +102,7 @@ func TestRunAllMethodsSmoke(t *testing.T) {
 	}
 	w := datagen.T3Avocado(datagen.TaskConfig{Rows: 120})
 	opts := core.Options{N: 60, Eps: 0.2, MaxLevel: 3, Seed: 1}
-	rs, err := RunAllMethods(w, opts, 0)
+	rs, err := RunAllMethods(context.Background(), w, opts, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

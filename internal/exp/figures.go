@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/modis"
 )
 
 // sweepOptions is the sweep budget: tighter than the comparison runs so
@@ -20,7 +22,7 @@ func sweepOptions() core.Options {
 // sweepMODis runs every MODis algorithm over a parameter sweep and
 // reports rImp on the selected measure (quality sweeps) and wall time
 // (efficiency sweeps).
-func sweepMODis(w func() *datagen.Workload, optsFor func(i int) core.Options,
+func sweepMODis(ctx context.Context, w func() *datagen.Workload, optsFor func(i int) core.Options,
 	labels []string, selectIdx int) (quality, timing [][]string, err error) {
 
 	methods := modisMethods()
@@ -35,14 +37,11 @@ func sweepMODis(w func() *datagen.Workload, optsFor func(i int) core.Options,
 			if err != nil {
 				return nil, nil, err
 			}
-			cfg := wl.NewConfig(true)
-			start := time.Now()
-			res, err := m.algo(cfg, optsFor(i))
+			rep, err := modis.NewEngine(wl.NewConfig(true)).Run(ctx, m.key, modisOptions(optsFor(i))...)
 			if err != nil {
 				return nil, nil, err
 			}
-			elapsed := time.Since(start)
-			best := res.Best(selectIdx)
+			best := rep.Best(selectIdx)
 			r := 0.0
 			if best != nil {
 				out := wl.Space.Materialize(best.Bits)
@@ -53,7 +52,7 @@ func sweepMODis(w func() *datagen.Workload, optsFor func(i int) core.Options,
 				r = RImp(orig, perf, selectIdx)
 			}
 			quality[mi] = append(quality[mi], fmt.Sprintf("%.3f", r))
-			timing[mi] = append(timing[mi], elapsed.Round(time.Millisecond).String())
+			timing[mi] = append(timing[mi], rep.Wall.Round(time.Millisecond).String())
 		}
 	}
 	return quality, timing, nil
@@ -61,7 +60,7 @@ func sweepMODis(w func() *datagen.Workload, optsFor func(i int) core.Options,
 
 // Fig8Epsilon reproduces Fig 8(a, c): rImp of the selected accuracy
 // measure as ε varies, maxl fixed at 6, for T1 and T2.
-func Fig8Epsilon() ([]*Report, error) {
+func Fig8Epsilon(ctx context.Context) ([]*Report, error) {
 	var out []*Report
 	type spec struct {
 		name   string
@@ -76,7 +75,7 @@ func Fig8Epsilon() ([]*Report, error) {
 		for i, e := range s.epsSet {
 			labels[i] = fmt.Sprintf("eps=%.2f", e)
 		}
-		q, _, err := sweepMODis(s.w, func(i int) core.Options {
+		q, _, err := sweepMODis(ctx, s.w, func(i int) core.Options {
 			o := sweepOptions()
 			o.Eps = s.epsSet[i]
 			return o
@@ -90,7 +89,7 @@ func Fig8Epsilon() ([]*Report, error) {
 }
 
 // Fig8MaxL reproduces Fig 8(b, d): rImp as maxl varies 2..6, ε = 0.1.
-func Fig8MaxL() ([]*Report, error) {
+func Fig8MaxL(ctx context.Context) ([]*Report, error) {
 	var out []*Report
 	type spec struct {
 		name string
@@ -105,7 +104,7 @@ func Fig8MaxL() ([]*Report, error) {
 		{"Figure 8(b): T1, rImp(pAcc) vs maxl", func() *datagen.Workload { return datagen.T1Movie(defaultScale) }},
 		{"Figure 8(d): T2, rImp(pF1) vs maxl", func() *datagen.Workload { return datagen.T2House(defaultScale) }},
 	} {
-		q, _, err := sweepMODis(s.w, func(i int) core.Options {
+		q, _, err := sweepMODis(ctx, s.w, func(i int) core.Options {
 			o := sweepOptions()
 			o.Eps = 0.1
 			o.MaxLevel = maxls[i]
@@ -122,7 +121,7 @@ func Fig8MaxL() ([]*Report, error) {
 // Fig9Alpha reproduces Fig 9: DivMODis under varying α — performance
 // diversity (accuracy spread over the skyline) and content diversity
 // (per-attribute adom contribution std; smaller means more even).
-func Fig9Alpha() (*Report, error) {
+func Fig9Alpha(ctx context.Context) (*Report, error) {
 	alphas := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 	rep := &Report{
 		Title:  "Figure 9: DivMODis vs α — accuracy spread and adom-contribution std",
@@ -130,17 +129,16 @@ func Fig9Alpha() (*Report, error) {
 	}
 	for _, a := range alphas {
 		w := datagen.T1Movie(defaultScale)
-		cfg := w.NewConfig(true)
 		opts := MODisOptions()
 		opts.K = 3
 		opts.Eps = 0.05 // finer grid: more cells, so diversification binds
 		opts.Alpha = a
-		res, err := core.DivMODis(cfg, opts)
+		rep9, err := modis.NewEngine(w.NewConfig(true)).Run(ctx, "div", modisOptions(opts)...)
 		if err != nil {
 			return nil, err
 		}
 		lo, hi := 1.0, 0.0
-		for _, c := range res.Skyline {
+		for _, c := range rep9.Skyline {
 			v := c.Perf[0]
 			if v < lo {
 				lo = v
@@ -149,14 +147,14 @@ func Fig9Alpha() (*Report, error) {
 				hi = v
 			}
 		}
-		_, _, std := adomContribution(w, res.Skyline)
+		_, _, std := adomContribution(w, rep9.Skyline)
 		rep.RowsOut = append(rep.RowsOut, []string{
 			fmt.Sprintf("%.1f", a),
 			fmt.Sprintf("%.4f", lo),
 			fmt.Sprintf("%.4f", hi),
 			fmt.Sprintf("%.4f", hi-lo),
 			fmt.Sprintf("%.4f", std),
-			fmt.Sprintf("%d", len(res.Skyline)),
+			fmt.Sprintf("%d", len(rep9.Skyline)),
 		})
 	}
 	return rep, nil
@@ -164,7 +162,7 @@ func Fig9Alpha() (*Report, error) {
 
 // Fig10Efficiency reproduces Fig 10(a, b): wall time of the MODis
 // algorithms as ε (T1, maxl=6) and maxl (T1 ε=0.2, T3 ε=0.1) vary.
-func Fig10Efficiency() ([]*Report, error) {
+func Fig10Efficiency(ctx context.Context) ([]*Report, error) {
 	var out []*Report
 
 	epsSet := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
@@ -172,7 +170,7 @@ func Fig10Efficiency() ([]*Report, error) {
 	for i, e := range epsSet {
 		labels[i] = fmt.Sprintf("eps=%.1f", e)
 	}
-	_, tim, err := sweepMODis(func() *datagen.Workload { return datagen.T1Movie(defaultScale) },
+	_, tim, err := sweepMODis(ctx, func() *datagen.Workload { return datagen.T1Movie(defaultScale) },
 		func(i int) core.Options {
 			o := sweepOptions()
 			o.Eps = epsSet[i]
@@ -197,7 +195,7 @@ func Fig10Efficiency() ([]*Report, error) {
 		{"Figure 10(b): T1 discovery time vs maxl (ε=0.2)", func() *datagen.Workload { return datagen.T1Movie(defaultScale) }, 0.2},
 		{"Figure 13(d): T3 discovery time vs maxl (ε=0.1)", func() *datagen.Workload { return datagen.T3Avocado(defaultScale) }, 0.1},
 	} {
-		_, tim, err := sweepMODis(s.w, func(i int) core.Options {
+		_, tim, err := sweepMODis(ctx, s.w, func(i int) core.Options {
 			o := sweepOptions()
 			o.Eps = s.eps
 			o.MaxLevel = maxls[i]
@@ -213,7 +211,7 @@ func Fig10Efficiency() ([]*Report, error) {
 
 // Fig10Scalability reproduces Fig 10(c, d): wall time as the number of
 // attributes |A| and the largest active domain |adom| grow (T1).
-func Fig10Scalability() ([]*Report, error) {
+func Fig10Scalability(ctx context.Context) ([]*Report, error) {
 	var out []*Report
 
 	attrCounts := []int{4, 6, 8, 10}
@@ -221,7 +219,7 @@ func Fig10Scalability() ([]*Report, error) {
 	for i, a := range attrCounts {
 		labels[i] = fmt.Sprintf("|A|=%d", a+5) // info attrs + fixed columns
 	}
-	_, tim, err := sweepMODisVariants(func(i int) *datagen.Workload {
+	_, tim, err := sweepMODisVariants(ctx, func(i int) *datagen.Workload {
 		return datagen.T1Movie(datagen.TaskConfig{Rows: 200, InfoAttrs: attrCounts[i], NoiseAttrs: 3})
 	}, func(int) core.Options { return MODisOptions() }, labels, 0)
 	if err != nil {
@@ -234,7 +232,7 @@ func Fig10Scalability() ([]*Report, error) {
 	for i, k := range adomKs {
 		klabels[i] = fmt.Sprintf("|adom|=%d", k)
 	}
-	_, tim, err = sweepMODisVariants(func(i int) *datagen.Workload {
+	_, tim, err = sweepMODisVariants(ctx, func(i int) *datagen.Workload {
 		return datagen.T1Movie(datagen.TaskConfig{Rows: 200, AdomK: adomKs[i]})
 	}, func(int) core.Options { return MODisOptions() }, klabels, 0)
 	if err != nil {
@@ -246,7 +244,7 @@ func Fig10Scalability() ([]*Report, error) {
 
 // sweepMODisVariants is sweepMODis where the workload itself varies per
 // sweep point (scalability experiments).
-func sweepMODisVariants(wFor func(i int) *datagen.Workload, optsFor func(i int) core.Options,
+func sweepMODisVariants(ctx context.Context, wFor func(i int) *datagen.Workload, optsFor func(i int) core.Options,
 	labels []string, selectIdx int) (quality, timing [][]string, err error) {
 
 	methods := modisMethods()
@@ -257,15 +255,12 @@ func sweepMODisVariants(wFor func(i int) *datagen.Workload, optsFor func(i int) 
 		timing[mi] = []string{m.name}
 		for i := range labels {
 			wl := wFor(i)
-			cfg := wl.NewConfig(true)
-			start := time.Now()
-			res, err := m.algo(cfg, optsFor(i))
+			rep, err := modis.NewEngine(wl.NewConfig(true)).Run(ctx, m.key, modisOptions(optsFor(i))...)
 			if err != nil {
 				return nil, nil, err
 			}
-			elapsed := time.Since(start)
-			quality[mi] = append(quality[mi], fmt.Sprintf("%d", len(res.Skyline)))
-			timing[mi] = append(timing[mi], elapsed.Round(time.Millisecond).String())
+			quality[mi] = append(quality[mi], fmt.Sprintf("%d", len(rep.Skyline)))
+			timing[mi] = append(timing[mi], rep.Wall.Round(time.Millisecond).String())
 		}
 	}
 	return quality, timing, nil
@@ -273,14 +268,14 @@ func sweepMODisVariants(wFor func(i int) *datagen.Workload, optsFor func(i int) 
 
 // Fig13T5 reproduces Fig 13(a, b): efficiency of the MODis algorithms on
 // the graph workload T5, varying ε and maxl.
-func Fig13T5() ([]*Report, error) {
+func Fig13T5(ctx context.Context) ([]*Report, error) {
 	var out []*Report
 	epsSet := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
 	labels := make([]string, len(epsSet))
 	for i, e := range epsSet {
 		labels[i] = fmt.Sprintf("eps=%.1f", e)
 	}
-	_, tim, err := sweepMODisVariants(func(int) *datagen.Workload { return datagen.T5Link(datagen.T5Config{}) },
+	_, tim, err := sweepMODisVariants(ctx, func(int) *datagen.Workload { return datagen.T5Link(datagen.T5Config{}) },
 		func(i int) core.Options {
 			o := sweepOptions()
 			o.Eps = epsSet[i]
@@ -296,7 +291,7 @@ func Fig13T5() ([]*Report, error) {
 	for i, l := range maxls {
 		mlabels[i] = fmt.Sprintf("maxl=%d", l)
 	}
-	_, tim, err = sweepMODisVariants(func(int) *datagen.Workload { return datagen.T5Link(datagen.T5Config{}) },
+	_, tim, err = sweepMODisVariants(ctx, func(int) *datagen.Workload { return datagen.T5Link(datagen.T5Config{}) },
 		func(i int) core.Options {
 			o := sweepOptions()
 			o.MaxLevel = maxls[i]
@@ -312,7 +307,7 @@ func Fig13T5() ([]*Report, error) {
 // Fig14T5 reproduces Fig 14: scalability of the MODis algorithms on T5,
 // varying the node-feature dimensionality (via user/item counts) and the
 // edge-cluster count |adom|.
-func Fig14T5() ([]*Report, error) {
+func Fig14T5(ctx context.Context) ([]*Report, error) {
 	var out []*Report
 
 	sizes := []int{24, 32, 40, 48}
@@ -320,7 +315,7 @@ func Fig14T5() ([]*Report, error) {
 	for i, s := range sizes {
 		labels[i] = fmt.Sprintf("|V|=%d", 2*s)
 	}
-	_, tim, err := sweepMODisVariants(func(i int) *datagen.Workload {
+	_, tim, err := sweepMODisVariants(ctx, func(i int) *datagen.Workload {
 		return datagen.T5Link(datagen.T5Config{Users: sizes[i], Items: sizes[i]})
 	}, func(int) core.Options { return MODisOptions() }, labels, 0)
 	if err != nil {
@@ -333,7 +328,7 @@ func Fig14T5() ([]*Report, error) {
 	for i, k := range ks {
 		klabels[i] = fmt.Sprintf("|adom|=%d", k)
 	}
-	_, tim, err = sweepMODisVariants(func(i int) *datagen.Workload {
+	_, tim, err = sweepMODisVariants(ctx, func(i int) *datagen.Workload {
 		return datagen.T5Link(datagen.T5Config{AdomK: ks[i]})
 	}, func(int) core.Options { return MODisOptions() }, klabels, 0)
 	if err != nil {
@@ -345,7 +340,7 @@ func Fig14T5() ([]*Report, error) {
 
 // Fig15T5 reproduces Fig 15: sensitivity of T5 accuracy improvement (%
 // change of p_Pc5 against the original) to maxl and ε.
-func Fig15T5() ([]*Report, error) {
+func Fig15T5(ctx context.Context) ([]*Report, error) {
 	var out []*Report
 
 	maxls := []int{2, 3, 4, 5, 6}
@@ -353,7 +348,7 @@ func Fig15T5() ([]*Report, error) {
 	for i, l := range maxls {
 		labels[i] = fmt.Sprintf("maxl=%d", l)
 	}
-	q, _, err := sweepMODis(func() *datagen.Workload { return datagen.T5Link(datagen.T5Config{}) },
+	q, _, err := sweepMODis(ctx, func() *datagen.Workload { return datagen.T5Link(datagen.T5Config{}) },
 		func(i int) core.Options {
 			o := sweepOptions()
 			o.MaxLevel = maxls[i]
@@ -369,7 +364,7 @@ func Fig15T5() ([]*Report, error) {
 	for i, e := range epsSet {
 		elabels[i] = fmt.Sprintf("eps=%.1f", e)
 	}
-	q, _, err = sweepMODis(func() *datagen.Workload { return datagen.T5Link(datagen.T5Config{}) },
+	q, _, err = sweepMODis(ctx, func() *datagen.Workload { return datagen.T5Link(datagen.T5Config{}) },
 		func(i int) core.Options {
 			o := sweepOptions()
 			o.Eps = epsSet[i]

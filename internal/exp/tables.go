@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"repro/internal/datagen"
 )
 
@@ -10,9 +12,9 @@ var defaultScale = datagen.TaskConfig{Rows: 220}
 
 // Table4T2 reproduces Table 4 (upper half): all methods on task T2
 // (house price classification, RF), measures P2.
-func Table4T2() (*Report, error) {
+func Table4T2(ctx context.Context) (*Report, error) {
 	w := datagen.T2House(defaultScale)
-	rs, err := RunAllMethods(w, MODisOptions(), 0) // select by p_F1
+	rs, err := RunAllMethods(ctx, w, MODisOptions(), 0) // select by p_F1
 	if err != nil {
 		return nil, err
 	}
@@ -21,9 +23,9 @@ func Table4T2() (*Report, error) {
 
 // Table4T4 reproduces Table 4 (lower half): all methods on task T4
 // (mental health classification, histogram GBDT), measures P4.
-func Table4T4() (*Report, error) {
+func Table4T4(ctx context.Context) (*Report, error) {
 	w := datagen.T4Mental(defaultScale)
-	rs, err := RunAllMethods(w, MODisOptions(), 0) // select by p_Acc
+	rs, err := RunAllMethods(ctx, w, MODisOptions(), 0) // select by p_Acc
 	if err != nil {
 		return nil, err
 	}
@@ -32,9 +34,9 @@ func Table4T4() (*Report, error) {
 
 // Table5T5 reproduces Table 5: the MODis methods on task T5 (link
 // regression for recommendation, LightGCN-style scorer), measures P5.
-func Table5T5() (*Report, error) {
+func Table5T5(ctx context.Context) (*Report, error) {
 	w := datagen.T5Link(datagen.T5Config{})
-	rs, err := RunMODisOnly(w, MODisOptions(), 0) // select by p_Pc5
+	rs, err := RunMODisOnly(ctx, w, MODisOptions(), 0) // select by p_Pc5
 	if err != nil {
 		return nil, err
 	}
@@ -43,9 +45,9 @@ func Table5T5() (*Report, error) {
 
 // Table6T1 reproduces Table 6 (upper half): all methods on task T1
 // (movie gross regression, GBM), measures P1.
-func Table6T1() (*Report, error) {
+func Table6T1(ctx context.Context) (*Report, error) {
 	w := datagen.T1Movie(defaultScale)
-	rs, err := RunAllMethods(w, MODisOptions(), 0) // select by p_Acc
+	rs, err := RunAllMethods(ctx, w, MODisOptions(), 0) // select by p_Acc
 	if err != nil {
 		return nil, err
 	}
@@ -54,9 +56,9 @@ func Table6T1() (*Report, error) {
 
 // Table6T3 reproduces Table 6 (lower half): all methods on task T3
 // (avocado price regression, linear model), measures P3.
-func Table6T3() (*Report, error) {
+func Table6T3(ctx context.Context) (*Report, error) {
 	w := datagen.T3Avocado(defaultScale)
-	rs, err := RunAllMethods(w, MODisOptions(), 0) // select by p_MSE
+	rs, err := RunAllMethods(ctx, w, MODisOptions(), 0) // select by p_MSE
 	if err != nil {
 		return nil, err
 	}
@@ -65,13 +67,13 @@ func Table6T3() (*Report, error) {
 
 // Fig7 reproduces Figure 7: the per-measure effectiveness radar for T1
 // and T3 — emitted as the same comparison series (one axis per row).
-func Fig7() ([]*Report, error) {
-	t1, err := Table6T1()
+func Fig7(ctx context.Context) ([]*Report, error) {
+	t1, err := Table6T1(ctx)
 	if err != nil {
 		return nil, err
 	}
 	t1.Title = "Figure 7 (left, T1: Movie) — radar series, smaller is better"
-	t3, err := Table6T3()
+	t3, err := Table6T3(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -80,6 +80,12 @@ func BitmapOf(vals ...bool) Bitmap {
 // Len returns the bitmap width (the number of entries).
 func (b Bitmap) Len() int { return b.n }
 
+// Words returns a copy of the packed words (a read-only snapshot for
+// serialization; bit i of the state is bit i%64 of word i/64).
+func (b Bitmap) Words() []uint64 {
+	return append([]uint64(nil), b.words...)
+}
+
 // check panics on out-of-width indexes, including those landing in the
 // final word's zero padding, which raw word indexing would accept.
 func (b Bitmap) check(i int) {

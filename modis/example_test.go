@@ -1,0 +1,37 @@
+package modis_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/modis"
+)
+
+// Example runs the bi-directional search over a small synthetic movie
+// workload through the public engine: one engine per configuration,
+// algorithms picked by registry key, knobs set by functional options.
+func Example() {
+	w := datagen.T1Movie(datagen.TaskConfig{Rows: 120})
+	eng := modis.NewEngine(w.NewConfig(true))
+
+	rep, err := eng.Run(context.Background(), "bi",
+		modis.WithBudget(120),
+		modis.WithEpsilon(0.1),
+		modis.WithMaxLevel(4),
+		modis.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	best := rep.Best(0)
+	fmt.Println("algorithm:", rep.Algorithm)
+	fmt.Println("skyline non-empty:", len(rep.Skyline) > 0)
+	fmt.Println("best candidate found:", best != nil)
+	// Output:
+	// algorithm: bi
+	// skyline non-empty: true
+	// best candidate found: true
+}

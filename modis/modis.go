@@ -1,0 +1,220 @@
+// Package modis is the public API of the MODis reproduction: skyline
+// dataset discovery over a configured search space (Wang et al., EDBT
+// 2025). It is the one stable surface over the search substrate in
+// internal/core — binaries, examples, and tests run algorithms through
+// it rather than picking internal function pointers.
+//
+// An [Engine] is constructed once per configuration and reused across
+// runs; the memoized valuation record (the paper's test set T) carries
+// over, so repeated or overlapping runs get cheaper. Algorithms are
+// selected by registry key — "apx", "bi", "nobi", "div", "exact" —
+// and tuned with functional options that validate eagerly instead of
+// silently defaulting:
+//
+//	eng := modis.NewEngine(w.NewConfig(true))
+//	rep, err := eng.Run(ctx, "bi",
+//		modis.WithBudget(300),
+//		modis.WithEpsilon(0.1),
+//		modis.WithMaxLevel(6),
+//	)
+//
+// Every run honors its context: cancellation or deadline expiry is
+// checked at frontier-pop granularity inside the search loops and
+// surfaces as ctx.Err() with no partial result. [WithProgress] streams
+// per-level snapshots (frontier size, valuations used, incumbent
+// skyline size) while a search runs, and the result is a
+// JSON-serializable [Report].
+package modis
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fst"
+	"repro/internal/skyline"
+)
+
+// Engine runs discovery over one configuration. Construct with
+// [NewEngine]; the zero value is unusable. An Engine is safe for
+// concurrent use, but runs are serialized internally (the underlying
+// configuration's valuation record and counters are single-threaded) —
+// per-Engine run concurrency is a serving-layer follow-up tracked in
+// the roadmap.
+type Engine struct {
+	mu  sync.Mutex
+	cfg *fst.Config
+	err error
+}
+
+// NewEngine wraps a validated configuration. A nil or inconsistent
+// configuration is reported by the first Run call, keeping the
+// constructor chainable: modis.NewEngine(cfg).Run(ctx, "bi").
+func NewEngine(cfg *fst.Config) *Engine {
+	e := &Engine{cfg: cfg}
+	if cfg == nil {
+		e.err = errors.New("modis: NewEngine: nil configuration")
+		return e
+	}
+	if err := cfg.Validate(); err != nil {
+		e.err = err
+	}
+	return e
+}
+
+// Run executes one discovery run: the named algorithm (see
+// [Algorithms]) over the engine's configuration, tuned by the given
+// options. Option and algorithm errors are reported before the search
+// starts. The context is honored at frontier-pop granularity; on
+// cancellation or deadline expiry Run returns (nil, ctx.Err()).
+//
+// Valuation counters are reset per run, so the Report always describes
+// this run alone; the memoized valuation record persists across runs
+// of the same engine.
+func (e *Engine) Run(ctx context.Context, algorithm string, opts ...Option) (*Report, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	fn, canonical, err := lookup(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	s := defaultSettings()
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&s); err != nil {
+			return nil, err
+		}
+	}
+	resolved, copts, err := s.resolve(len(e.cfg.Measures))
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.ResetCounters()
+	start := time.Now()
+	res, err := fn(ctx, e.cfg, copts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Algorithm:  canonical,
+		Options:    resolved,
+		Wall:       time.Since(start),
+		Valuated:   res.Stats.Valuated,
+		ExactCalls: res.Stats.ExactCalls,
+		Levels:     res.Stats.Levels,
+		Pruned:     res.Stats.Pruned,
+		Skyline:    make([]*Candidate, 0, len(res.Skyline)),
+		Graph:      res.Graph,
+	}
+	for _, c := range res.Skyline {
+		rep.Skyline = append(rep.Skyline, &Candidate{
+			Bits:   c.Bits,
+			Bitmap: c.Bits.Words(),
+			Ones:   c.Bits.Ones(),
+			Perf:   c.Perf,
+		})
+	}
+	return rep, nil
+}
+
+// Config exposes the engine's underlying configuration (e.g. for
+// valuating a reference state or materializing candidates through its
+// space).
+func (e *Engine) Config() *fst.Config { return e.cfg }
+
+// Candidate is one member of a discovered ε-skyline set.
+type Candidate struct {
+	// Bits is the state bitmap; materialize the dataset with
+	// Space.Materialize(Bits).
+	Bits fst.Bitmap `json:"-"`
+	// Bitmap is the packed-word snapshot of Bits (bit i of the state is
+	// bit i%64 of word i/64), the serializable view.
+	Bitmap []uint64 `json:"bitmap"`
+	// Ones is the number of set entries (the state's |D| proxy).
+	Ones int `json:"ones"`
+	// Perf is the normalized performance vector (smaller is better).
+	Perf []float64 `json:"perf"`
+}
+
+// Report is the JSON-serializable result of one discovery run.
+type Report struct {
+	// Algorithm is the canonical registry key that ran.
+	Algorithm string `json:"algorithm"`
+	// Options are the fully resolved knobs of the run (defaults applied,
+	// sentinels eliminated).
+	Options RunOptions `json:"options"`
+	// Wall is the end-to-end search time (marshals as nanoseconds).
+	Wall time.Duration `json:"wall_ns"`
+	// Valuated counts the states valuated by this run.
+	Valuated int `json:"valuated"`
+	// ExactCalls counts valuations that ran real model inference.
+	ExactCalls int `json:"exact_calls"`
+	// Levels is the deepest operator-path length reached.
+	Levels int `json:"levels"`
+	// Pruned counts states skipped by correlation-based pruning.
+	Pruned int `json:"pruned"`
+	// Skyline is the discovered ε-skyline set.
+	Skyline []*Candidate `json:"skyline"`
+	// Graph is the recorded running graph G_T (nil unless
+	// [WithRecordGraph] was given).
+	Graph *fst.RunningGraph `json:"-"`
+}
+
+// RunOptions are the resolved tuning knobs a run executed with.
+type RunOptions struct {
+	Budget   int     `json:"budget"`
+	Epsilon  float64 `json:"epsilon"`
+	MaxLevel int     `json:"max_level"`
+	Decisive int     `json:"decisive"`
+	Theta    float64 `json:"theta"`
+	Prune    bool    `json:"prune"`
+	K        int     `json:"k"`
+	Alpha    float64 `json:"alpha"`
+	Seed     int64   `json:"seed"`
+}
+
+// Best returns the candidate minimizing the given measure index, or
+// nil for an empty skyline.
+func (r *Report) Best(measure int) *Candidate {
+	var best *Candidate
+	for _, c := range r.Skyline {
+		if measure >= len(c.Perf) {
+			continue
+		}
+		if best == nil || c.Perf[measure] < best.Perf[measure] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Vectors extracts the skyline's performance vectors.
+func (r *Report) Vectors() [][]float64 {
+	out := make([][]float64, len(r.Skyline))
+	for i, c := range r.Skyline {
+		out[i] = c.Perf
+	}
+	return out
+}
+
+// Diversity is the paper's Div score (Equation 2) of a candidate set:
+// the sum of pairwise dis(·,·) distances under content/performance
+// balance alpha, with eucMax normalizing the performance term.
+func Diversity(set []*Candidate, alpha, eucMax float64) float64 {
+	cs := make([]*core.Candidate, len(set))
+	for i, c := range set {
+		cs[i] = &core.Candidate{Bits: c.Bits, Perf: skyline.Vector(c.Perf)}
+	}
+	return core.Div(cs, alpha, eucMax)
+}

@@ -1,0 +1,234 @@
+package modis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Option tunes one discovery run. Options validate eagerly: an
+// out-of-range value is reported by [Engine.Run] before the search
+// starts, instead of being silently replaced by a default.
+type Option func(*settings) error
+
+// Event is a streaming snapshot of a running search, delivered through
+// [WithProgress]: one event whenever the search reaches a deeper
+// level, and a final event (Done=true) when the run terminates. The
+// callback runs synchronously on the search goroutine — keep it cheap.
+type Event struct {
+	// Algorithm is the canonical key of the emitting algorithm.
+	Algorithm string `json:"algorithm"`
+	// Level is the deepest operator-path length reached so far.
+	Level int `json:"level"`
+	// Frontier is the number of states currently queued.
+	Frontier int `json:"frontier"`
+	// Valuated is the number of valuations used so far.
+	Valuated int `json:"valuated"`
+	// SkylineSize is the incumbent ε-skyline set size.
+	SkylineSize int `json:"skyline_size"`
+	// Done marks the final event of a run.
+	Done bool `json:"done"`
+}
+
+// settings accumulates applied options; the zero-value ambiguity of
+// internal/core's Options struct (and its sentinel constants) stops
+// here: every knob has an explicit default and explicit range checks.
+type settings struct {
+	budget      int
+	eps         float64
+	maxLevel    int
+	decisive    int
+	decisiveSet bool
+	theta       float64
+	prune       bool
+	k           int
+	alpha       float64
+	seed        int64
+	recordGraph bool
+	progress    func(Event)
+}
+
+func defaultSettings() settings {
+	return settings{
+		eps:   0.1,
+		theta: 0.8,
+		prune: true,
+		k:     5,
+		alpha: 0.5,
+	}
+}
+
+// resolve range-checks the knobs that need the configuration (the
+// decisive measure index) and maps the settings onto internal/core's
+// sentinel-encoded Options.
+func (s settings) resolve(numMeasures int) (RunOptions, core.Options, error) {
+	decisive := numMeasures - 1
+	if s.decisiveSet {
+		if s.decisive >= numMeasures {
+			return RunOptions{}, core.Options{}, fmt.Errorf(
+				"modis: WithDecisive(%d): index out of range for %d measures", s.decisive, numMeasures)
+		}
+		decisive = s.decisive
+	}
+	ro := RunOptions{
+		Budget:   s.budget,
+		Epsilon:  s.eps,
+		MaxLevel: s.maxLevel,
+		Decisive: decisive,
+		Theta:    s.theta,
+		Prune:    s.prune,
+		K:        s.k,
+		Alpha:    s.alpha,
+		Seed:     s.seed,
+	}
+	co := core.Options{
+		N:            s.budget,
+		Eps:          s.eps,
+		MaxLevel:     s.maxLevel,
+		Theta:        s.theta,
+		DisablePrune: !s.prune,
+		K:            s.k,
+		Seed:         s.seed,
+		RecordGraph:  s.recordGraph,
+	}
+	// Resolved values cross into core's sentinel encoding here, so the
+	// zero-value collisions never reach callers.
+	if decisive == 0 {
+		co.Decisive = core.DecisiveFirst
+	} else {
+		co.Decisive = decisive
+	}
+	if s.alpha == 0 {
+		co.Alpha = core.AlphaZero
+	} else {
+		co.Alpha = s.alpha
+	}
+	if p := s.progress; p != nil {
+		co.Progress = func(ev core.ProgressEvent) { p(Event(ev)) }
+	}
+	return ro, co, nil
+}
+
+// WithBudget bounds the run at n valuations (the paper's N). 0 means
+// unbounded.
+func WithBudget(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("modis: WithBudget(%d): budget must be >= 0 (0 = unbounded)", n)
+		}
+		s.budget = n
+		return nil
+	}
+}
+
+// WithEpsilon sets the ε of ε-dominance (default 0.1). Must be > 0.
+func WithEpsilon(eps float64) Option {
+	return func(s *settings) error {
+		if !(eps > 0) || math.IsInf(eps, 1) {
+			return fmt.Errorf("modis: WithEpsilon(%v): epsilon must be a finite value > 0", eps)
+		}
+		s.eps = eps
+		return nil
+	}
+}
+
+// WithMaxLevel bounds the operator path length (the paper's maxl). 0
+// means the full space.
+func WithMaxLevel(l int) Option {
+	return func(s *settings) error {
+		if l < 0 {
+			return fmt.Errorf("modis: WithMaxLevel(%d): level must be >= 0 (0 = unbounded)", l)
+		}
+		s.maxLevel = l
+		return nil
+	}
+}
+
+// WithDecisive selects the decisive measure p_d by index — including
+// index 0, which the internal options struct can only express through
+// a sentinel. Defaults to the last measure. The index is range-checked
+// against the engine's measures when the run starts.
+func WithDecisive(i int) Option {
+	return func(s *settings) error {
+		if i < 0 {
+			return fmt.Errorf("modis: WithDecisive(%d): index must be >= 0", i)
+		}
+		s.decisive = i
+		s.decisiveSet = true
+		return nil
+	}
+}
+
+// WithTheta sets the Spearman threshold θ of the correlation graph
+// used by "bi" pruning (default 0.8). Must be in (0, 1].
+func WithTheta(theta float64) Option {
+	return func(s *settings) error {
+		if !(theta > 0) || theta > 1 {
+			return fmt.Errorf("modis: WithTheta(%v): threshold must be in (0, 1]", theta)
+		}
+		s.theta = theta
+		return nil
+	}
+}
+
+// WithoutPruning disables correlation-based pruning (the "nobi"
+// ablation, applicable to "bi").
+func WithoutPruning() Option {
+	return func(s *settings) error {
+		s.prune = false
+		return nil
+	}
+}
+
+// WithK sets the diversified skyline size for "div" (default 5). Must
+// be >= 1.
+func WithK(k int) Option {
+	return func(s *settings) error {
+		if k < 1 {
+			return fmt.Errorf("modis: WithK(%d): size must be >= 1", k)
+		}
+		s.k = k
+		return nil
+	}
+}
+
+// WithAlpha balances content diversity against performance diversity
+// in "div" (default 0.5) — including α = 0, pure performance
+// diversity, which the internal options struct can only express
+// through a sentinel. Must be in [0, 1].
+func WithAlpha(alpha float64) Option {
+	return func(s *settings) error {
+		if math.IsNaN(alpha) || alpha < 0 || alpha > 1 {
+			return fmt.Errorf("modis: WithAlpha(%v): balance must be in [0, 1]", alpha)
+		}
+		s.alpha = alpha
+		return nil
+	}
+}
+
+// WithSeed drives the diversification initialization of "div".
+func WithSeed(seed int64) Option {
+	return func(s *settings) error {
+		s.seed = seed
+		return nil
+	}
+}
+
+// WithRecordGraph captures the running graph G_T in the report, for
+// analysis and the MOSP reduction.
+func WithRecordGraph() Option {
+	return func(s *settings) error {
+		s.recordGraph = true
+		return nil
+	}
+}
+
+// WithProgress streams per-level search snapshots to fn while the run
+// executes. A nil fn disables streaming.
+func WithProgress(fn func(Event)) Option {
+	return func(s *settings) error {
+		s.progress = fn
+		return nil
+	}
+}

@@ -1,0 +1,104 @@
+package modis
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fst"
+)
+
+// AlgorithmFunc is a registrable search algorithm: the context is
+// checked at frontier-pop granularity, the options arrive fully
+// resolved (no zero-value sentinels left ambiguous), and the result
+// carries the ε-skyline set plus run stats.
+type AlgorithmFunc func(ctx context.Context, cfg *fst.Config, opts core.Options) (*core.Result, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]AlgorithmFunc{}
+
+	// aliases accept the long-form names the binaries historically used.
+	aliases = map[string]string{
+		"apxmodis":   "apx",
+		"bimodis":    "bi",
+		"nobimodis":  "nobi",
+		"divmodis":   "div",
+		"exactmodis": "exact",
+	}
+)
+
+func init() {
+	mustRegister("apx", core.ApxMODis)
+	mustRegister("bi", core.BiMODis)
+	mustRegister("nobi", core.NOBiMODis)
+	mustRegister("div", core.DivMODis)
+	mustRegister("exact", core.ExactMODis)
+}
+
+// Register adds an algorithm under a new key (case-insensitive). It
+// rejects empty keys and keys already taken by an algorithm or alias.
+func Register(name string, fn AlgorithmFunc) error {
+	key := normalize(name)
+	if key == "" {
+		return fmt.Errorf("modis: Register: empty algorithm name")
+	}
+	if fn == nil {
+		return fmt.Errorf("modis: Register(%q): nil algorithm", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[key]; ok {
+		return fmt.Errorf("modis: Register(%q): already registered", name)
+	}
+	if _, ok := aliases[key]; ok {
+		return fmt.Errorf("modis: Register(%q): name is a reserved alias", name)
+	}
+	registry[key] = fn
+	return nil
+}
+
+func mustRegister(name string, fn AlgorithmFunc) {
+	if err := Register(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Algorithms lists the registered canonical keys, sorted.
+func Algorithms() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return algorithmsLocked()
+}
+
+// lookup resolves a (possibly aliased) algorithm name to its function
+// and canonical key.
+func lookup(name string) (AlgorithmFunc, string, error) {
+	key := normalize(name)
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if canon, ok := aliases[key]; ok {
+		key = canon
+	}
+	if fn, ok := registry[key]; ok {
+		return fn, key, nil
+	}
+	return nil, "", fmt.Errorf("modis: unknown algorithm %q (known: %s)",
+		name, strings.Join(algorithmsLocked(), ", "))
+}
+
+func algorithmsLocked() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func normalize(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}

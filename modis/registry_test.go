@@ -1,0 +1,98 @@
+package modis
+
+// White-box registry tests: registering a custom algorithm needs the
+// internal/core types that AlgorithmFunc is built from, which only the
+// package itself (not external consumers) is meant to reference.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fst"
+	"repro/internal/table"
+)
+
+// echoAlgorithm is a minimal registrable algorithm: it valuates the
+// universal state and returns it as a singleton skyline.
+func echoAlgorithm(ctx context.Context, cfg *fst.Config, opts core.Options) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bits := cfg.Space.FullBitmap()
+	perf, err := cfg.Valuate(bits)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Result{
+		Skyline: []*core.Candidate{{Bits: bits.Clone(), Perf: perf.Clone()}},
+		Stats:   core.RunStats{Valuated: cfg.Valuations()},
+	}, nil
+}
+
+func registryTestConfig(tb testing.TB) *fst.Config {
+	tb.Helper()
+	u := table.New("D_U", table.Schema{
+		{Name: "a", Kind: table.KindFloat},
+		{Name: "target", Kind: table.KindInt},
+	})
+	for i := 0; i < 16; i++ {
+		u.MustAppend(table.Row{table.Float(float64(i % 4)), table.Int(int64(i % 2))})
+	}
+	sp := fst.NewSpace(u, "target", fst.SpaceConfig{MaxLiteralsPerAttr: 4})
+	return &fst.Config{
+		Space: sp,
+		Model: &shapeCountModel{space: sp},
+		Measures: []fst.Measure{
+			{Name: "p0", Normalize: fst.Identity(1e-3)},
+		},
+	}
+}
+
+type shapeCountModel struct{ space *fst.Space }
+
+func (m *shapeCountModel) Name() string { return "shape-count" }
+
+func (m *shapeCountModel) Evaluate(d *table.Table) ([]float64, error) {
+	return []float64{0.1 + 0.9*float64(d.NumRows())/float64(m.space.Universal.NumRows())}, nil
+}
+
+func TestRegisterRejectsBadNames(t *testing.T) {
+	if err := Register("bi", nil); err == nil {
+		t.Error("nil algorithm must be rejected")
+	}
+	if err := Register("", echoAlgorithm); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if err := Register("bi", echoAlgorithm); err == nil {
+		t.Error("duplicate name must be rejected")
+	}
+	if err := Register("BIMODIS", echoAlgorithm); err == nil {
+		t.Error("reserved alias must be rejected")
+	}
+}
+
+func TestRegisterExtendsEngine(t *testing.T) {
+	if err := Register("echo-test", echoAlgorithm); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewEngine(registryTestConfig(t)).Run(context.Background(), "Echo-Test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Algorithm != "echo-test" || len(rep.Skyline) != 1 {
+		t.Errorf("custom algorithm report: algo=%q skyline=%d", rep.Algorithm, len(rep.Skyline))
+	}
+	found := false
+	for _, name := range Algorithms() {
+		if name == "echo-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Algorithms() does not list the custom registration")
+	}
+}
