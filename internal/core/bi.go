@@ -103,10 +103,14 @@ func canPrune(members []*Candidate, lo skyline.Vector, eps float64) bool {
 // forward frontier reduces from the universal state s_U while a backward
 // frontier augments from the back state s_b (procedure BackSt); both
 // update the shared ε-skyline set via UPareto. Correlation-based pruning
-// (unless disabled) skips valuating states whose parameterized range is
-// already ε-dominated. The context is checked at frontier-pop
-// and child-valuation granularity: cancellation or deadline expiry
-// aborts the search and returns ctx.Err() with no partial result.
+// (unless disabled) skips valuating states whose parameterized range —
+// derived from the test set at expansion start — is already ε-dominated.
+// Each expansion's surviving children valuate as one batch through the
+// run's Valuator: exact inferences fan across the worker pool and
+// results commit in child order, so any parallelism degree reproduces
+// the sequential skyline. The context is checked at frontier-pop and
+// batch granularity: cancellation or deadline expiry drains the pool
+// and returns ctx.Err() with no partial result.
 func BiMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -121,6 +125,7 @@ func BiMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error
 	}
 	start := time.Now()
 	nm := len(cfg.Measures)
+	val := cfg.NewValuator(opts.Parallelism)
 	g := newGrid(cfg, opts.Eps, opts.decisiveIdx(nm))
 	pruned := 0
 
@@ -128,7 +133,7 @@ func BiMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error
 	sb := &fst.State{Bits: fst.BackSt(cfg.Space), Level: 0}
 
 	for _, s := range []*fst.State{su, sb} {
-		perf, err := cfg.Valuate(s.Bits)
+		perf, err := val.Valuate(ctx, s.Bits)
 		if err != nil {
 			return nil, err
 		}
@@ -141,55 +146,77 @@ func BiMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error
 	visitedF := map[fst.StateKey]bool{su.Key(): true}
 	visitedB := map[fst.StateKey]bool{sb.Key(): true}
 	maxLevel := 0
+	var batch []*fst.State
 
-	budget := func() bool { return opts.N > 0 && cfg.Valuations() >= opts.N }
+	budget := func() bool { return opts.N > 0 && val.Stats.Valuations() >= opts.N }
 
 	expand := func(s *fst.State, dir fst.Direction, visited, other map[fst.StateKey]bool) ([]*fst.State, bool, error) {
-		var next []*fst.State
 		met := false
 		var gc *corrGraph
 		if !opts.DisablePrune {
 			gc = buildCorrGraph(cfg.Tests.Columns(nm), opts.Theta)
 		}
-		for _, child := range fst.OpGen(s, dir) {
-			if err := ctx.Err(); err != nil {
-				return nil, false, err
-			}
-			if budget() {
-				break
-			}
-			k := child.Key()
-			if other[k] {
-				met = true
-			}
-			if visited[k] {
-				continue
-			}
-			visited[k] = true
-
+		children := fst.OpGen(s, dir)
+		var next []*fst.State
+		var history []*fst.Test
+		// Children valuate in progressive windows (1, 2, 4, ... up to
+		// fst.MaxWindow): the prune inputs (skyline members, valuated
+		// history) refresh between windows, so one window's results prune
+		// the next with near-sequential freshness — the cascade where a
+		// freshly valuated sibling prunes the rest of the expansion still
+		// fires — while wide expansions saturate the worker pool. The
+		// schedule is a constant, so results do not depend on the
+		// parallelism degree.
+		idx := 0
+		size := 1
+		for idx < len(children) && !budget() {
+			var members []*Candidate
 			if gc != nil && gc.hasAny {
-				if lo, _, ok := paramRange(cfg.Tests.All(), child.Bits.Ones(), nm); ok {
-					if canPrune(g.members(), lo, opts.Eps) {
-						pruned++
-						continue
+				history = cfg.Tests.AppendAll(history)
+				members = g.members()
+			}
+			batch = batch[:0]
+			for idx < len(children) && len(batch) < size {
+				child := children[idx]
+				idx++
+				k := child.Key()
+				if other[k] {
+					met = true
+				}
+				if visited[k] {
+					continue
+				}
+				visited[k] = true
+
+				if gc != nil && gc.hasAny {
+					if lo, _, ok := paramRange(history, child.Bits.Ones(), nm); ok {
+						if canPrune(members, lo, opts.Eps) {
+							pruned++
+							continue
+						}
 					}
 				}
+				batch = append(batch, child)
 			}
-
-			perf, err := cfg.Valuate(child.Bits)
+			n, err := val.ValuateWindow(ctx, batch, opts.N)
 			if err != nil {
 				return nil, false, err
 			}
-			child.Perf = perf
-			if child.Level > maxLevel {
-				maxLevel = child.Level
-				opts.emit(algo, maxLevel, qf.Len()+qb.Len(), cfg.Valuations(), g.size(), false)
+			for _, child := range batch[:n] {
+				if child.Level > maxLevel {
+					maxLevel = child.Level
+					opts.emit(algo, maxLevel, qf.Len()+qb.Len(), val.Stats.Valuations(), g.size(), false)
+				}
+				// Skyline-guided expansion under a budget; exhaustive when
+				// unbudgeted (see ApxMODis).
+				if g.upareto(child.Bits, child.Perf) || opts.N == 0 {
+					next = append(next, child)
+				}
 			}
-			// Skyline-guided expansion under a budget; exhaustive when
-			// unbudgeted (see ApxMODis).
-			if g.upareto(child.Bits, perf) || opts.N == 0 {
-				next = append(next, child)
+			if n < len(batch) { // budget exhausted mid-window
+				break
 			}
+			size = fst.GrowWindow(size)
 		}
 		return next, met, nil
 	}
@@ -233,12 +260,12 @@ func BiMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error
 		}
 	}
 
-	opts.emit(algo, maxLevel, qf.Len()+qb.Len(), cfg.Valuations(), g.size(), true)
+	opts.emit(algo, maxLevel, qf.Len()+qb.Len(), val.Stats.Valuations(), g.size(), true)
 	return &Result{
 		Skyline: g.finalize(),
 		Stats: RunStats{
-			Valuated:   cfg.Valuations(),
-			ExactCalls: cfg.ExactCalls(),
+			Valuated:   val.Stats.Valuations(),
+			ExactCalls: val.Stats.ExactCalls(),
 			Levels:     maxLevel,
 			Pruned:     pruned,
 			Elapsed:    time.Since(start),

@@ -104,9 +104,12 @@ func diversifyStep(set []*Candidate, k int, alpha, eucMax float64, rng *rand.Ran
 // diversification of Section 5.4: after each frontier expansion the
 // ε-skyline set is restricted to a k-subset maximizing the submodular
 // diversification score Div, achieving a 1/4-approximation (Lemma 5).
-// The context is checked at frontier-pop and child-valuation
-// granularity: cancellation or deadline expiry aborts the search and
-// returns ctx.Err() with no partial result.
+// Children valuate batch-wise through the run's Valuator (exact
+// inferences on the worker pool, deterministic child-order commit), so
+// any parallelism degree reproduces the sequential skyline. The context
+// is checked at frontier-pop and batch granularity: cancellation or
+// deadline expiry drains the pool and returns ctx.Err() with no partial
+// result.
 func DivMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -117,13 +120,14 @@ func DivMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, erro
 	}
 	start := time.Now()
 	nm := len(cfg.Measures)
+	val := cfg.NewValuator(opts.Parallelism)
 	g := newGrid(cfg, opts.Eps, opts.decisiveIdx(nm))
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
 
 	su := &fst.State{Bits: cfg.Space.FullBitmap(), Level: 0}
 	sb := &fst.State{Bits: fst.BackSt(cfg.Space), Level: 0}
 	for _, s := range []*fst.State{su, sb} {
-		perf, err := cfg.Valuate(s.Bits)
+		perf, err := val.Valuate(ctx, s.Bits)
 		if err != nil {
 			return nil, err
 		}
@@ -136,33 +140,31 @@ func DivMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, erro
 	visitedF := map[fst.StateKey]bool{su.Key(): true}
 	visitedB := map[fst.StateKey]bool{sb.Key(): true}
 	maxLevel := 0
-	budget := func() bool { return opts.N > 0 && cfg.Valuations() >= opts.N }
+	var batch []*fst.State
+	budget := func() bool { return opts.N > 0 && val.Stats.Valuations() >= opts.N }
 
 	expand := func(s *fst.State, dir fst.Direction, visited map[fst.StateKey]bool) ([]*fst.State, error) {
-		var next []*fst.State
+		batch = batch[:0]
 		for _, child := range fst.OpGen(s, dir) {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if budget() {
-				break
-			}
 			k := child.Key()
 			if visited[k] {
 				continue
 			}
 			visited[k] = true
-			perf, err := cfg.Valuate(child.Bits)
-			if err != nil {
-				return nil, err
-			}
-			child.Perf = perf
+			batch = append(batch, child)
+		}
+		n, err := val.ValuateStates(ctx, batch, opts.N)
+		if err != nil {
+			return nil, err
+		}
+		var next []*fst.State
+		for _, child := range batch[:n] {
 			if child.Level > maxLevel {
 				maxLevel = child.Level
-				opts.emit("div", maxLevel, qf.Len()+qb.Len(), cfg.Valuations(), g.size(), false)
+				opts.emit("div", maxLevel, qf.Len()+qb.Len(), val.Stats.Valuations(), g.size(), false)
 			}
 			// Skyline-guided expansion, as in ApxMODis/BiMODis.
-			if g.upareto(child.Bits, perf) || opts.N == 0 {
+			if g.upareto(child.Bits, child.Perf) || opts.N == 0 {
 				next = append(next, child)
 			}
 		}
@@ -204,12 +206,12 @@ func DivMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, erro
 		}
 	}
 
-	opts.emit("div", maxLevel, qf.Len()+qb.Len(), cfg.Valuations(), g.size(), true)
+	opts.emit("div", maxLevel, qf.Len()+qb.Len(), val.Stats.Valuations(), g.size(), true)
 	return &Result{
 		Skyline: g.finalize(),
 		Stats: RunStats{
-			Valuated:   cfg.Valuations(),
-			ExactCalls: cfg.ExactCalls(),
+			Valuated:   val.Stats.Valuations(),
+			ExactCalls: val.Stats.ExactCalls(),
 			Levels:     maxLevel,
 			Elapsed:    time.Since(start),
 		},

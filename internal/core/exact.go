@@ -12,12 +12,14 @@ import (
 // ExactMODis is the exact algorithm behind the fixed-parameter
 // tractability of Theorem 1: it exhausts the runnings of the generator
 // (every reachable state up to MaxLevel, or at most N valuations),
-// valuates each dataset, and computes the exact skyline with Kung's
-// algorithm. Exponential in the space size — use only on small spaces,
-// e.g. to validate the (N, ε)-approximations in tests and ablations.
-// The context is checked at frontier-pop and child-valuation
-// granularity: cancellation or deadline expiry aborts the search and
-// returns ctx.Err() with no partial result.
+// valuates each level's children as one batch through the run's
+// Valuator (exact inferences on the worker pool, committed in child
+// order so any parallelism reproduces the sequential result), and
+// computes the exact skyline with Kung's algorithm. Exponential in the
+// space size — use only on small spaces, e.g. to validate the (N, ε)-
+// approximations in tests and ablations. The context is checked at
+// frontier-pop and batch granularity: cancellation or deadline expiry
+// drains the pool and returns ctx.Err() with no partial result.
 func ExactMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -27,9 +29,10 @@ func ExactMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, er
 		return nil, fmt.Errorf("core: ExactMODis: %w", err)
 	}
 	start := time.Now()
+	val := cfg.NewValuator(opts.Parallelism)
 
 	su := &fst.State{Bits: cfg.Space.FullBitmap(), Level: 0}
-	perf, err := cfg.Valuate(su.Bits)
+	perf, err := val.Valuate(ctx, su.Bits)
 	if err != nil {
 		return nil, err
 	}
@@ -44,11 +47,12 @@ func ExactMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, er
 	queue := []*fst.State{su}
 	visited := map[fst.StateKey]bool{su.Key(): true}
 	maxLevel := 0
+	var batch []*fst.State
 	for len(queue) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if opts.N > 0 && cfg.Valuations() >= opts.N {
+		if opts.N > 0 && val.Stats.Valuations() >= opts.N {
 			break
 		}
 		s := queue[0]
@@ -56,31 +60,28 @@ func ExactMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, er
 		if opts.MaxLevel > 0 && s.Level >= opts.MaxLevel {
 			continue
 		}
+		batch = batch[:0]
 		for _, child := range fst.OpGen(s, fst.Forward) {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if opts.N > 0 && cfg.Valuations() >= opts.N {
-				break
-			}
 			k := child.Key()
 			if visited[k] {
 				continue
 			}
 			visited[k] = true
-			cp, err := cfg.Valuate(child.Bits)
-			if err != nil {
-				return nil, err
-			}
-			child.Perf = cp
+			batch = append(batch, child)
+		}
+		n, err := val.ValuateStates(ctx, batch, opts.N)
+		if err != nil {
+			return nil, err
+		}
+		for _, child := range batch[:n] {
 			if child.Level > maxLevel {
 				maxLevel = child.Level
 				if opts.Progress != nil {
-					opts.emit("exact", maxLevel, len(queue), cfg.Valuations(), incumbentSkyline(all), false)
+					opts.emit("exact", maxLevel, len(queue), val.Stats.Valuations(), incumbentSkyline(all), false)
 				}
 			}
-			if withinBounds(cp) {
-				all = append(all, &Candidate{Bits: child.Bits.Clone(), Perf: cp.Clone()})
+			if withinBounds(child.Perf) {
+				all = append(all, &Candidate{Bits: child.Bits.Clone(), Perf: child.Perf.Clone()})
 			}
 			queue = append(queue, child)
 		}
@@ -98,12 +99,12 @@ func ExactMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, er
 		out = append(out, all[i])
 	}
 
-	opts.emit("exact", maxLevel, 0, cfg.Valuations(), len(out), true)
+	opts.emit("exact", maxLevel, 0, val.Stats.Valuations(), len(out), true)
 	return &Result{
 		Skyline: out,
 		Stats: RunStats{
-			Valuated:   cfg.Valuations(),
-			ExactCalls: cfg.ExactCalls(),
+			Valuated:   val.Stats.Valuations(),
+			ExactCalls: val.Stats.ExactCalls(),
 			Levels:     maxLevel,
 			Elapsed:    time.Since(start),
 		},

@@ -51,6 +51,13 @@ type Options struct {
 	Alpha float64
 	// Seed drives the diversification initialization.
 	Seed int64
+	// Parallelism is the valuation worker count: exact model inferences
+	// of independent frontier children fan out across this many
+	// goroutines. Values <= 1 run sequentially. Any degree produces the
+	// same skylines and reports — batches are planned and committed in
+	// deterministic child order — but the model must support concurrent
+	// Evaluate calls when parallelism > 1.
+	Parallelism int
 	// RecordGraph captures the running graph G_T (nodes and transition
 	// edges) in the result, for analysis and the MOSP reduction.
 	RecordGraph bool

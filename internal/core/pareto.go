@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"sort"
 
 	"repro/internal/fst"
 	"repro/internal/skyline"
@@ -124,11 +125,20 @@ func (g *grid) upareto(bits fst.Bitmap, perf skyline.Vector) bool {
 // size is the current output-skyline cardinality (progress reporting).
 func (g *grid) size() int { return len(g.cells) }
 
-// members returns the current skyline candidates in no particular order.
+// members returns the current skyline candidates ordered by grid cell
+// key. The deterministic order matters: diversification samples from
+// it, pruning scans it, and the final skyline inherits it, so runs are
+// reproducible (and parallel valuation matches sequential byte for
+// byte) instead of leaking map iteration order.
 func (g *grid) members() []*Candidate {
-	out := make([]*Candidate, 0, len(g.cells))
-	for _, c := range g.cells {
-		out = append(out, c)
+	keys := make([]uint64, 0, len(g.cells))
+	for k := range g.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]*Candidate, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, g.cells[k])
 	}
 	return out
 }

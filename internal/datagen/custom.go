@@ -77,10 +77,11 @@ func NewCustomWorkload(cfg CustomConfig) (*Workload, error) {
 	maxCost := trainCost(u.NumRows(), u.NumCols(), 1)
 
 	kind := cfg.ModelKind
+	enc := ml.NewTableEncoder(u, cfg.Target)
 	model := &TableModel{
 		ModelName: "custom-" + kindOrDefault(kind),
 		Eval: func(d *table.Table) ([]float64, error) {
-			ds := ml.FromTable(d, cfg.Target)
+			ds := enc.Encode(d)
 			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
 				return []float64{0, maxCost}, nil
 			}

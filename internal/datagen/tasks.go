@@ -59,10 +59,11 @@ func T1Movie(tc TaskConfig) *Workload {
 	lake := NewLake(lc)
 	maxCost := trainCost(lake.Universal.NumRows(), lake.Universal.NumCols(), 1)
 
+	enc := ml.NewTableEncoder(lake.Universal.DropColumn("id"), lake.Target)
 	model := &TableModel{
 		ModelName: "GBmovie",
 		Eval: func(d *table.Table) ([]float64, error) {
-			ds := ml.FromTable(d.DropColumn("id"), lake.Target)
+			ds := enc.Encode(d.DropColumn("id"))
 			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
 				return worst([]bool{true, false, true, true}), nil
 			}
@@ -98,10 +99,11 @@ func T2House(tc TaskConfig) *Workload {
 	lake := NewLake(lc)
 	maxCost := trainCost(lake.Universal.NumRows(), lake.Universal.NumCols(), 2)
 
+	enc := ml.NewTableEncoder(lake.Universal.DropColumn("id"), lake.Target)
 	model := &TableModel{
 		ModelName: "RFhouse",
 		Eval: func(d *table.Table) ([]float64, error) {
-			ds := ml.FromTable(d.DropColumn("id"), lake.Target)
+			ds := enc.Encode(d.DropColumn("id"))
 			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
 				return worst([]bool{true, true, false, true, true}), nil
 			}
@@ -139,10 +141,11 @@ func T3Avocado(tc TaskConfig) *Workload {
 	lake := NewLake(lc)
 	maxCost := trainCost(lake.Universal.NumRows(), lake.Universal.NumCols(), 0.5)
 
+	enc := ml.NewTableEncoder(lake.Universal.DropColumn("id"), lake.Target)
 	model := &TableModel{
 		ModelName: "LRavocado",
 		Eval: func(d *table.Table) ([]float64, error) {
-			ds := ml.FromTable(d.DropColumn("id"), lake.Target)
+			ds := enc.Encode(d.DropColumn("id"))
 			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
 				return []float64{1, 1, maxCost}, nil
 			}
@@ -184,10 +187,11 @@ func T4Mental(tc TaskConfig) *Workload {
 	lake := NewLake(lc)
 	maxCost := trainCost(lake.Universal.NumRows(), lake.Universal.NumCols(), 1.5)
 
+	enc := ml.NewTableEncoder(lake.Universal.DropColumn("id"), lake.Target)
 	model := &TableModel{
 		ModelName: "LGCmental",
 		Eval: func(d *table.Table) ([]float64, error) {
-			ds := ml.FromTable(d.DropColumn("id"), lake.Target)
+			ds := enc.Encode(d.DropColumn("id"))
 			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
 				return worst([]bool{true, true, true, true, true, false}), nil
 			}

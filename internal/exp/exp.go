@@ -73,6 +73,12 @@ func (r *Report) String() string {
 	return b.String()
 }
 
+// DefaultParallelism is the valuation worker count every experiment
+// run uses unless its options say otherwise: 1 (sequential) by
+// default, settable by harness front-ends (cmd/modisbench -parallel; 0
+// = all CPUs). Parallelism never changes results — only wall time.
+var DefaultParallelism = 1
+
 // MODisOptions are the default discovery knobs of the comparison
 // experiments (ε = 0.1, maxl = 6, surrogate on, modest budget).
 func MODisOptions() core.Options {
@@ -117,6 +123,11 @@ func modisOptions(o core.Options) []modis.Option {
 	if o.RecordGraph {
 		opts = append(opts, modis.WithRecordGraph())
 	}
+	par := o.Parallelism
+	if par == 0 {
+		par = DefaultParallelism
+	}
+	opts = append(opts, modis.WithParallelism(par))
 	return opts
 }
 

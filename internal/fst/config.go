@@ -1,8 +1,10 @@
 package fst
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/skyline"
 	"repro/internal/table"
@@ -66,6 +68,11 @@ func Identity(lo float64) func(float64) float64 {
 	}
 }
 
+// defaultNormalize is the fallback normalizer of measures with no
+// Normalize func, hoisted to package level so the valuation hot path
+// does not rebuild the closure per measure per state.
+var defaultNormalize = Identity(1e-3)
+
 // Model is a fixed deterministic data science model M: D → R^d whose
 // performance over a dataset is what MODis optimizes. Evaluate returns
 // the raw metric vector aligned with the configured measures (e.g.
@@ -86,60 +93,13 @@ type Estimator interface {
 	Observe(features []float64, v skyline.Vector)
 }
 
-// Test is one valuated test tuple t = (M, D, P) with its performance
-// vector.
-type Test struct {
-	Key  StateKey
-	Perf skyline.Vector
-	// Features is the state feature vector used to train estimators.
-	Features []float64
-}
-
-// TestSet is the historical record T of valuated tests, memoizing by
-// state key so repeated states load their vector instead of re-valuating.
-type TestSet struct {
-	byKey map[StateKey]*Test
-	order []*Test
-}
-
-// NewTestSet returns an empty record.
-func NewTestSet() *TestSet { return &TestSet{byKey: map[StateKey]*Test{}} }
-
-// Get loads a memoized test.
-func (ts *TestSet) Get(key StateKey) (*Test, bool) {
-	t, ok := ts.byKey[key]
-	return t, ok
-}
-
-// Put records a valuated test (idempotent per key).
-func (ts *TestSet) Put(t *Test) {
-	if _, ok := ts.byKey[t.Key]; ok {
-		return
-	}
-	ts.byKey[t.Key] = t
-	ts.order = append(ts.order, t)
-}
-
-// Len returns the number of recorded tests.
-func (ts *TestSet) Len() int { return len(ts.order) }
-
-// All returns the tests in valuation order.
-func (ts *TestSet) All() []*Test { return ts.order }
-
-// Columns returns, for measure index j, the series of recorded values —
-// the distribution the correlation graph G_C is computed from.
-func (ts *TestSet) Columns(numMeasures int) [][]float64 {
-	cols := make([][]float64, numMeasures)
-	for _, t := range ts.order {
-		for j := 0; j < numMeasures && j < len(t.Perf); j++ {
-			cols[j] = append(cols[j], t.Perf[j])
-		}
-	}
-	return cols
-}
-
 // Config is the configuration C = (s_M, O, M, T, E) of a data discovery
-// system run.
+// system run. One Config can serve concurrent runs: the test set is
+// sharded and single-flighted, estimator access is serialized behind an
+// internal mutex, and the per-run valuation counters live in each run's
+// [ValuationStats] rather than here. Model.Evaluate must be safe for
+// concurrent calls when runs valuate with parallelism > 1, and Measure
+// normalizers must be pure functions.
 type Config struct {
 	Space    *Space
 	Model    Model
@@ -154,9 +114,17 @@ type Config struct {
 	// warmup, feeding the estimator fresh observations. 0 = never.
 	ExactEvery int
 
-	valuations int
-	exactCalls int
+	// estMu serializes Est.Estimate/Observe: estimators are stateful
+	// (online training, lazy refits) and not required to be thread-safe.
+	estMu sync.Mutex
+
+	boundsOnce sync.Once
 	bounds     []skyline.Bounds
+
+	// selfStats backs the convenience Config.Valuate path so one-off
+	// valuations (reference states in examples, tests) still accumulate
+	// surrogate warmup; search runs carry their own ValuationStats.
+	selfStats ValuationStats
 }
 
 // Validate checks internal consistency.
@@ -177,9 +145,10 @@ func (c *Config) Validate() error {
 }
 
 // Bounds returns the measure bounds slice aligned with the vector,
-// built once and cached: Measures must not change after the first call.
+// built once (concurrency-safe) and cached: Measures must not change
+// after the first call.
 func (c *Config) Bounds() []skyline.Bounds {
-	if c.bounds == nil {
+	c.boundsOnce.Do(func() {
 		c.bounds = make([]skyline.Bounds, len(c.Measures))
 		for i, m := range c.Measures {
 			b := m.Bounds
@@ -191,7 +160,7 @@ func (c *Config) Bounds() []skyline.Bounds {
 			}
 			c.bounds[i] = b
 		}
-	}
+	})
 	return c.bounds
 }
 
@@ -206,38 +175,23 @@ func (c *Config) WithinBounds(v skyline.Vector) bool {
 	return true
 }
 
-// Valuations reports the number of states valuated so far (the N budget).
-func (c *Config) Valuations() int { return c.valuations }
-
-// ExactCalls reports how many valuations ran real model inference.
-func (c *Config) ExactCalls() int { return c.exactCalls }
-
-// ResetCounters clears the valuation counters (for reuse across runs).
-func (c *Config) ResetCounters() { c.valuations, c.exactCalls = 0, 0 }
-
 // Valuate produces the normalized performance vector of a state bitmap,
 // memoizing through the test set T. It prefers the surrogate estimator
-// after warmup and falls back to exact model inference.
+// after warmup and falls back to exact model inference. This is the
+// one-off convenience path (counters accumulate in a config-internal
+// ValuationStats); search runs valuate through a per-run [Valuator] so
+// their budgets and reports stay independent. Both paths share one
+// policy implementation: a transient valuator's single-state window.
 func (c *Config) Valuate(bits Bitmap) (skyline.Vector, error) {
-	key := bits.Key()
-	if t, ok := c.Tests.Get(key); ok {
-		return t.Perf, nil
-	}
-	c.valuations++
-	feats := bits.Floats()
+	v := &Valuator{cfg: c, par: 1, Stats: &c.selfStats}
+	return v.Valuate(context.Background(), bits)
+}
 
-	useSurrogate := c.Est != nil && c.exactCalls >= c.WarmupExact
-	if useSurrogate && c.ExactEvery > 0 && c.valuations%c.ExactEvery == 0 {
-		useSurrogate = false
-	}
-	if useSurrogate {
-		if v, ok := c.Est.Estimate(feats); ok {
-			v = clampVec(v)
-			c.Tests.Put(&Test{Key: key, Perf: v, Features: feats})
-			return v, nil
-		}
-	}
-
+// evaluateExact materializes the state and runs real model inference,
+// returning the normalized performance vector. Safe for concurrent
+// calls (the worker-pool body): materialization shares only the
+// space's immutable row index, and normalizers must be pure.
+func (c *Config) evaluateExact(bits Bitmap) (skyline.Vector, error) {
 	d := c.Space.Materialize(bits)
 	raw, err := c.Model.Evaluate(d)
 	if err != nil {
@@ -251,15 +205,28 @@ func (c *Config) Valuate(bits Bitmap) (skyline.Vector, error) {
 		if m.Normalize != nil {
 			v[i] = m.Normalize(raw[i])
 		} else {
-			v[i] = Identity(1e-3)(raw[i])
+			v[i] = defaultNormalize(raw[i])
 		}
 	}
-	c.exactCalls++
-	if c.Est != nil {
-		c.Est.Observe(feats, v)
-	}
-	c.Tests.Put(&Test{Key: key, Perf: v, Features: feats})
 	return v, nil
+}
+
+// estimate consults the surrogate under the estimator mutex.
+func (c *Config) estimate(feats []float64) (skyline.Vector, bool) {
+	c.estMu.Lock()
+	defer c.estMu.Unlock()
+	return c.Est.Estimate(feats)
+}
+
+// observe feeds an exact result to the surrogate under the estimator
+// mutex (no-op without an estimator).
+func (c *Config) observe(feats []float64, v skyline.Vector) {
+	if c.Est == nil {
+		return
+	}
+	c.estMu.Lock()
+	defer c.estMu.Unlock()
+	c.Est.Observe(feats, v)
 }
 
 func clampVec(v skyline.Vector) skyline.Vector {

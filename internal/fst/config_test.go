@@ -1,6 +1,7 @@
 package fst
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -60,12 +61,13 @@ func TestValuateMemoizes(t *testing.T) {
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
+	val := cfg.NewValuator(1)
 	bits := cfg.Space.FullBitmap()
-	v1, err := cfg.Valuate(bits)
+	v1, err := val.Valuate(context.Background(), bits)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := cfg.Valuate(bits)
+	v2, err := val.Valuate(context.Background(), bits)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,8 +79,8 @@ func TestValuateMemoizes(t *testing.T) {
 			t.Error("memoized vector mismatch")
 		}
 	}
-	if cfg.Valuations() != 1 {
-		t.Errorf("valuations = %d, want 1 (repeat loads from T)", cfg.Valuations())
+	if val.Stats.Valuations() != 1 {
+		t.Errorf("valuations = %d, want 1 (repeat loads from T)", val.Stats.Valuations())
 	}
 }
 
@@ -146,17 +148,18 @@ func TestValuateUsesSurrogateAfterWarmup(t *testing.T) {
 	cfg.Validate()
 
 	// First valuation: warmup, exact.
+	val := cfg.NewValuator(1)
 	b1 := cfg.Space.FullBitmap()
-	if _, err := cfg.Valuate(b1); err != nil {
+	if _, err := val.Valuate(context.Background(), b1); err != nil {
 		t.Fatal(err)
 	}
-	if cfg.ExactCalls() != 1 {
-		t.Fatalf("exact calls = %d, want 1", cfg.ExactCalls())
+	if val.Stats.ExactCalls() != 1 {
+		t.Fatalf("exact calls = %d, want 1", val.Stats.ExactCalls())
 	}
 	// Second distinct state: surrogate should answer.
 	b2 := b1.Clone()
 	b2.Clear(0)
-	v, err := cfg.Valuate(b2)
+	v, err := val.Valuate(context.Background(), b2)
 	if err != nil {
 		t.Fatal(err)
 	}

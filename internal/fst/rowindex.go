@@ -1,0 +1,74 @@
+package fst
+
+import "math/bits"
+
+// rowIndex is the precomputed materialization index of a space: for
+// every EntryLiteral, a packed bitmap over the universal table's rows
+// marking the tuples that literal's Reduct would remove (non-null cells
+// equal to the literal value). Built once per Space on first
+// Materialize and immutable afterwards, so any number of concurrent
+// materializations — worker pools, parallel engine runs — share it
+// without coordination.
+type rowIndex struct {
+	// litRows[i] is the removed-row bitmap of entry i (nil for
+	// EntryAttr entries).
+	litRows [][]uint64
+	// colOf[i] is the universal column index of entry i's attribute.
+	colOf []int
+	// words is the packed width of a row bitmap.
+	words int
+	// rows is the universal row count (for the trailing-word mask).
+	rows int
+}
+
+// liveMask returns the valid-row mask of word wi.
+func (ix *rowIndex) liveMask(wi int) uint64 {
+	if valid := ix.rows - wi*wordBits; valid < wordBits {
+		return 1<<uint(valid) - 1
+	}
+	return ^uint64(0)
+}
+
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
+
+// buildRowIndex fills the per-literal row bitmaps with one walk of the
+// universal rows per attribute that carries literals: each row's cell
+// is matched against that attribute's literal values, so the table is
+// traversed len(litEntries) times rather than once per literal entry.
+func (sp *Space) buildRowIndex() {
+	u := sp.Universal
+	ix := &rowIndex{
+		litRows: make([][]uint64, len(sp.Entries)),
+		colOf:   make([]int, len(sp.Entries)),
+		words:   (len(u.Rows) + wordBits - 1) / wordBits,
+		rows:    len(u.Rows),
+	}
+	colIdx := make(map[string]int, len(u.Schema))
+	for i, c := range u.Schema {
+		colIdx[c.Name] = i
+	}
+	for i, e := range sp.Entries {
+		ix.colOf[i] = colIdx[e.Attr]
+		if e.Kind == EntryLiteral {
+			ix.litRows[i] = make([]uint64, ix.words)
+		}
+	}
+	for _, entries := range sp.litEntries {
+		if len(entries) == 0 {
+			continue
+		}
+		ci := ix.colOf[entries[0]]
+		for ri, r := range u.Rows {
+			cell := r[ci]
+			if cell.IsNull() {
+				continue
+			}
+			for _, i := range entries {
+				if cell.Equal(sp.Entries[i].Literal.Value) {
+					ix.litRows[i][ri/wordBits] |= 1 << (uint(ri) % wordBits)
+				}
+			}
+		}
+	}
+	sp.idx = ix
+}

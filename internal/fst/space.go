@@ -8,6 +8,8 @@ package fst
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 
 	"repro/internal/table"
 )
@@ -51,6 +53,12 @@ type Space struct {
 	litEntries map[string][]int
 	// udfs are post-materialization task-specific operators (see udf.go).
 	udfs []UDF
+
+	// idx is the lazily-built row index backing incremental
+	// materialization (see rowindex.go); immutable once built, so
+	// concurrent Materialize calls share it freely.
+	idxOnce sync.Once
+	idx     *rowIndex
 }
 
 // SpaceConfig controls space construction.
@@ -135,7 +143,70 @@ func (sp *Space) LiteralEntries(attr string) []int { return sp.litEntries[attr] 
 // sequence of Reduct operators implied by the cleared bitmap entries to
 // the universal table: cleared literal entries remove their cluster's
 // tuples (⊖), cleared attribute entries mask their column (adom_s = ∅).
+//
+// Materialization is incremental: the space lazily builds one row-index
+// bitmap per literal entry over the universal table (rowindex.go), so a
+// state's surviving rows are the union of its cleared literals' bitmaps,
+// complemented — word-wise set arithmetic instead of the former nested
+// row-by-literal scan. Safe for concurrent calls; the scan-based
+// reference implementation survives as materializeScan for tests.
 func (sp *Space) Materialize(bits Bitmap) *table.Table {
+	if bits.Len() != len(sp.Entries) {
+		panic(fmt.Sprintf("fst: bitmap width %d != space size %d", bits.Len(), len(sp.Entries)))
+	}
+	sp.idxOnce.Do(sp.buildRowIndex)
+	idx := sp.idx
+
+	// Union the removed-row bitmaps of cleared literals; collect masked
+	// attribute columns.
+	removed := make([]uint64, idx.words)
+	var masked []int
+	bits.ForEachClear(func(i int) {
+		e := sp.Entries[i]
+		switch e.Kind {
+		case EntryAttr:
+			masked = append(masked, idx.colOf[i])
+		case EntryLiteral:
+			for w, word := range idx.litRows[i] {
+				removed[w] |= word
+			}
+		}
+	})
+
+	u := sp.Universal
+	out := table.New("D_s", u.Schema)
+	// Walk the surviving rows (complement of removed) word-wise.
+	for wi, w := range removed {
+		live := ^w & idx.liveMask(wi)
+		for live != 0 {
+			r := u.Rows[wi*wordBits+trailingZeros(live)]
+			live &= live - 1
+			nr := r.Clone()
+			for _, ci := range masked {
+				nr[ci] = table.Null
+			}
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	// Drop fully masked attributes from the schema view (output size
+	// excludes attributes with all cells masked, per Section 6).
+	if len(masked) > 0 {
+		keep := make([]string, 0, len(u.Schema)-len(masked))
+		for ci, c := range u.Schema {
+			if !slices.Contains(masked, ci) {
+				keep = append(keep, c.Name)
+			}
+		}
+		out = out.Project(keep...)
+		out.Name = "D_s"
+	}
+	return sp.applyUDFs(out)
+}
+
+// materializeScan is the original scratch row-scan materialization,
+// kept as the reference implementation the incremental path is
+// property-tested against.
+func (sp *Space) materializeScan(bits Bitmap) *table.Table {
 	if bits.Len() != len(sp.Entries) {
 		panic(fmt.Sprintf("fst: bitmap width %d != space size %d", bits.Len(), len(sp.Entries)))
 	}
@@ -177,8 +248,6 @@ rows:
 		}
 		out.Rows = append(out.Rows, nr)
 	}
-	// Drop fully masked attributes from the schema view (output size
-	// excludes attributes with all cells masked, per Section 6).
 	if len(maskedAttrs) > 0 {
 		keep := make([]string, 0, len(u.Schema))
 		for _, c := range u.Schema {

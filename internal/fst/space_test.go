@@ -111,6 +111,54 @@ func TestMaterializeWidthPanic(t *testing.T) {
 	sp.Materialize(NewBitmap(1))
 }
 
+func sameTable(a, b *table.Table) bool {
+	if len(a.Schema) != len(b.Schema) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Schema {
+		if a.Schema[i] != b.Schema[i] {
+			return false
+		}
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			av, bv := a.Rows[i][j], b.Rows[i][j]
+			if av.IsNull() != bv.IsNull() {
+				return false
+			}
+			if !av.IsNull() && !av.Equal(bv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: the incremental (row-index) materialization produces the
+// identical dataset to the scratch row-scan on randomized bitmaps,
+// including attribute masking and UDF chains.
+func TestMaterializeIncrementalMatchesScan(t *testing.T) {
+	for _, withUDF := range []bool{false, true} {
+		sp := testSpace()
+		if withUDF {
+			sp.RegisterUDF(DropSparseRowsUDF(0.5))
+		}
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			bits := sp.FullBitmap()
+			for i := 0; i < bits.Len(); i++ {
+				if rng.Intn(3) == 0 {
+					bits.Clear(i)
+				}
+			}
+			return sameTable(sp.Materialize(bits), sp.materializeScan(bits))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("withUDF=%v: %v", withUDF, err)
+		}
+	}
+}
+
 // Property: materialized datasets shrink monotonically as bits clear.
 func TestMaterializeMonotone(t *testing.T) {
 	sp := testSpace()

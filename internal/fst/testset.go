@@ -1,0 +1,239 @@
+package fst
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/skyline"
+)
+
+// Test is one valuated test tuple t = (M, D, P) with its performance
+// vector.
+type Test struct {
+	Key  StateKey
+	Perf skyline.Vector
+	// Features is the state feature vector used to train estimators.
+	Features []float64
+}
+
+// TestSet is the historical record T of valuated tests, memoizing by
+// state key so repeated states load their vector instead of
+// re-valuating. It is safe for concurrent use: the key map is sharded
+// behind per-shard mutexes, and GetOrCompute single-flights concurrent
+// valuations of the same state, so parallel workers (and parallel
+// engine runs sharing one record) never duplicate a model inference.
+//
+// Registration into the valuation order (All/Columns, which feed the
+// correlation graph and the diversification normalizer) is decoupled
+// from computation: GetOrCompute memoizes the vector immediately, but a
+// test only enters the order when Put is called. Search runs commit
+// their batches in deterministic child order, so the order — and
+// everything derived from it — is identical however many workers
+// computed the vectors.
+type TestSet struct {
+	shards [testShards]testShard
+
+	ordMu sync.RWMutex
+	order []*Test
+}
+
+// testShards is the shard count of the key map; a power of two so the
+// well-mixed Zobrist key selects a shard by masking.
+const testShards = 16
+
+type testShard struct {
+	mu sync.Mutex
+	m  map[StateKey]*testSlot
+}
+
+// testSlot is the single-flight cell of one state key: done closes when
+// the test (or the computation's error) is available.
+type testSlot struct {
+	done    chan struct{}
+	t       *Test
+	err     error
+	ordered bool
+}
+
+// closedCh is the pre-closed channel of slots born completed (Put).
+var closedCh = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// NewTestSet returns an empty record.
+func NewTestSet() *TestSet {
+	ts := &TestSet{}
+	for i := range ts.shards {
+		ts.shards[i].m = map[StateKey]*testSlot{}
+	}
+	return ts
+}
+
+func (ts *TestSet) shardFor(key StateKey) *testShard {
+	return &ts.shards[uint64(key)&(testShards-1)]
+}
+
+// Get loads a memoized test. In-flight computations do not block it: a
+// state still being valuated reports absent.
+func (ts *TestSet) Get(key StateKey) (*Test, bool) {
+	sh := ts.shardFor(key)
+	sh.mu.Lock()
+	s, ok := sh.m[key]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-s.done:
+	default:
+		return nil, false
+	}
+	if s.err != nil {
+		return nil, false
+	}
+	return s.t, true
+}
+
+// GetOrCompute returns the test for key, running compute at most once
+// across concurrent callers: the first caller computes while the rest
+// block until the result lands — or until their ctx fires, which
+// surfaces ctx.Err() immediately while the owning flight carries on.
+// computed reports whether this call ran compute — its caller owns the
+// follow-up bookkeeping (exact-call counting, estimator observation,
+// and Put for order registration). A failed computation is forgotten,
+// so a later caller retries; waiters of the failed flight receive its
+// error.
+func (ts *TestSet) GetOrCompute(ctx context.Context, key StateKey, compute func() (*Test, error)) (t *Test, computed bool, err error) {
+	sh := ts.shardFor(key)
+	sh.mu.Lock()
+	if s, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		select {
+		case <-s.done:
+			return s.t, false, s.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	s := &testSlot{done: make(chan struct{})}
+	sh.m[key] = s
+	sh.mu.Unlock()
+
+	// Finish the flight no matter how compute exits: a panic unwinding
+	// through it must vacate the slot and release waiters, or the key
+	// would be poisoned forever for any caller that recovers above.
+	settled := false
+	defer func() {
+		if settled {
+			return
+		}
+		sh.mu.Lock()
+		delete(sh.m, key)
+		sh.mu.Unlock()
+		s.err = errFlightPanicked
+		close(s.done)
+	}()
+
+	t, err = compute()
+	if err != nil {
+		sh.mu.Lock()
+		delete(sh.m, key)
+		sh.mu.Unlock()
+		s.err = err
+		settled = true
+		close(s.done)
+		return nil, false, err
+	}
+	s.t = t
+	settled = true
+	close(s.done)
+	return t, true, nil
+}
+
+// errFlightPanicked is what waiters of a flight receive when its
+// compute panicked; the panic itself propagates to the owning caller.
+var errFlightPanicked = errors.New("fst: valuation flight panicked")
+
+// Put records a valuated test (idempotent per key, first writer wins)
+// and registers it in the valuation order exactly once. It returns the
+// canonical test stored under the key — or, when a concurrent run's
+// exact flight for the key is still in the air, the caller's own test
+// unrecorded: commits never block on a peer's model inference, and the
+// flight's owner registers the canonical result itself.
+func (ts *TestSet) Put(t *Test) *Test {
+	sh := ts.shardFor(t.Key)
+	for {
+		sh.mu.Lock()
+		s, ok := sh.m[t.Key]
+		if !ok {
+			s = &testSlot{done: closedCh, t: t}
+			sh.m[t.Key] = s
+		}
+		select {
+		case <-s.done:
+		default:
+			// A concurrent run has an exact flight for this key in the
+			// air. Don't block a commit on a peer's model inference: the
+			// flight's owner registers the canonical result at its own
+			// commit, and this run's value stands for this run alone.
+			sh.mu.Unlock()
+			return t
+		}
+		if s.err != nil {
+			// Completed-with-error slots are being vacated; retry.
+			sh.mu.Unlock()
+			continue
+		}
+		canonical := s.t
+		enter := !s.ordered
+		s.ordered = true
+		sh.mu.Unlock()
+		if enter {
+			ts.ordMu.Lock()
+			ts.order = append(ts.order, canonical)
+			ts.ordMu.Unlock()
+		}
+		return canonical
+	}
+}
+
+// Len returns the number of recorded tests.
+func (ts *TestSet) Len() int {
+	ts.ordMu.RLock()
+	defer ts.ordMu.RUnlock()
+	return len(ts.order)
+}
+
+// All returns a snapshot of the tests in valuation order.
+func (ts *TestSet) All() []*Test {
+	ts.ordMu.RLock()
+	defer ts.ordMu.RUnlock()
+	return append([]*Test(nil), ts.order...)
+}
+
+// AppendAll snapshots the valuation order into dst (reusing its
+// capacity) — the allocation-free variant of All for hot loops that
+// re-snapshot as the record grows, e.g. BiMODis' per-window prune
+// history.
+func (ts *TestSet) AppendAll(dst []*Test) []*Test {
+	ts.ordMu.RLock()
+	defer ts.ordMu.RUnlock()
+	return append(dst[:0], ts.order...)
+}
+
+// Columns returns, for measure index j, the series of recorded values —
+// the distribution the correlation graph G_C is computed from.
+func (ts *TestSet) Columns(numMeasures int) [][]float64 {
+	ts.ordMu.RLock()
+	defer ts.ordMu.RUnlock()
+	cols := make([][]float64, numMeasures)
+	for _, t := range ts.order {
+		for j := 0; j < numMeasures && j < len(t.Perf); j++ {
+			cols[j] = append(cols[j], t.Perf[j])
+		}
+	}
+	return cols
+}

@@ -1,0 +1,287 @@
+package fst
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/skyline"
+)
+
+// ValuationStats are the per-run valuation counters (the paper's N
+// budget accounting). They live with the run rather than the Config so
+// one configuration can serve concurrent runs; the counters are atomic
+// so progress hooks may read them while workers are in flight.
+type ValuationStats struct {
+	valuations atomic.Int64
+	exactCalls atomic.Int64
+}
+
+// Valuations reports the number of states valuated so far (memo hits
+// are free and do not count).
+func (s *ValuationStats) Valuations() int { return int(s.valuations.Load()) }
+
+// ExactCalls reports how many valuations ran real model inference.
+func (s *ValuationStats) ExactCalls() int { return int(s.exactCalls.Load()) }
+
+// Valuator drives the valuations of one search run: it owns the run's
+// ValuationStats and a worker pool that fans exact model inferences of
+// independent sibling states across parallelism goroutines.
+//
+// Results are deterministic in the parallelism degree: each window is
+// planned sequentially in child order (memo lookups, budget slots,
+// surrogate decisions against the estimator as trained before the
+// window), only the exact model inferences — the expensive part — run
+// on the pool, and every side effect (test-set order, estimator
+// observations, exact-call counts, the children's Perf vectors) is
+// committed sequentially in child order afterwards. The progressive
+// window schedule (see MaxWindow) is a constant, so a run with
+// parallelism n produces byte-identical skylines and reports to the
+// same run with parallelism 1.
+type Valuator struct {
+	cfg *Config
+	par int
+
+	// Stats are this run's counters; read them for budgets and reports.
+	Stats *ValuationStats
+
+	jobs  []valJob
+	exact []int
+}
+
+// NewValuator returns a valuator for one run of this configuration.
+// parallelism is the exact-inference worker count; values below 2 mean
+// sequential. The model must support concurrent Evaluate calls when
+// parallelism > 1.
+func (c *Config) NewValuator(parallelism int) *Valuator {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return &Valuator{cfg: c, par: parallelism, Stats: &ValuationStats{}}
+}
+
+// Parallelism returns the configured worker count.
+func (v *Valuator) Parallelism() int { return v.par }
+
+// Valuate valuates a single state bitmap against this run's counters —
+// the start-state path; frontiers of children go through ValuateStates.
+// It is the single-state window, so the policy (memo adoption, warmup
+// gate, ExactEvery, canonical-memo commit) and the cancellation
+// behavior are exactly the batch ones — root valuations are often the
+// largest inferences of a run, so they too honor ctx.
+func (v *Valuator) Valuate(ctx context.Context, bits Bitmap) (skyline.Vector, error) {
+	s := &State{Bits: bits}
+	if _, err := v.ValuateWindow(ctx, []*State{s}, 0); err != nil {
+		return nil, err
+	}
+	return s.Perf, nil
+}
+
+// valJob is one planned valuation of a batch.
+type valJob struct {
+	state    *State
+	key      StateKey
+	feats    []float64
+	perf     skyline.Vector // surrogate answer (exact == false)
+	exact    bool
+	test     *Test // exact result (owned or single-flighted from a peer)
+	computed bool
+	err      error
+}
+
+// MaxWindow caps the progressive valuation window: batches are
+// planned, executed, and committed in windows that start at one state
+// and double up to this cap, so early results feed the next window's
+// surrogate (and, in BiMODis, pruning) decisions with near-sequential
+// freshness while wide expansions still saturate the worker pool. The
+// schedule is a constant — never a function of the parallelism degree
+// or the machine — which is what keeps results identical for every
+// pool size; it also caps how many workers one window can keep busy.
+const MaxWindow = 16
+
+// GrowWindow advances the progressive window schedule: 1, 2, 4, 8,
+// MaxWindow, MaxWindow, ... Shared by ValuateStates and search loops
+// (BiMODis' prune chunking) so both refresh at the same boundaries.
+func GrowWindow(size int) int {
+	size *= 2
+	if size > MaxWindow {
+		size = MaxWindow
+	}
+	return size
+}
+
+// ValuateStates fills Perf for a deterministic prefix of states — the
+// independent children of one frontier expansion — processing them in
+// progressive windows (see MaxWindow). Memo hits cost nothing;
+// budget > 0 caps this run's total valuations, cutting the batch short
+// exactly where the sequential search would stop. It returns how many
+// leading states were processed; states[n:] are left untouched (and
+// unvaluated). Cancellation drains the pool and surfaces ctx.Err();
+// the side effects of children preceding the first error commit first
+// — exactly those a sequential run would have committed before
+// stopping at that child.
+func (v *Valuator) ValuateStates(ctx context.Context, states []*State, budget int) (int, error) {
+	done := 0
+	size := 1
+	for done < len(states) {
+		end := done + size
+		if end > len(states) {
+			end = len(states)
+		}
+		window := states[done:end]
+		n, err := v.ValuateWindow(ctx, window, budget)
+		done += n
+		if err != nil {
+			return done, err
+		}
+		if n < len(window) { // window cut short: budget exhausted
+			break
+		}
+		size = GrowWindow(size)
+	}
+	return done, nil
+}
+
+// ValuateWindow plans, executes, and commits one window as a unit: the
+// surrogate consults the estimator as trained before the window, all
+// exact inferences of the window fan out across the pool together, and
+// side effects commit in child order. Search loops that interleave
+// their own bookkeeping between windows (BiMODis' pruning) drive this
+// directly with GrowWindow-sized slices; everything else goes through
+// ValuateStates.
+func (v *Valuator) ValuateWindow(ctx context.Context, states []*State, budget int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	c := v.cfg
+	jobs := v.jobs[:0]
+	exact := v.exact[:0]
+	exactStart := v.Stats.ExactCalls()
+
+	// Plan sequentially in child order: assign budget slots and decide
+	// memo/surrogate/exact per child. The warmup gate is evaluated
+	// against the exact-call count at window start, so the decision does
+	// not depend on which worker finishes first.
+	n := 0
+	for _, s := range states {
+		if budget > 0 && v.Stats.Valuations() >= budget {
+			break
+		}
+		n++
+		key := s.Bits.Key()
+		if t, ok := c.Tests.Get(key); ok {
+			// Re-Put the canonical test: idempotent for anything already
+			// in the valuation order, and it adopts orphans — tests
+			// memoized by a run that was cancelled between computation
+			// and commit — into the order at a deterministic point.
+			s.Perf = c.Tests.Put(t).Perf
+			continue
+		}
+		cnt := v.Stats.valuations.Add(1)
+		feats := s.Bits.Floats()
+		j := valJob{state: s, key: key, feats: feats}
+		useSurrogate := c.Est != nil && exactStart >= c.WarmupExact
+		if useSurrogate && c.ExactEvery > 0 && int(cnt)%c.ExactEvery == 0 {
+			useSurrogate = false
+		}
+		if useSurrogate {
+			if p, ok := c.estimate(feats); ok {
+				j.perf = clampVec(p)
+			} else {
+				j.exact = true
+			}
+		} else {
+			j.exact = true
+		}
+		if j.exact {
+			exact = append(exact, len(jobs))
+		}
+		jobs = append(jobs, j)
+	}
+	v.jobs, v.exact = jobs, exact
+
+	// Fan the exact inferences out across the pool.
+	v.runExact(ctx, jobs, exact)
+
+	// Commit in child order: Perf vectors, test-set order, exact-call
+	// counts and estimator observations — identical for any pool size.
+	for i := range jobs {
+		j := &jobs[i]
+		if !j.exact {
+			// Adopt the canonical memo entry as the state's vector: if a
+			// concurrent run exact-computed this state first, its result
+			// wins everywhere — the run's report then matches what the
+			// shared memo will serve forever after. With no contention
+			// the canonical test is ours and nothing changes.
+			j.state.Perf = c.Tests.Put(&Test{Key: j.key, Perf: j.perf, Features: j.feats}).Perf
+			continue
+		}
+		if j.err != nil {
+			return n, j.err
+		}
+		j.state.Perf = j.test.Perf
+		if j.computed {
+			v.Stats.exactCalls.Add(1)
+			c.observe(j.feats, j.test.Perf)
+		}
+		// Put regardless of who computed it: registers our own result in
+		// the valuation order, and adopts single-flighted results whose
+		// owning run was cancelled before its commit.
+		c.Tests.Put(j.test)
+	}
+	return n, nil
+}
+
+// runExact executes the exact jobs, on the calling goroutine when the
+// pool is not worth spinning up, otherwise on min(par, jobs) workers
+// pulling from a shared index. Workers observe ctx: once cancelled,
+// remaining jobs are marked with ctx.Err() and the pool drains.
+func (v *Valuator) runExact(ctx context.Context, jobs []valJob, exact []int) {
+	if len(exact) == 0 {
+		return
+	}
+	run := func(j *valJob) {
+		if err := ctx.Err(); err != nil {
+			j.err = err
+			return
+		}
+		t, computed, err := v.cfg.Tests.GetOrCompute(ctx, j.key, func() (*Test, error) {
+			p, err := v.cfg.evaluateExact(j.state.Bits)
+			if err != nil {
+				return nil, err
+			}
+			return &Test{Key: j.key, Perf: p, Features: j.feats}, nil
+		})
+		if err != nil {
+			j.err = err
+			return
+		}
+		j.test, j.computed = t, computed
+	}
+	par := v.par
+	if par > len(exact) {
+		par = len(exact)
+	}
+	if par <= 1 {
+		for _, i := range exact {
+			run(&jobs[i])
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(exact) {
+					return
+				}
+				run(&jobs[exact[i]])
+			}
+		}()
+	}
+	wg.Wait()
+}

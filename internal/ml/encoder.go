@@ -1,0 +1,179 @@
+package ml
+
+import (
+	"math"
+
+	"repro/internal/table"
+)
+
+// TableEncoder precomputes the expensive parts of FromTable against a
+// space's universal table so every valuation of the same space encodes
+// its materialized dataset without rebuilding per-column active
+// domains: string columns get one key→domain-position map up front, and
+// a child's ordinal codes are recovered by ranking the positions
+// present in the child. Because any materialized child's column values
+// are a subset of the universal table's (and subsets preserve sorted
+// order), Encode produces byte-identical datasets to FromTable — a
+// property the tests assert — while skipping the per-call map builds
+// and domain sorts.
+//
+// The encoder is immutable after construction, so concurrent
+// valuations (worker pools, parallel engine runs) share one instance.
+type TableEncoder struct {
+	target string
+	cols   map[string]*stringCodec
+	tgt    *stringCodec
+}
+
+// stringCodec maps a string column's universal active-domain values to
+// their sorted positions.
+type stringCodec struct {
+	index map[string]int
+}
+
+func newStringCodec(u *table.Table, name string) *stringCodec {
+	c := &stringCodec{index: map[string]int{}}
+	for i, v := range u.ActiveDomain(name) {
+		c.index[v.Key()] = i
+	}
+	return c
+}
+
+// NewTableEncoder builds the shared encoder of a universal table. Pass
+// the same table (after any column drops the model applies, e.g.
+// DropColumn("id")) that materialized children derive from.
+func NewTableEncoder(u *table.Table, target string) *TableEncoder {
+	e := &TableEncoder{target: target, cols: map[string]*stringCodec{}}
+	for _, c := range u.Schema {
+		if c.Kind != table.KindString {
+			continue
+		}
+		codec := newStringCodec(u, c.Name)
+		if c.Name == target {
+			e.tgt = codec
+		} else {
+			e.cols[c.Name] = codec
+		}
+	}
+	return e
+}
+
+// childRanks recovers the child table's ordinal encoding of one string
+// column: rank[i] is the child-local ordinal of the universal domain
+// position i, computed from which positions actually occur in the
+// child. ok reports whether every child value was found in the
+// universal domain (UDFs may in principle synthesize new values; the
+// caller then falls back to FromTable).
+func (e *TableEncoder) childRanks(codec *stringCodec, t *table.Table, ci int) (rank []float64, ok bool) {
+	present := make([]bool, len(codec.index))
+	for _, r := range t.Rows {
+		v := r[ci]
+		if v.IsNull() {
+			continue
+		}
+		i, found := codec.index[v.Key()]
+		if !found {
+			return nil, false
+		}
+		present[i] = true
+	}
+	rank = make([]float64, len(present))
+	next := 0.0
+	for i, p := range present {
+		if p {
+			rank[i] = next
+			next++
+		}
+	}
+	return rank, true
+}
+
+// Encode converts a materialized child table into a Dataset exactly as
+// FromTable(t, target) would — same ordinal codes, same mean
+// imputation, same row filtering — reusing the precomputed universal
+// domains. Columns with values outside the universal domain fall back
+// to FromTable transparently.
+func (e *TableEncoder) Encode(t *table.Table) *Dataset {
+	tIdx := t.Schema.Index(e.target)
+	d := &Dataset{}
+	type colEnc struct {
+		idx   int
+		codec *stringCodec
+		rank  []float64
+		mean  float64
+	}
+	var encs []colEnc
+	for i, c := range t.Schema {
+		if i == tIdx {
+			continue
+		}
+		enc := colEnc{idx: i}
+		if c.Kind == table.KindString {
+			enc.codec = e.cols[c.Name]
+			if enc.codec == nil {
+				return FromTable(t, e.target)
+			}
+			rank, ok := e.childRanks(enc.codec, t, i)
+			if !ok {
+				return FromTable(t, e.target)
+			}
+			enc.rank = rank
+		} else {
+			var sum float64
+			var n int
+			for _, r := range t.Rows {
+				if !r[i].IsNull() {
+					sum += r[i].AsFloat()
+					n++
+				}
+			}
+			if n > 0 {
+				enc.mean = sum / float64(n)
+			}
+		}
+		encs = append(encs, enc)
+		d.Features = append(d.Features, c.Name)
+	}
+	var tgtRank []float64
+	var tgtCodec *stringCodec
+	if tIdx >= 0 && t.Schema[tIdx].Kind == table.KindString {
+		tgtCodec = e.tgt
+		if tgtCodec == nil {
+			return FromTable(t, e.target)
+		}
+		rank, ok := e.childRanks(tgtCodec, t, tIdx)
+		if !ok {
+			return FromTable(t, e.target)
+		}
+		tgtRank = rank
+	}
+	for _, r := range t.Rows {
+		if tIdx < 0 || r[tIdx].IsNull() {
+			continue
+		}
+		x := make([]float64, len(encs))
+		for j, enc := range encs {
+			v := r[enc.idx]
+			switch {
+			case v.IsNull():
+				x[j] = enc.mean
+			case enc.codec != nil:
+				x[j] = enc.rank[enc.codec.index[v.Key()]]
+			default:
+				x[j] = v.AsFloat()
+			}
+		}
+		var y float64
+		if tgtCodec != nil {
+			y = tgtRank[tgtCodec.index[r[tIdx].Key()]]
+		} else {
+			y = r[tIdx].AsFloat()
+		}
+		if math.IsNaN(y) {
+			continue
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, y)
+	}
+	return d
+}

@@ -39,14 +39,38 @@ func (c TreeConfig) withDefaults() TreeConfig {
 
 // treeScratch holds the buffers reused across every node of a fit —
 // split pairs, feature order, class counts — so growing a tree
-// allocates only its persistent nodes and leaf probability vectors.
-// Ensemble fits share one scratch across all their trees.
+// allocates only its leaf probability vectors and, in slab-sized
+// chunks, its persistent nodes. Ensemble fits share one scratch across
+// all their trees.
 type treeScratch struct {
 	pairs    pairSorter
 	feats    []int
 	leftCnt  []float64
 	rightCnt []float64
 	counts   []float64
+
+	// nodes is the current treeNode slab: newNode hands out slots until
+	// the chunk is spent, then starts a fresh one. Chunks are never
+	// recycled — handed-out nodes live as long as their tree — so one
+	// scratch can serve every tree of an ensemble while trimming node
+	// allocations by the chunk factor.
+	nodes    []treeNode
+	nodeUsed int
+}
+
+// nodeChunk is the slab size; a depth-6 CART tree tops out at 127
+// nodes, so a chunk covers a couple of trees.
+const nodeChunk = 256
+
+func (ws *treeScratch) newNode(nSamples int) *treeNode {
+	if ws.nodeUsed == len(ws.nodes) {
+		ws.nodes = make([]treeNode, nodeChunk)
+		ws.nodeUsed = 0
+	}
+	n := &ws.nodes[ws.nodeUsed]
+	ws.nodeUsed++
+	n.nSamples = nSamples
+	return n
 }
 
 // TreeRegressor is a CART regression tree using variance reduction.
@@ -150,7 +174,7 @@ func asLeaf(node *treeNode, y, sampleW []float64, idx []int, clf bool, nClass in
 // it is free to reorder (children recurse on in-place partitions of it).
 // sampleW, when non-nil, holds per-row weights (used by boosting).
 func growTree(X [][]float64, y, sampleW []float64, idx []int, cfg TreeConfig, depth int, rng *rand.Rand, clf bool, nClass int, ws *treeScratch) *treeNode {
-	node := &treeNode{nSamples: len(idx)}
+	node := ws.newNode(len(idx))
 	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || pure(y, idx) {
 		return asLeaf(node, y, sampleW, idx, clf, nClass)
 	}

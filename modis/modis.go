@@ -24,12 +24,21 @@
 // per-level snapshots (frontier size, valuations used, incumbent
 // skyline size) while a search runs, and the result is a
 // JSON-serializable [Report].
+//
+// Valuation — the search bottleneck — parallelizes two ways. Within a
+// run, [WithParallelism] fans the exact model inferences of each
+// frontier expansion across a worker pool; batches are planned and
+// committed in deterministic child order, so every parallelism degree
+// produces the same skyline and report as the sequential run. Across
+// runs, one engine serves concurrent Run calls against the shared
+// memoized test set, which single-flights duplicate valuations even
+// between runs in flight. Both require the configuration's Model to
+// support concurrent Evaluate calls.
 package modis
 
 import (
 	"context"
 	"errors"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -39,12 +48,14 @@ import (
 
 // Engine runs discovery over one configuration. Construct with
 // [NewEngine]; the zero value is unusable. An Engine is safe for
-// concurrent use, but runs are serialized internally (the underlying
-// configuration's valuation record and counters are single-threaded) —
-// per-Engine run concurrency is a serving-layer follow-up tracked in
-// the roadmap.
+// concurrent use and runs execute concurrently: the memoized valuation
+// record is sharded and single-flighted (two runs racing to valuate
+// the same state share one model inference), estimator access is
+// serialized internally, and every run carries its own valuation
+// counters. Concurrent runs — and runs tuned with [WithParallelism] —
+// require the configuration's Model to support concurrent Evaluate
+// calls.
 type Engine struct {
-	mu  sync.Mutex
 	cfg *fst.Config
 	err error
 }
@@ -70,9 +81,10 @@ func NewEngine(cfg *fst.Config) *Engine {
 // starts. The context is honored at frontier-pop granularity; on
 // cancellation or deadline expiry Run returns (nil, ctx.Err()).
 //
-// Valuation counters are reset per run, so the Report always describes
-// this run alone; the memoized valuation record persists across runs
-// of the same engine.
+// Runs may execute concurrently on one engine: each run carries its
+// own valuation counters (the Report always describes this run alone)
+// while the memoized valuation record is shared — across sequential
+// runs and in flight between concurrent ones.
 func (e *Engine) Run(ctx context.Context, algorithm string, opts ...Option) (*Report, error) {
 	if e.err != nil {
 		return nil, e.err
@@ -98,9 +110,6 @@ func (e *Engine) Run(ctx context.Context, algorithm string, opts ...Option) (*Re
 		ctx = context.Background()
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.cfg.ResetCounters()
 	start := time.Now()
 	res, err := fn(ctx, e.cfg, copts)
 	if err != nil {
@@ -182,6 +191,9 @@ type RunOptions struct {
 	K        int     `json:"k"`
 	Alpha    float64 `json:"alpha"`
 	Seed     int64   `json:"seed"`
+	// Parallelism is the resolved valuation worker count ([WithParallelism];
+	// 0 resolves to the CPU count). It affects wall time only, never results.
+	Parallelism int `json:"parallelism"`
 }
 
 // Best returns the candidate minimizing the given measure index, or

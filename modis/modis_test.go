@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -224,6 +225,108 @@ func TestEngineReuseAcrossRuns(t *testing.T) {
 	}
 	if len(second.Skyline) == 0 || first.Valuated == 0 {
 		t.Error("reused engine lost results")
+	}
+}
+
+// syncShapeModel is shapeModel without the call counter: concurrent
+// runs and parallel valuation require Evaluate to be re-entrant.
+type syncShapeModel struct{ space *fst.Space }
+
+func (m *syncShapeModel) Name() string { return "sync-shape" }
+
+func (m *syncShapeModel) Evaluate(d *table.Table) ([]float64, error) {
+	rows := float64(d.NumRows())
+	cols := float64(d.NumCols())
+	uRows := float64(m.space.Universal.NumRows())
+	uCols := float64(m.space.Universal.NumCols())
+	return []float64{
+		0.1 + 0.9*(rows/uRows)*(cols/uCols),
+		0.1 + 0.9*(1-rows/uRows),
+	}, nil
+}
+
+func newConcurrentConfig(tb testing.TB) *fst.Config {
+	tb.Helper()
+	cfg := newTestConfig(tb, nil)
+	cfg.Model = &syncShapeModel{space: cfg.Space}
+	return cfg
+}
+
+// TestWithParallelismMatchesSequential: the pool is a wall-clock knob
+// only — the report (skyline, member order, stats) is identical at any
+// worker count, for every algorithm.
+func TestWithParallelismMatchesSequential(t *testing.T) {
+	for _, algo := range allAlgorithms() {
+		t.Run(algo, func(t *testing.T) {
+			run := func(par int) *modis.Report {
+				rep, err := modis.NewEngine(newConcurrentConfig(t)).Run(context.Background(), algo,
+					modis.WithBudget(90), modis.WithEpsilon(0.15), modis.WithMaxLevel(3),
+					modis.WithSeed(2), modis.WithParallelism(par))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			seq, par := run(1), run(4)
+			if seq.Valuated != par.Valuated || seq.ExactCalls != par.ExactCalls ||
+				seq.Levels != par.Levels || seq.Pruned != par.Pruned {
+				t.Errorf("stats diverge: seq %+v par %+v", seq, par)
+			}
+			if len(seq.Skyline) != len(par.Skyline) {
+				t.Fatalf("skyline sizes diverge: %d vs %d", len(seq.Skyline), len(par.Skyline))
+			}
+			for i := range seq.Skyline {
+				a, b := seq.Skyline[i], par.Skyline[i]
+				if a.Bits.Key() != b.Bits.Key() || len(a.Perf) != len(b.Perf) {
+					t.Fatalf("skyline member %d diverges", i)
+				}
+				for j := range a.Perf {
+					if a.Perf[j] != b.Perf[j] {
+						t.Fatalf("member %d perf diverges: %v vs %v", i, a.Perf, b.Perf)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentEngineRuns: one engine serves concurrent Run calls
+// against the shared memo (the roadmap's per-engine concurrency item).
+// Run under -race in CI.
+func TestConcurrentEngineRuns(t *testing.T) {
+	eng := modis.NewEngine(newConcurrentConfig(t))
+	algos := []string{"apx", "bi", "nobi", "div", "apx", "bi", "nobi", "div"}
+	var wg sync.WaitGroup
+	reports := make([]*modis.Report, len(algos))
+	errs := make([]error, len(algos))
+	// Unbudgeted maxLevel-2 runs explore exhaustively, so each run's
+	// traversal is independent of what the memo already holds — the
+	// repeat-run assertion below is then deterministic.
+	for i, algo := range algos {
+		wg.Add(1)
+		go func(i int, algo string) {
+			defer wg.Done()
+			reports[i], errs[i] = eng.Run(context.Background(), algo,
+				modis.WithMaxLevel(2), modis.WithParallelism(2))
+		}(i, algo)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d (%s): %v", i, algos[i], err)
+		}
+		if len(reports[i].Skyline) == 0 {
+			t.Errorf("run %d (%s): empty skyline", i, algos[i])
+		}
+	}
+	// The shared memo means a repeat of an identical run answers without
+	// any new valuations.
+	rep, err := eng.Run(context.Background(), "apx", modis.WithMaxLevel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valuated != 0 {
+		t.Errorf("post-concurrency repeat valuated %d states, want 0 (memo shared)", rep.Valuated)
 	}
 }
 

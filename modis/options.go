@@ -3,6 +3,7 @@ package modis
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/core"
 )
@@ -45,17 +46,19 @@ type settings struct {
 	k           int
 	alpha       float64
 	seed        int64
+	parallelism int
 	recordGraph bool
 	progress    func(Event)
 }
 
 func defaultSettings() settings {
 	return settings{
-		eps:   0.1,
-		theta: 0.8,
-		prune: true,
-		k:     5,
-		alpha: 0.5,
+		eps:         0.1,
+		theta:       0.8,
+		prune:       true,
+		k:           5,
+		alpha:       0.5,
+		parallelism: 1,
 	}
 }
 
@@ -71,16 +74,21 @@ func (s settings) resolve(numMeasures int) (RunOptions, core.Options, error) {
 		}
 		decisive = s.decisive
 	}
+	par := s.parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	ro := RunOptions{
-		Budget:   s.budget,
-		Epsilon:  s.eps,
-		MaxLevel: s.maxLevel,
-		Decisive: decisive,
-		Theta:    s.theta,
-		Prune:    s.prune,
-		K:        s.k,
-		Alpha:    s.alpha,
-		Seed:     s.seed,
+		Budget:      s.budget,
+		Epsilon:     s.eps,
+		MaxLevel:    s.maxLevel,
+		Decisive:    decisive,
+		Theta:       s.theta,
+		Prune:       s.prune,
+		K:           s.k,
+		Alpha:       s.alpha,
+		Seed:        s.seed,
+		Parallelism: par,
 	}
 	co := core.Options{
 		N:            s.budget,
@@ -90,6 +98,7 @@ func (s settings) resolve(numMeasures int) (RunOptions, core.Options, error) {
 		DisablePrune: !s.prune,
 		K:            s.k,
 		Seed:         s.seed,
+		Parallelism:  par,
 		RecordGraph:  s.recordGraph,
 	}
 	// Resolved values cross into core's sentinel encoding here, so the
@@ -211,6 +220,24 @@ func WithAlpha(alpha float64) Option {
 func WithSeed(seed int64) Option {
 	return func(s *settings) error {
 		s.seed = seed
+		return nil
+	}
+}
+
+// WithParallelism sets the valuation worker count of the run: the
+// exact model inferences of each frontier expansion's children fan out
+// across n goroutines. n = 0 uses all CPUs (runtime.GOMAXPROCS); n = 1
+// (the default) runs sequentially. Any degree produces the identical
+// skyline and report — batches are planned and committed in
+// deterministic child order — so parallelism is purely a wall-clock
+// knob. The configuration's Model must support concurrent Evaluate
+// calls when n != 1.
+func WithParallelism(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("modis: WithParallelism(%d): worker count must be >= 0 (0 = all CPUs)", n)
+		}
+		s.parallelism = n
 		return nil
 	}
 }

@@ -6,6 +6,7 @@ package modis
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -23,13 +24,14 @@ func echoAlgorithm(ctx context.Context, cfg *fst.Config, opts core.Options) (*co
 		return nil, err
 	}
 	bits := cfg.Space.FullBitmap()
-	perf, err := cfg.Valuate(bits)
+	val := cfg.NewValuator(opts.Parallelism)
+	perf, err := val.Valuate(ctx, bits)
 	if err != nil {
 		return nil, err
 	}
 	return &core.Result{
 		Skyline: []*core.Candidate{{Bits: bits.Clone(), Perf: perf.Clone()}},
-		Stats:   core.RunStats{Valuated: cfg.Valuations()},
+		Stats:   core.RunStats{Valuated: val.Stats.Valuations()},
 	}, nil
 }
 
@@ -76,7 +78,8 @@ func TestRegisterRejectsBadNames(t *testing.T) {
 }
 
 func TestRegisterExtendsEngine(t *testing.T) {
-	if err := Register("echo-test", echoAlgorithm); err != nil {
+	// The registry is process-global; tolerate reruns (-count > 1).
+	if err := Register("echo-test", echoAlgorithm); err != nil && !strings.Contains(err.Error(), "already registered") {
 		t.Fatal(err)
 	}
 	rep, err := NewEngine(registryTestConfig(t)).Run(context.Background(), "Echo-Test")
