@@ -8,6 +8,8 @@ package repro
 import (
 	"context"
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/datagen"
@@ -32,8 +34,22 @@ func benchOpts(extra ...modis.Option) []modis.Option {
 		modis.WithEpsilon(0.1),
 		modis.WithMaxLevel(5),
 		modis.WithSeed(1),
-		modis.WithParallelism(0),
+		modis.WithParallelism(benchParallelism()),
 	}, extra...)
+}
+
+// benchParallelism is the valuation-pool width the discovery
+// benchmarks run with: all CPUs by default, overridable through
+// MODIS_BENCH_PARALLEL so benchmarks/sweep.sh can record a
+// WithParallelism(0)-vs-(1) split on multi-core hosts (results are
+// byte-identical either way; only wall time moves).
+func benchParallelism() int {
+	if s := os.Getenv("MODIS_BENCH_PARALLEL"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return 0
 }
 
 func runAlgo(b *testing.B, w *datagen.Workload, algo string, extra ...modis.Option) {

@@ -4,6 +4,13 @@
 # results into a TSV and a JSON file, so every PR leaves a comparable
 # perf record next to the previous ones (BENCH_<n>.json).
 #
+# Each benchmark is recorded twice — once with the valuation pool at
+# WithParallelism(0) (all CPUs) and once at WithParallelism(1)
+# (sequential) — via the MODIS_BENCH_PARALLEL override, and the JSON
+# carries GOMAXPROCS, so multi-core scaling of the exact-inference pool
+# is measurable from the record alone. On a 1-CPU host the two columns
+# coincide (the pool cannot fan out).
+#
 # Usage:
 #   sh benchmarks/sweep.sh [out-prefix] [benchtime] [pattern]
 #
@@ -28,14 +35,22 @@ JSON="$OUT_PREFIX.json"
 
 mkdir -p "$(dirname "$OUT_PREFIX")"
 
-echo "# sweep: -bench '$PATTERN' -benchtime $BENCHTIME" >&2
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
+GOMAXPROCS_VAL="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
 
-# Consolidated TSV: one row per benchmark.
+: >"$RAW"
+for PAR in 0 1; do
+  echo "# sweep: -bench '$PATTERN' -benchtime $BENCHTIME MODIS_BENCH_PARALLEL=$PAR GOMAXPROCS=$GOMAXPROCS_VAL" >&2
+  echo "# parallelism=$PAR" >>"$RAW"
+  MODIS_BENCH_PARALLEL=$PAR go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count 1 . | tee -a "$RAW"
+done
+
+# Consolidated TSV: one row per (benchmark, parallelism).
 awk 'BEGIN {
        OFS = "\t"
-       print "benchmark", "iters", "ns_per_op", "bytes_per_op", "allocs_per_op"
+       par = ""
+       print "benchmark", "parallelism", "iters", "ns_per_op", "bytes_per_op", "allocs_per_op"
      }
+     /^# parallelism=/ { sub(/^# parallelism=/, ""); par = $0 }
      /^Benchmark/ {
        ns = ""; bytes = ""; allocs = ""
        for (i = 3; i < NF; i++) {
@@ -43,11 +58,16 @@ awk 'BEGIN {
          if ($(i+1) == "B/op") bytes = $i
          if ($(i+1) == "allocs/op") allocs = $i
        }
-       print $1, $2, ns, bytes, allocs
+       print $1, par, $2, ns, bytes, allocs
      }' "$RAW" >"$TSV"
 
 # Same rows as JSON for structured diffing across PRs.
-awk 'BEGIN { print "{"; printf "  \"benchmarks\": [" ; first = 1 }
+awk -v gomaxprocs="$GOMAXPROCS_VAL" \
+    'BEGIN { print "{"
+             printf "  \"gomaxprocs\": %s,\n", gomaxprocs
+             printf "  \"benchmarks\": ["
+             first = 1; par = "" }
+     /^# parallelism=/ { sub(/^# parallelism=/, ""); par = $0 }
      /^Benchmark/ {
        ns = ""; bytes = ""; allocs = ""
        for (i = 3; i < NF; i++) {
@@ -57,7 +77,7 @@ awk 'BEGIN { print "{"; printf "  \"benchmarks\": [" ; first = 1 }
        }
        if (!first) printf ","
        first = 0
-       printf "\n    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $1, $2, ns, bytes, allocs
+       printf "\n    {\"name\": \"%s\", \"parallelism\": %s, \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $1, par, $2, ns, bytes, allocs
      }
      END { print "\n  ]"; print "}" }' "$RAW" >"$JSON"
 

@@ -1,0 +1,130 @@
+package repro
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/fst"
+	"repro/modis"
+)
+
+// evalOnlyModel strips the RowsModel fast path off a workload model by
+// interface embedding: only fst.Model's methods are promoted, so
+// evaluateExact takes the reference Materialize+Evaluate route.
+type evalOnlyModel struct{ fst.Model }
+
+// The columnar valuation fast path must be invisible in results: every
+// algorithm, on every task shape, with the surrogate on or off, has to
+// produce bit-identical skylines whether states are valuated from
+// bitmap row views or from materialized child tables. This is the
+// paper's fixed-model guarantee carried through the optimization.
+
+var parityAlgos = []string{"apx", "bi", "nobi", "div", "exact"}
+
+func parityOpts() []modis.Option {
+	return []modis.Option{
+		modis.WithBudget(60),
+		modis.WithEpsilon(0.1),
+		modis.WithMaxLevel(4),
+		modis.WithSeed(1),
+		modis.WithK(4),
+	}
+}
+
+func runParity(t *testing.T, w *datagen.Workload, algo string, surrogate bool) {
+	t.Helper()
+	ctx := context.Background()
+
+	cfgRows := w.NewConfig(surrogate)
+	fast, err := modis.NewEngine(cfgRows).Run(ctx, algo, parityOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgLegacy := w.NewConfig(surrogate)
+	cfgLegacy.Model = evalOnlyModel{w.Model}
+	ref, err := modis.NewEngine(cfgLegacy).Run(ctx, algo, parityOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertSameSkyline(t, fast, ref)
+	if fast.Valuated != ref.Valuated || fast.ExactCalls != ref.ExactCalls {
+		t.Fatalf("trajectory diverged: valuated %d/%d, exact %d/%d",
+			fast.Valuated, ref.Valuated, fast.ExactCalls, ref.ExactCalls)
+	}
+}
+
+func assertSameSkyline(t *testing.T, a, b *modis.Report) {
+	t.Helper()
+	if len(a.Skyline) != len(b.Skyline) {
+		t.Fatalf("skyline size %d vs %d", len(a.Skyline), len(b.Skyline))
+	}
+	for i := range a.Skyline {
+		ca, cb := a.Skyline[i], b.Skyline[i]
+		if len(ca.Bitmap) != len(cb.Bitmap) {
+			t.Fatalf("candidate %d: bitmap width differs", i)
+		}
+		for w := range ca.Bitmap {
+			if ca.Bitmap[w] != cb.Bitmap[w] {
+				t.Fatalf("candidate %d: state bitmaps differ", i)
+			}
+		}
+		if len(ca.Perf) != len(cb.Perf) {
+			t.Fatalf("candidate %d: vector length differs", i)
+		}
+		for j := range ca.Perf {
+			if ca.Perf[j] != cb.Perf[j] {
+				t.Fatalf("candidate %d measure %d: %v != %v (not bit-identical)",
+					i, j, ca.Perf[j], cb.Perf[j])
+			}
+		}
+	}
+}
+
+func TestColumnarParityAllAlgorithms(t *testing.T) {
+	tasks := []struct {
+		name string
+		mk   func() *datagen.Workload
+	}{
+		{"T1", func() *datagen.Workload { return datagen.T1Movie(datagen.TaskConfig{Rows: 110}) }},
+		{"T3", func() *datagen.Workload { return datagen.T3Avocado(datagen.TaskConfig{Rows: 110}) }},
+		{"T5", func() *datagen.Workload { return datagen.T5Link(datagen.T5Config{Users: 20, Items: 20}) }},
+	}
+	for _, task := range tasks {
+		for _, algo := range parityAlgos {
+			t.Run(task.name+"/"+algo, func(t *testing.T) {
+				runParity(t, task.mk(), algo, false)
+			})
+		}
+	}
+}
+
+func TestColumnarParityWithSurrogate(t *testing.T) {
+	for _, algo := range parityAlgos {
+		t.Run("T1/"+algo, func(t *testing.T) {
+			runParity(t, datagen.T1Movie(datagen.TaskConfig{Rows: 110}), algo, true)
+		})
+	}
+	t.Run("T3/bi", func(t *testing.T) {
+		runParity(t, datagen.T3Avocado(datagen.TaskConfig{Rows: 110}), "bi", true)
+	})
+}
+
+// TestColumnarParityWithUDFs: registering a UDF disables row views, so
+// both engines must take the reference path — and still agree. This
+// pins the fallback: a space transform the columnar path cannot express
+// silently reverts to materialization rather than corrupting results.
+func TestColumnarParityWithUDFs(t *testing.T) {
+	for _, algo := range []string{"apx", "bi"} {
+		t.Run(algo, func(t *testing.T) {
+			w := datagen.T1Movie(datagen.TaskConfig{Rows: 110})
+			w.Space.RegisterUDF(fst.ImputeMeansUDF(w.Lake.Target))
+			if _, ok := w.Space.RowsFor(w.Space.FullBitmap()); ok {
+				t.Fatal("UDF space must not offer row views")
+			}
+			runParity(t, w, algo, false)
+		})
+	}
+}

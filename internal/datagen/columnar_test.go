@@ -1,0 +1,115 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fst"
+	"repro/internal/table"
+)
+
+// sampleBitmaps clears deterministic pseudo-random entry subsets, plus
+// the full state and a heavily-reduced state.
+func sampleBitmaps(sp *fst.Space, n int, seed int64) []fst.Bitmap {
+	rng := rand.New(rand.NewSource(seed))
+	var out []fst.Bitmap
+	out = append(out, sp.FullBitmap())
+	for t := 0; t < n; t++ {
+		bits := sp.FullBitmap()
+		p := 0.15 + 0.5*rng.Float64()
+		for i := 0; i < bits.Len(); i++ {
+			if rng.Float64() < p {
+				bits.Clear(i)
+			}
+		}
+		out = append(out, bits)
+	}
+	return out
+}
+
+// TestRowsPathMatchesEvaluate asserts, for every workload family, that
+// the zero-materialization rows path returns bit-identical raw metric
+// vectors to the reference Materialize+Evaluate path on a spread of
+// states.
+func TestRowsPathMatchesEvaluate(t *testing.T) {
+	workloads := []*Workload{
+		T1Movie(TaskConfig{Rows: 90}),
+		T2House(TaskConfig{Rows: 90}),
+		T3Avocado(TaskConfig{Rows: 90}),
+		T4Mental(TaskConfig{Rows: 90}),
+		T5Link(T5Config{Users: 20, Items: 20}),
+	}
+	if custom := customWorkload(t); custom != nil {
+		workloads = append(workloads, custom)
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			rm, ok := w.Model.(fst.RowsModel)
+			if !ok {
+				t.Fatal("workload model must implement fst.RowsModel")
+			}
+			for si, bits := range sampleBitmaps(w.Space, 6, 17) {
+				view, vok := w.Space.RowsFor(bits)
+				if !vok {
+					t.Fatal("UDF-free workload space must support RowsFor")
+				}
+				fast, handled, err := rm.EvaluateRows(view)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !handled {
+					t.Fatalf("state %d: rows path declined", si)
+				}
+				ref, err := w.Model.Evaluate(w.Space.Materialize(bits))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(fast) != len(ref) {
+					t.Fatalf("state %d: metric count %d vs %d", si, len(fast), len(ref))
+				}
+				for i := range ref {
+					if fast[i] != ref[i] {
+						t.Fatalf("state %d metric %d: rows path %v != reference %v", si, i, fast[i], ref[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// customWorkload assembles a custom workload over hand-built tables
+// with string columns and nulls — the CSV ingestion shape.
+func customWorkload(t *testing.T) *Workload {
+	t.Helper()
+	u := table.New("sales", table.Schema{
+		{Name: "region", Kind: table.KindString},
+		{Name: "units", Kind: table.KindInt},
+		{Name: "price", Kind: table.KindFloat},
+		{Name: "rating", Kind: table.KindFloat},
+	})
+	regions := []string{"north", "south", "east", "west"}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 160; i++ {
+		price := table.Value(table.Float(5 + 10*rng.Float64()))
+		if i%13 == 0 {
+			price = table.Null
+		}
+		u.MustAppend(table.Row{
+			table.Str(regions[i%4]),
+			table.Int(int64(rng.Intn(50))),
+			price,
+			table.Float(float64(i%4) + rng.Float64()),
+		})
+	}
+	w, err := NewCustomWorkload(CustomConfig{
+		Tables:    []*table.Table{u},
+		Target:    "rating",
+		ModelKind: "gbm",
+		AdomK:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}

@@ -78,56 +78,48 @@ func NewCustomWorkload(cfg CustomConfig) (*Workload, error) {
 
 	kind := cfg.ModelKind
 	enc := ml.NewTableEncoder(u, cfg.Target)
+	eval := func(ds ml.Data) ([]float64, error) {
+		if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
+			return []float64{0, maxCost}, nil
+		}
+		train, test := ds.SplitData(0.3, 42)
+		var predict func([]float64) float64
+		switch kindOrDefault(kind) {
+		case "forest":
+			m := &ml.ForestClassifier{Config: ml.ForestConfig{NumTrees: 15, MaxDepth: 7, Seed: 1}, NumClass: classes}
+			m.FitData(train)
+			predict = m.Predict
+		case "histgbm":
+			m := &ml.HistGBMClassifier{Config: ml.HistGBMConfig{GBM: ml.GBMConfig{NumTrees: 30, MaxDepth: 3, Seed: 1}}}
+			m.FitData(train)
+			predict = m.Predict
+		case "logistic":
+			m := &ml.LogisticRegression{}
+			m.FitData(train)
+			predict = m.Predict
+		case "linear":
+			m := &ml.LinearRegression{}
+			m.FitData(train)
+			predict = m.Predict
+		default: // gbm
+			m := &ml.GBMRegressor{Config: ml.GBMConfig{NumTrees: 40, MaxDepth: 3, Seed: 1}}
+			m.FitData(train)
+			predict = m.Predict
+		}
+		pred, testY := predictAll(predict, test)
+		var quality float64
+		if classification {
+			quality = ml.Accuracy(testY, pred)
+		} else {
+			quality = math.Max(0, ml.R2(testY, pred))
+		}
+		cost := trainCost(train.NumRows(), train.NumFeatures(), 1)
+		return []float64{quality, cost}, nil
+	}
 	model := &TableModel{
 		ModelName: "custom-" + kindOrDefault(kind),
-		Eval: func(d *table.Table) ([]float64, error) {
-			ds := enc.Encode(d)
-			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
-				return []float64{0, maxCost}, nil
-			}
-			train, test := ds.Split(0.3, 42)
-			pred := make([]float64, len(test.Y))
-			switch kindOrDefault(kind) {
-			case "forest":
-				m := &ml.ForestClassifier{Config: ml.ForestConfig{NumTrees: 15, MaxDepth: 7, Seed: 1}, NumClass: classes}
-				m.Fit(train.X, train.Y)
-				for i, x := range test.X {
-					pred[i] = m.Predict(x)
-				}
-			case "histgbm":
-				m := &ml.HistGBMClassifier{Config: ml.HistGBMConfig{GBM: ml.GBMConfig{NumTrees: 30, MaxDepth: 3, Seed: 1}}}
-				m.Fit(train.X, train.Y)
-				for i, x := range test.X {
-					pred[i] = m.Predict(x)
-				}
-			case "logistic":
-				m := &ml.LogisticRegression{}
-				m.Fit(train.X, train.Y)
-				for i, x := range test.X {
-					pred[i] = m.Predict(x)
-				}
-			case "linear":
-				m := &ml.LinearRegression{}
-				m.Fit(train.X, train.Y)
-				for i, x := range test.X {
-					pred[i] = m.Predict(x)
-				}
-			default: // gbm
-				m := &ml.GBMRegressor{Config: ml.GBMConfig{NumTrees: 40, MaxDepth: 3, Seed: 1}}
-				m.Fit(train.X, train.Y)
-				for i, x := range test.X {
-					pred[i] = m.Predict(x)
-				}
-			}
-			var quality float64
-			if classification {
-				quality = ml.Accuracy(test.Y, pred)
-			} else {
-				quality = math.Max(0, ml.R2(test.Y, pred))
-			}
-			cost := trainCost(train.NumRows(), train.NumFeatures(), 1)
-			return []float64{quality, cost}, nil
-		},
+		Eval:      func(d *table.Table) ([]float64, error) { return eval(enc.Encode(d)) },
+		EvalRows:  rowsEval(enc, eval),
 	}
 
 	qualityName := "pAcc"

@@ -11,10 +11,18 @@ import (
 
 // TableModel adapts a learner family to the fst.Model interface: a
 // fixed, deterministic model whose Evaluate trains on the dataset's
-// train split and reports raw metrics on the test split.
+// train split and reports raw metrics on the test split. Models built
+// by this package supply both routes to the same evaluation body:
+// Eval receives the materialized child table (the reference path) and
+// EvalRows receives the state's selected-row view over the universal
+// table (the zero-materialization columnar fast path). The two must
+// return bit-identical metrics — a property the tests enforce.
 type TableModel struct {
 	ModelName string
 	Eval      func(d *table.Table) ([]float64, error)
+	// EvalRows, when set, valuates a state straight from the space's
+	// row view; returning ok=false falls back to Eval.
+	EvalRows func(v fst.RowsView) (raw []float64, ok bool, err error)
 }
 
 // Name implements fst.Model.
@@ -22,6 +30,39 @@ func (m *TableModel) Name() string { return m.ModelName }
 
 // Evaluate implements fst.Model.
 func (m *TableModel) Evaluate(d *table.Table) ([]float64, error) { return m.Eval(d) }
+
+// EvaluateRows implements fst.RowsModel.
+func (m *TableModel) EvaluateRows(v fst.RowsView) ([]float64, bool, error) {
+	if m.EvalRows == nil {
+		return nil, false, nil
+	}
+	return m.EvalRows(v)
+}
+
+// rowsEval adapts a Data-generic evaluation body into a TableModel
+// EvalRows hook over the encoder's frozen matrix encoding, which is
+// built on first valuation (enc.Matrix is once-guarded), not at
+// workload construction.
+func rowsEval(enc *ml.TableEncoder, eval func(ml.Data) ([]float64, error)) func(fst.RowsView) ([]float64, bool, error) {
+	return func(v fst.RowsView) ([]float64, bool, error) {
+		raw, err := eval(enc.Matrix().View(v.Rows, v.Masked))
+		return raw, true, err
+	}
+}
+
+// predictAll runs a fitted point predictor over every test example,
+// returning predictions and labels in row order.
+func predictAll(predict func([]float64) float64, test ml.Data) (pred, y []float64) {
+	n := test.NumRows()
+	pred = make([]float64, n)
+	y = make([]float64, n)
+	buf := make([]float64, test.NumFeatures())
+	for i := 0; i < n; i++ {
+		pred[i] = predict(test.Row(i, buf))
+		y[i] = test.Label(i)
+	}
+	return pred, y
+}
 
 // Workload bundles everything a discovery run needs: the lake, the FST
 // space over its universal table, the task model and its measures.
@@ -75,18 +116,20 @@ func squash(x float64) float64 {
 }
 
 // featureScores returns the mean Fisher score and mean mutual
-// information of the dataset's features against the (discretized) target.
-func featureScores(d *ml.Dataset, classes int) (fsc, mi float64) {
+// information of the dataset's features against the (discretized)
+// target, reading the data columnar-wise so both the encoded-dataset
+// route and the matrix-view route score identically.
+func featureScores(d ml.Data, classes int) (fsc, mi float64) {
 	if d.NumRows() == 0 || d.NumFeatures() == 0 {
 		return 0, 0
 	}
-	y := d.Y
+	y := ml.Labels(d)
 	if classes <= 0 {
 		// Regression target: discretize into quintiles for scoring.
-		y = discretizeTarget(d.Y, 5)
+		y = discretizeTarget(y, 5)
 	}
-	fs := ml.FisherScore(d.X, y)
-	ms := ml.MutualInformation(d.X, y, 8)
+	fs := ml.FisherScoreData(d, y)
+	ms := ml.MutualInformationData(d, y, 8)
 	var sf, sm float64
 	for i := range fs {
 		sf += fs[i]

@@ -122,6 +122,18 @@ func T5Link(tc T5Config) *Workload {
 		ProtectedAttrs:     []string{"user", "item", "match", "ucomm", "icomm", "strength"},
 	})
 
+	evalGraph := func(b *graph.Bipartite) ([]float64, error) {
+		if len(b.Edges) < minEvalRows {
+			return []float64{0, 0, 0, 0, 0, 0}, nil
+		}
+		r := graph.Evaluate(b, graph.EvalConfig{
+			HoldoutFrac:  0.3,
+			NumNegatives: 15,
+			Seed:         42,
+			Scorer:       graph.ScorerConfig{Dim: 12, Layers: 2, Seed: 7},
+		})
+		return []float64{r.P5, r.P10, r.R5, r.R10, r.N5, r.N10}, nil
+	}
 	model := &TableModel{
 		ModelName: "LGRmodel",
 		Eval: func(d *table.Table) ([]float64, error) {
@@ -129,16 +141,25 @@ func T5Link(tc T5Config) *Workload {
 			if err != nil {
 				return nil, err
 			}
-			if len(b.Edges) < minEvalRows {
-				return []float64{0, 0, 0, 0, 0, 0}, nil
+			return evalGraph(b)
+		},
+		// The graph model reads the edge tuples directly, so its rows
+		// path skips even the encoding: build the bipartite graph from
+		// the surviving universal rows. Masking can never hit the
+		// user/item/weight columns here (all protected or target), but
+		// decline defensively if it ever does.
+		EvalRows: func(v fst.RowsView) ([]float64, bool, error) {
+			for _, a := range v.Masked {
+				if a == "user" || a == "item" || a == "weight" {
+					return nil, false, nil
+				}
 			}
-			r := graph.Evaluate(b, graph.EvalConfig{
-				HoldoutFrac:  0.3,
-				NumNegatives: 15,
-				Seed:         42,
-				Scorer:       graph.ScorerConfig{Dim: 12, Layers: 2, Seed: 7},
-			})
-			return []float64{r.P5, r.P10, r.R5, r.R10, r.N5, r.N10}, nil
+			b, err := bipartiteFromRows(universal, v.Rows, tc.Users, tc.Items)
+			if err != nil {
+				return nil, false, nil
+			}
+			raw, err := evalGraph(b)
+			return raw, true, err
 		},
 	}
 	inv := fst.Inverted(measureFloor)
@@ -169,14 +190,35 @@ func bipartiteFromTable(d *table.Table, users, items int) (*graph.Bipartite, err
 	}
 	b := graph.NewBipartite(users, items)
 	for _, r := range d.Rows {
-		if r[ui].IsNull() || r[ii].IsNull() {
-			continue
-		}
-		w := 1.0
-		if wi >= 0 && !r[wi].IsNull() {
-			w = r[wi].AsFloat()
-		}
-		b.AddEdge(int(r[ui].AsInt()), int(r[ii].AsInt()), w)
+		addBipartiteEdge(b, r, ui, ii, wi)
 	}
 	return b, nil
+}
+
+// bipartiteFromRows is bipartiteFromTable over a selected-row view of
+// the universal edge table: same edges, same insertion order, no child
+// table.
+func bipartiteFromRows(u *table.Table, rows []int, users, items int) (*graph.Bipartite, error) {
+	ui := u.Schema.Index("user")
+	ii := u.Schema.Index("item")
+	wi := u.Schema.Index("weight")
+	if ui < 0 || ii < 0 {
+		return nil, fmt.Errorf("datagen: edge table missing user/item columns")
+	}
+	b := graph.NewBipartite(users, items)
+	for _, ri := range rows {
+		addBipartiteEdge(b, u.Rows[ri], ui, ii, wi)
+	}
+	return b, nil
+}
+
+func addBipartiteEdge(b *graph.Bipartite, r table.Row, ui, ii, wi int) {
+	if r[ui].IsNull() || r[ii].IsNull() {
+		return
+	}
+	w := 1.0
+	if wi >= 0 && !r[wi].IsNull() {
+		w = r[wi].AsFloat()
+	}
+	b.AddEdge(int(r[ui].AsInt()), int(r[ii].AsInt()), w)
 }

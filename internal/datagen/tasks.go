@@ -49,6 +49,21 @@ func newSpace(l *Lake) *fst.Space {
 	})
 }
 
+// taskModel wires one Data-generic evaluation body into both valuation
+// routes of a TableModel: the reference path encodes the materialized
+// child through the shared encoder (which skips the id column in
+// place — no DropColumn clone), the fast path views the frozen matrix
+// at the state's selected rows. Each task's metrics are computed once,
+// in one body, so the routes cannot drift.
+func taskModel(name string, lake *Lake, eval func(ml.Data) ([]float64, error)) *TableModel {
+	enc := ml.NewTableEncoderSkip(lake.Universal, lake.Target, "id")
+	return &TableModel{
+		ModelName: name,
+		Eval:      func(d *table.Table) ([]float64, error) { return eval(enc.Encode(d)) },
+		EvalRows:  rowsEval(enc, eval),
+	}
+}
+
 // T1Movie is task T1: a gradient boosting regressor predicting movie
 // gross, with measures P1 = {p_Acc, p_Train, p_Fsc, p_MI}.
 func T1Movie(tc TaskConfig) *Workload {
@@ -59,26 +74,18 @@ func T1Movie(tc TaskConfig) *Workload {
 	lake := NewLake(lc)
 	maxCost := trainCost(lake.Universal.NumRows(), lake.Universal.NumCols(), 1)
 
-	enc := ml.NewTableEncoder(lake.Universal.DropColumn("id"), lake.Target)
-	model := &TableModel{
-		ModelName: "GBmovie",
-		Eval: func(d *table.Table) ([]float64, error) {
-			ds := enc.Encode(d.DropColumn("id"))
-			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
-				return worst([]bool{true, false, true, true}), nil
-			}
-			train, test := ds.Split(0.3, 42)
-			g := &ml.GBMRegressor{Config: ml.GBMConfig{NumTrees: 30, MaxDepth: 3, Seed: 1}}
-			g.Fit(train.X, train.Y)
-			pred := make([]float64, len(test.Y))
-			for i, x := range test.X {
-				pred[i] = g.Predict(x)
-			}
-			acc := math.Max(0, ml.R2(test.Y, pred))
-			fsc, mi := featureScores(ds, 0)
-			cost := trainCost(train.NumRows(), train.NumFeatures(), 1)
-			return []float64{acc, cost, fsc, mi}, nil
-		},
+	eval := func(ds ml.Data) ([]float64, error) {
+		if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
+			return worst([]bool{true, false, true, true}), nil
+		}
+		train, test := ds.SplitData(0.3, 42)
+		g := &ml.GBMRegressor{Config: ml.GBMConfig{NumTrees: 30, MaxDepth: 3, Seed: 1}}
+		g.FitData(train)
+		pred, testY := predictAll(g.Predict, test)
+		acc := math.Max(0, ml.R2(testY, pred))
+		fsc, mi := featureScores(ds, 0)
+		cost := trainCost(train.NumRows(), train.NumFeatures(), 1)
+		return []float64{acc, cost, fsc, mi}, nil
 	}
 	measures := []fst.Measure{
 		{Name: "pAcc", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
@@ -86,7 +93,7 @@ func T1Movie(tc TaskConfig) *Workload {
 		{Name: "pFsc", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
 		{Name: "pMI", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
 	}
-	return &Workload{Name: "T1", Lake: lake, Space: newSpace(lake), Model: model, Measures: measures}
+	return &Workload{Name: "T1", Lake: lake, Space: newSpace(lake), Model: taskModel("GBmovie", lake, eval), Measures: measures}
 }
 
 // T2House is task T2: a random forest classifying house price levels,
@@ -99,27 +106,19 @@ func T2House(tc TaskConfig) *Workload {
 	lake := NewLake(lc)
 	maxCost := trainCost(lake.Universal.NumRows(), lake.Universal.NumCols(), 2)
 
-	enc := ml.NewTableEncoder(lake.Universal.DropColumn("id"), lake.Target)
-	model := &TableModel{
-		ModelName: "RFhouse",
-		Eval: func(d *table.Table) ([]float64, error) {
-			ds := enc.Encode(d.DropColumn("id"))
-			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
-				return worst([]bool{true, true, false, true, true}), nil
-			}
-			train, test := ds.Split(0.3, 42)
-			f := &ml.ForestClassifier{Config: ml.ForestConfig{NumTrees: 12, MaxDepth: 6, Seed: 1}, NumClass: 3}
-			f.Fit(train.X, train.Y)
-			pred := make([]float64, len(test.Y))
-			for i, x := range test.X {
-				pred[i] = f.Predict(x)
-			}
-			acc := ml.Accuracy(test.Y, pred)
-			_, _, f1 := ml.PrecisionRecallF1(test.Y, pred)
-			fsc, mi := featureScores(ds, 3)
-			cost := trainCost(train.NumRows(), train.NumFeatures(), 2)
-			return []float64{f1, acc, cost, fsc, mi}, nil
-		},
+	eval := func(ds ml.Data) ([]float64, error) {
+		if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
+			return worst([]bool{true, true, false, true, true}), nil
+		}
+		train, test := ds.SplitData(0.3, 42)
+		f := &ml.ForestClassifier{Config: ml.ForestConfig{NumTrees: 12, MaxDepth: 6, Seed: 1}, NumClass: 3}
+		f.FitData(train)
+		pred, testY := predictAll(f.Predict, test)
+		acc := ml.Accuracy(testY, pred)
+		_, _, f1 := ml.PrecisionRecallF1(testY, pred)
+		fsc, mi := featureScores(ds, 3)
+		cost := trainCost(train.NumRows(), train.NumFeatures(), 2)
+		return []float64{f1, acc, cost, fsc, mi}, nil
 	}
 	measures := []fst.Measure{
 		{Name: "pF1", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
@@ -128,7 +127,7 @@ func T2House(tc TaskConfig) *Workload {
 		{Name: "pFsc", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
 		{Name: "pMI", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
 	}
-	return &Workload{Name: "T2", Lake: lake, Space: newSpace(lake), Model: model, Measures: measures}
+	return &Workload{Name: "T2", Lake: lake, Space: newSpace(lake), Model: taskModel("RFhouse", lake, eval), Measures: measures}
 }
 
 // T3Avocado is task T3: a linear model predicting avocado prices, with
@@ -141,39 +140,31 @@ func T3Avocado(tc TaskConfig) *Workload {
 	lake := NewLake(lc)
 	maxCost := trainCost(lake.Universal.NumRows(), lake.Universal.NumCols(), 0.5)
 
-	enc := ml.NewTableEncoder(lake.Universal.DropColumn("id"), lake.Target)
-	model := &TableModel{
-		ModelName: "LRavocado",
-		Eval: func(d *table.Table) ([]float64, error) {
-			ds := enc.Encode(d.DropColumn("id"))
-			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
-				return []float64{1, 1, maxCost}, nil
-			}
-			train, test := ds.Split(0.3, 42)
-			lr := &ml.LinearRegression{}
-			lr.Fit(train.X, train.Y)
-			pred := make([]float64, len(test.Y))
-			for i, x := range test.X {
-				pred[i] = lr.Predict(x)
-			}
-			// Relative errors: MSE over target variance, MAE over target
-			// spread, keeping the raw metrics in (0,1] regardless of scale.
-			vy := variance(test.Y)
-			if vy == 0 {
-				vy = 1
-			}
-			mse := math.Min(1, ml.MSE(test.Y, pred)/vy)
-			mae := math.Min(1, ml.MAE(test.Y, pred)/math.Sqrt(vy))
-			cost := trainCost(train.NumRows(), train.NumFeatures(), 0.5)
-			return []float64{mse, mae, cost}, nil
-		},
+	eval := func(ds ml.Data) ([]float64, error) {
+		if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
+			return []float64{1, 1, maxCost}, nil
+		}
+		train, test := ds.SplitData(0.3, 42)
+		lr := &ml.LinearRegression{}
+		lr.FitData(train)
+		pred, testY := predictAll(lr.Predict, test)
+		// Relative errors: MSE over target variance, MAE over target
+		// spread, keeping the raw metrics in (0,1] regardless of scale.
+		vy := variance(testY)
+		if vy == 0 {
+			vy = 1
+		}
+		mse := math.Min(1, ml.MSE(testY, pred)/vy)
+		mae := math.Min(1, ml.MAE(testY, pred)/math.Sqrt(vy))
+		cost := trainCost(train.NumRows(), train.NumFeatures(), 0.5)
+		return []float64{mse, mae, cost}, nil
 	}
 	measures := []fst.Measure{
 		{Name: "pMSE", Bounds: skyline.DefaultBounds(), Normalize: fst.Identity(measureFloor)},
 		{Name: "pMAE", Bounds: skyline.DefaultBounds(), Normalize: fst.Identity(measureFloor)},
 		{Name: "pTrain", Bounds: skyline.DefaultBounds(), Normalize: fst.Scaled(maxCost, measureFloor)},
 	}
-	return &Workload{Name: "T3", Lake: lake, Space: newSpace(lake), Model: model, Measures: measures}
+	return &Workload{Name: "T3", Lake: lake, Space: newSpace(lake), Model: taskModel("LRavocado", lake, eval), Measures: measures}
 }
 
 // T4Mental is task T4: a histogram-GBDT (LightGBM stand-in) classifying
@@ -187,32 +178,31 @@ func T4Mental(tc TaskConfig) *Workload {
 	lake := NewLake(lc)
 	maxCost := trainCost(lake.Universal.NumRows(), lake.Universal.NumCols(), 1.5)
 
-	enc := ml.NewTableEncoder(lake.Universal.DropColumn("id"), lake.Target)
-	model := &TableModel{
-		ModelName: "LGCmental",
-		Eval: func(d *table.Table) ([]float64, error) {
-			ds := enc.Encode(d.DropColumn("id"))
-			if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
-				return worst([]bool{true, true, true, true, true, false}), nil
-			}
-			train, test := ds.Split(0.3, 42)
-			h := &ml.HistGBMClassifier{Config: ml.HistGBMConfig{
-				GBM:     ml.GBMConfig{NumTrees: 25, MaxDepth: 3, Seed: 1},
-				NumBins: 16,
-			}}
-			h.Fit(train.X, train.Y)
-			pred := make([]float64, len(test.Y))
-			scores := make([]float64, len(test.Y))
-			for i, x := range test.X {
-				scores[i] = h.PredictProba(x)
-				pred[i] = math.Round(scores[i])
-			}
-			acc := ml.Accuracy(test.Y, pred)
-			pc, rc, f1 := ml.PrecisionRecallF1(test.Y, pred)
-			auc := ml.AUC(test.Y, scores)
-			cost := trainCost(train.NumRows(), train.NumFeatures(), 1.5)
-			return []float64{acc, pc, rc, f1, auc, cost}, nil
-		},
+	eval := func(ds ml.Data) ([]float64, error) {
+		if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
+			return worst([]bool{true, true, true, true, true, false}), nil
+		}
+		train, test := ds.SplitData(0.3, 42)
+		h := &ml.HistGBMClassifier{Config: ml.HistGBMConfig{
+			GBM:     ml.GBMConfig{NumTrees: 25, MaxDepth: 3, Seed: 1},
+			NumBins: 16,
+		}}
+		h.FitData(train)
+		n := test.NumRows()
+		pred := make([]float64, n)
+		scores := make([]float64, n)
+		testY := make([]float64, n)
+		buf := make([]float64, test.NumFeatures())
+		for i := 0; i < n; i++ {
+			scores[i] = h.PredictProba(test.Row(i, buf))
+			pred[i] = math.Round(scores[i])
+			testY[i] = test.Label(i)
+		}
+		acc := ml.Accuracy(testY, pred)
+		pc, rc, f1 := ml.PrecisionRecallF1(testY, pred)
+		auc := ml.AUC(testY, scores)
+		cost := trainCost(train.NumRows(), train.NumFeatures(), 1.5)
+		return []float64{acc, pc, rc, f1, auc, cost}, nil
 	}
 	measures := []fst.Measure{
 		{Name: "pAcc", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
@@ -222,7 +212,7 @@ func T4Mental(tc TaskConfig) *Workload {
 		{Name: "pAUC", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
 		{Name: "pTrain", Bounds: skyline.DefaultBounds(), Normalize: fst.Scaled(maxCost, measureFloor)},
 	}
-	return &Workload{Name: "T4", Lake: lake, Space: newSpace(lake), Model: model, Measures: measures}
+	return &Workload{Name: "T4", Lake: lake, Space: newSpace(lake), Model: taskModel("LGCmental", lake, eval), Measures: measures}
 }
 
 func invSquash() func(float64) float64 {

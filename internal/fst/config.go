@@ -187,13 +187,17 @@ func (c *Config) Valuate(bits Bitmap) (skyline.Vector, error) {
 	return v.Valuate(context.Background(), bits)
 }
 
-// evaluateExact materializes the state and runs real model inference,
-// returning the normalized performance vector. Safe for concurrent
-// calls (the worker-pool body): materialization shares only the
-// space's immutable row index, and normalizers must be pure.
+// evaluateExact runs real model inference for the state, returning the
+// normalized performance vector. Models implementing [RowsModel] are
+// valuated straight off the state's selected-row view — the
+// zero-materialization columnar fast path, available whenever the
+// space has no UDFs — and every other model takes the reference path:
+// materialize the child table, run Evaluate. Safe for concurrent calls
+// (the worker-pool body): both paths share only the space's immutable
+// row index and the model's frozen encoder state, and normalizers must
+// be pure.
 func (c *Config) evaluateExact(bits Bitmap) (skyline.Vector, error) {
-	d := c.Space.Materialize(bits)
-	raw, err := c.Model.Evaluate(d)
+	raw, err := c.rawMetrics(bits)
 	if err != nil {
 		return nil, fmt.Errorf("fst: valuate state: %w", err)
 	}
@@ -209,6 +213,24 @@ func (c *Config) evaluateExact(bits Bitmap) (skyline.Vector, error) {
 		}
 	}
 	return v, nil
+}
+
+// rawMetrics produces the model's raw metric vector for a state,
+// preferring the columnar rows path when the model and the space
+// support it. A per-call decline (handled=false) falls through to
+// Materialize, which re-derives the removed-row union — acceptable
+// because declines are cold: the built-in models decline only for
+// states their space can never produce.
+func (c *Config) rawMetrics(bits Bitmap) ([]float64, error) {
+	if rm, isRows := c.Model.(RowsModel); isRows {
+		if view, viewOK := c.Space.RowsFor(bits); viewOK {
+			raw, handled, err := rm.EvaluateRows(view)
+			if handled {
+				return raw, err
+			}
+		}
+	}
+	return c.Model.Evaluate(c.Space.Materialize(bits))
 }
 
 // estimate consults the surrogate under the estimator mutex.

@@ -1,0 +1,104 @@
+package fst
+
+import "fmt"
+
+// RowsView describes a state's dataset without materializing it: the
+// universal-table rows that survive the state's cleared literals
+// (ascending) and the attributes its cleared attribute entries mask.
+// Together with a columnar encoding of the universal table built once
+// per space (ml.Matrix), this is everything a model needs to valuate
+// the state — no child *table.Table, no re-encoded dataset.
+type RowsView struct {
+	// Rows are the surviving universal row indexes, ascending — the
+	// same rows, in the same order, that Materialize would emit.
+	Rows []int
+	// Masked lists the attributes whose columns Materialize would drop
+	// (cleared EntryAttr entries).
+	Masked []string
+}
+
+// RowsModel is the optional columnar fast path of a Model: a model that
+// can valuate a state directly from the space's selected-row view skips
+// Materialize and dataset re-encoding entirely. EvaluateRows may
+// decline a particular view (ok=false) — e.g. a graph model whose
+// required columns are masked — in which case the caller falls back to
+// Evaluate on the materialized table; err is only meaningful when ok.
+// The Evaluate path remains the reference implementation: the columnar
+// path must return bit-identical metrics, a property the tests enforce.
+type RowsModel interface {
+	Model
+	EvaluateRows(v RowsView) (raw []float64, ok bool, err error)
+}
+
+// RowsFor returns the selected-row view of a state bitmap, or ok=false
+// when the space cannot express the state as a row selection — i.e.
+// when post-materialization UDFs are registered, since those transform
+// the child table arbitrarily. The row enumeration reuses the same
+// incrementally-built per-literal row index as Materialize, so the
+// returned rows are exactly the materialized rows.
+func (sp *Space) RowsFor(bits Bitmap) (RowsView, bool) {
+	if sp.HasUDFs() {
+		return RowsView{}, false
+	}
+	removed, masked := sp.removedRows(bits)
+	idx := sp.idx
+	rows := make([]int, 0, idx.rows)
+	for wi, w := range removed {
+		live := ^w & idx.liveMask(wi)
+		for live != 0 {
+			rows = append(rows, wi*wordBits+trailingZeros(live))
+			live &= live - 1
+		}
+	}
+	var maskedNames []string
+	for _, i := range masked {
+		maskedNames = append(maskedNames, sp.Entries[i].Attr)
+	}
+	return RowsView{Rows: rows, Masked: maskedNames}, true
+}
+
+// removedRows unions the removed-row bitmaps of the state's cleared
+// literals and collects its cleared attribute entries, building the
+// space's row index on first use.
+func (sp *Space) removedRows(bits Bitmap) (removed []uint64, maskedEntries []int) {
+	if bits.Len() != len(sp.Entries) {
+		panic(fmt.Sprintf("fst: bitmap width %d != space size %d", bits.Len(), len(sp.Entries)))
+	}
+	sp.idxOnce.Do(sp.buildRowIndex)
+	idx := sp.idx
+	removed = make([]uint64, idx.words)
+	bits.ForEachClear(func(i int) {
+		e := sp.Entries[i]
+		switch e.Kind {
+		case EntryAttr:
+			maskedEntries = append(maskedEntries, i)
+		case EntryLiteral:
+			for w, word := range idx.litRows[i] {
+				removed[w] |= word
+			}
+		}
+	})
+	return removed, maskedEntries
+}
+
+// litRowsOf exposes entry i's removed-row bitmap to package siblings
+// (BackSt's coverage scan), building the index on first use.
+func (sp *Space) litRowsOf(i int) []uint64 {
+	sp.idxOnce.Do(sp.buildRowIndex)
+	return sp.idx.litRows[i]
+}
+
+// forEachLitRow calls f with every universal row index entry i's
+// literal matches, ascending.
+func (sp *Space) forEachLitRow(i int, f func(row int)) {
+	for wi, w := range sp.litRowsOf(i) {
+		for w != 0 {
+			f(wi*wordBits + trailingZeros(w))
+			w &= w - 1
+		}
+	}
+}
+
+// HasUDFs reports whether post-materialization UDFs are registered,
+// disabling the RowsModel fast path.
+func (sp *Space) HasUDFs() bool { return len(sp.udfs) > 0 }

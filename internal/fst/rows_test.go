@@ -1,0 +1,189 @@
+package fst
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// randomState clears a random subset of entries.
+func randomState(sp *Space, rng *rand.Rand) Bitmap {
+	bits := sp.FullBitmap()
+	for i := 0; i < bits.Len(); i++ {
+		if rng.Float64() < 0.4 {
+			bits.Clear(i)
+		}
+	}
+	return bits
+}
+
+// TestRowsForMatchesMaterialize: reconstructing the child from the
+// selected-row view must equal the materialized table cell for cell.
+func TestRowsForMatchesMaterialize(t *testing.T) {
+	sp := testSpace()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		bits := randomState(sp, rng)
+		view, ok := sp.RowsFor(bits)
+		if !ok {
+			t.Fatal("UDF-free space must support RowsFor")
+		}
+		want := sp.Materialize(bits)
+
+		// Rebuild the child from the view: select rows, drop masked.
+		got := table.New("D_s", sp.Universal.Schema)
+		for _, r := range view.Rows {
+			got.Rows = append(got.Rows, sp.Universal.Rows[r].Clone())
+		}
+		for _, m := range view.Masked {
+			got = got.DropColumn(m)
+		}
+
+		if got.NumRows() != want.NumRows() || got.NumCols() != want.NumCols() {
+			t.Fatalf("trial %d: shape (%d,%d) vs (%d,%d)",
+				trial, got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+		}
+		for ci, c := range want.Schema {
+			if got.Schema[ci].Name != c.Name {
+				t.Fatalf("trial %d: schema %v vs %v", trial, got.Schema.Names(), want.Schema.Names())
+			}
+		}
+		for ri := range want.Rows {
+			for ci := range want.Schema {
+				a, b := got.Rows[ri][ci], want.Rows[ri][ci]
+				if a.IsNull() != b.IsNull() || (!a.IsNull() && !a.Equal(b)) {
+					t.Fatalf("trial %d: cell (%d,%d) differs", trial, ri, ci)
+				}
+			}
+		}
+	}
+}
+
+// TestRowsForDeclinesWithUDFs: post-materialization UDFs make row views
+// unsound; the fast path must refuse.
+func TestRowsForDeclinesWithUDFs(t *testing.T) {
+	sp := testSpace()
+	if sp.HasUDFs() {
+		t.Fatal("fresh space should have no UDFs")
+	}
+	sp.RegisterUDF(DropSparseRowsUDF(0.5))
+	if !sp.HasUDFs() {
+		t.Fatal("HasUDFs must report registered UDFs")
+	}
+	if _, ok := sp.RowsFor(sp.FullBitmap()); ok {
+		t.Fatal("RowsFor must decline when UDFs are registered")
+	}
+}
+
+// TestBackStMatchesScan: the row-index coverage scan must pick exactly
+// the literals the original per-literal table rescan picked.
+func TestBackStMatchesScan(t *testing.T) {
+	spaces := []*Space{testSpace()}
+	// A space with nulls in literal columns and a string target.
+	u := table.New("D_U", table.Schema{
+		{Name: "a", Kind: table.KindInt},
+		{Name: "b", Kind: table.KindFloat},
+		{Name: "label", Kind: table.KindString},
+	})
+	labels := []string{"x", "y", "z"}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		bv := table.Value(table.Float(float64(i % 5)))
+		if i%9 == 0 {
+			bv = table.Null
+		}
+		u.MustAppend(table.Row{
+			table.Int(int64(i % 7)),
+			bv,
+			table.Str(labels[rng.Intn(3)]),
+		})
+	}
+	spaces = append(spaces, NewSpace(u, "label", SpaceConfig{MaxLiteralsPerAttr: 5}))
+
+	for si, sp := range spaces {
+		got := BackSt(sp)
+		want := backStScan(sp)
+		if got.Len() != want.Len() {
+			t.Fatalf("space %d: width mismatch", si)
+		}
+		for i := 0; i < got.Len(); i++ {
+			if got.Get(i) != want.Get(i) {
+				t.Fatalf("space %d: entry %d differs (%v vs %v)", si, i, got.Get(i), want.Get(i))
+			}
+		}
+	}
+}
+
+// rowsParityModel evaluates via both Model and RowsModel, recording
+// which path was taken, to test the evaluateExact dispatch.
+type rowsParityModel struct {
+	rowsCalls  int
+	tableCalls int
+	decline    bool
+}
+
+func (m *rowsParityModel) Name() string { return "rows-parity" }
+
+func (m *rowsParityModel) Evaluate(d *table.Table) ([]float64, error) {
+	m.tableCalls++
+	return []float64{float64(d.NumRows()) / 100, float64(d.NumCols()) / 10}, nil
+}
+
+func (m *rowsParityModel) EvaluateRows(v RowsView) ([]float64, bool, error) {
+	if m.decline {
+		return nil, false, nil
+	}
+	m.rowsCalls++
+	cols := 4 - len(v.Masked) // testUniversal has 4 columns
+	return []float64{float64(len(v.Rows)) / 100, float64(cols) / 10}, true, nil
+}
+
+// TestEvaluateExactPrefersRowsPath: a RowsModel must be valuated from
+// the row view (no materialization), produce the same vector, and fall
+// back to Evaluate when it declines or when UDFs disable the view.
+func TestEvaluateExactPrefersRowsPath(t *testing.T) {
+	newCfg := func(sp *Space, m Model) *Config {
+		cfg := &Config{Space: sp, Model: m, Measures: []Measure{{Name: "a"}, {Name: "b"}}}
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+	sp := testSpace()
+	bits := sp.FullBitmap()
+	bits.Clear(0)
+
+	m := &rowsParityModel{}
+	viaRows, err := newCfg(sp, m).Valuate(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.rowsCalls != 1 || m.tableCalls != 0 {
+		t.Fatalf("rows path not taken: rows=%d table=%d", m.rowsCalls, m.tableCalls)
+	}
+
+	md := &rowsParityModel{decline: true}
+	viaTable, err := newCfg(sp, md).Valuate(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.tableCalls != 1 {
+		t.Fatal("declined rows path must fall back to Evaluate")
+	}
+	for i := range viaRows {
+		if viaRows[i] != viaTable[i] {
+			t.Fatalf("vector %d differs across paths: %v vs %v", i, viaRows, viaTable)
+		}
+	}
+
+	spU := testSpace()
+	spU.RegisterUDF(ImputeMeansUDF("target"))
+	mu := &rowsParityModel{}
+	if _, err := newCfg(spU, mu).Valuate(bits); err != nil {
+		t.Fatal(err)
+	}
+	if mu.rowsCalls != 0 || mu.tableCalls != 1 {
+		t.Fatal("UDF space must force the Evaluate path")
+	}
+}

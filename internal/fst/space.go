@@ -154,24 +154,15 @@ func (sp *Space) Materialize(bits Bitmap) *table.Table {
 	if bits.Len() != len(sp.Entries) {
 		panic(fmt.Sprintf("fst: bitmap width %d != space size %d", bits.Len(), len(sp.Entries)))
 	}
-	sp.idxOnce.Do(sp.buildRowIndex)
-	idx := sp.idx
-
 	// Union the removed-row bitmaps of cleared literals; collect masked
-	// attribute columns.
-	removed := make([]uint64, idx.words)
+	// attribute columns. Shared with RowsFor, the zero-materialization
+	// twin of this method.
+	removed, maskedEntries := sp.removedRows(bits)
+	idx := sp.idx
 	var masked []int
-	bits.ForEachClear(func(i int) {
-		e := sp.Entries[i]
-		switch e.Kind {
-		case EntryAttr:
-			masked = append(masked, idx.colOf[i])
-		case EntryLiteral:
-			for w, word := range idx.litRows[i] {
-				removed[w] |= word
-			}
-		}
-	})
+	for _, i := range maskedEntries {
+		masked = append(masked, idx.colOf[i])
+	}
 
 	u := sp.Universal
 	out := table.New("D_s", u.Schema)

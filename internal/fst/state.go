@@ -130,7 +130,10 @@ func OpGenEntries(s *State, dir Direction, entries []int) []*State {
 // attribute entries stay present, and literal entries are greedily
 // cleared while every value of the target's active domain remains
 // covered by at least one surviving tuple — the paper's "minimal set of
-// tuples that covers all values of adom of the target".
+// tuples that covers all values of adom of the target". The coverage
+// scan walks the space's per-literal removed-row bitmaps (the same
+// index Materialize and RowsFor share) instead of rescanning the
+// universal table once per literal.
 func BackSt(sp *Space) Bitmap {
 	bits := sp.FullBitmap()
 	tgtIdx := sp.Universal.Schema.Index(sp.Target)
@@ -145,7 +148,50 @@ func BackSt(sp *Space) Bitmap {
 		}
 	}
 
-	// rowsOfLiteral pre-indexes which rows each literal entry would remove.
+	lost := map[string]int{}
+	for i, e := range sp.Entries {
+		if e.Kind != EntryLiteral {
+			continue
+		}
+		// Tally target coverage lost if this literal's rows go away.
+		clear(lost)
+		if tgtIdx >= 0 {
+			sp.forEachLitRow(i, func(row int) {
+				if tv := sp.Universal.Rows[row][tgtIdx]; !tv.IsNull() {
+					lost[tv.Key()]++
+				}
+			})
+		}
+		ok := true
+		for k, n := range lost {
+			if coverage[k]-n <= 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			bits.Clear(i)
+			for k, n := range lost {
+				coverage[k] -= n
+			}
+		}
+	}
+	return bits
+}
+
+// backStScan is the original per-literal table rescan, kept as the
+// reference implementation BackSt is property-tested against.
+func backStScan(sp *Space) Bitmap {
+	bits := sp.FullBitmap()
+	tgtIdx := sp.Universal.Schema.Index(sp.Target)
+	coverage := map[string]int{}
+	if tgtIdx >= 0 {
+		for _, r := range sp.Universal.Rows {
+			if !r[tgtIdx].IsNull() {
+				coverage[r[tgtIdx].Key()]++
+			}
+		}
+	}
 	colIdx := map[string]int{}
 	for i, c := range sp.Universal.Schema {
 		colIdx[c.Name] = i
@@ -155,7 +201,6 @@ func BackSt(sp *Space) Bitmap {
 			continue
 		}
 		ci := colIdx[e.Attr]
-		// Tally target coverage lost if this literal's rows go away.
 		lost := map[string]int{}
 		for _, r := range sp.Universal.Rows {
 			if r[ci].Equal(e.Literal.Value) {

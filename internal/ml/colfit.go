@@ -1,0 +1,200 @@
+package ml
+
+import "sort"
+
+// frame is the columnar fitting substrate every learner trains on: the
+// feature matrix in column-major form, the target vector, and one
+// presorted position order per feature. Both data routes converge here —
+// the row-major Fit(X, y) API transposes and sorts once per fit, the
+// Matrix/View fast path gathers encoded columns and derives the orders
+// from the space-level presorted ranks by counting — so a view fit and a
+// dataset fit of the same numbers grow bit-identical trees by
+// construction: (value, position) is a total order, hence every correct
+// construction yields the same permutation, and all downstream growth is
+// shared code.
+type frame struct {
+	cols [][]float64 // [feature][position]
+	y    []float64   // [position]
+	n    int
+	nf   int
+	// base[f] holds positions 0..n-1 sorted ascending by
+	// (cols[f][p], p); growth works on copies it partitions in place.
+	base [][]int32
+}
+
+// newFrame allocates a frame's column and order storage from two slabs.
+func newFrame(nf, n int) *frame {
+	fr := &frame{n: n, nf: nf}
+	colBuf := make([]float64, nf*n)
+	ordBuf := make([]int32, nf*n)
+	fr.cols = make([][]float64, nf)
+	fr.base = make([][]int32, nf)
+	for f := 0; f < nf; f++ {
+		fr.cols[f] = colBuf[f*n : (f+1)*n]
+		fr.base[f] = ordBuf[f*n : (f+1)*n]
+	}
+	return fr
+}
+
+// frameFromRows builds the fitting frame of a row-major dataset:
+// transpose once, presort every feature once. The per-node sorts of the
+// former CART implementation collapse into this single pass.
+func frameFromRows(X [][]float64, y []float64) *frame {
+	fr := frameFromRowsRaw(X, y)
+	for f := 0; f < fr.nf; f++ {
+		sortOrder(fr.cols[f], fr.base[f])
+	}
+	return fr
+}
+
+// frameFromRowsRaw transposes without deriving the presorted orders,
+// for consumers that re-quantize the columns first (HistGBM) and would
+// throw the orders away.
+func frameFromRowsRaw(X [][]float64, y []float64) *frame {
+	n := len(X)
+	nf := 0
+	if n > 0 {
+		nf = len(X[0])
+	}
+	fr := newFrame(nf, n)
+	fr.y = y
+	for i, r := range X {
+		for f := 0; f < nf; f++ {
+			fr.cols[f][i] = r[f]
+		}
+	}
+	return fr
+}
+
+// sortOrder fills order with positions 0..n-1 sorted by
+// (vals[p], p) — the unique total order every frame construction must
+// agree on.
+func sortOrder(vals []float64, order []int32) {
+	for i := range order {
+		order[i] = int32(i)
+	}
+	s := posSorter{vals: vals, pos: order}
+	sort.Sort(&s)
+}
+
+// posSorter sorts positions by (value, position) through a concrete
+// sort.Interface, avoiding sort.Slice's reflection allocations.
+type posSorter struct {
+	vals []float64
+	pos  []int32
+}
+
+func (s *posSorter) Len() int { return len(s.pos) }
+func (s *posSorter) Less(i, j int) bool {
+	vi, vj := s.vals[s.pos[i]], s.vals[s.pos[j]]
+	if vi != vj {
+		return vi < vj
+	}
+	return s.pos[i] < s.pos[j]
+}
+func (s *posSorter) Swap(i, j int) { s.pos[i], s.pos[j] = s.pos[j], s.pos[i] }
+
+// subFrame gathers the positions ps of a parent frame into a fresh
+// frame (used by row-subsampling ensembles); orders are re-derived on
+// the gathered columns.
+func subFrame(fr *frame, ps []int) *frame {
+	out := newFrame(fr.nf, len(ps))
+	out.y = make([]float64, len(ps))
+	for i, p := range ps {
+		out.y[i] = fr.y[p]
+		for f := 0; f < fr.nf; f++ {
+			out.cols[f][i] = fr.cols[f][p]
+		}
+	}
+	for f := 0; f < fr.nf; f++ {
+		sortOrder(out.cols[f], out.base[f])
+	}
+	return out
+}
+
+// Data is the fitting-facing view of a dataset: the row/column
+// accessors metrics need plus the columnar frame learners train on.
+// Both *Dataset (the materialize-and-encode route) and *View (the
+// zero-materialization Matrix route) implement it, so a task's
+// evaluation body is written once and the two routes stay equal by
+// sharing it. The interface is sealed to this package by the unexported
+// frame constructor.
+type Data interface {
+	// NumRows returns the number of examples.
+	NumRows() int
+	// NumFeatures returns the feature count.
+	NumFeatures() int
+	// SplitData partitions into train and test with the same
+	// deterministic shuffle as Dataset.Split.
+	SplitData(testFrac float64, seed int64) (train, test Data)
+	// Label returns the target of example i.
+	Label(i int) float64
+	// Row writes the feature vector of example i into dst (resliced to
+	// the feature count) and returns it.
+	Row(i int, dst []float64) []float64
+	// Col writes the values of feature f into dst (resliced to the row
+	// count) and returns it.
+	Col(f int, dst []float64) []float64
+
+	// buildFrame produces the columnar fitting frame; buildRawFrame
+	// skips the per-feature presort for consumers that re-quantize the
+	// columns before fitting.
+	buildFrame(ws *treeScratch) *frame
+	buildRawFrame(ws *treeScratch) *frame
+}
+
+// Labels gathers the full target vector of a data view.
+func Labels(d Data) []float64 {
+	out := make([]float64, d.NumRows())
+	for i := range out {
+		out[i] = d.Label(i)
+	}
+	return out
+}
+
+// gatherRows materializes the rows of a data view with a single backing
+// slab, for learners that train on row-major input (linear models).
+func gatherRows(d Data) [][]float64 {
+	n, nf := d.NumRows(), d.NumFeatures()
+	buf := make([]float64, n*nf)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = d.Row(i, buf[i*nf:(i+1)*nf])
+	}
+	return out
+}
+
+// Data implementation for the row-major Dataset.
+
+// SplitData implements Data by delegating to Split.
+func (d *Dataset) SplitData(testFrac float64, seed int64) (train, test Data) {
+	a, b := d.Split(testFrac, seed)
+	return a, b
+}
+
+// Label implements Data.
+func (d *Dataset) Label(i int) float64 { return d.Y[i] }
+
+// Row implements Data.
+func (d *Dataset) Row(i int, dst []float64) []float64 {
+	dst = dst[:len(d.X[i])]
+	copy(dst, d.X[i])
+	return dst
+}
+
+// Col implements Data.
+func (d *Dataset) Col(f int, dst []float64) []float64 {
+	dst = dst[:len(d.X)]
+	for i, r := range d.X {
+		dst[i] = r[f]
+	}
+	return dst
+}
+
+func (d *Dataset) buildFrame(*treeScratch) *frame {
+	return frameFromRows(d.X, d.Y)
+}
+
+func (d *Dataset) buildRawFrame(*treeScratch) *frame {
+	return frameFromRowsRaw(d.X, d.Y)
+}

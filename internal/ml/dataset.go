@@ -121,12 +121,7 @@ func FromTable(t *table.Table, target string) *Dataset {
 // Split partitions the dataset into train and test subsets using a
 // deterministic shuffle under the given seed.
 func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset) {
-	n := len(d.X)
-	perm := rand.New(rand.NewSource(seed)).Perm(n)
-	nTest := int(float64(n) * testFrac)
-	if nTest < 1 && n > 1 {
-		nTest = 1
-	}
+	perm, nTest := splitPerm(len(d.X), testFrac, seed)
 	train = &Dataset{Features: d.Features}
 	test = &Dataset{Features: d.Features}
 	for i, p := range perm {
@@ -139,6 +134,19 @@ func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset) {
 		}
 	}
 	return train, test
+}
+
+// splitPerm is the one train/test shuffle of the package: every Data
+// implementation partitions rows through it, so a dataset and the
+// matrix view of the same state split identically by construction —
+// a load-bearing invariant of the columnar fast path.
+func splitPerm(n int, testFrac float64, seed int64) (perm []int, nTest int) {
+	perm = rand.New(rand.NewSource(seed)).Perm(n)
+	nTest = int(float64(n) * testFrac)
+	if nTest < 1 && n > 1 {
+		nTest = 1
+	}
+	return perm, nTest
 }
 
 // Classes returns the sorted distinct labels of Y interpreted as class ids.

@@ -2,6 +2,7 @@ package ml
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/table"
 )
@@ -17,12 +18,22 @@ import (
 // property the tests assert — while skipping the per-call map builds
 // and domain sorts.
 //
+// Skipped columns (NewTableEncoderSkip) are excluded from the encoding
+// as if the caller had dropped them first: task models hand Encode the
+// materialized child directly instead of cloning it through
+// DropColumn("id").
+//
 // The encoder is immutable after construction, so concurrent
 // valuations (worker pools, parallel engine runs) share one instance.
 type TableEncoder struct {
 	target string
 	cols   map[string]*stringCodec
 	tgt    *stringCodec
+	u      *table.Table
+	skip   map[string]bool
+
+	mxOnce sync.Once
+	mx     *Matrix
 }
 
 // stringCodec maps a string column's universal active-domain values to
@@ -40,12 +51,22 @@ func newStringCodec(u *table.Table, name string) *stringCodec {
 }
 
 // NewTableEncoder builds the shared encoder of a universal table. Pass
-// the same table (after any column drops the model applies, e.g.
-// DropColumn("id")) that materialized children derive from.
+// the same table that materialized children derive from.
 func NewTableEncoder(u *table.Table, target string) *TableEncoder {
-	e := &TableEncoder{target: target, cols: map[string]*stringCodec{}}
+	return NewTableEncoderSkip(u, target)
+}
+
+// NewTableEncoderSkip is NewTableEncoder with columns the models never
+// consume (identifier columns, e.g. "id"): Encode ignores them in
+// place, so callers stop cloning every child table through DropColumn
+// before encoding.
+func NewTableEncoderSkip(u *table.Table, target string, skip ...string) *TableEncoder {
+	e := &TableEncoder{target: target, cols: map[string]*stringCodec{}, u: u, skip: map[string]bool{}}
+	for _, s := range skip {
+		e.skip[s] = true
+	}
 	for _, c := range u.Schema {
-		if c.Kind != table.KindString {
+		if c.Kind != table.KindString || e.skip[c.Name] {
 			continue
 		}
 		codec := newStringCodec(u, c.Name)
@@ -56,6 +77,22 @@ func NewTableEncoder(u *table.Table, target string) *TableEncoder {
 		}
 	}
 	return e
+}
+
+// Matrix returns the frozen columnar encoding of the universal table,
+// built once on first use and shared by all concurrent valuations.
+func (e *TableEncoder) Matrix() *Matrix {
+	e.mxOnce.Do(func() { e.mx = e.buildMatrix() })
+	return e.mx
+}
+
+// fallback re-encodes the child from scratch when a value falls outside
+// the universal domain, honoring the skip set.
+func (e *TableEncoder) fallback(t *table.Table) *Dataset {
+	for name := range e.skip {
+		t = t.DropColumn(name)
+	}
+	return FromTable(t, e.target)
 }
 
 // childRanks recovers the child table's ordinal encoding of one string
@@ -104,18 +141,18 @@ func (e *TableEncoder) Encode(t *table.Table) *Dataset {
 	}
 	var encs []colEnc
 	for i, c := range t.Schema {
-		if i == tIdx {
+		if i == tIdx || e.skip[c.Name] {
 			continue
 		}
 		enc := colEnc{idx: i}
 		if c.Kind == table.KindString {
 			enc.codec = e.cols[c.Name]
 			if enc.codec == nil {
-				return FromTable(t, e.target)
+				return e.fallback(t)
 			}
 			rank, ok := e.childRanks(enc.codec, t, i)
 			if !ok {
-				return FromTable(t, e.target)
+				return e.fallback(t)
 			}
 			enc.rank = rank
 		} else {
@@ -139,11 +176,11 @@ func (e *TableEncoder) Encode(t *table.Table) *Dataset {
 	if tIdx >= 0 && t.Schema[tIdx].Kind == table.KindString {
 		tgtCodec = e.tgt
 		if tgtCodec == nil {
-			return FromTable(t, e.target)
+			return e.fallback(t)
 		}
 		rank, ok := e.childRanks(tgtCodec, t, tIdx)
 		if !ok {
-			return FromTable(t, e.target)
+			return e.fallback(t)
 		}
 		tgtRank = rank
 	}

@@ -15,47 +15,79 @@ func FisherScore(X [][]float64, y []float64) []float64 {
 	}
 	nf := len(X[0])
 	out := make([]float64, nf)
+	classes, byClass := classIndex(y)
+	col := make([]float64, len(X))
+	for f := 0; f < nf; f++ {
+		for i := range X {
+			col[i] = X[i][f]
+		}
+		out[f] = fisherScoreCol(col, classes, byClass)
+	}
+	return out
+}
+
+// FisherScoreData computes the Fisher scores of a columnar data view
+// against the given (possibly discretized) labels, summing in the same
+// row order as the row-major API.
+func FisherScoreData(d Data, y []float64) []float64 {
+	n := d.NumRows()
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, d.NumFeatures())
+	classes, byClass := classIndex(y)
+	col := make([]float64, n)
+	for f := range out {
+		out[f] = fisherScoreCol(d.Col(f, col), classes, byClass)
+	}
+	return out
+}
+
+// classIndex groups row indexes by integer class, classes sorted so
+// float summation order stays deterministic (the fixed-model guarantee).
+func classIndex(y []float64) ([]int, map[int][]int) {
 	byClass := map[int][]int{}
 	for i, yv := range y {
 		c := int(yv)
 		byClass[c] = append(byClass[c], i)
 	}
-	// Iterate classes in sorted order: float summation order must be
-	// deterministic for the fixed-model guarantee.
 	classes := make([]int, 0, len(byClass))
 	for c := range byClass {
 		classes = append(classes, c)
 	}
 	sort.Ints(classes)
-	for f := 0; f < nf; f++ {
-		var overall float64
-		for _, r := range X {
-			overall += r[f]
-		}
-		overall /= float64(len(X))
-		var num, den float64
-		for _, c := range classes {
-			idx := byClass[c]
-			nc := float64(len(idx))
-			var mc float64
-			for _, i := range idx {
-				mc += X[i][f]
-			}
-			mc /= nc
-			var vc float64
-			for _, i := range idx {
-				d := X[i][f] - mc
-				vc += d * d
-			}
-			vc /= nc
-			num += nc * (mc - overall) * (mc - overall)
-			den += nc * vc
-		}
-		if den > 0 {
-			out[f] = num / den
-		}
+	return classes, byClass
+}
+
+// fisherScoreCol is the per-feature Fisher ratio over one column.
+func fisherScoreCol(col []float64, classes []int, byClass map[int][]int) float64 {
+	var overall float64
+	for _, v := range col {
+		overall += v
 	}
-	return out
+	overall /= float64(len(col))
+	var num, den float64
+	for _, c := range classes {
+		idx := byClass[c]
+		nc := float64(len(idx))
+		var mc float64
+		for _, i := range idx {
+			mc += col[i]
+		}
+		mc /= nc
+		var vc float64
+		for _, i := range idx {
+			d := col[i] - mc
+			vc += d * d
+		}
+		vc /= nc
+		num += nc * (mc - overall) * (mc - overall)
+		den += nc * vc
+	}
+	if den > 0 {
+		return num / den
+	}
+	return 0
 }
 
 // MutualInformation estimates I(X_f; Y) per feature by equal-frequency
@@ -77,6 +109,27 @@ func MutualInformation(X [][]float64, y []float64, bins int) []float64 {
 			col[i] = X[i][f]
 		}
 		xd := discretize(col, bins)
+		out[f] = discreteMI(xd, yd)
+	}
+	return out
+}
+
+// MutualInformationData estimates per-feature mutual information of a
+// columnar data view against the given labels — same discretization
+// and summation order as the row-major API.
+func MutualInformationData(d Data, y []float64, bins int) []float64 {
+	n := d.NumRows()
+	if n == 0 {
+		return nil
+	}
+	if bins <= 0 {
+		bins = 10
+	}
+	yd := discretize(y, bins)
+	out := make([]float64, d.NumFeatures())
+	col := make([]float64, n)
+	for f := range out {
+		xd := discretize(d.Col(f, col), bins)
 		out[f] = discreteMI(xd, yd)
 	}
 	return out

@@ -37,27 +37,32 @@ type ForestClassifier struct {
 
 // Fit trains the forest.
 func (f *ForestClassifier) Fit(X [][]float64, y []float64) {
+	f.fitFrame(frameFromRows(X, y), &treeScratch{})
+}
+
+// FitData trains the forest on a columnar data view.
+func (f *ForestClassifier) FitData(d Data) {
+	ws := &treeScratch{}
+	f.fitFrame(d.buildFrame(ws), ws)
+}
+
+func (f *ForestClassifier) fitFrame(fr *frame, ws *treeScratch) {
 	cfg := f.Config.withDefaults()
 	if f.NumClass <= 0 {
-		f.NumClass = countClasses(y)
-	}
-	nf := 0
-	if len(X) > 0 {
-		nf = len(X[0])
+		f.NumClass = countClasses(fr.y)
 	}
 	mf := cfg.MaxFeatures
-	if mf <= 0 && nf > 0 {
-		mf = int(math.Sqrt(float64(nf)))
+	if mf <= 0 && fr.nf > 0 {
+		mf = int(math.Sqrt(float64(fr.nf)))
 		if mf < 1 {
 			mf = 1
 		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	f.trees = make([]*TreeClassifier, cfg.NumTrees)
-	ws := &treeScratch{}
-	bx, by := make([][]float64, len(X)), make([]float64, len(X))
+	bs := newBootstrapper(fr)
 	for t := 0; t < cfg.NumTrees; t++ {
-		bootstrapInto(bx, by, X, y, rng)
+		bfr := bs.resample(rng)
 		tree := &TreeClassifier{
 			Config: TreeConfig{
 				MaxDepth:    cfg.MaxDepth,
@@ -67,7 +72,7 @@ func (f *ForestClassifier) Fit(X [][]float64, y []float64) {
 			},
 			NumClass: f.NumClass,
 		}
-		tree.fit(bx, by, ws)
+		tree.fitFrame(bfr, ws)
 		f.trees[t] = tree
 	}
 }
@@ -115,31 +120,36 @@ type ForestRegressor struct {
 
 // Fit trains the forest.
 func (f *ForestRegressor) Fit(X [][]float64, y []float64) {
+	f.fitFrame(frameFromRows(X, y), &treeScratch{})
+}
+
+// FitData trains the forest on a columnar data view.
+func (f *ForestRegressor) FitData(d Data) {
+	ws := &treeScratch{}
+	f.fitFrame(d.buildFrame(ws), ws)
+}
+
+func (f *ForestRegressor) fitFrame(fr *frame, ws *treeScratch) {
 	cfg := f.Config.withDefaults()
-	nf := 0
-	if len(X) > 0 {
-		nf = len(X[0])
-	}
 	mf := cfg.MaxFeatures
-	if mf <= 0 && nf > 0 {
-		mf = nf / 3
+	if mf <= 0 && fr.nf > 0 {
+		mf = fr.nf / 3
 		if mf < 1 {
 			mf = 1
 		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	f.trees = make([]*TreeRegressor, cfg.NumTrees)
-	ws := &treeScratch{}
-	bx, by := make([][]float64, len(X)), make([]float64, len(X))
+	bs := newBootstrapper(fr)
 	for t := 0; t < cfg.NumTrees; t++ {
-		bootstrapInto(bx, by, X, y, rng)
+		bfr := bs.resample(rng)
 		tree := &TreeRegressor{Config: TreeConfig{
 			MaxDepth:    cfg.MaxDepth,
 			MinLeaf:     cfg.MinLeaf,
 			MaxFeatures: mf,
 			Seed:        rng.Int63(),
 		}}
-		tree.fit(bx, by, ws)
+		tree.fitFrame(bfr, ws)
 		f.trees[t] = tree
 	}
 }
@@ -166,13 +176,75 @@ func (f *ForestRegressor) Importances(nf int) []float64 {
 	return acc
 }
 
-// bootstrapInto fills bx/by with a with-replacement resample of (X, y),
-// reusing the caller's buffers across an ensemble's trees.
-func bootstrapInto(bx [][]float64, by []float64, X [][]float64, y []float64, rng *rand.Rand) {
-	n := len(X)
-	for i := 0; i < n; i++ {
-		j := rng.Intn(n)
-		bx[i] = X[j]
-		by[i] = y[j]
+// bootstrapper draws with-replacement resamples of a base frame,
+// deriving each resample's presorted feature orders from the base
+// frame's dense value ranks in linear time (counting) instead of
+// re-sorting, so the resampled frame satisfies the same unique
+// (value, position) order invariant as every other frame constructor.
+// All buffers — the resampled frame, the draw vector, the rank tables,
+// the counting scratch — are reused across the ensemble's trees.
+type bootstrapper struct {
+	base *frame
+	out  *frame
+	boot []int32 // boot[i] = source position of bootstrap position i
+	// rankOf[f][src] is the dense rank of source position src among
+	// feature f's sorted values, read off the base order once.
+	rankOf [][]int32
+	nRank  []int32
+	cnt    []int32 // counting-sort scratch
+}
+
+func newBootstrapper(fr *frame) *bootstrapper {
+	b := &bootstrapper{base: fr, out: newFrame(fr.nf, fr.n)}
+	b.out.y = make([]float64, fr.n)
+	b.boot = make([]int32, fr.n)
+	b.cnt = make([]int32, fr.n+1)
+	b.rankOf = make([][]int32, fr.nf)
+	b.nRank = make([]int32, fr.nf)
+	for f := 0; f < fr.nf; f++ {
+		ranks := make([]int32, fr.n)
+		col := fr.cols[f]
+		r := int32(-1)
+		prev := 0.0
+		for j, src := range fr.base[f] {
+			if j == 0 || col[src] != prev {
+				r++
+				prev = col[src]
+			}
+			ranks[src] = r
+		}
+		b.rankOf[f] = ranks
+		b.nRank[f] = r + 1
 	}
+	return b
+}
+
+// resample fills the reusable output frame with one bootstrap draw.
+// The returned frame is only valid until the next call.
+func (b *bootstrapper) resample(rng *rand.Rand) *frame {
+	fr, out := b.base, b.out
+	n := fr.n
+	if n == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		b.boot[i] = int32(rng.Intn(n))
+	}
+	// Gather the resampled target and columns.
+	for i, src := range b.boot[:n] {
+		out.y[i] = fr.y[src]
+	}
+	for f := 0; f < fr.nf; f++ {
+		bc, sc := out.cols[f], fr.cols[f]
+		for i, src := range b.boot[:n] {
+			bc[i] = sc[src]
+		}
+	}
+	// Each resampled order is the counting sort of bootstrap positions
+	// by (source value rank, position) — exactly the (value, position)
+	// total order on the gathered column.
+	for f := 0; f < fr.nf; f++ {
+		countingOrder(b.rankOf[f], b.boot[:n], out.base[f], &b.cnt, int(b.nRank[f]))
+	}
+	return out
 }

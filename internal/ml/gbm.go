@@ -45,32 +45,46 @@ type GBMRegressor struct {
 
 // Fit trains the boosted ensemble on (X, y).
 func (g *GBMRegressor) Fit(X [][]float64, y []float64) {
+	g.fitFrame(frameFromRows(X, y), &treeScratch{})
+}
+
+// FitData trains the boosted ensemble on a columnar data view.
+func (g *GBMRegressor) FitData(d Data) {
+	ws := &treeScratch{}
+	g.fitFrame(d.buildFrame(ws), ws)
+}
+
+// fitFrame boosts over a columnar frame. Because the feature columns
+// never change across stages, the frame's presorted orders are computed
+// once and reused by every tree — only the residual target is refreshed
+// per stage.
+func (g *GBMRegressor) fitFrame(fr *frame, ws *treeScratch) {
 	cfg := g.Config.withDefaults()
 	g.lr = cfg.LearningRate
-	g.bias = mean(y)
+	g.bias = mean(fr.y)
 	g.trees = g.trees[:0]
-	if len(X) == 0 {
+	if fr.n == 0 {
 		return
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	pred := make([]float64, len(y))
+	pred := make([]float64, fr.n)
 	for i := range pred {
 		pred[i] = g.bias
 	}
-	resid := make([]float64, len(y))
-	ws := &treeScratch{}
+	resid := make([]float64, fr.n)
+	target := fr.y
 	for t := 0; t < cfg.NumTrees; t++ {
-		for i := range y {
-			resid[i] = y[i] - pred[i]
+		for i := range resid {
+			resid[i] = target[i] - pred[i]
 		}
-		sx, sy := subsample(X, resid, cfg.Subsample, rng)
 		tree := &TreeRegressor{Config: TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, Seed: rng.Int63()}}
-		tree.fit(sx, sy, ws)
+		fitStage(tree, fr, resid, cfg.Subsample, rng, ws)
 		g.trees = append(g.trees, tree)
 		for i := range pred {
-			pred[i] += g.lr * tree.Predict(X[i])
+			pred[i] += g.lr * predictCols(tree.root, fr.cols, i)
 		}
 	}
+	fr.y = target
 }
 
 // Predict returns the boosted prediction for one example.
@@ -95,6 +109,26 @@ func (g *GBMRegressor) Importances(nf int) []float64 {
 	return acc
 }
 
+// fitStage fits one boosting tree on the frame with the stage's
+// pseudo-target, subsampling rows first when configured.
+func fitStage(tree *TreeRegressor, fr *frame, target []float64, subsampleFrac float64, rng *rand.Rand, ws *treeScratch) {
+	if subsampleFrac >= 1 {
+		fr.y = target
+		tree.fitFrame(fr, ws)
+		return
+	}
+	n := int(float64(fr.n) * subsampleFrac)
+	if n < 1 {
+		n = 1
+	}
+	ps := rng.Perm(fr.n)[:n]
+	saved := fr.y
+	fr.y = target
+	sub := subFrame(fr, ps)
+	fr.y = saved
+	tree.fitFrame(sub, ws)
+}
+
 // GBMClassifier is binary gradient boosting with logistic loss; labels
 // must be 0/1. Multi-class inputs are handled one-vs-rest by callers.
 type GBMClassifier struct {
@@ -106,34 +140,44 @@ type GBMClassifier struct {
 
 // Fit trains the boosted classifier on (X, y) with y in {0, 1}.
 func (g *GBMClassifier) Fit(X [][]float64, y []float64) {
+	g.fitFrame(frameFromRows(X, y), &treeScratch{})
+}
+
+// FitData trains the boosted classifier on a columnar data view.
+func (g *GBMClassifier) FitData(d Data) {
+	ws := &treeScratch{}
+	g.fitFrame(d.buildFrame(ws), ws)
+}
+
+func (g *GBMClassifier) fitFrame(fr *frame, ws *treeScratch) {
 	cfg := g.Config.withDefaults()
 	g.lr = cfg.LearningRate
 	g.trees = g.trees[:0]
-	if len(X) == 0 {
+	if fr.n == 0 {
 		return
 	}
-	p := mean(y)
+	p := mean(fr.y)
 	p = clamp(p, 1e-6, 1-1e-6)
 	g.bias = math.Log(p / (1 - p))
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	raw := make([]float64, len(y))
+	raw := make([]float64, fr.n)
 	for i := range raw {
 		raw[i] = g.bias
 	}
-	grad := make([]float64, len(y))
-	ws := &treeScratch{}
+	grad := make([]float64, fr.n)
+	target := fr.y
 	for t := 0; t < cfg.NumTrees; t++ {
-		for i := range y {
-			grad[i] = y[i] - sigmoid(raw[i])
+		for i := range grad {
+			grad[i] = target[i] - sigmoid(raw[i])
 		}
-		sx, sy := subsample(X, grad, cfg.Subsample, rng)
 		tree := &TreeRegressor{Config: TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, Seed: rng.Int63()}}
-		tree.fit(sx, sy, ws)
+		fitStage(tree, fr, grad, cfg.Subsample, rng, ws)
 		g.trees = append(g.trees, tree)
 		for i := range raw {
-			raw[i] += g.lr * tree.Predict(X[i])
+			raw[i] += g.lr * predictCols(tree.root, fr.cols, i)
 		}
 	}
+	fr.y = target
 }
 
 // PredictProba returns P(y=1 | x).
@@ -205,24 +249,6 @@ func (m *MultiOutputGBM) Predict(x []float64) []float64 {
 
 // NumOutputs reports the output dimensionality.
 func (m *MultiOutputGBM) NumOutputs() int { return len(m.models) }
-
-func subsample(X [][]float64, y []float64, frac float64, rng *rand.Rand) ([][]float64, []float64) {
-	if frac >= 1 {
-		return X, y
-	}
-	n := int(float64(len(X)) * frac)
-	if n < 1 {
-		n = 1
-	}
-	perm := rng.Perm(len(X))[:n]
-	sx := make([][]float64, n)
-	sy := make([]float64, n)
-	for i, p := range perm {
-		sx[i] = X[p]
-		sy[i] = y[p]
-	}
-	return sx, sy
-}
 
 func mean(xs []float64) float64 {
 	if len(xs) == 0 {

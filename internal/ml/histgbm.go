@@ -32,6 +32,65 @@ func (h *HistGBMClassifier) Fit(X [][]float64, y []float64) {
 	h.inner.Fit(bx, y)
 }
 
+// FitData quantizes a columnar data view then trains the boosted
+// classifier, never materializing row-major input: bin edges come from
+// the raw gathered columns (no presort — binning would discard it),
+// and the binned frame's presorted orders are the unique (value,
+// position) sort of the bin ids — identical to what Fit produces on
+// the same numbers.
+func (h *HistGBMClassifier) FitData(d Data) {
+	nb := h.Config.NumBins
+	if nb <= 0 {
+		nb = 32
+	}
+	ws := &treeScratch{}
+	fr := d.buildRawFrame(ws)
+	h.bins = computeBinsCols(fr.cols, nb)
+	binFrame(fr, h.bins, &ws.cnt)
+	h.inner = GBMClassifier{Config: h.Config.GBM}
+	h.inner.fitFrame(fr, ws)
+}
+
+// binFrame replaces the frame's columns with their bin ids in place
+// and derives each presorted order with one counting pass over the bin
+// ids (positions ascending within a bin = the unique (value, position)
+// order; a sort would cost O(n log n) for ≤NumBins distinct values).
+func binFrame(fr *frame, bins [][]float64, cntBuf *[]int32) {
+	for f := 0; f < fr.nf; f++ {
+		col := fr.cols[f]
+		if f >= len(bins) {
+			// Unbinned column (caller supplied a short bins slice, as
+			// binRow tolerates): its order must still be derived, or
+			// growth would scan an all-zero order.
+			sortOrder(col, fr.base[f])
+			continue
+		}
+		nBins := len(bins[f]) + 1
+		if cap(*cntBuf) < nBins+1 {
+			*cntBuf = make([]int32, nBins+1)
+		}
+		cnt := (*cntBuf)[:nBins+1]
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for i, v := range col {
+			col[i] = float64(searchBins(bins[f], v))
+			cnt[int(col[i])]++
+		}
+		sum := int32(0)
+		for b := range cnt {
+			c := cnt[b]
+			cnt[b] = sum
+			sum += c
+		}
+		for i, v := range col {
+			b := int(v)
+			fr.base[f][cnt[b]] = int32(i)
+			cnt[b]++
+		}
+	}
+}
+
 // PredictProba returns P(y=1 | x).
 func (h *HistGBMClassifier) PredictProba(x []float64) float64 {
 	return h.inner.PredictProba(binRow(x, h.bins))
@@ -81,19 +140,41 @@ func computeBins(X [][]float64, nb int) [][]float64 {
 		for i := range X {
 			col[i] = X[i][f]
 		}
-		sorted := append([]float64(nil), col...)
-		sort.Float64s(sorted)
-		var edges []float64
-		for b := 1; b < nb; b++ {
-			q := sorted[b*len(sorted)/nb]
-			if len(edges) == 0 || q != edges[len(edges)-1] {
-				edges = append(edges, q)
-			}
-		}
-		bins[f] = edges
+		bins[f] = quantileEdges(col, nb)
 	}
 	return bins
 }
+
+// computeBinsCols is computeBins over column-major input; identical
+// edges since each column holds the same values in the same row order.
+func computeBinsCols(cols [][]float64, nb int) [][]float64 {
+	bins := make([][]float64, len(cols))
+	for f, col := range cols {
+		if len(col) == 0 {
+			continue
+		}
+		bins[f] = quantileEdges(col, nb)
+	}
+	return bins
+}
+
+// quantileEdges returns the deduplicated equal-frequency bin edges of
+// one column.
+func quantileEdges(col []float64, nb int) []float64 {
+	sorted := append([]float64(nil), col...)
+	sort.Float64s(sorted)
+	var edges []float64
+	for b := 1; b < nb; b++ {
+		q := sorted[b*len(sorted)/nb]
+		if len(edges) == 0 || q != edges[len(edges)-1] {
+			edges = append(edges, q)
+		}
+	}
+	return edges
+}
+
+// searchBins maps a raw value to its bin id.
+func searchBins(edges []float64, v float64) int { return sort.SearchFloat64s(edges, v) }
 
 func binAll(X [][]float64, bins [][]float64) [][]float64 {
 	out := make([][]float64, len(X))
@@ -111,9 +192,7 @@ func binRow(x []float64, bins [][]float64) []float64 {
 			out[f] = v
 			continue
 		}
-		// Binary search for the bin index.
-		b := sort.SearchFloat64s(bins[f], v)
-		out[f] = float64(b)
+		out[f] = float64(searchBins(bins[f], v))
 	}
 	return out
 }

@@ -13,7 +13,28 @@ type LinearRegression struct {
 
 // Fit solves (X'X + λI) w = X'y.
 func (l *LinearRegression) Fit(X [][]float64, y []float64) {
-	if len(X) == 0 {
+	nf := 0
+	if len(X) > 0 {
+		nf = len(X[0])
+	}
+	l.fitNormalEqs(len(X), nf, func(i int, dst []float64) []float64 {
+		copy(dst, X[i])
+		return dst
+	}, func(i int) float64 { return y[i] })
+}
+
+// FitData trains on a columnar data view through one reused gather
+// buffer — same accumulation per normal-equation cell, and so the same
+// solution, as Fit on the equivalent row-major input.
+func (l *LinearRegression) FitData(d Data) {
+	l.fitNormalEqs(d.NumRows(), d.NumFeatures(), d.Row, d.Label)
+}
+
+// fitNormalEqs is the shared solver core: accumulate X'X and X'y row
+// by row (every cell sums in row order, so both entry points agree
+// bit for bit), damp the diagonal, eliminate.
+func (l *LinearRegression) fitNormalEqs(n, nf int, rowAt func(i int, dst []float64) []float64, label func(i int) float64) {
+	if n == 0 {
 		l.Weights = nil
 		l.Bias = 0
 		return
@@ -22,29 +43,22 @@ func (l *LinearRegression) Fit(X [][]float64, y []float64) {
 	if lam <= 0 {
 		lam = 1e-6
 	}
-	nf := len(X[0])
 	// Augment with a bias column.
 	d := nf + 1
 	A := make([][]float64, d)
 	for i := range A {
 		A[i] = make([]float64, d+1)
 	}
-	for _, xi := range X {
-		row := make([]float64, d)
-		copy(row, xi)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		rowAt(i, row[:nf])
 		row[nf] = 1
-		for i := 0; i < d; i++ {
-			for j := 0; j < d; j++ {
-				A[i][j] += row[i] * row[j]
+		yi := label(i)
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				A[a][b] += row[a] * row[b]
 			}
-		}
-	}
-	for i, xi := range X {
-		row := make([]float64, d)
-		copy(row, xi)
-		row[nf] = 1
-		for j := 0; j < d; j++ {
-			A[j][d] += row[j] * y[i]
+			A[a][d] += row[a] * yi
 		}
 	}
 	for i := 0; i < d; i++ {
@@ -154,6 +168,12 @@ func (l *LogisticRegression) Fit(X [][]float64, y []float64) {
 		}
 		l.Bias -= lr * gb / n
 	}
+}
+
+// FitData trains on a columnar data view: rows are gathered once into a
+// single slab and fed to Fit, whose math only reads the values.
+func (l *LogisticRegression) FitData(d Data) {
+	l.Fit(gatherRows(d), Labels(d))
 }
 
 // PredictProba returns P(y=1 | x).

@@ -1,0 +1,407 @@
+package ml
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// Matrix is the frozen columnar encoding of a universal table: every
+// feature column decoded once into floats (string columns as their
+// universal active-domain position), null masks, the target vector, and
+// one presorted ordering per feature in dense-rank form — rank[row] is
+// the row's position among the column's sorted distinct values, so any
+// row subset can be enumerated value-ascending by counting instead of
+// sorting. Built once per space by TableEncoder.Matrix and immutable
+// afterwards, it lets every valuation fit models on bitmap row views
+// without rebuilding a child table or re-encoding a Dataset.
+type Matrix struct {
+	names []string
+	cols  []matCol
+	// Target vector: numeric value, or universal domain position for
+	// string targets. ynull marks rows a Dataset would drop (null or
+	// NaN target).
+	yvals  []float64
+	ynull  []bool
+	ystr   bool
+	ynRank int32 // |target domain| for string targets
+	nRows  int
+}
+
+// matCol is one frozen feature column.
+type matCol struct {
+	name  string
+	isStr bool
+	vals  []float64 // numeric value, or universal domain position
+	null  []bool    // nil when the column has no nulls
+	rank  []int32   // dense rank among sorted distinct non-null values; -1 for nulls
+	nRank int32
+	// distinct holds the sorted distinct non-null values (rank → value).
+	distinct []float64
+}
+
+// NumRows returns the universal row count.
+func (m *Matrix) NumRows() int { return m.nRows }
+
+// FeatureNames returns the encoded feature columns in schema order.
+func (m *Matrix) FeatureNames() []string { return m.names }
+
+// buildMatrix encodes the encoder's universal table column by column.
+func (e *TableEncoder) buildMatrix() *Matrix {
+	u := e.u
+	n := len(u.Rows)
+	m := &Matrix{nRows: n}
+	tIdx := u.Schema.Index(e.target)
+	for ci, c := range u.Schema {
+		if ci == tIdx || e.skip[c.Name] {
+			continue
+		}
+		col := matCol{name: c.Name, isStr: c.Kind == table.KindString}
+		col.vals = make([]float64, n)
+		col.rank = make([]int32, n)
+		if col.isStr {
+			codec := e.cols[c.Name]
+			col.nRank = int32(len(codec.index))
+			col.distinct = make([]float64, col.nRank)
+			for i := range col.distinct {
+				col.distinct[i] = float64(i)
+			}
+			for i, r := range u.Rows {
+				v := r[ci]
+				if v.IsNull() {
+					if col.null == nil {
+						col.null = make([]bool, n)
+					}
+					col.null[i] = true
+					col.rank[i] = -1
+					continue
+				}
+				pos := codec.index[v.Key()]
+				col.vals[i] = float64(pos)
+				col.rank[i] = int32(pos)
+			}
+		} else {
+			var nonNull []float64
+			for i, r := range u.Rows {
+				v := r[ci]
+				if v.IsNull() {
+					if col.null == nil {
+						col.null = make([]bool, n)
+					}
+					col.null[i] = true
+					col.rank[i] = -1
+					continue
+				}
+				col.vals[i] = v.AsFloat()
+				nonNull = append(nonNull, col.vals[i])
+			}
+			sort.Float64s(nonNull)
+			col.distinct = nonNull[:0]
+			for _, v := range nonNull {
+				if len(col.distinct) == 0 || v != col.distinct[len(col.distinct)-1] {
+					col.distinct = append(col.distinct, v)
+				}
+			}
+			col.nRank = int32(len(col.distinct))
+			for i := range u.Rows {
+				if col.null != nil && col.null[i] {
+					continue
+				}
+				col.rank[i] = int32(sort.SearchFloat64s(col.distinct, col.vals[i]))
+			}
+		}
+		m.cols = append(m.cols, col)
+		m.names = append(m.names, c.Name)
+	}
+	m.yvals = make([]float64, n)
+	m.ynull = make([]bool, n)
+	if tIdx < 0 {
+		for i := range m.ynull {
+			m.ynull[i] = true
+		}
+		return m
+	}
+	m.ystr = u.Schema[tIdx].Kind == table.KindString
+	if m.ystr {
+		m.ynRank = int32(len(e.tgt.index))
+	}
+	for i, r := range u.Rows {
+		v := r[tIdx]
+		if v.IsNull() {
+			m.ynull[i] = true
+			continue
+		}
+		if m.ystr {
+			m.yvals[i] = float64(e.tgt.index[v.Key()])
+		} else {
+			m.yvals[i] = v.AsFloat()
+			if math.IsNaN(m.yvals[i]) {
+				m.ynull[i] = true
+			}
+		}
+	}
+	return m
+}
+
+// View is a state's dataset as a row selection over the frozen Matrix —
+// the zero-materialization equivalent of Materialize + Encode. It
+// reproduces the child-local Dataset encoding exactly: string columns
+// re-rank the universal domain positions present among the selected
+// rows, numeric nulls impute the mean over the selected rows, masked
+// attributes drop their feature, and null-target rows are excluded from
+// the example set (but still contribute to the encoding statistics,
+// as Encode's child-table scans do).
+type View struct {
+	m    *Matrix
+	rows []int32 // example rows (target non-null), in dataset order
+	// Encoding state, shared by Split children (fixed by the full
+	// child, exactly like Encode before Dataset.Split):
+	feats   []int32     // active matrix columns
+	remap   [][]float64 // per active feature: rank → child ordinal (string cols)
+	mean    []float64   // per active feature: imputation value (numeric cols)
+	hasNull []bool      // per active feature: nulls among the child rows
+	yremap  []float64   // string target: rank → child ordinal
+}
+
+// View builds the dataset view of the child selecting the given
+// universal rows (ascending, including rows whose target is null) with
+// the named attributes masked.
+func (m *Matrix) View(rows []int, masked []string) *View {
+	v := &View{m: m}
+	var maskSet map[string]bool
+	if len(masked) > 0 {
+		maskSet = make(map[string]bool, len(masked))
+		for _, a := range masked {
+			maskSet[a] = true
+		}
+	}
+	for ci := range m.cols {
+		if maskSet[m.cols[ci].name] {
+			continue
+		}
+		v.feats = append(v.feats, int32(ci))
+	}
+	nf := len(v.feats)
+	v.remap = make([][]float64, nf)
+	v.mean = make([]float64, nf)
+	v.hasNull = make([]bool, nf)
+	for k, ci := range v.feats {
+		c := &m.cols[ci]
+		if c.isStr {
+			present := make([]bool, c.nRank)
+			for _, r := range rows {
+				if c.null != nil && c.null[r] {
+					v.hasNull[k] = true
+					continue
+				}
+				present[c.rank[r]] = true
+			}
+			remap := make([]float64, c.nRank)
+			next := 0.0
+			for i, p := range present {
+				if p {
+					remap[i] = next
+					next++
+				}
+			}
+			v.remap[k] = remap
+		} else if c.null != nil {
+			// Mean over the child's non-null cells, summed in row order
+			// like Encode.
+			var sum float64
+			var cnt int
+			for _, r := range rows {
+				if c.null[r] {
+					v.hasNull[k] = true
+					continue
+				}
+				sum += c.vals[r]
+				cnt++
+			}
+			if cnt > 0 {
+				v.mean[k] = sum / float64(cnt)
+			}
+		}
+	}
+	if m.ystr {
+		present := make([]bool, m.ynRank)
+		for _, r := range rows {
+			if !m.ynull[r] {
+				present[int(m.yvals[r])] = true
+			}
+		}
+		v.yremap = make([]float64, len(present))
+		next := 0.0
+		for i, p := range present {
+			if p {
+				v.yremap[i] = next
+				next++
+			}
+		}
+	}
+	v.rows = make([]int32, 0, len(rows))
+	for _, r := range rows {
+		if !m.ynull[r] {
+			v.rows = append(v.rows, int32(r))
+		}
+	}
+	return v
+}
+
+// valueAt returns the child-encoded value of active feature k at
+// universal row r — exactly what Encode would have written into X.
+func (v *View) valueAt(k int, r int32) float64 {
+	c := &v.m.cols[v.feats[k]]
+	if c.null != nil && c.null[r] {
+		if c.isStr {
+			// FromTable's string columns never compute a mean; null
+			// string cells encode as the zero value.
+			return 0
+		}
+		return v.mean[k]
+	}
+	if c.isStr {
+		return v.remap[k][c.rank[r]]
+	}
+	return c.vals[r]
+}
+
+// labelOf returns the child-encoded target of universal row r.
+func (v *View) labelOf(r int32) float64 {
+	if v.yremap != nil {
+		return v.yremap[int32(v.m.yvals[r])]
+	}
+	return v.m.yvals[r]
+}
+
+// NumRows implements Data.
+func (v *View) NumRows() int { return len(v.rows) }
+
+// NumFeatures implements Data.
+func (v *View) NumFeatures() int { return len(v.feats) }
+
+// FeatureNames returns the active feature names in dataset order.
+func (v *View) FeatureNames() []string {
+	out := make([]string, len(v.feats))
+	for k, ci := range v.feats {
+		out[k] = v.m.cols[ci].name
+	}
+	return out
+}
+
+// Label implements Data.
+func (v *View) Label(i int) float64 { return v.labelOf(v.rows[i]) }
+
+// Row implements Data.
+func (v *View) Row(i int, dst []float64) []float64 {
+	dst = dst[:len(v.feats)]
+	r := v.rows[i]
+	for k := range v.feats {
+		dst[k] = v.valueAt(k, r)
+	}
+	return dst
+}
+
+// Col implements Data.
+func (v *View) Col(f int, dst []float64) []float64 {
+	dst = dst[:len(v.rows)]
+	for i, r := range v.rows {
+		dst[i] = v.valueAt(f, r)
+	}
+	return dst
+}
+
+// SplitData implements Data with the same deterministic shuffle as
+// Dataset.Split, so a view and the equivalent encoded dataset partition
+// their rows identically. Children share the parent's encoding state:
+// the split selects examples, it does not re-encode.
+func (v *View) SplitData(testFrac float64, seed int64) (train, test Data) {
+	n := len(v.rows)
+	perm, nTest := splitPerm(n, testFrac, seed)
+	tr := v.withRows(make([]int32, 0, n-nTest))
+	te := v.withRows(make([]int32, 0, nTest))
+	for i, p := range perm {
+		if i < nTest {
+			te.rows = append(te.rows, v.rows[p])
+		} else {
+			tr.rows = append(tr.rows, v.rows[p])
+		}
+	}
+	return tr, te
+}
+
+func (v *View) withRows(rows []int32) *View {
+	nv := *v
+	nv.rows = rows
+	return &nv
+}
+
+// buildFrame implements Data: gather the encoded columns and derive
+// each presorted order from the matrix's dense ranks by counting —
+// O(rows + distinct) per feature instead of a sort. The re-ranking of
+// string columns and the identity encoding of numeric columns are both
+// strictly monotone in the universal rank, so bucketing positions by
+// rank (ascending within a bucket) yields the unique (value, position)
+// order. Features with imputed nulls fall back to an explicit sort:
+// the imputed mean lands between ranks.
+func (v *View) buildFrame(ws *treeScratch) *frame {
+	fr := v.buildRawFrame(ws)
+	for k := range v.feats {
+		c := &v.m.cols[v.feats[k]]
+		if v.hasNull[k] {
+			sortOrder(fr.cols[k], fr.base[k])
+		} else {
+			countingOrder(c.rank, v.rows, fr.base[k], &ws.cnt, int(c.nRank))
+		}
+	}
+	return fr
+}
+
+// buildRawFrame gathers the encoded columns and target without
+// deriving the presorted orders (see Data.buildRawFrame).
+func (v *View) buildRawFrame(*treeScratch) *frame {
+	n := len(v.rows)
+	nf := len(v.feats)
+	fr := newFrame(nf, n)
+	fr.y = make([]float64, n)
+	for i, r := range v.rows {
+		fr.y[i] = v.labelOf(r)
+	}
+	for k := range v.feats {
+		col := fr.cols[k]
+		for i, r := range v.rows {
+			col[i] = v.valueAt(k, r)
+		}
+	}
+	return fr
+}
+
+// countingOrder fills out with positions 0..len(rows)-1 sorted by
+// (rank[rows[pos]], pos) via one counting pass over the caller's
+// grow-on-demand scratch. Because equal rank means equal value and
+// positions are placed ascending within a bucket, this is the unique
+// (value, position) total order sortOrder computes.
+func countingOrder(rank []int32, rows []int32, out []int32, cntBuf *[]int32, nRank int) {
+	if cap(*cntBuf) < nRank+1 {
+		*cntBuf = make([]int32, nRank+1)
+	}
+	cnt := (*cntBuf)[:nRank+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, r := range rows {
+		cnt[rank[r]]++
+	}
+	sum := int32(0)
+	for b := range cnt {
+		c := cnt[b]
+		cnt[b] = sum
+		sum += c
+	}
+	for i, r := range rows {
+		b := rank[r]
+		out[cnt[b]] = int32(i)
+		cnt[b]++
+	}
+}

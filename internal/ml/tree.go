@@ -38,16 +38,28 @@ func (c TreeConfig) withDefaults() TreeConfig {
 }
 
 // treeScratch holds the buffers reused across every node of a fit —
-// split pairs, feature order, class counts — so growing a tree
-// allocates only its leaf probability vectors and, in slab-sized
-// chunks, its persistent nodes. Ensemble fits share one scratch across
-// all their trees.
+// node position slices, per-feature working orders, partition and
+// class-count scratch — so growing a tree allocates only its leaf
+// probability vectors and, in slab-sized chunks, its persistent nodes.
+// Ensemble fits share one scratch across all their trees.
 type treeScratch struct {
-	pairs    pairSorter
 	feats    []int
 	leftCnt  []float64
 	rightCnt []float64
 	counts   []float64
+
+	// Per-fit growth state: idx is the node row-position slice (the
+	// successor of the old allIndexes allocation), work holds the
+	// per-feature sorted position orders growFrame partitions in place,
+	// left marks the split side per position, and part is the stable
+	// partition scratch. All are slab-reused across the trees of a fit.
+	idx     []int32
+	work    [][]int32
+	workBuf []int32
+	left    []bool
+	part    []int32
+	// cnt backs counting sorts over presorted value ranks.
+	cnt []int32
 
 	// nodes is the current treeNode slab: newNode hands out slots until
 	// the chunk is spent, then starts a fresh one. Chunks are never
@@ -73,6 +85,23 @@ func (ws *treeScratch) newNode(nSamples int) *treeNode {
 	return n
 }
 
+// ensureGrow sizes the growth buffers for a fit over nf features and n
+// positions and rebuilds the per-feature working order slices.
+func (ws *treeScratch) ensureGrow(nf, n int) {
+	if cap(ws.idx) < n {
+		ws.idx = make([]int32, n)
+		ws.left = make([]bool, n)
+		ws.part = make([]int32, n)
+	}
+	if cap(ws.workBuf) < nf*n {
+		ws.workBuf = make([]int32, nf*n)
+	}
+	ws.work = ws.work[:0]
+	for f := 0; f < nf; f++ {
+		ws.work = append(ws.work, ws.workBuf[f*n:(f+1)*n])
+	}
+}
+
 // TreeRegressor is a CART regression tree using variance reduction.
 type TreeRegressor struct {
 	Config TreeConfig
@@ -81,14 +110,21 @@ type TreeRegressor struct {
 
 // Fit grows the tree on (X, y).
 func (t *TreeRegressor) Fit(X [][]float64, y []float64) {
-	t.fit(X, y, &treeScratch{})
+	ws := &treeScratch{}
+	t.fitFrame(frameFromRows(X, y), ws)
 }
 
-func (t *TreeRegressor) fit(X [][]float64, y []float64, ws *treeScratch) {
+// FitData grows the tree on a columnar data view.
+func (t *TreeRegressor) FitData(d Data) {
+	ws := &treeScratch{}
+	t.fitFrame(d.buildFrame(ws), ws)
+}
+
+// fitFrame grows the tree over the frame's presorted feature orders.
+func (t *TreeRegressor) fitFrame(fr *frame, ws *treeScratch) {
 	cfg := t.Config.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	idx := allIndexes(len(X))
-	t.root = growTree(X, y, nil, idx, cfg, 0, rng, false, 0, ws)
+	t.root = growFit(fr, cfg, rng, false, 0, ws)
 }
 
 // Predict returns the tree's output for a single example.
@@ -105,17 +141,23 @@ type TreeClassifier struct {
 
 // Fit grows the tree on (X, y) where y holds class ids 0..NumClass-1.
 func (t *TreeClassifier) Fit(X [][]float64, y []float64) {
-	t.fit(X, y, &treeScratch{})
+	ws := &treeScratch{}
+	t.fitFrame(frameFromRows(X, y), ws)
 }
 
-func (t *TreeClassifier) fit(X [][]float64, y []float64, ws *treeScratch) {
+// FitData grows the tree on a columnar data view.
+func (t *TreeClassifier) FitData(d Data) {
+	ws := &treeScratch{}
+	t.fitFrame(d.buildFrame(ws), ws)
+}
+
+func (t *TreeClassifier) fitFrame(fr *frame, ws *treeScratch) {
 	if t.NumClass <= 0 {
-		t.NumClass = countClasses(y)
+		t.NumClass = countClasses(fr.y)
 	}
 	cfg := t.Config.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	idx := allIndexes(len(X))
-	t.root = growTree(X, y, nil, idx, cfg, 0, rng, true, t.NumClass, ws)
+	t.root = growFit(fr, cfg, rng, true, t.NumClass, ws)
 }
 
 // PredictProba returns class probabilities for a single example.
@@ -138,14 +180,6 @@ func countClasses(y []float64) int {
 	return m + 1
 }
 
-func allIndexes(n int) []int {
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	return idx
-}
-
 func descend(n *treeNode, x []float64) *treeNode {
 	for !n.leaf {
 		if x[n.feature] <= n.thresh {
@@ -157,29 +191,68 @@ func descend(n *treeNode, x []float64) *treeNode {
 	return n
 }
 
+// descendCols walks the tree for example i of a column-major matrix,
+// the boosting-loop twin of descend that needs no row vector.
+func descendCols(n *treeNode, cols [][]float64, i int) *treeNode {
+	for !n.leaf {
+		if cols[n.feature][i] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// predictCols returns the regression output for example i of a
+// column-major matrix.
+func predictCols(root *treeNode, cols [][]float64, i int) float64 {
+	return descendCols(root, cols, i).value
+}
+
 // asLeaf finalizes a node as a leaf: the prediction payload (mean value
 // or class probabilities) is only materialized here, since descend never
 // reads it off internal nodes.
-func asLeaf(node *treeNode, y, sampleW []float64, idx []int, clf bool, nClass int) *treeNode {
+func asLeaf(node *treeNode, y []float64, idx []int32, clf bool, nClass int) *treeNode {
 	node.leaf = true
 	if clf {
-		node.proba = classProba(y, sampleW, idx, nClass)
+		node.proba = classProba(y, idx, nClass)
 	} else {
-		node.value = weightedMean(y, sampleW, idx)
+		node.value = meanAt(y, idx)
 	}
 	return node
 }
 
-// growTree recursively grows a CART tree over the row subset idx, which
-// it is free to reorder (children recurse on in-place partitions of it).
-// sampleW, when non-nil, holds per-row weights (used by boosting).
-func growTree(X [][]float64, y, sampleW []float64, idx []int, cfg TreeConfig, depth int, rng *rand.Rand, clf bool, nClass int, ws *treeScratch) *treeNode {
-	node := ws.newNode(len(idx))
-	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || pure(y, idx) {
-		return asLeaf(node, y, sampleW, idx, clf, nClass)
+// growFit prepares the per-fit growth state (position slice, working
+// copies of the frame's presorted feature orders) and grows the tree.
+func growFit(fr *frame, cfg TreeConfig, rng *rand.Rand, clf bool, nClass int, ws *treeScratch) *treeNode {
+	n := fr.n
+	ws.ensureGrow(fr.nf, n)
+	idx := ws.idx[:n]
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	for f := 0; f < fr.nf; f++ {
+		copy(ws.work[f], fr.base[f])
+	}
+	return growFrame(fr, ws.work, idx, 0, n, 0, cfg, rng, clf, nClass, ws)
+}
+
+// growFrame recursively grows a CART tree over the position segment
+// [lo, hi) of idx and of every per-feature sorted order in orders: idx
+// holds the node's rows in insertion order, orders[f][lo:hi] holds the
+// same rows sorted by feature f. Splits stably partition every array
+// into left|right segments, so no node ever sorts — the frame's one-time
+// presort (or the space-level presorted orderings it was filtered from)
+// carries the whole tree.
+func growFrame(fr *frame, orders [][]int32, idx []int32, lo, hi, depth int, cfg TreeConfig, rng *rand.Rand, clf bool, nClass int, ws *treeScratch) *treeNode {
+	node := ws.newNode(hi - lo)
+	seg := idx[lo:hi]
+	if depth >= cfg.MaxDepth || hi-lo < 2*cfg.MinLeaf || pure(fr.y, seg) {
+		return asLeaf(node, fr.y, seg, clf, nClass)
 	}
 
-	nf := len(X[0])
+	nf := fr.nf
 	if cap(ws.feats) < nf {
 		ws.feats = make([]int, nf)
 	}
@@ -195,36 +268,62 @@ func growTree(X [][]float64, y, sampleW []float64, idx []int, cfg TreeConfig, de
 
 	bestGain := 0.0
 	bestFeat, bestThresh := -1, 0.0
-	parentImp := impurity(y, sampleW, idx, clf, nClass, ws)
+	parentImp := impurity(fr.y, seg, clf, nClass, ws)
 	for _, f := range feats {
-		gain, thresh, ok := bestSplit(X, y, sampleW, idx, f, cfg.MinLeaf, parentImp, clf, nClass, ws)
+		gain, thresh, ok := bestSplitOrdered(fr, orders[f][lo:hi], f, cfg.MinLeaf, parentImp, clf, nClass, ws)
 		if ok && gain > bestGain+1e-12 {
 			bestGain, bestFeat, bestThresh = gain, f, thresh
 		}
 	}
 	if bestFeat < 0 {
-		return asLeaf(node, y, sampleW, idx, clf, nClass)
+		return asLeaf(node, fr.y, seg, clf, nClass)
 	}
 
-	// Partition idx in place: left rows first, right rows after.
+	// Mark each position's side and count the left partition.
+	col := fr.cols[bestFeat]
 	k := 0
-	for j := 0; j < len(idx); j++ {
-		if X[idx[j]][bestFeat] <= bestThresh {
-			idx[k], idx[j] = idx[j], idx[k]
+	for _, p := range seg {
+		goesLeft := col[p] <= bestThresh
+		ws.left[p] = goesLeft
+		if goesLeft {
 			k++
 		}
 	}
-	if k < cfg.MinLeaf || len(idx)-k < cfg.MinLeaf {
-		return asLeaf(node, y, sampleW, idx, clf, nClass)
+	if k < cfg.MinLeaf || (hi-lo)-k < cfg.MinLeaf {
+		return asLeaf(node, fr.y, seg, clf, nClass)
 	}
 	node.feature = bestFeat
 	node.thresh = bestThresh
-	node.left = growTree(X, y, sampleW, idx[:k], cfg, depth+1, rng, clf, nClass, ws)
-	node.right = growTree(X, y, sampleW, idx[k:], cfg, depth+1, rng, clf, nClass, ws)
+	// Stable-partition the insertion order and every feature order:
+	// left rows first, right rows after, relative order preserved — the
+	// children's segments stay sorted without re-sorting.
+	stablePartition(idx, lo, hi, k, ws.left, ws.part)
+	for f := 0; f < nf; f++ {
+		stablePartition(orders[f], lo, hi, k, ws.left, ws.part)
+	}
+	node.left = growFrame(fr, orders, idx, lo, lo+k, depth+1, cfg, rng, clf, nClass, ws)
+	node.right = growFrame(fr, orders, idx, lo+k, hi, depth+1, cfg, rng, clf, nClass, ws)
 	return node
 }
 
-func pure(y []float64, idx []int) bool {
+// stablePartition reorders a[lo:hi] so positions marked left come
+// first (k of them), both sides keeping their relative order.
+func stablePartition(a []int32, lo, hi, k int, left []bool, tmp []int32) {
+	n := hi - lo
+	li, ri := 0, k
+	for _, p := range a[lo:hi] {
+		if left[p] {
+			tmp[li] = p
+			li++
+		} else {
+			tmp[ri] = p
+			ri++
+		}
+	}
+	copy(a[lo:hi], tmp[:n])
+}
+
+func pure(y []float64, idx []int32) bool {
 	for _, i := range idx[1:] {
 		if y[i] != y[idx[0]] {
 			return false
@@ -233,40 +332,32 @@ func pure(y []float64, idx []int) bool {
 	return true
 }
 
-func weightedMean(y, w []float64, idx []int) float64 {
-	var s, tw float64
-	for _, i := range idx {
-		wi := 1.0
-		if w != nil {
-			wi = w[i]
-		}
-		s += wi * y[i]
-		tw += wi
-	}
-	if tw == 0 {
+// meanAt averages y over the positions in idx.
+func meanAt(y []float64, idx []int32) float64 {
+	if len(idx) == 0 {
 		return 0
 	}
-	return s / tw
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
 }
 
-func classProba(y, w []float64, idx []int, nClass int) []float64 {
-	return classProbaInto(make([]float64, nClass), y, w, idx)
+func classProba(y []float64, idx []int32, nClass int) []float64 {
+	return classProbaInto(make([]float64, nClass), y, idx)
 }
 
-// classProbaInto tallies normalized class weights into p (len(p) is the
+// classProbaInto tallies normalized class counts into p (len(p) is the
 // class count), for callers reusing a scratch buffer.
-func classProbaInto(p []float64, y, w []float64, idx []int) []float64 {
+func classProbaInto(p []float64, y []float64, idx []int32) []float64 {
 	nClass := len(p)
 	var tw float64
 	for _, i := range idx {
-		wi := 1.0
-		if w != nil {
-			wi = w[i]
-		}
 		c := int(y[i])
 		if c >= 0 && c < nClass {
-			p[c] += wi
-			tw += wi
+			p[c]++
+			tw++
 		}
 	}
 	if tw > 0 {
@@ -277,49 +368,29 @@ func classProbaInto(p []float64, y, w []float64, idx []int) []float64 {
 	return p
 }
 
-func impurity(y, w []float64, idx []int, clf bool, nClass int, ws *treeScratch) float64 {
+func impurity(y []float64, idx []int32, clf bool, nClass int, ws *treeScratch) float64 {
 	if clf {
 		if cap(ws.counts) < nClass {
 			ws.counts = make([]float64, nClass)
 		}
-		p := classProbaInto(zeroed(ws.counts[:nClass]), y, w, idx)
+		p := classProbaInto(zeroed(ws.counts[:nClass]), y, idx)
 		g := 1.0
 		for _, pc := range p {
 			g -= pc * pc
 		}
 		return g
 	}
-	m := weightedMean(y, w, idx)
-	var s, tw float64
+	m := meanAt(y, idx)
+	var s float64
 	for _, i := range idx {
-		wi := 1.0
-		if w != nil {
-			wi = w[i]
-		}
 		d := y[i] - m
-		s += wi * d * d
-		tw += wi
+		s += d * d
 	}
-	if tw == 0 {
+	if len(idx) == 0 {
 		return 0
 	}
-	return s / tw
+	return s / float64(len(idx))
 }
-
-// splitPair is one (feature value, target, weight) row of a split scan.
-type splitPair struct {
-	x, y, w float64
-}
-
-// pairSorter orders split pairs by feature value through a concrete
-// sort.Interface, avoiding sort.Slice's per-call reflection allocations.
-type pairSorter struct {
-	p []splitPair
-}
-
-func (s *pairSorter) Len() int           { return len(s.p) }
-func (s *pairSorter) Less(i, j int) bool { return s.p[i].x < s.p[j].x }
-func (s *pairSorter) Swap(i, j int)      { s.p[i], s.p[j] = s.p[j], s.p[i] }
 
 func zeroed(xs []float64) []float64 {
 	for i := range xs {
@@ -328,25 +399,13 @@ func zeroed(xs []float64) []float64 {
 	return xs
 }
 
-// bestSplit scans sorted thresholds of feature f for the impurity-gain
-// maximizing split, in a single pass with running statistics over the
-// scratch buffers (no allocation per call).
-func bestSplit(X [][]float64, y, w []float64, idx []int, f, minLeaf int, parentImp float64, clf bool, nClass int, ws *treeScratch) (gain, thresh float64, ok bool) {
-	if cap(ws.pairs.p) < len(idx) {
-		ws.pairs.p = make([]splitPair, len(idx))
-	}
-	ws.pairs.p = ws.pairs.p[:len(idx)]
-	pairs := ws.pairs.p
-	for j, i := range idx {
-		wi := 1.0
-		if w != nil {
-			wi = w[i]
-		}
-		pairs[j] = splitPair{X[i][f], y[i], wi}
-	}
-	sort.Sort(&ws.pairs)
-
-	n := len(pairs)
+// bestSplitOrdered scans the node's presorted order of feature f for
+// the impurity-gain maximizing threshold, in a single pass with running
+// statistics — no sort, no pair materialization.
+func bestSplitOrdered(fr *frame, order []int32, f, minLeaf int, parentImp float64, clf bool, nClass int, ws *treeScratch) (gain, thresh float64, ok bool) {
+	col := fr.cols[f]
+	y := fr.y
+	n := len(order)
 	if clf {
 		if cap(ws.leftCnt) < nClass {
 			ws.leftCnt = make([]float64, nClass)
@@ -355,24 +414,25 @@ func bestSplit(X [][]float64, y, w []float64, idx []int, f, minLeaf int, parentI
 		leftCnt := zeroed(ws.leftCnt[:nClass])
 		rightCnt := zeroed(ws.rightCnt[:nClass])
 		var lw, rw float64
-		for _, p := range pairs {
-			rightCnt[clampClass(int(p.y), nClass)] += p.w
-			rw += p.w
+		for _, p := range order {
+			rightCnt[clampClass(int(y[p]), nClass)]++
+			rw++
 		}
 		best := -1.0
 		for j := 0; j < n-1; j++ {
-			c := clampClass(int(pairs[j].y), nClass)
-			leftCnt[c] += pairs[j].w
-			rightCnt[c] -= pairs[j].w
-			lw += pairs[j].w
-			rw -= pairs[j].w
-			if pairs[j].x == pairs[j+1].x || j+1 < minLeaf || n-j-1 < minLeaf {
+			p := order[j]
+			c := clampClass(int(y[p]), nClass)
+			leftCnt[c]++
+			rightCnt[c]--
+			lw++
+			rw--
+			if col[p] == col[order[j+1]] || j+1 < minLeaf || n-j-1 < minLeaf {
 				continue
 			}
 			g := parentImp - (lw*gini(leftCnt, lw)+rw*gini(rightCnt, rw))/(lw+rw)
 			if g > best {
 				best = g
-				thresh = (pairs[j].x + pairs[j+1].x) / 2
+				thresh = (col[p] + col[order[j+1]]) / 2
 			}
 		}
 		if best <= 0 {
@@ -381,23 +441,24 @@ func bestSplit(X [][]float64, y, w []float64, idx []int, f, minLeaf int, parentI
 		return best, thresh, true
 	}
 
-	// Regression: incremental weighted variance via sums.
+	// Regression: incremental variance via running sums.
 	var ls, ls2, lw float64
 	var rs, rs2, rw float64
-	for _, p := range pairs {
-		rs += p.w * p.y
-		rs2 += p.w * p.y * p.y
-		rw += p.w
+	for _, p := range order {
+		rs += y[p]
+		rs2 += y[p] * y[p]
+		rw++
 	}
 	best := -1.0
 	for j := 0; j < n-1; j++ {
-		ls += pairs[j].w * pairs[j].y
-		ls2 += pairs[j].w * pairs[j].y * pairs[j].y
-		lw += pairs[j].w
-		rs -= pairs[j].w * pairs[j].y
-		rs2 -= pairs[j].w * pairs[j].y * pairs[j].y
-		rw -= pairs[j].w
-		if pairs[j].x == pairs[j+1].x || j+1 < minLeaf || n-j-1 < minLeaf {
+		p := order[j]
+		ls += y[p]
+		ls2 += y[p] * y[p]
+		lw++
+		rs -= y[p]
+		rs2 -= y[p] * y[p]
+		rw--
+		if col[p] == col[order[j+1]] || j+1 < minLeaf || n-j-1 < minLeaf {
 			continue
 		}
 		lv := varFromSums(ls, ls2, lw)
@@ -405,7 +466,7 @@ func bestSplit(X [][]float64, y, w []float64, idx []int, f, minLeaf int, parentI
 		g := parentImp - (lw*lv+rw*rv)/(lw+rw)
 		if g > best {
 			best = g
-			thresh = (pairs[j].x + pairs[j+1].x) / 2
+			thresh = (col[p] + col[order[j+1]]) / 2
 		}
 	}
 	if best <= 0 {

@@ -34,6 +34,30 @@
 // memoized test set, which single-flights duplicate valuations even
 // between runs in flight. Both require the configuration's Model to
 // support concurrent Evaluate calls.
+//
+// # The columnar fast path
+//
+// Exact model inference normally receives a materialized child table
+// (fst.Model's Evaluate). A model that additionally implements
+// fst.RowsModel is valuated straight from the state's bitmap row view
+// instead: the engine hands it the surviving universal-row indexes and
+// the masked attributes, the universal table having been encoded into
+// a columnar ml.Matrix once per space, so no child table is rebuilt
+// and no dataset re-encoded per state. All built-in workload models
+// (datagen tasks T1–T5 and custom workloads) implement it; results are
+// bit-identical to the Evaluate path by construction and by property
+// test.
+//
+// A custom model should implement RowsModel when its evaluation is
+// derivable from (universal table, selected rows, masked attributes) —
+// i.e. it trains and scores on the state's tuples, the dominant shape.
+// Build an ml.TableEncoder over the space's universal table, obtain
+// its Matrix once, and fit on Matrix.View(rows, masked) via the
+// ml.Data fitting interfaces; return ok=false to fall back to Evaluate
+// for states it cannot express. Models that depend on post-
+// materialization UDF transforms need no change: spaces with UDFs
+// disable the fast path automatically and every state takes the
+// materialized reference path.
 package modis
 
 import (
