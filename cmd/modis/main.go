@@ -5,11 +5,19 @@
 // (repro/modis): algorithms are picked by registry key, runs honor
 // -timeout via context, and -json emits the machine-readable Report.
 //
+// With -remote the same CLI drives a modisd daemon instead of running
+// in-process: the flags become a job submission against one of the
+// daemon's named workloads, progress streams back over SSE, and the
+// report is fetched when the job completes (skyline CSVs are not
+// materialized remotely — the daemon owns the data; use -json for the
+// full report).
+//
 // Usage:
 //
 //	modis -tables water.csv,basin.csv -target ci_index -model gbm \
 //	      -algo bi -eps 0.1 -maxl 6 -n 300 -out ./skyline
 //	modis -tables water.csv -target ci_index -json -timeout 30s
+//	modis -remote localhost:8080 -workload t3 -algo bi -n 300 -json
 package main
 
 import (
@@ -20,10 +28,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/table"
 	"repro/modis"
+	"repro/modis/serve"
 )
 
 func main() {
@@ -45,8 +55,15 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "search deadline (0 = none); expiry aborts with context.DeadlineExceeded")
 		jsonOut    = flag.Bool("json", false, "print the run Report as JSON on stdout (status goes to stderr)")
 		progress   = flag.Bool("progress", false, "stream per-level search progress to stderr")
+		remote     = flag.String("remote", "", "modisd address; run the job on the daemon instead of in-process")
+		remoteWl   = flag.String("workload", "", "daemon workload name to run against (-remote mode)")
 	)
 	flag.Parse()
+
+	if *remote != "" {
+		runRemote(*remote, *remoteWl, *algo, *n, *eps, *maxl, *k, *alpha, *parallel, *timeout, *jsonOut, *progress)
+		return
+	}
 
 	if *tablesFlag == "" || *target == "" {
 		fmt.Fprintln(os.Stderr, "modis: -tables and -target are required")
@@ -144,6 +161,74 @@ func main() {
 	}
 
 	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runRemote submits the run to a modisd daemon and reports back: the
+// same algorithm and tuning flags, a named daemon-side workload
+// instead of local CSVs.
+func runRemote(addr, workload, algo string, n int, eps float64, maxl, k int, alpha float64, parallel int, timeout time.Duration, jsonOut, progress bool) {
+	if workload == "" {
+		fmt.Fprintln(os.Stderr, "modis: -remote needs -workload (try GET /v1/workloads on the daemon)")
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	cl := serve.NewClient(addr)
+	info := os.Stdout
+	if jsonOut {
+		info = os.Stderr
+	}
+
+	seed := int64(1)
+	req := serve.SubmitRequest{
+		Workload:  workload,
+		Algorithm: algo,
+		Options: &serve.JobOptions{
+			Budget:      &n,
+			Epsilon:     &eps,
+			MaxLevel:    &maxl,
+			K:           &k,
+			Alpha:       &alpha,
+			Seed:        &seed,
+			Parallelism: &parallel,
+		},
+		TimeoutMS: timeout.Milliseconds(),
+	}
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(info, "submitted %s (%s on %s)\n", st.JobID, st.Algorithm, workload)
+
+	if progress {
+		if _, err := cl.Events(ctx, st.JobID, func(ev modis.Event) {
+			fmt.Fprintf(os.Stderr, "progress: level=%d frontier=%d valuated=%d skyline=%d done=%v\n",
+				ev.Level, ev.Frontier, ev.Valuated, ev.SkylineSize, ev.Done)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	final, err := cl.Wait(ctx, st.JobID, 100*time.Millisecond)
+	if err != nil {
+		fatal(err)
+	}
+	switch final.Status {
+	case serve.StatusDone:
+	default:
+		fatal(fmt.Errorf("job %s ended %s: %s", st.JobID, final.Status, final.Error))
+	}
+	rep := final.Report
+	fmt.Fprintf(info, "valuated %d states (%d exact model calls) in %v (queued %v, batched=%v); skyline size %d\n",
+		rep.Valuated, rep.ExactCalls, rep.Wall.Round(1e6), rep.Queued.Round(1e6), rep.Batched, len(rep.Skyline))
+	for i, c := range rep.Skyline {
+		fmt.Fprintf(info, "  candidate %02d: perf=%v entries=%d\n", i+1, c.Perf, c.Ones)
+	}
+	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {

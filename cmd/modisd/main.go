@@ -1,0 +1,201 @@
+// Command modisd is the MODis serving daemon: it loads a catalog of
+// discovery workloads and serves the asynchronous job API over HTTP —
+// submit with POST /v1/jobs, observe with GET /v1/jobs/{id} and the
+// /events SSE stream, cancel with DELETE — or over JSONL on
+// stdin/stdout for scripting (-jsonl). Concurrent jobs over one
+// workload share an engine (memoized valuations) and align their
+// frontier valuation windows into batched exact-inference passes; see
+// docs/serving.md for the protocol and curl examples.
+//
+// Workloads come from two sources, combinable:
+//
+//	modisd -tasks t3,t1 -rows 140             # built-in paper tasks
+//	modisd -tables water.csv -target ci_index # CSV-backed custom workload
+//
+// On SIGINT/SIGTERM the daemon stops accepting jobs, drains the ones
+// in flight (bounded by -drain), and exits.
+//
+// Usage:
+//
+//	modisd -addr :8080 -tasks t3 -rows 140
+//	modisd -jsonl -tables water.csv -target ci_index -model gbm
+//	modis -remote localhost:8080 -workload t3 -algo bi   # CLI against it
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/fst"
+	"repro/internal/table"
+	"repro/modis/serve"
+)
+
+// taskBuilders are the built-in paper workloads servable by name.
+var taskBuilders = map[string]func(rows int) *datagen.Workload{
+	"t1": func(rows int) *datagen.Workload { return datagen.T1Movie(datagen.TaskConfig{Rows: rows}) },
+	"t2": func(rows int) *datagen.Workload { return datagen.T2House(datagen.TaskConfig{Rows: rows}) },
+	"t3": func(rows int) *datagen.Workload { return datagen.T3Avocado(datagen.TaskConfig{Rows: rows}) },
+	"t4": func(rows int) *datagen.Workload { return datagen.T4Mental(datagen.TaskConfig{Rows: rows}) },
+	"t5": func(rows int) *datagen.Workload {
+		return datagen.T5Link(datagen.T5Config{Users: rows / 4, Items: rows / 8})
+	},
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		jsonl     = flag.Bool("jsonl", false, "serve the JSONL protocol on stdin/stdout instead of HTTP")
+		tasks     = flag.String("tasks", "", "comma-separated built-in workloads to serve: t1,t2,t3,t4,t5")
+		rows      = flag.Int("rows", 0, "row scale of built-in tasks (0 = task defaults)")
+		tablesArg = flag.String("tables", "", "comma-separated CSV files of a custom workload")
+		target    = flag.String("target", "", "target column of the custom workload")
+		model     = flag.String("model", "gbm", "model family of the custom workload: gbm|forest|histgbm|linear|logistic")
+		adomK     = flag.Int("adomk", 8, "max cluster literals per attribute (custom workload)")
+		workload  = flag.String("workload", "custom", "catalog name of the custom workload")
+		surrogate = flag.Bool("surrogate", true, "use the MO-GBM performance estimator")
+		parallel  = flag.Int("parallel", 0, "workers per batched exact-inference pass (0 = all CPUs)")
+		align     = flag.Duration("align", 0, "frontier alignment window (0 = default 2ms)")
+		maxJobs   = flag.Int("max-concurrent", 0, "max searches executing at once; excess jobs queue (0 = unbounded)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	)
+	flag.Parse()
+
+	workloads, err := buildCatalog(*tasks, *rows, *tablesArg, *target, *model, *adomK, *workload, *surrogate)
+	if err != nil {
+		fatal(err)
+	}
+	if len(workloads) == 0 {
+		fatal(errors.New("no workloads: give -tasks and/or -tables/-target"))
+	}
+
+	sched := serve.NewScheduler(serve.SchedulerOptions{
+		AlignWindow:   *align,
+		Parallelism:   *parallel,
+		MaxConcurrent: *maxJobs,
+	})
+	srv := serve.NewServer(sched, workloads)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *jsonl {
+		// Scripting mode: requests on stdin, responses on stdout; EOF or
+		// a signal ends the session, after in-flight jobs drained.
+		if err := srv.ServeJSONL(ctx, os.Stdin, os.Stdout); err != nil && !errors.Is(err, context.Canceled) {
+			fatal(err)
+		}
+		drainAndClose(sched, srv, *drain)
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}()
+	names := make([]string, 0, len(workloads))
+	for n := range workloads {
+		names = append(names, n)
+	}
+	fmt.Fprintf(os.Stderr, "modisd: serving %s on %s\n", strings.Join(names, ", "), ln.Addr())
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "modisd: shutting down, draining in-flight jobs")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting, then wait for running jobs; a missed deadline
+	// cancels the stragglers so the process still exits cleanly.
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "modisd: http shutdown: %v\n", err)
+	}
+	if err := sched.Drain(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "modisd: %v; cancelling\n", err)
+		sched.CancelAll()
+	}
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "modisd: bye")
+}
+
+func drainAndClose(sched *serve.Scheduler, srv *serve.Server, budget time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	if err := sched.Drain(ctx); err != nil {
+		sched.CancelAll()
+	}
+	srv.Close()
+}
+
+// buildCatalog assembles the named workload configurations.
+func buildCatalog(tasks string, rows int, tablesArg, target, model string, adomK int, customName string, surrogate bool) (map[string]*fst.Config, error) {
+	out := map[string]*fst.Config{}
+	if tasks != "" {
+		for _, name := range strings.Split(tasks, ",") {
+			name = strings.ToLower(strings.TrimSpace(name))
+			if name == "" {
+				continue
+			}
+			build, ok := taskBuilders[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown task %q (known: t1, t2, t3, t4, t5)", name)
+			}
+			out[name] = build(rows).NewConfig(surrogate)
+		}
+	}
+	if tablesArg == "" && target == "" {
+		return out, nil
+	}
+	if tablesArg == "" || target == "" {
+		return nil, errors.New("custom workloads need both -tables and -target")
+	}
+	var tables []*table.Table
+	for _, path := range strings.Split(tablesArg, ",") {
+		path = strings.TrimSpace(path)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		t, err := table.ReadCSV(name, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	w, err := datagen.NewCustomWorkload(datagen.CustomConfig{
+		Tables:    tables,
+		Target:    target,
+		ModelKind: model,
+		AdomK:     adomK,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, taken := out[customName]; taken {
+		return nil, fmt.Errorf("workload name %q already taken by a built-in task", customName)
+	}
+	out[customName] = w.NewConfig(surrogate)
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "modisd: %v\n", err)
+	os.Exit(1)
+}

@@ -28,7 +28,7 @@ func ApxMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, erro
 		return nil, fmt.Errorf("core: ApxMODis: %w", err)
 	}
 	start := time.Now()
-	val := cfg.NewValuator(opts.Parallelism)
+	val := newValuator(cfg, opts)
 	g := newGrid(cfg, opts.Eps, opts.decisiveIdx(len(cfg.Measures)))
 	var rg *fst.RunningGraph
 	if opts.RecordGraph {

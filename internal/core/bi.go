@@ -125,7 +125,7 @@ func BiMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error
 	}
 	start := time.Now()
 	nm := len(cfg.Measures)
-	val := cfg.NewValuator(opts.Parallelism)
+	val := newValuator(cfg, opts)
 	g := newGrid(cfg, opts.Eps, opts.decisiveIdx(nm))
 	pruned := 0
 

@@ -120,7 +120,7 @@ func DivMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, erro
 	}
 	start := time.Now()
 	nm := len(cfg.Measures)
-	val := cfg.NewValuator(opts.Parallelism)
+	val := newValuator(cfg, opts)
 	g := newGrid(cfg, opts.Eps, opts.decisiveIdx(nm))
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
 

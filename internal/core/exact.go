@@ -29,7 +29,7 @@ func ExactMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, er
 		return nil, fmt.Errorf("core: ExactMODis: %w", err)
 	}
 	start := time.Now()
-	val := cfg.NewValuator(opts.Parallelism)
+	val := newValuator(cfg, opts)
 
 	su := &fst.State{Bits: cfg.Space.FullBitmap(), Level: 0}
 	perf, err := val.Valuate(ctx, su.Bits)

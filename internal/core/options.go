@@ -58,6 +58,14 @@ type Options struct {
 	// deterministic child order — but the model must support concurrent
 	// Evaluate calls when parallelism > 1.
 	Parallelism int
+	// ExactRunner, when non-nil, executes each valuation window's exact
+	// model inferences in place of the run's built-in worker pool — the
+	// batch-aware valuation entry point the serving layer uses to align
+	// the frontier windows of concurrent runs over one configuration
+	// (modis/serve). Results are unchanged by construction: planning and
+	// commits stay on the run goroutine in child order, whoever executes
+	// the inferences.
+	ExactRunner fst.ExactRunner
 	// RecordGraph captures the running graph G_T (nodes and transition
 	// edges) in the result, for analysis and the MOSP reduction.
 	RecordGraph bool
@@ -118,6 +126,18 @@ func (o Options) withDefaults() Options {
 		o.Alpha = 0.5
 	}
 	return o
+}
+
+// newValuator builds a run's Valuator from the resolved options: the
+// worker-pool degree, plus the batch-aware exact runner when a serving
+// scheduler provides one. Every algorithm constructs its valuator here
+// so the alignment hook cannot be missed by a single search loop.
+func newValuator(cfg *fst.Config, opts Options) *fst.Valuator {
+	v := cfg.NewValuator(opts.Parallelism)
+	if opts.ExactRunner != nil {
+		v.SetExactRunner(opts.ExactRunner)
+	}
+	return v
 }
 
 func (o Options) decisiveIdx(numMeasures int) int {

@@ -45,7 +45,12 @@ func (m *TableModel) EvaluateRows(v fst.RowsView) ([]float64, bool, error) {
 // workload construction.
 func rowsEval(enc *ml.TableEncoder, eval func(ml.Data) ([]float64, error)) func(fst.RowsView) ([]float64, bool, error) {
 	return func(v fst.RowsView) ([]float64, bool, error) {
-		raw, err := eval(enc.Matrix().View(v.Rows, v.Masked))
+		view := enc.Matrix().View(v.Rows, v.Masked)
+		raw, err := eval(view)
+		// The evaluation body is done with the view (and any splits
+		// derived from it) once it returns its metrics, so the view's
+		// encoding buffers go back to the matrix's pool here.
+		view.Release()
 		return raw, true, err
 	}
 }

@@ -225,6 +225,9 @@ func (c *Config) rawMetrics(bits Bitmap) ([]float64, error) {
 	if rm, isRows := c.Model.(RowsModel); isRows {
 		if view, viewOK := c.Space.RowsFor(bits); viewOK {
 			raw, handled, err := rm.EvaluateRows(view)
+			// The view's scratch is pooled; models must not retain it
+			// past EvaluateRows (see RowsModel).
+			c.Space.ReleaseRows(view)
 			if handled {
 				return raw, err
 			}

@@ -8,6 +8,10 @@ import "fmt"
 // Together with a columnar encoding of the universal table built once
 // per space (ml.Matrix), this is everything a model needs to valuate
 // the state — no child *table.Table, no re-encoded dataset.
+//
+// Views produced by RowsFor borrow pooled per-space scratch: their
+// slices are valid until the space's ReleaseRows reclaims them, so a
+// model must not retain Rows or Masked past its EvaluateRows call.
 type RowsView struct {
 	// Rows are the surviving universal row indexes, ascending — the
 	// same rows, in the same order, that Materialize would emit.
@@ -15,6 +19,10 @@ type RowsView struct {
 	// Masked lists the attributes whose columns Materialize would drop
 	// (cleared EntryAttr entries).
 	Masked []string
+
+	// scratch is the pool receipt of views built by RowsFor; nil for
+	// caller-assembled views.
+	scratch *rowsScratch
 }
 
 // RowsModel is the optional columnar fast path of a Model: a model that
@@ -23,11 +31,32 @@ type RowsView struct {
 // decline a particular view (ok=false) — e.g. a graph model whose
 // required columns are masked — in which case the caller falls back to
 // Evaluate on the materialized table; err is only meaningful when ok.
-// The Evaluate path remains the reference implementation: the columnar
-// path must return bit-identical metrics, a property the tests enforce.
+// The view's slices are borrowed from a per-space pool and must not be
+// retained after EvaluateRows returns. The Evaluate path remains the
+// reference implementation: the columnar path must return bit-identical
+// metrics, a property the tests enforce.
 type RowsModel interface {
 	Model
 	EvaluateRows(v RowsView) (raw []float64, ok bool, err error)
+}
+
+// rowsScratch is the per-valuation scratch of one state's row
+// derivation: the removed-row union words and the slices a RowsView
+// lends to the model. Pooled on the Space — the workload's row count
+// fixes every capacity, so steady-state valuations allocate nothing
+// here.
+type rowsScratch struct {
+	removed       []uint64
+	maskedEntries []int
+	rows          []int
+	masked        []string
+}
+
+func (sp *Space) getRowsScratch() *rowsScratch {
+	if sc, ok := sp.rowsPool.Get().(*rowsScratch); ok {
+		return sc
+	}
+	return &rowsScratch{}
 }
 
 // RowsFor returns the selected-row view of a state bitmap, or ok=false
@@ -35,14 +64,17 @@ type RowsModel interface {
 // when post-materialization UDFs are registered, since those transform
 // the child table arbitrarily. The row enumeration reuses the same
 // incrementally-built per-literal row index as Materialize, so the
-// returned rows are exactly the materialized rows.
+// returned rows are exactly the materialized rows. The view's slices
+// are pooled: hand the view back with ReleaseRows once the model call
+// it fed has returned.
 func (sp *Space) RowsFor(bits Bitmap) (RowsView, bool) {
 	if sp.HasUDFs() {
 		return RowsView{}, false
 	}
-	removed, masked := sp.removedRows(bits)
+	sc := sp.getRowsScratch()
+	removed, masked := sp.removedRows(bits, sc)
 	idx := sp.idx
-	rows := make([]int, 0, idx.rows)
+	rows := sc.rows[:0]
 	for wi, w := range removed {
 		live := ^w & idx.liveMask(wi)
 		for live != 0 {
@@ -50,23 +82,41 @@ func (sp *Space) RowsFor(bits Bitmap) (RowsView, bool) {
 			live &= live - 1
 		}
 	}
-	var maskedNames []string
+	maskedNames := sc.masked[:0]
 	for _, i := range masked {
 		maskedNames = append(maskedNames, sp.Entries[i].Attr)
 	}
-	return RowsView{Rows: rows, Masked: maskedNames}, true
+	sc.rows, sc.masked = rows, maskedNames
+	return RowsView{Rows: rows, Masked: maskedNames, scratch: sc}, true
+}
+
+// ReleaseRows returns a RowsFor view's scratch to the space's pool.
+// Call it after the model consuming the view has returned; the view's
+// slices are invalid afterwards. Views without pooled scratch (zero
+// values, caller-assembled) are ignored.
+func (sp *Space) ReleaseRows(v RowsView) {
+	if v.scratch != nil {
+		sp.rowsPool.Put(v.scratch)
+	}
 }
 
 // removedRows unions the removed-row bitmaps of the state's cleared
-// literals and collects its cleared attribute entries, building the
-// space's row index on first use.
-func (sp *Space) removedRows(bits Bitmap) (removed []uint64, maskedEntries []int) {
+// literals and collects its cleared attribute entries into the given
+// scratch, building the space's row index on first use.
+func (sp *Space) removedRows(bits Bitmap, sc *rowsScratch) (removed []uint64, maskedEntries []int) {
 	if bits.Len() != len(sp.Entries) {
 		panic(fmt.Sprintf("fst: bitmap width %d != space size %d", bits.Len(), len(sp.Entries)))
 	}
 	sp.idxOnce.Do(sp.buildRowIndex)
 	idx := sp.idx
-	removed = make([]uint64, idx.words)
+	if cap(sc.removed) < idx.words {
+		sc.removed = make([]uint64, idx.words)
+	}
+	removed = sc.removed[:idx.words]
+	for i := range removed {
+		removed[i] = 0
+	}
+	maskedEntries = sc.maskedEntries[:0]
 	bits.ForEachClear(func(i int) {
 		e := sp.Entries[i]
 		switch e.Kind {
@@ -78,6 +128,7 @@ func (sp *Space) removedRows(bits Bitmap) (removed []uint64, maskedEntries []int
 			}
 		}
 	})
+	sc.removed, sc.maskedEntries = removed, maskedEntries
 	return removed, maskedEntries
 }
 

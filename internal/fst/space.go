@@ -59,6 +59,12 @@ type Space struct {
 	// concurrent Materialize calls share it freely.
 	idxOnce sync.Once
 	idx     *rowIndex
+
+	// rowsPool recycles per-valuation row-derivation scratch (see
+	// rowsScratch): one workload's valuations all need the same slice
+	// capacities, so the pool makes the RowsFor/Materialize row walk
+	// allocation-free at steady state.
+	rowsPool sync.Pool
 }
 
 // SpaceConfig controls space construction.
@@ -156,8 +162,11 @@ func (sp *Space) Materialize(bits Bitmap) *table.Table {
 	}
 	// Union the removed-row bitmaps of cleared literals; collect masked
 	// attribute columns. Shared with RowsFor, the zero-materialization
-	// twin of this method.
-	removed, maskedEntries := sp.removedRows(bits)
+	// twin of this method. The scratch goes back to the pool on return:
+	// everything derived from it is copied into the output table.
+	sc := sp.getRowsScratch()
+	defer sp.rowsPool.Put(sc)
+	removed, maskedEntries := sp.removedRows(bits, sc)
 	idx := sp.idx
 	var masked []int
 	for _, i := range maskedEntries {

@@ -39,15 +39,43 @@ func (s *ValuationStats) ExactCalls() int { return int(s.exactCalls.Load()) }
 // parallelism n produces byte-identical skylines and reports to the
 // same run with parallelism 1.
 type Valuator struct {
-	cfg *Config
-	par int
+	cfg    *Config
+	par    int
+	runner ExactRunner
 
 	// Stats are this run's counters; read them for budgets and reports.
 	Stats *ValuationStats
 
 	jobs  []valJob
 	exact []int
+	tasks []func()
 }
+
+// ExactRunner executes the exact-inference tasks of one valuation
+// window on behalf of a Valuator — the window-alignment hook of the
+// serving layer. A scheduler installs one runner handle per run
+// (SetExactRunner) and may hold a submitted window briefly so the
+// windows of concurrent runs over the same configuration execute as
+// one pooled pass; overlapping states then share a single model
+// inference through the test set's single-flight instead of merely
+// meeting in the memo later.
+//
+// The contract is simple: RunExact must call every task exactly once,
+// in any order and on any goroutines, return only when all calls have
+// completed, and not retain the task slice afterwards (the valuator
+// reuses it across windows). Each task is self-contained (it carries its run's
+// context and writes only its own job slot), so any compliant runner —
+// sequential, pooled, or merged across runs — leaves the run's
+// results byte-identical: planning and committing stay in child order
+// on the run's own goroutine.
+type ExactRunner interface {
+	RunExact(ctx context.Context, tasks []func())
+}
+
+// SetExactRunner installs the run's exact-inference runner, replacing
+// the built-in worker pool for every subsequent window. A nil runner
+// restores the built-in pool.
+func (v *Valuator) SetExactRunner(r ExactRunner) { v.runner = r }
 
 // NewValuator returns a valuator for one run of this configuration.
 // parallelism is the exact-inference worker count; values below 2 mean
@@ -234,8 +262,11 @@ func (v *Valuator) ValuateWindow(ctx context.Context, states []*State, budget in
 
 // runExact executes the exact jobs, on the calling goroutine when the
 // pool is not worth spinning up, otherwise on min(par, jobs) workers
-// pulling from a shared index. Workers observe ctx: once cancelled,
-// remaining jobs are marked with ctx.Err() and the pool drains.
+// pulling from a shared index. An installed ExactRunner replaces the
+// built-in pool: the window's tasks are handed over as one batch so a
+// scheduler can align them with the windows of concurrent runs.
+// Workers observe ctx: once cancelled, remaining jobs are marked with
+// ctx.Err() and the pool drains.
 func (v *Valuator) runExact(ctx context.Context, jobs []valJob, exact []int) {
 	if len(exact) == 0 {
 		return
@@ -257,6 +288,16 @@ func (v *Valuator) runExact(ctx context.Context, jobs []valJob, exact []int) {
 			return
 		}
 		j.test, j.computed = t, computed
+	}
+	if v.runner != nil {
+		tasks := v.tasks[:0]
+		for _, i := range exact {
+			j := &jobs[i]
+			tasks = append(tasks, func() { run(j) })
+		}
+		v.tasks = tasks
+		v.runner.RunExact(ctx, tasks)
+		return
 	}
 	par := v.par
 	if par > len(exact) {

@@ -252,3 +252,78 @@ func TestConcurrentValuatorsShareMemo(t *testing.T) {
 		t.Errorf("model calls = %d, want %d (cross-run single flight)", m.count(), cfg.Space.Size())
 	}
 }
+
+// recordingRunner is a minimal compliant ExactRunner: it runs every
+// task inline (in reverse order, to prove order-independence) and
+// counts the windows it received.
+type recordingRunner struct {
+	mu      sync.Mutex
+	windows int
+	tasks   int
+}
+
+func (r *recordingRunner) RunExact(ctx context.Context, tasks []func()) {
+	r.mu.Lock()
+	r.windows++
+	r.tasks += len(tasks)
+	r.mu.Unlock()
+	for i := len(tasks) - 1; i >= 0; i-- {
+		tasks[i]()
+	}
+}
+
+// TestExactRunnerMatchesBuiltinPool: any compliant runner — here one
+// that executes windows in reverse on the caller's goroutine — yields
+// byte-identical valuations, order, and stats to the built-in pool,
+// and receives exactly the exact-inference tasks.
+func TestExactRunnerMatchesBuiltinPool(t *testing.T) {
+	run := func(install bool) ([]*State, *Valuator, *recordingRunner, *TestSet) {
+		cfg := testConfig(&countingModel{})
+		cfg.Validate()
+		val := cfg.NewValuator(1)
+		rr := &recordingRunner{}
+		if install {
+			val.SetExactRunner(rr)
+		}
+		full := cfg.Space.FullBitmap()
+		var states []*State
+		for i := 0; i < cfg.Space.Size(); i++ {
+			b := full.Clone()
+			b.Clear(i)
+			states = append(states, &State{Bits: b, Level: 1, Via: i})
+		}
+		if _, err := val.ValuateStates(context.Background(), states, 0); err != nil {
+			t.Fatal(err)
+		}
+		return states, val, rr, cfg.Tests
+	}
+
+	base, bval, _, border := run(false)
+	got, gval, rr, gorder := run(true)
+	if rr.windows == 0 || rr.tasks != len(got) {
+		t.Fatalf("runner saw %d windows / %d tasks, want all %d exact inferences", rr.windows, rr.tasks, len(got))
+	}
+	if bval.Stats.Valuations() != gval.Stats.Valuations() || bval.Stats.ExactCalls() != gval.Stats.ExactCalls() {
+		t.Errorf("stats diverge: pool (%d, %d) runner (%d, %d)",
+			bval.Stats.Valuations(), bval.Stats.ExactCalls(), gval.Stats.Valuations(), gval.Stats.ExactCalls())
+	}
+	for i := range base {
+		if len(base[i].Perf) != len(got[i].Perf) {
+			t.Fatalf("state %d vector length diverges", i)
+		}
+		for j := range base[i].Perf {
+			if base[i].Perf[j] != got[i].Perf[j] {
+				t.Fatalf("state %d perf diverges: %v vs %v", i, base[i].Perf, got[i].Perf)
+			}
+		}
+	}
+	ba, ga := border.All(), gorder.All()
+	if len(ba) != len(ga) {
+		t.Fatalf("valuation order lengths diverge: %d vs %d", len(ba), len(ga))
+	}
+	for i := range ba {
+		if ba[i].Key != ga[i].Key {
+			t.Fatalf("valuation order diverges at %d", i)
+		}
+	}
+}

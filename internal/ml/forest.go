@@ -37,13 +37,16 @@ type ForestClassifier struct {
 
 // Fit trains the forest.
 func (f *ForestClassifier) Fit(X [][]float64, y []float64) {
-	f.fitFrame(frameFromRows(X, y), &treeScratch{})
+	ws := getScratch()
+	f.fitFrame(frameFromRows(X, y), ws)
+	putScratch(ws)
 }
 
 // FitData trains the forest on a columnar data view.
 func (f *ForestClassifier) FitData(d Data) {
-	ws := &treeScratch{}
+	ws := getScratch()
 	f.fitFrame(d.buildFrame(ws), ws)
+	putScratch(ws)
 }
 
 func (f *ForestClassifier) fitFrame(fr *frame, ws *treeScratch) {
@@ -120,13 +123,16 @@ type ForestRegressor struct {
 
 // Fit trains the forest.
 func (f *ForestRegressor) Fit(X [][]float64, y []float64) {
-	f.fitFrame(frameFromRows(X, y), &treeScratch{})
+	ws := getScratch()
+	f.fitFrame(frameFromRows(X, y), ws)
+	putScratch(ws)
 }
 
 // FitData trains the forest on a columnar data view.
 func (f *ForestRegressor) FitData(d Data) {
-	ws := &treeScratch{}
+	ws := getScratch()
 	f.fitFrame(d.buildFrame(ws), ws)
+	putScratch(ws)
 }
 
 func (f *ForestRegressor) fitFrame(fr *frame, ws *treeScratch) {

@@ -45,13 +45,16 @@ type GBMRegressor struct {
 
 // Fit trains the boosted ensemble on (X, y).
 func (g *GBMRegressor) Fit(X [][]float64, y []float64) {
-	g.fitFrame(frameFromRows(X, y), &treeScratch{})
+	ws := getScratch()
+	g.fitFrame(frameFromRows(X, y), ws)
+	putScratch(ws)
 }
 
 // FitData trains the boosted ensemble on a columnar data view.
 func (g *GBMRegressor) FitData(d Data) {
-	ws := &treeScratch{}
+	ws := getScratch()
 	g.fitFrame(d.buildFrame(ws), ws)
+	putScratch(ws)
 }
 
 // fitFrame boosts over a columnar frame. Because the feature columns
@@ -140,13 +143,16 @@ type GBMClassifier struct {
 
 // Fit trains the boosted classifier on (X, y) with y in {0, 1}.
 func (g *GBMClassifier) Fit(X [][]float64, y []float64) {
-	g.fitFrame(frameFromRows(X, y), &treeScratch{})
+	ws := getScratch()
+	g.fitFrame(frameFromRows(X, y), ws)
+	putScratch(ws)
 }
 
 // FitData trains the boosted classifier on a columnar data view.
 func (g *GBMClassifier) FitData(d Data) {
-	ws := &treeScratch{}
+	ws := getScratch()
 	g.fitFrame(d.buildFrame(ws), ws)
+	putScratch(ws)
 }
 
 func (g *GBMClassifier) fitFrame(fr *frame, ws *treeScratch) {

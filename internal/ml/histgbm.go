@@ -43,12 +43,13 @@ func (h *HistGBMClassifier) FitData(d Data) {
 	if nb <= 0 {
 		nb = 32
 	}
-	ws := &treeScratch{}
+	ws := getScratch()
 	fr := d.buildRawFrame(ws)
 	h.bins = computeBinsCols(fr.cols, nb)
 	binFrame(fr, h.bins, &ws.cnt)
 	h.inner = GBMClassifier{Config: h.Config.GBM}
 	h.inner.fitFrame(fr, ws)
+	putScratch(ws)
 }
 
 // binFrame replaces the frame's columns with their bin ids in place

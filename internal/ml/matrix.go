@@ -3,6 +3,7 @@ package ml
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/table"
 )
@@ -27,6 +28,12 @@ type Matrix struct {
 	ystr   bool
 	ynRank int32 // |target domain| for string targets
 	nRows  int
+
+	// viewPool recycles View encoding state across valuations: one
+	// matrix serves every state of its workload, and each state's view
+	// needs the same buffer shapes, so steady-state view construction
+	// reuses released buffers instead of allocating (see View.Release).
+	viewPool sync.Pool
 }
 
 // matCol is one frozen feature column.
@@ -162,13 +169,26 @@ type View struct {
 	mean    []float64   // per active feature: imputation value (numeric cols)
 	hasNull []bool      // per active feature: nulls among the child rows
 	yremap  []float64   // string target: rank → child ordinal
+
+	// present is construction scratch (domain-presence marks); root
+	// marks views born from Matrix.View, the only ones Release pools.
+	present []bool
+	root    bool
 }
 
 // View builds the dataset view of the child selecting the given
 // universal rows (ascending, including rows whose target is null) with
-// the named attributes masked.
+// the named attributes masked. Views are pooled per matrix: hand the
+// view back with [View.Release] once fitting and scoring on it (and
+// any SplitData children) are finished, and its buffers serve the next
+// valuation instead of being reallocated.
 func (m *Matrix) View(rows []int, masked []string) *View {
-	v := &View{m: m}
+	v, _ := m.viewPool.Get().(*View)
+	if v == nil {
+		v = &View{}
+	}
+	v.m = m
+	v.root = true
 	var maskSet map[string]bool
 	if len(masked) > 0 {
 		maskSet = make(map[string]bool, len(masked))
@@ -176,6 +196,7 @@ func (m *Matrix) View(rows []int, masked []string) *View {
 			maskSet[a] = true
 		}
 	}
+	v.feats = v.feats[:0]
 	for ci := range m.cols {
 		if maskSet[m.cols[ci].name] {
 			continue
@@ -183,13 +204,13 @@ func (m *Matrix) View(rows []int, masked []string) *View {
 		v.feats = append(v.feats, int32(ci))
 	}
 	nf := len(v.feats)
-	v.remap = make([][]float64, nf)
-	v.mean = make([]float64, nf)
-	v.hasNull = make([]bool, nf)
+	v.remap = resizeSlices(v.remap, nf)
+	v.mean = resizeFloats(v.mean, nf)
+	v.hasNull = resizeBools(v.hasNull, nf)
 	for k, ci := range v.feats {
 		c := &m.cols[ci]
 		if c.isStr {
-			present := make([]bool, c.nRank)
+			present := resizeBools(v.present, int(c.nRank))
 			for _, r := range rows {
 				if c.null != nil && c.null[r] {
 					v.hasNull[k] = true
@@ -197,7 +218,7 @@ func (m *Matrix) View(rows []int, masked []string) *View {
 				}
 				present[c.rank[r]] = true
 			}
-			remap := make([]float64, c.nRank)
+			remap := resizeFloats(v.remap[k], int(c.nRank))
 			next := 0.0
 			for i, p := range present {
 				if p {
@@ -206,6 +227,7 @@ func (m *Matrix) View(rows []int, masked []string) *View {
 				}
 			}
 			v.remap[k] = remap
+			v.present = present
 		} else if c.null != nil {
 			// Mean over the child's non-null cells, summed in row order
 			// like Encode.
@@ -225,13 +247,14 @@ func (m *Matrix) View(rows []int, masked []string) *View {
 		}
 	}
 	if m.ystr {
-		present := make([]bool, m.ynRank)
+		present := resizeBools(v.present, int(m.ynRank))
 		for _, r := range rows {
 			if !m.ynull[r] {
 				present[int(m.yvals[r])] = true
 			}
 		}
-		v.yremap = make([]float64, len(present))
+		v.present = present
+		v.yremap = resizeFloats(v.yremap, len(present))
 		next := 0.0
 		for i, p := range present {
 			if p {
@@ -239,14 +262,67 @@ func (m *Matrix) View(rows []int, masked []string) *View {
 				next++
 			}
 		}
+	} else {
+		v.yremap = nil
 	}
-	v.rows = make([]int32, 0, len(rows))
+	if cap(v.rows) < len(rows) {
+		v.rows = make([]int32, 0, len(rows))
+	} else {
+		v.rows = v.rows[:0]
+	}
 	for _, r := range rows {
 		if !m.ynull[r] {
 			v.rows = append(v.rows, int32(r))
 		}
 	}
 	return v
+}
+
+// Release returns a view's encoding buffers to its matrix's pool. Call
+// it only on views obtained directly from Matrix.View, after every use
+// of the view — including SplitData children, which borrow the
+// parent's encoding state — is finished; the view is invalid
+// afterwards. Views derived by SplitData ignore Release.
+func (v *View) Release() {
+	if !v.root {
+		return
+	}
+	m := v.m
+	v.root = false
+	v.m = nil
+	m.viewPool.Put(v)
+}
+
+// resizeFloats returns a zeroed float slice of length n, reusing buf's
+// storage when it is large enough.
+func resizeFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// resizeBools returns a cleared bool slice of length n, reusing buf.
+func resizeBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// resizeSlices returns a length-n outer slice, reusing buf and its
+// inner slices (the per-feature remap buffers) when possible.
+func resizeSlices(buf [][]float64, n int) [][]float64 {
+	if cap(buf) < n {
+		next := make([][]float64, n)
+		copy(next, buf)
+		return next
+	}
+	return buf[:n]
 }
 
 // valueAt returns the child-encoded value of active feature k at
@@ -334,6 +410,9 @@ func (v *View) SplitData(testFrac float64, seed int64) (train, test Data) {
 func (v *View) withRows(rows []int32) *View {
 	nv := *v
 	nv.rows = rows
+	// Children borrow the parent's encoding state and are never pooled
+	// themselves: only the view Matrix.View handed out may Release.
+	nv.root = false
 	return &nv
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // treeNode is a binary CART node. Leaves hold a value (regression) or a
@@ -74,6 +75,18 @@ type treeScratch struct {
 // nodes, so a chunk covers a couple of trees.
 const nodeChunk = 256
 
+// scratchPool recycles treeScratch across fits. A discovery run fits
+// thousands of models over one workload, all with the same row and
+// feature counts, so the pooled buffers converge to the workload's
+// sizes and steady-state fits stop allocating growth scratch. Safe
+// because handed-out nodes are never revisited by newNode: a recycled
+// scratch simply keeps carving its current slab where the previous fit
+// stopped.
+var scratchPool = sync.Pool{New: func() any { return new(treeScratch) }}
+
+func getScratch() *treeScratch   { return scratchPool.Get().(*treeScratch) }
+func putScratch(ws *treeScratch) { scratchPool.Put(ws) }
+
 func (ws *treeScratch) newNode(nSamples int) *treeNode {
 	if ws.nodeUsed == len(ws.nodes) {
 		ws.nodes = make([]treeNode, nodeChunk)
@@ -110,14 +123,16 @@ type TreeRegressor struct {
 
 // Fit grows the tree on (X, y).
 func (t *TreeRegressor) Fit(X [][]float64, y []float64) {
-	ws := &treeScratch{}
+	ws := getScratch()
 	t.fitFrame(frameFromRows(X, y), ws)
+	putScratch(ws)
 }
 
 // FitData grows the tree on a columnar data view.
 func (t *TreeRegressor) FitData(d Data) {
-	ws := &treeScratch{}
+	ws := getScratch()
 	t.fitFrame(d.buildFrame(ws), ws)
+	putScratch(ws)
 }
 
 // fitFrame grows the tree over the frame's presorted feature orders.
@@ -141,14 +156,16 @@ type TreeClassifier struct {
 
 // Fit grows the tree on (X, y) where y holds class ids 0..NumClass-1.
 func (t *TreeClassifier) Fit(X [][]float64, y []float64) {
-	ws := &treeScratch{}
+	ws := getScratch()
 	t.fitFrame(frameFromRows(X, y), ws)
+	putScratch(ws)
 }
 
 // FitData grows the tree on a columnar data view.
 func (t *TreeClassifier) FitData(d Data) {
-	ws := &treeScratch{}
+	ws := getScratch()
 	t.fitFrame(d.buildFrame(ws), ws)
+	putScratch(ws)
 }
 
 func (t *TreeClassifier) fitFrame(fr *frame, ws *treeScratch) {

@@ -25,6 +25,22 @@
 // skyline size) while a search runs, and the result is a
 // JSON-serializable [Report].
 //
+// # The job API
+//
+// Run is the synchronous face of an asynchronous job model.
+// [Engine.Submit] starts the same run and returns a [Job] handle
+// immediately: [Job.Done] closes on termination, [Job.Result] blocks
+// for the report, [Job.Cancel] aborts, and [Job.Events] streams the
+// run's progress events — replayed from the first event for every
+// subscriber, in exactly the order a WithProgress callback sees them.
+// Reports carry the job linkage and timing ([Report].JobID, Queued,
+// Wall). The serving layer (package modis/serve and the modisd
+// daemon) builds on Submit: a scheduler pools engines per workload,
+// queues admissions ([WithAdmission]), and aligns the valuation
+// windows of concurrent runs into shared exact-inference passes
+// ([WithExactRunner]) — batching that never changes results, only who
+// pays for them.
+//
 // Valuation — the search bottleneck — parallelizes two ways. Within a
 // run, [WithParallelism] fans the exact model inferences of each
 // frontier expansion across a worker pool; batches are planned and
@@ -99,23 +115,43 @@ func NewEngine(cfg *fst.Config) *Engine {
 	return e
 }
 
-// Run executes one discovery run: the named algorithm (see
-// [Algorithms]) over the engine's configuration, tuned by the given
-// options. Option and algorithm errors are reported before the search
-// starts. The context is honored at frontier-pop granularity; on
-// cancellation or deadline expiry Run returns (nil, ctx.Err()).
+// Run executes one discovery run synchronously: the named algorithm
+// (see [Algorithms]) over the engine's configuration, tuned by the
+// given options. Option and algorithm errors are reported before the
+// search starts. The context is honored at frontier-pop granularity;
+// on cancellation or deadline expiry Run returns (nil, ctx.Err()).
 //
-// Runs may execute concurrently on one engine: each run carries its
-// own valuation counters (the Report always describes this run alone)
-// while the memoized valuation record is shared — across sequential
-// runs and in flight between concurrent ones.
+// Run is a thin wrapper over the asynchronous job API — [Engine.Submit]
+// followed by [Job.Result] — so a Run and a submitted job execute
+// identically. Runs may execute concurrently on one engine: each run
+// carries its own valuation counters (the Report always describes this
+// run alone) while the memoized valuation record is shared — across
+// sequential runs and in flight between concurrent ones.
 func (e *Engine) Run(ctx context.Context, algorithm string, opts ...Option) (*Report, error) {
-	if e.err != nil {
-		return nil, e.err
-	}
-	fn, canonical, err := lookup(algorithm)
+	j, err := e.Submit(ctx, algorithm, opts...)
 	if err != nil {
 		return nil, err
+	}
+	return j.Result()
+}
+
+// prepared is a validated run: everything Submit resolves before the
+// job goroutine starts, so every option and algorithm error surfaces
+// synchronously.
+type prepared struct {
+	fn        AlgorithmFunc
+	canonical string
+	resolved  RunOptions
+	copts     core.Options
+	admit     func(context.Context) error
+	runner    any // the installed ExactRunner, for the Batched probe
+}
+
+// prepare resolves the algorithm and options of one run request.
+func (e *Engine) prepare(algorithm string, opts []Option) (prepared, error) {
+	fn, canonical, err := lookup(algorithm)
+	if err != nil {
+		return prepared{}, err
 	}
 	s := defaultSettings()
 	for _, o := range opts {
@@ -123,25 +159,83 @@ func (e *Engine) Run(ctx context.Context, algorithm string, opts ...Option) (*Re
 			continue
 		}
 		if err := o(&s); err != nil {
-			return nil, err
+			return prepared{}, err
 		}
 	}
 	resolved, copts, err := s.resolve(len(e.cfg.Measures))
+	if err != nil {
+		return prepared{}, err
+	}
+	return prepared{
+		fn:        fn,
+		canonical: canonical,
+		resolved:  resolved,
+		copts:     copts,
+		admit:     s.admit,
+		runner:    s.runner,
+	}, nil
+}
+
+// Submit starts one discovery run asynchronously and returns its [Job]
+// handle immediately. Algorithm and option errors surface here, before
+// any goroutine starts; everything after — admission (see
+// [WithAdmission]), the search itself, progress events — happens on
+// the job's goroutine and is observed through the handle. The given
+// context governs the whole job: cancelling it (or [Job.Cancel], or a
+// deadline) aborts the search, and the job finishes with ctx.Err().
+func (e *Engine) Submit(ctx context.Context, algorithm string, opts ...Option) (*Job, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	pr, err := e.prepare(algorithm, opts)
 	if err != nil {
 		return nil, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	jctx, cancel := context.WithCancel(ctx)
+	j := newJob(pr.canonical)
+	j.cancel = cancel
+	// Progress events tee into the job's replayable stream; a caller's
+	// WithProgress hook keeps firing synchronously on the search
+	// goroutine exactly as before.
+	user := pr.copts.Progress
+	pr.copts.Progress = func(ev core.ProgressEvent) {
+		if user != nil {
+			user(ev)
+		}
+		j.record(Event(ev))
+	}
+	go func() {
+		defer cancel()
+		rep, err := e.execute(jctx, j, pr)
+		j.finish(rep, err)
+	}()
+	return j, nil
+}
+
+// execute runs a prepared job: admission, the search, and report
+// assembly.
+func (e *Engine) execute(ctx context.Context, j *Job, pr prepared) (*Report, error) {
+	if pr.admit != nil {
+		if err := pr.admit(ctx); err != nil {
+			return nil, err
+		}
+	}
+	j.started.Store(true)
+	queued := time.Since(j.submitted)
 
 	start := time.Now()
-	res, err := fn(ctx, e.cfg, copts)
+	res, err := pr.fn(ctx, e.cfg, pr.copts)
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{
-		Algorithm:  canonical,
-		Options:    resolved,
+		JobID:      j.id,
+		Algorithm:  pr.canonical,
+		Options:    pr.resolved,
+		Queued:     queued,
 		Wall:       time.Since(start),
 		Valuated:   res.Stats.Valuated,
 		ExactCalls: res.Stats.ExactCalls,
@@ -149,6 +243,11 @@ func (e *Engine) Run(ctx context.Context, algorithm string, opts ...Option) (*Re
 		Pruned:     res.Stats.Pruned,
 		Skyline:    make([]*Candidate, 0, len(res.Skyline)),
 		Graph:      res.Graph,
+	}
+	// A scheduler-installed exact runner knows whether this run's
+	// windows actually shared a pass with a concurrent run.
+	if bp, ok := pr.runner.(interface{ Batched() bool }); ok {
+		rep.Batched = bp.Batched()
 	}
 	for _, c := range res.Skyline {
 		rep.Skyline = append(rep.Skyline, &Candidate{
@@ -182,11 +281,23 @@ type Candidate struct {
 
 // Report is the JSON-serializable result of one discovery run.
 type Report struct {
+	// JobID identifies the run's job (see [Engine.Submit]); reports
+	// fetched from a daemon carry the same id the submit returned.
+	JobID string `json:"job_id,omitempty"`
 	// Algorithm is the canonical registry key that ran.
 	Algorithm string `json:"algorithm"`
 	// Options are the fully resolved knobs of the run (defaults applied,
 	// sentinels eliminated).
 	Options RunOptions `json:"options"`
+	// Batched reports whether any of the run's valuation windows
+	// executed in an exact-inference pass shared with a concurrent run
+	// (modis/serve's frontier alignment). Results are identical either
+	// way; the flag records that the wall time was co-paid by peers.
+	Batched bool `json:"batched,omitempty"`
+	// Queued is how long the job waited between submission and the
+	// search starting — admission-queue time under a scheduler,
+	// scheduling noise otherwise (marshals as nanoseconds).
+	Queued time.Duration `json:"queue_ns"`
 	// Wall is the end-to-end search time (marshals as nanoseconds).
 	Wall time.Duration `json:"wall_ns"`
 	// Valuated counts the states valuated by this run.

@@ -378,6 +378,13 @@ func TestReportJSONRoundTrip(t *testing.T) {
 		decoded.Options.Seed != 7 || len(decoded.Skyline) != len(rep.Skyline) {
 		t.Errorf("round trip lost fields: %s", blob)
 	}
+	// The job fields introduced with the async API survive the trip too.
+	if decoded.JobID != rep.JobID || decoded.JobID == "" {
+		t.Errorf("round trip lost job id: %q vs %q", decoded.JobID, rep.JobID)
+	}
+	if decoded.Queued != rep.Queued || decoded.Wall != rep.Wall || decoded.Batched != rep.Batched {
+		t.Errorf("round trip lost timing/batching fields: %s", blob)
+	}
 	for i, c := range decoded.Skyline {
 		if len(c.Bitmap) != len(rep.Skyline[i].Bitmap) || len(c.Perf) != len(rep.Skyline[i].Perf) {
 			t.Errorf("candidate %d lost serialized state", i)

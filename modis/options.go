@@ -1,11 +1,13 @@
 package modis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/fst"
 )
 
 // Option tunes one discovery run. Options validate eagerly: an
@@ -49,6 +51,8 @@ type settings struct {
 	parallelism int
 	recordGraph bool
 	progress    func(Event)
+	runner      fst.ExactRunner
+	admit       func(context.Context) error
 }
 
 func defaultSettings() settings {
@@ -116,6 +120,7 @@ func (s settings) resolve(numMeasures int) (RunOptions, core.Options, error) {
 	if p := s.progress; p != nil {
 		co.Progress = func(ev core.ProgressEvent) { p(Event(ev)) }
 	}
+	co.ExactRunner = s.runner
 	return ro, co, nil
 }
 
@@ -238,6 +243,37 @@ func WithParallelism(n int) Option {
 			return fmt.Errorf("modis: WithParallelism(%d): worker count must be >= 0 (0 = all CPUs)", n)
 		}
 		s.parallelism = n
+		return nil
+	}
+}
+
+// WithExactRunner installs the run's exact-inference runner: each
+// valuation window's exact model inferences are handed to r as a batch
+// of tasks instead of the run's built-in worker pool. This is the
+// serving layer's frontier-alignment hook — modis/serve's Scheduler
+// installs a per-run handle whose RunExact may merge the window with
+// windows of concurrent runs over the same configuration into one
+// pooled pass. Results are byte-identical with any compliant runner
+// (see fst.ExactRunner for the contract). If the runner additionally
+// implements Batched() bool, the report's Batched field records
+// whether the run actually shared a pass. Most callers never need
+// this option.
+func WithExactRunner(r fst.ExactRunner) Option {
+	return func(s *settings) error {
+		s.runner = r
+		return nil
+	}
+}
+
+// WithAdmission gates the start of a submitted job: the job goroutine
+// calls fn before the search begins and aborts the job with fn's error
+// if it fails. Schedulers use it to bound concurrent searches — the
+// time spent inside fn is the report's Queued field. The context is
+// the job's; fn must honor its cancellation. Most callers never need
+// this option.
+func WithAdmission(fn func(ctx context.Context) error) Option {
+	return func(s *settings) error {
+		s.admit = fn
 		return nil
 	}
 }

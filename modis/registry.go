@@ -74,6 +74,23 @@ func Algorithms() []string {
 	return algorithmsLocked()
 }
 
+// UnknownAlgorithmError reports a run request naming an algorithm the
+// registry does not know. It always carries the registered canonical
+// keys, so callers — and wire layers like modis/serve, which maps it
+// to HTTP 400 with the same message as its body — can tell users what
+// would have been accepted instead of a bare "unknown algorithm".
+type UnknownAlgorithmError struct {
+	// Name is the algorithm the caller asked for, as given.
+	Name string
+	// Known are the registered canonical keys, sorted.
+	Known []string
+}
+
+func (e *UnknownAlgorithmError) Error() string {
+	return fmt.Sprintf("modis: unknown algorithm %q (known: %s)",
+		e.Name, strings.Join(e.Known, ", "))
+}
+
 // lookup resolves a (possibly aliased) algorithm name to its function
 // and canonical key.
 func lookup(name string) (AlgorithmFunc, string, error) {
@@ -86,8 +103,7 @@ func lookup(name string) (AlgorithmFunc, string, error) {
 	if fn, ok := registry[key]; ok {
 		return fn, key, nil
 	}
-	return nil, "", fmt.Errorf("modis: unknown algorithm %q (known: %s)",
-		name, strings.Join(algorithmsLocked(), ", "))
+	return nil, "", &UnknownAlgorithmError{Name: name, Known: algorithmsLocked()}
 }
 
 func algorithmsLocked() []string {

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// batcher aligns the frontier valuation windows of one workload's
+// concurrent runs. Every run of an engine group holds a runHandle
+// (installed as the run's fst.ExactRunner); when a run submits a
+// window's exact-inference tasks while peers are active, the batcher
+// holds the window briefly — up to the alignment window — so windows
+// arriving from the other runs merge into one pooled pass. Overlapping
+// states then share a single model inference through the test set's
+// single-flight while the pass is in flight, instead of one run paying
+// for it and the others finding it in the memo much later; disjoint
+// states still win by sharing the pass's worker pool.
+//
+// Alignment never changes results: each run keeps planning and
+// committing its windows in child order on its own goroutine, and the
+// batcher's only liberty is who executes the inferences and when. A
+// batched run's skyline is byte-identical to the same run executed
+// solo — the property the serve tests enforce for every algorithm.
+type batcher struct {
+	// align is how long a window may wait for peers.
+	align time.Duration
+	// parallelism caps the workers of one merged pass.
+	parallelism int
+
+	mu      sync.Mutex
+	active  int          // admitted run handles (runs that can produce windows)
+	pending []*batchPass // windows awaiting the aligned pass
+	armed   bool         // alignment timer armed for the current pending set
+	gen     int          // bumped on every take; invalidates stale timers
+}
+
+// batchPass is one run's submitted window.
+type batchPass struct {
+	tasks []func()
+	owner *runHandle
+	done  chan struct{}
+}
+
+// defaultAlign is the default alignment window. Exact model inference
+// dominates discovery wall time by orders of magnitude more than this,
+// so holding a window 2ms to co-schedule it is cheap; a solo run never
+// waits at all.
+const defaultAlign = 2 * time.Millisecond
+
+func newBatcher(align time.Duration, parallelism int) *batcher {
+	if align <= 0 {
+		align = defaultAlign
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &batcher{align: align, parallelism: parallelism}
+}
+
+// newRun returns a handle for one run. The handle counts toward the
+// alignment quorum only once the run is admitted (join) — a job
+// sitting in the admission queue produces no windows and must not
+// make running peers wait for it — and must be closed when the run
+// finishes so peers stop waiting for its windows.
+func (b *batcher) newRun() *runHandle {
+	return &runHandle{b: b}
+}
+
+// runHandle is the per-run face of the batcher: the fst.ExactRunner
+// installed on one run's valuator. It records whether any of the run's
+// windows actually merged with a peer's, which the engine surfaces as
+// the report's Batched field.
+type runHandle struct {
+	b       *batcher
+	batched atomic.Bool
+	joined  atomic.Bool
+	closed  atomic.Bool
+}
+
+// Batched reports whether any window of this run executed in a pass
+// shared with a concurrent run.
+func (h *runHandle) Batched() bool { return h.batched.Load() }
+
+// join counts the run into the alignment quorum — called when the run
+// passes admission and can start producing windows. Idempotent.
+func (h *runHandle) join() {
+	if h.joined.Swap(true) {
+		return
+	}
+	b := h.b
+	b.mu.Lock()
+	b.active++
+	b.mu.Unlock()
+}
+
+// close deregisters the run. Pending windows of other runs flush
+// immediately when the departing run was the last straggler.
+func (h *runHandle) close() {
+	if h.closed.Swap(true) || !h.joined.Load() {
+		return
+	}
+	b := h.b
+	b.mu.Lock()
+	b.active--
+	flush := b.takeIfQuorumLocked()
+	b.mu.Unlock()
+	b.execute(flush)
+}
+
+// RunExact implements fst.ExactRunner: submit the window and block
+// until its tasks have run — immediately when the run has no peers,
+// otherwise in a pass aligned with theirs.
+func (h *runHandle) RunExact(ctx context.Context, tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	b := h.b
+	b.mu.Lock()
+	if b.active <= 1 && len(b.pending) == 0 {
+		// No peers to align with: execute on the spot.
+		b.mu.Unlock()
+		b.runTasks(tasks)
+		return
+	}
+	p := &batchPass{tasks: tasks, owner: h, done: make(chan struct{})}
+	b.pending = append(b.pending, p)
+	flush := b.takeIfQuorumLocked()
+	if flush == nil && !b.armed {
+		// First straggler of a new pending set: bound its wait. The
+		// generation tag keeps a timer from outliving its set — a timer
+		// armed for a set that already flushed by quorum must not
+		// prematurely flush the next one.
+		b.armed = true
+		gen := b.gen
+		time.AfterFunc(b.align, func() { b.flushTimeout(gen) })
+	}
+	b.mu.Unlock()
+	b.execute(flush)
+	<-p.done
+}
+
+// takeIfQuorumLocked claims the pending set when every active run has
+// a window waiting (or none are left to wait for) — the earliest
+// moment alignment cannot improve further. Callers hold b.mu.
+func (b *batcher) takeIfQuorumLocked() []*batchPass {
+	if len(b.pending) == 0 || len(b.pending) < b.active {
+		return nil
+	}
+	return b.takeLocked()
+}
+
+func (b *batcher) takeLocked() []*batchPass {
+	ps := b.pending
+	b.pending = nil
+	b.armed = false
+	b.gen++
+	return ps
+}
+
+// flushTimeout fires when the alignment window of pending-set gen
+// elapses: whatever is still pending executes now. A stale timer —
+// its set already flushed by quorum or departure — is a no-op.
+func (b *batcher) flushTimeout(gen int) {
+	b.mu.Lock()
+	if gen != b.gen {
+		b.mu.Unlock()
+		return
+	}
+	ps := b.takeLocked()
+	b.mu.Unlock()
+	b.execute(ps)
+}
+
+// execute runs the claimed passes as one pooled unit and releases
+// their owners. A merged unit (two or more runs' windows) marks every
+// participant batched.
+func (b *batcher) execute(ps []*batchPass) {
+	if len(ps) == 0 {
+		return
+	}
+	if len(ps) > 1 {
+		for _, p := range ps {
+			p.owner.batched.Store(true)
+		}
+	}
+	n := 0
+	for _, p := range ps {
+		n += len(p.tasks)
+	}
+	tasks := make([]func(), 0, n)
+	for _, p := range ps {
+		tasks = append(tasks, p.tasks...)
+	}
+	b.runTasks(tasks)
+	for _, p := range ps {
+		close(p.done)
+	}
+}
+
+// runTasks fans the tasks across the pass worker pool. Tasks are
+// self-contained (fst.ExactRunner's contract): any order and any
+// degree of concurrency is correct.
+func (b *batcher) runTasks(tasks []func()) {
+	par := b.parallelism
+	if par > len(tasks) {
+		par = len(tasks)
+	}
+	if par <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				tasks[i]()
+			}
+		}()
+	}
+	wg.Wait()
+}

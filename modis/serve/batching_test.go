@@ -1,0 +1,200 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/modis"
+	"repro/modis/serve"
+)
+
+// TestBatchingDeterminismAllAlgorithms is the tentpole property: a run
+// submitted alongside concurrent same-config runs produces a
+// byte-identical skyline to the same run executed solo — for every
+// algorithm. All five algorithms run concurrently on one scheduler
+// workload (maximally overlapping frontiers, every window eligible for
+// merging), and each is compared against its solo baseline on a fresh
+// configuration.
+func TestBatchingDeterminismAllAlgorithms(t *testing.T) {
+	solo := map[string]string{}
+	soloExact := map[string]int{}
+	for _, algo := range allAlgorithms() {
+		rep, err := modis.NewEngine(newShapeConfig(t, 0)).Run(context.Background(), algo, runOpts()...)
+		if err != nil {
+			t.Fatalf("solo %s: %v", algo, err)
+		}
+		solo[algo] = skylineJSON(t, rep)
+		soloExact[algo] = rep.ExactCalls
+	}
+
+	sched := serve.NewScheduler(serve.SchedulerOptions{AlignWindow: 25 * time.Millisecond})
+	cfg := newShapeConfig(t, 50*time.Microsecond)
+	jobs := map[string]*modis.Job{}
+	for _, algo := range allAlgorithms() {
+		job, err := sched.Submit(context.Background(), "shape", cfg, algo, runOpts()...)
+		if err != nil {
+			t.Fatalf("submit %s: %v", algo, err)
+		}
+		jobs[algo] = job
+	}
+	totalBatchedExact := 0
+	totalSoloExact := 0
+	for _, algo := range allAlgorithms() {
+		rep := mustResult(t, jobs[algo])
+		if got := skylineJSON(t, rep); got != solo[algo] {
+			t.Errorf("%s: batched skyline diverges from solo\n solo:    %s\n batched: %s", algo, solo[algo], got)
+		}
+		totalBatchedExact += rep.ExactCalls
+		totalSoloExact += soloExact[algo]
+	}
+	// The shared engine (memo + single-flight + aligned passes) must do
+	// strictly less exact inference than the five solo runs summed —
+	// the concurrent searches traverse heavily overlapping states.
+	if totalBatchedExact >= totalSoloExact {
+		t.Errorf("batched runs did %d exact inferences, solo sum is %d — sharing bought nothing",
+			totalBatchedExact, totalSoloExact)
+	}
+}
+
+// TestBatchedRunsShareWindows: two deliberately overlapping runs must
+// actually merge at least one exact pass (Batched) and together do
+// fewer exact inferences than their solo baselines summed — the
+// ValuationStats assertion of the acceptance criteria.
+func TestBatchedRunsShareWindows(t *testing.T) {
+	soloTotal := 0
+	for _, algo := range []string{"bi", "apx"} {
+		rep, err := modis.NewEngine(newShapeConfig(t, 0)).Run(context.Background(), algo, runOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloTotal += rep.ExactCalls
+	}
+
+	// A long alignment window and slow valuations force genuine overlap
+	// on any machine.
+	sched := serve.NewScheduler(serve.SchedulerOptions{AlignWindow: 250 * time.Millisecond})
+	cfg := newShapeConfig(t, 200*time.Microsecond)
+	a, err := sched.Submit(context.Background(), "shape", cfg, "bi", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sched.Submit(context.Background(), "shape", cfg, "apx", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA, repB := mustResult(t, a), mustResult(t, b)
+	if repA.ExactCalls+repB.ExactCalls >= soloTotal {
+		t.Errorf("concurrent runs did %d exact inferences, solo sum is %d",
+			repA.ExactCalls+repB.ExactCalls, soloTotal)
+	}
+	if !repA.Batched && !repB.Batched {
+		t.Error("neither concurrent run shared an exact pass; frontier alignment never fired")
+	}
+}
+
+// TestSchedulerEnginePooling: one workload identity → one engine → a
+// repeat run is answered from the shared memo.
+func TestSchedulerEnginePooling(t *testing.T) {
+	sched := serve.NewScheduler(serve.SchedulerOptions{})
+	cfg := newShapeConfig(t, 0)
+	first, err := sched.Submit(context.Background(), "shape", cfg, "apx", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustResult(t, first)
+	second, err := sched.Submit(context.Background(), "shape", cfg, "apx", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := mustResult(t, second)
+	if rep.Valuated != 0 {
+		t.Errorf("repeat run valuated %d states, want 0 (workload engine shared)", rep.Valuated)
+	}
+	if sched.Engine(cfg) != sched.Engine(cfg) {
+		t.Error("Engine must be stable per workload identity")
+	}
+}
+
+// TestSchedulerMaxConcurrentQueues: with one slot, the second job
+// waits in admission and its report records the queueing.
+func TestSchedulerMaxConcurrentQueues(t *testing.T) {
+	sched := serve.NewScheduler(serve.SchedulerOptions{MaxConcurrent: 1})
+	cfg := newShapeConfig(t, 500*time.Microsecond)
+	a, err := sched.Submit(context.Background(), "shape", cfg, "bi", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sched.Submit(context.Background(), "shape", cfg, "nobi", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA, repB := mustResult(t, a), mustResult(t, b)
+	if repA == nil || repB == nil {
+		t.Fatal("missing reports")
+	}
+	if repB.Queued <= 0 {
+		t.Errorf("second job queued %v, want > 0 behind MaxConcurrent=1", repB.Queued)
+	}
+}
+
+// TestSchedulerDrain: draining rejects new work, waits for in-flight
+// jobs, and leaves their results intact.
+func TestSchedulerDrain(t *testing.T) {
+	sched := serve.NewScheduler(serve.SchedulerOptions{})
+	cfg := newShapeConfig(t, 200*time.Microsecond)
+	job, err := sched.Submit(context.Background(), "shape", cfg, "bi", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- sched.Drain(context.Background()) }()
+	// Submissions during/after drain must fail with the sentinel wire
+	// layers map to 503 (never a client-error status).
+	for {
+		_, err := sched.Submit(context.Background(), "shape", cfg, "apx")
+		if err != nil {
+			if !errors.Is(err, serve.ErrDraining) {
+				t.Fatalf("draining submit error = %v, want serve.ErrDraining", err)
+			}
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if rep := mustResult(t, job); len(rep.Skyline) == 0 {
+		t.Error("drained job lost its result")
+	}
+}
+
+// TestConcurrentSubmitsRaceClean hammers one scheduler from many
+// goroutines; run under -race in CI.
+func TestConcurrentSubmitsRaceClean(t *testing.T) {
+	sched := serve.NewScheduler(serve.SchedulerOptions{AlignWindow: 5 * time.Millisecond})
+	cfg := newShapeConfig(t, 0)
+	algos := []string{"apx", "bi", "nobi", "div", "exact", "apx", "bi", "nobi"}
+	var wg sync.WaitGroup
+	errs := make([]error, len(algos))
+	for i, algo := range algos {
+		wg.Add(1)
+		go func(i int, algo string) {
+			defer wg.Done()
+			job, err := sched.Submit(context.Background(), "shape", cfg, algo, runOpts()...)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = job.Result()
+		}(i, algo)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("submit %d (%s): %v", i, algos[i], err)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/modis"
+)
+
+// Client drives a modisd daemon over HTTP — the programmatic twin of
+// the curl examples in docs/serving.md and the transport behind
+// cmd/modis -remote.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080"); a missing scheme defaults to http.
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// apiError is a non-2xx daemon response.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("serve: daemon returned %d: %s", e.Status, e.Msg)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(blob))
+		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &apiError{Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(blob, out)
+}
+
+// Submit submits a job and returns its accepted status (the job id in
+// particular).
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches a job's current status (including the report once
+// done).
+func (c *Client) Status(ctx context.Context, jobID string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobID, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, jobID string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+jobID, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Workloads lists the daemon's workload catalog.
+func (c *Client) Workloads(ctx context.Context) ([]string, error) {
+	var names []string
+	if err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, &names); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// Algorithms lists the daemon's registered algorithm keys.
+func (c *Client) Algorithms(ctx context.Context) ([]string, error) {
+	var names []string
+	if err := c.do(ctx, http.MethodGet, "/v1/algorithms", nil, &names); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// Events streams a job's progress events, delivering each to fn in
+// order, until the stream ends (job terminated or ctx cancelled). It
+// returns the terminal status carried by the stream's closing "end"
+// event, or nil if the stream ended without one.
+func (c *Client) Events(ctx context.Context, jobID string, fn func(modis.Event)) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(resp.Body)
+		return nil, &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(blob))}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	event, data := "", ""
+	var final *JobStatus
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			switch event {
+			case "progress":
+				var ev modis.Event
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					return final, fmt.Errorf("serve: malformed progress event: %w", err)
+				}
+				if fn != nil {
+					fn(ev)
+				}
+			case "end":
+				st := &JobStatus{}
+				if err := json.Unmarshal([]byte(data), st); err != nil {
+					return final, fmt.Errorf("serve: malformed end event: %w", err)
+				}
+				final = st
+			}
+			event, data = "", ""
+		}
+	}
+	return final, sc.Err()
+}
+
+// Wait polls until the job reaches a terminal state and returns it.
+func (c *Client) Wait(ctx context.Context, jobID string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, jobID)
+		if err != nil {
+			return nil, err
+		}
+		switch st.Status {
+		case StatusDone, StatusFailed, StatusCancelled:
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package serve is the serving layer of the modis engine: a
+// [Scheduler] that runs concurrently submitted jobs over shared
+// per-workload engines with frontier-aligned valuation batching, a
+// [Server] exposing the job API over HTTP (JSON + server-sent events)
+// and over JSONL stdin/stdout for scripting, and a [Client] for
+// driving a remote daemon programmatically. Command modisd wires a
+// Server to the network; cmd/modis -remote runs the CLI against one.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fst"
+	"repro/modis"
+)
+
+// ErrDraining is returned by Scheduler.Submit once Drain has been
+// called: the scheduler no longer accepts jobs. Wire layers match it
+// with errors.Is to report 503 rather than a client error.
+var ErrDraining = errors.New("serve: scheduler is draining, not accepting jobs")
+
+// SchedulerOptions tune a Scheduler. The zero value is ready to use.
+type SchedulerOptions struct {
+	// AlignWindow is how long a run's valuation window may wait for
+	// concurrent runs' windows before executing (default 2ms). Larger
+	// windows align more at the cost of latency on runs with nothing to
+	// share.
+	AlignWindow time.Duration
+	// Parallelism caps the worker pool of one merged exact-inference
+	// pass (default: all CPUs).
+	Parallelism int
+	// MaxConcurrent bounds the searches executing at once across the
+	// scheduler; excess jobs queue in submission order and their wait
+	// shows up as the report's Queued time. 0 means unbounded.
+	MaxConcurrent int
+}
+
+// Scheduler runs jobs behind a pool of per-workload engines. Jobs
+// submitted for the same workload — identified by the *fst.Config
+// pointer — share one engine (hence one memoized test set: overlapping
+// runs share valuations) and one frontier batcher (concurrently
+// in-flight runs align their valuation windows into shared passes).
+// Jobs for different workloads run side by side independently.
+//
+// A Scheduler is safe for concurrent use. It also keeps the record of
+// every job it accepted, so wire layers can resolve job ids.
+type Scheduler struct {
+	opts SchedulerOptions
+	slot chan struct{} // admission semaphore; nil when unbounded
+
+	mu       sync.Mutex
+	groups   map[*fst.Config]*engineGroup
+	jobs     map[string]*JobRecord
+	order    []string
+	inflight int
+	draining bool
+	idle     chan struct{} // closed when draining hits zero in-flight
+}
+
+// engineGroup is one workload's shared serving state.
+type engineGroup struct {
+	engine *modis.Engine
+	batch  *batcher
+}
+
+// JobRecord is a scheduler's ledger entry for one accepted job.
+type JobRecord struct {
+	// Job is the live handle.
+	Job *modis.Job
+	// Workload is the submit-time workload name (may be empty for
+	// in-process submissions).
+	Workload string
+	// Algorithm is the canonical algorithm key.
+	Algorithm string
+	// Submitted is the accept time.
+	Submitted time.Time
+}
+
+// NewScheduler returns a Scheduler with the given options.
+func NewScheduler(opts SchedulerOptions) *Scheduler {
+	s := &Scheduler{
+		opts:   opts,
+		groups: map[*fst.Config]*engineGroup{},
+		jobs:   map[string]*JobRecord{},
+		idle:   make(chan struct{}),
+	}
+	if opts.MaxConcurrent > 0 {
+		s.slot = make(chan struct{}, opts.MaxConcurrent)
+	}
+	return s
+}
+
+// Engine returns the shared engine serving the workload, creating it
+// on first use — the pool keying Submit relies on.
+func (s *Scheduler) Engine(cfg *fst.Config) *modis.Engine {
+	return s.group(cfg).engine
+}
+
+func (s *Scheduler) group(cfg *fst.Config) *engineGroup {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[cfg]
+	if !ok {
+		g = &engineGroup{
+			engine: modis.NewEngine(cfg),
+			batch:  newBatcher(s.opts.AlignWindow, s.opts.Parallelism),
+		}
+		s.groups[cfg] = g
+	}
+	return g
+}
+
+// Submit schedules one job: the named algorithm over the given
+// workload configuration, on the workload's shared engine, with its
+// valuation windows aligned against the workload's other in-flight
+// jobs. workload is the display name recorded for wire layers; cfg is
+// the workload identity. Submission errors (unknown algorithm, invalid
+// options, draining scheduler) surface synchronously; everything later
+// is observed through the returned job handle.
+func (s *Scheduler) Submit(ctx context.Context, workload string, cfg *fst.Config, algorithm string, opts ...modis.Option) (*modis.Job, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.inflight++
+	s.mu.Unlock()
+	g := s.group(cfg)
+	h := g.batch.newRun()
+
+	// The scheduler's hooks come after the caller's options so they
+	// cannot be overridden into an unmanaged run. The admission hook
+	// joins the batcher quorum only once the run may actually execute:
+	// a job waiting in the queue produces no valuation windows, and
+	// counting it would make running peers wait out the full alignment
+	// window on every pass.
+	all := make([]modis.Option, 0, len(opts)+2)
+	all = append(all, opts...)
+	all = append(all, modis.WithExactRunner(h))
+	all = append(all, modis.WithAdmission(func(ctx context.Context) error {
+		if s.slot != nil {
+			select {
+			case s.slot <- struct{}{}:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		h.join()
+		return nil
+	}))
+
+	job, err := g.engine.Submit(ctx, algorithm, all...)
+	if err != nil {
+		h.close()
+		s.finishJob()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.jobs[job.ID()] = &JobRecord{Job: job, Workload: workload, Algorithm: job.Algorithm(), Submitted: time.Now()}
+	s.order = append(s.order, job.ID())
+	s.mu.Unlock()
+
+	go func() {
+		<-job.Done()
+		// Deregister from the batcher first so peers stop waiting,
+		// then release the admission slot for the next queued job.
+		h.close()
+		if s.slot != nil && job.Started() {
+			<-s.slot
+		}
+		s.finishJob()
+	}()
+	return job, nil
+}
+
+func (s *Scheduler) finishJob() {
+	s.mu.Lock()
+	s.inflight--
+	if s.draining && s.inflight == 0 {
+		close(s.idle)
+	}
+	s.mu.Unlock()
+}
+
+// Job resolves a job id accepted by this scheduler.
+func (s *Scheduler) Job(id string) (*JobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	return rec, ok
+}
+
+// Jobs lists the accepted jobs in submission order.
+func (s *Scheduler) Jobs() []*JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*JobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Workloads lists the distinct workload names of accepted jobs,
+// sorted (a debugging aid; the authoritative catalog lives with the
+// Server).
+func (s *Scheduler) Workloads() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, rec := range s.jobs {
+		if rec.Workload != "" && !seen[rec.Workload] {
+			seen[rec.Workload] = true
+			out = append(out, rec.Workload)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drain stops accepting new jobs and waits for the in-flight ones to
+// finish, or until ctx expires — the graceful-shutdown path modisd
+// takes on SIGTERM. It returns ctx.Err() (with the number of jobs
+// still running) when the deadline cuts the wait short; the jobs keep
+// their own contexts and are not cancelled here.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		if s.inflight == 0 {
+			close(s.idle)
+		}
+	}
+	idle := s.idle
+	s.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		return fmt.Errorf("serve: drain interrupted with %d jobs in flight: %w", n, ctx.Err())
+	}
+}
+
+// CancelAll cancels every job still in flight (used after a drain
+// deadline passes to shut down hard).
+func (s *Scheduler) CancelAll() {
+	for _, rec := range s.Jobs() {
+		rec.Job.Cancel()
+	}
+}

@@ -1,0 +1,380 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/fst"
+	"repro/modis"
+)
+
+// SubmitRequest is the wire form of one job submission (POST /v1/jobs
+// and the JSONL "submit" op).
+type SubmitRequest struct {
+	// Workload names a configuration from the server's catalog.
+	Workload string `json:"workload"`
+	// Algorithm is a registry key or alias ("bi", "bimodis", ...).
+	Algorithm string `json:"algorithm"`
+	// Options tune the run; absent fields keep engine defaults.
+	Options *JobOptions `json:"options,omitempty"`
+	// TimeoutMS is the per-request deadline: the job is cancelled with
+	// context.DeadlineExceeded once it has run this long. 0 = none.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobOptions mirrors the engine's functional options field by field.
+// Pointer fields distinguish "absent, keep the default" from genuine
+// zero values (alpha 0, decisive measure 0), exactly like the options
+// themselves eliminate zero-value sentinels.
+type JobOptions struct {
+	Budget      *int     `json:"budget,omitempty"`
+	Epsilon     *float64 `json:"epsilon,omitempty"`
+	MaxLevel    *int     `json:"max_level,omitempty"`
+	Decisive    *int     `json:"decisive,omitempty"`
+	Theta       *float64 `json:"theta,omitempty"`
+	Prune       *bool    `json:"prune,omitempty"`
+	K           *int     `json:"k,omitempty"`
+	Alpha       *float64 `json:"alpha,omitempty"`
+	Seed        *int64   `json:"seed,omitempty"`
+	Parallelism *int     `json:"parallelism,omitempty"`
+}
+
+// toOptions maps the wire options onto engine options; validation
+// stays with the options themselves so wire and in-process callers get
+// identical errors.
+func (o *JobOptions) toOptions() []modis.Option {
+	if o == nil {
+		return nil
+	}
+	var opts []modis.Option
+	if o.Budget != nil {
+		opts = append(opts, modis.WithBudget(*o.Budget))
+	}
+	if o.Epsilon != nil {
+		opts = append(opts, modis.WithEpsilon(*o.Epsilon))
+	}
+	if o.MaxLevel != nil {
+		opts = append(opts, modis.WithMaxLevel(*o.MaxLevel))
+	}
+	if o.Decisive != nil {
+		opts = append(opts, modis.WithDecisive(*o.Decisive))
+	}
+	if o.Theta != nil {
+		opts = append(opts, modis.WithTheta(*o.Theta))
+	}
+	if o.Prune != nil && !*o.Prune {
+		opts = append(opts, modis.WithoutPruning())
+	}
+	if o.K != nil {
+		opts = append(opts, modis.WithK(*o.K))
+	}
+	if o.Alpha != nil {
+		opts = append(opts, modis.WithAlpha(*o.Alpha))
+	}
+	if o.Seed != nil {
+		opts = append(opts, modis.WithSeed(*o.Seed))
+	}
+	if o.Parallelism != nil {
+		opts = append(opts, modis.WithParallelism(*o.Parallelism))
+	}
+	return opts
+}
+
+// Job states reported over the wire.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// JobStatus is the wire form of one job's state (GET /v1/jobs/{id},
+// submit responses, and the JSONL status lines).
+type JobStatus struct {
+	JobID     string `json:"job_id"`
+	Workload  string `json:"workload,omitempty"`
+	Algorithm string `json:"algorithm"`
+	Status    string `json:"status"`
+	// Error carries the terminal error of a failed or cancelled job.
+	Error string `json:"error,omitempty"`
+	// Progress is the most recent progress event of a running job.
+	Progress *modis.Event `json:"progress,omitempty"`
+	// Report is the result of a done job.
+	Report *modis.Report `json:"report,omitempty"`
+}
+
+// statusOf snapshots a job record into its wire form.
+func statusOf(rec *JobRecord) *JobStatus {
+	st := &JobStatus{
+		JobID:     rec.Job.ID(),
+		Workload:  rec.Workload,
+		Algorithm: rec.Algorithm,
+	}
+	select {
+	case <-rec.Job.Done():
+		rep, err := rec.Job.Result()
+		switch {
+		case err == nil:
+			st.Status = StatusDone
+			st.Report = rep
+		case errors.Is(err, context.Canceled):
+			st.Status = StatusCancelled
+			st.Error = err.Error()
+		default:
+			st.Status = StatusFailed
+			st.Error = err.Error()
+		}
+	default:
+		if rec.Job.Started() {
+			st.Status = StatusRunning
+		} else {
+			st.Status = StatusQueued
+		}
+		if ev, ok := rec.Job.LastEvent(); ok {
+			st.Progress = &ev
+		}
+	}
+	return st
+}
+
+// Server exposes a Scheduler and a catalog of named workloads over
+// HTTP:
+//
+//	POST   /v1/jobs             submit (SubmitRequest → JobStatus, 202)
+//	GET    /v1/jobs             list accepted jobs
+//	GET    /v1/jobs/{id}        status + report once done
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/events progress as server-sent events
+//	GET    /v1/workloads        workload catalog
+//	GET    /v1/algorithms       registry keys
+//	GET    /healthz             readiness
+//
+// Errors are JSON bodies {"error": "..."}: 400 for malformed requests,
+// unknown algorithms (the body carries the registry's known-keys
+// message verbatim) and invalid options, 404 for unknown workloads and
+// jobs, 503 while draining. The same Server also speaks JSONL (see
+// ServeJSONL). Jobs live on the server's own context, not the
+// submitting request's, so they survive their submitter disconnecting;
+// Close cancels them all.
+type Server struct {
+	sched     *Scheduler
+	workloads map[string]*fst.Config
+	names     []string
+	mux       *http.ServeMux
+	ctx       context.Context
+	stop      context.CancelFunc
+}
+
+// NewServer builds a Server over a scheduler and a workload catalog
+// (name → configuration; the map is captured as-is and must not be
+// mutated afterwards).
+func NewServer(sched *Scheduler, workloads map[string]*fst.Config) *Server {
+	s := &Server{
+		sched:     sched,
+		workloads: workloads,
+		mux:       http.NewServeMux(),
+	}
+	s.ctx, s.stop = context.WithCancel(context.Background())
+	for name := range workloads {
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels every job submitted through this server (their base
+// context is the server's). Call after draining when shutting down
+// hard.
+func (s *Server) Close() { s.stop() }
+
+// Submit runs one wire-form submission through the scheduler — shared
+// by the HTTP and JSONL fronts.
+func (s *Server) Submit(req SubmitRequest) (*modis.Job, error) {
+	cfg, ok := s.workloads[req.Workload]
+	if !ok {
+		return nil, &wireError{
+			status: http.StatusNotFound,
+			msg:    fmt.Sprintf("serve: unknown workload %q (known: %s)", req.Workload, strings.Join(s.names, ", ")),
+		}
+	}
+	ctx := s.ctx
+	var cancel context.CancelFunc
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	}
+	job, err := s.sched.Submit(ctx, req.Workload, cfg, req.Algorithm, req.Options.toOptions()...)
+	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		// Draining is the only retryable submit failure; everything
+		// else — unknown algorithm (the registry's typed error, known
+		// keys in the message), invalid options — is the client's.
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDraining) {
+			status = http.StatusServiceUnavailable
+		}
+		return nil, &wireError{status: status, msg: err.Error()}
+	}
+	if cancel != nil {
+		go func() {
+			<-job.Done()
+			cancel()
+		}()
+	}
+	return job, nil
+}
+
+// wireError pairs an error message with the HTTP status it should
+// travel under.
+type wireError struct {
+	status int
+	msg    string
+}
+
+func (e *wireError) Error() string { return e.msg }
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: malformed submit request: %w", err))
+		return
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rec, _ := s.sched.Job(job.ID())
+	writeJSON(w, http.StatusAccepted, statusOf(rec))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	recs := s.sched.Jobs()
+	out := make([]*JobStatus, 0, len(recs))
+	for _, rec := range recs {
+		st := statusOf(rec)
+		st.Report = nil // list is a summary; fetch the job for the report
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*JobRecord, bool) {
+	id := r.PathValue("id")
+	rec, ok := s.sched.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return nil, false
+	}
+	return rec, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(rec))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	rec.Job.Cancel()
+	// Report the post-cancel state: a job cancelled here observes the
+	// cancellation at valuation granularity, so Done may lag a moment.
+	writeJSON(w, http.StatusOK, statusOf(rec))
+}
+
+// handleEvents streams the job's progress events as server-sent
+// events: one "progress" event per modis.Event — the same events, in
+// the same order, an in-process WithProgress callback observes — and a
+// final "end" event carrying the terminal JobStatus.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("serve: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for ev := range rec.Job.EventsContext(r.Context()) {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+	// The stream drained: either the job finished or the client went
+	// away. Send the terminal status when there is one.
+	select {
+	case <-rec.Job.Done():
+		st := statusOf(rec)
+		st.Report = nil // the report travels over GET /v1/jobs/{id}
+		data, err := json.Marshal(st)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: end\ndata: %s\n\n", data)
+		fl.Flush()
+	default:
+	}
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.names)
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, modis.Algorithms())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, fallback int, err error) {
+	status := fallback
+	var we *wireError
+	if errors.As(err, &we) {
+		status = we.status
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
