@@ -69,6 +69,11 @@ func main() {
 		align     = flag.Duration("align", 0, "frontier alignment window (0 = default 2ms)")
 		maxJobs   = flag.Int("max-concurrent", 0, "max searches executing at once; excess jobs queue (0 = unbounded)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+
+		stateDir  = flag.String("state-dir", "", "directory for crash-safe state (memoized valuations + job ledger); empty = in-memory only")
+		commitInt = flag.Duration("commit-interval", 100*time.Millisecond, "max latency before pending state records are committed to disk")
+		commitThr = flag.Int("commit-threshold", 64, "pending state records that force an immediate commit")
+		ledgerWin = flag.Int("ledger-window", 128, "finished jobs kept fully in memory; older ones are served from the on-disk ledger")
 	)
 	flag.Parse()
 
@@ -80,10 +85,39 @@ func main() {
 		fatal(errors.New("no workloads: give -tasks and/or -tables/-target"))
 	}
 
+	// Crash-safe state: recover the memo of every workload (a restarted
+	// daemon warm-starts from its persisted valuations) and the job
+	// ledger. Persistence failures are never fatal — a store that can't
+	// open leaves that workload in-memory and shows up in /healthz.
+	var persist *serve.Persistence
+	if *stateDir != "" {
+		var err error
+		persist, err = serve.OpenPersistence(serve.PersistOptions{
+			Dir:             *stateDir,
+			CommitInterval:  *commitInt,
+			CommitThreshold: *commitThr,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for name, cfg := range workloads {
+			if cfg.Tests == nil {
+				cfg.Tests = fst.NewTestSet()
+			}
+			if err := persist.AttachMemo(name, cfg.Tests); err != nil {
+				fmt.Fprintf(os.Stderr, "modisd: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "modisd: workload %s warm-starts with %d memoized valuations\n", name, cfg.Tests.Len())
+			}
+		}
+	}
+
 	sched := serve.NewScheduler(serve.SchedulerOptions{
 		AlignWindow:   *align,
 		Parallelism:   *parallel,
 		MaxConcurrent: *maxJobs,
+		Persist:       persist,
+		LedgerWindow:  *ledgerWin,
 	})
 	srv := serve.NewServer(sched, workloads)
 
@@ -96,7 +130,7 @@ func main() {
 		if err := srv.ServeJSONL(ctx, os.Stdin, os.Stdout); err != nil && !errors.Is(err, context.Canceled) {
 			fatal(err)
 		}
-		drainAndClose(sched, srv, *drain)
+		drainAndClose(sched, srv, persist, *drain)
 		return
 	}
 
@@ -130,16 +164,24 @@ func main() {
 		sched.CancelAll()
 	}
 	srv.Close()
+	if persist != nil {
+		// Final flush: everything memoized or finished so far becomes
+		// durable before the process exits.
+		persist.Close()
+	}
 	fmt.Fprintln(os.Stderr, "modisd: bye")
 }
 
-func drainAndClose(sched *serve.Scheduler, srv *serve.Server, budget time.Duration) {
+func drainAndClose(sched *serve.Scheduler, srv *serve.Server, persist *serve.Persistence, budget time.Duration) {
 	ctx, cancel := context.WithTimeout(context.Background(), budget)
 	defer cancel()
 	if err := sched.Drain(ctx); err != nil {
 		sched.CancelAll()
 	}
 	srv.Close()
+	if persist != nil {
+		persist.Close()
+	}
 }
 
 // buildCatalog assembles the named workload configurations.

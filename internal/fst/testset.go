@@ -36,6 +36,7 @@ type TestSet struct {
 
 	ordMu sync.RWMutex
 	order []*Test
+	sink  func(*Test)
 }
 
 // testShards is the shard count of the key map; a power of two so the
@@ -194,10 +195,30 @@ func (ts *TestSet) Put(t *Test) *Test {
 		if enter {
 			ts.ordMu.Lock()
 			ts.order = append(ts.order, canonical)
+			if ts.sink != nil {
+				// Under ordMu on purpose: the sink sees tests in exactly
+				// the order All() reports, so a persisted log replayed
+				// through Put reconstructs the valuation order verbatim.
+				ts.sink(canonical)
+			}
 			ts.ordMu.Unlock()
 		}
 		return canonical
 	}
+}
+
+// SetSink installs fn to observe every test the moment it enters the
+// valuation order — the persistence hook. fn runs with the order lock
+// held (Len/All/Columns block while it runs), sees tests in exactly
+// valuation order, and must therefore be fast and non-blocking; a
+// write-behind enqueue qualifies. A nil fn detaches. Tests already in
+// the order are not replayed to fn — install the sink before the
+// first Put (recovery does: replay feeds Put first, then the sink is
+// attached).
+func (ts *TestSet) SetSink(fn func(*Test)) {
+	ts.ordMu.Lock()
+	ts.sink = fn
+	ts.ordMu.Unlock()
 }
 
 // Len returns the number of recorded tests.

@@ -1,0 +1,68 @@
+package fst
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/skyline"
+)
+
+// TestSinkSeesValuationOrder: under concurrent Puts, the sink's
+// sequence is exactly the valuation order All() reports — the
+// invariant the persisted memo log relies on.
+func TestSinkSeesValuationOrder(t *testing.T) {
+	ts := NewTestSet()
+	var mu sync.Mutex
+	var sunk []StateKey
+	ts.SetSink(func(tt *Test) {
+		mu.Lock()
+		sunk = append(sunk, tt.Key)
+		mu.Unlock()
+	})
+
+	const n = 200
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				// Overlapping keys across workers: each key must reach
+				// the sink exactly once.
+				k := StateKey(uint64(i)*2654435761 + uint64(w%2))
+				ts.Put(&Test{Key: k, Perf: skyline.Vector{float64(i)}})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	order := ts.All()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sunk) != len(order) {
+		t.Fatalf("sink saw %d tests, order has %d", len(sunk), len(order))
+	}
+	for i, tt := range order {
+		if sunk[i] != tt.Key {
+			t.Fatalf("sink order diverges from valuation order at %d: %x vs %x", i, sunk[i], tt.Key)
+		}
+	}
+}
+
+// TestSinkIdempotentPut: re-Putting an existing key neither re-sinks
+// nor re-orders it — replayed logs with duplicate records (a retried
+// batch after a failed fsync) recover to the same state.
+func TestSinkIdempotentPut(t *testing.T) {
+	ts := NewTestSet()
+	var sunk int
+	ts.SetSink(func(*Test) { sunk++ })
+	first := &Test{Key: 7, Perf: skyline.Vector{1, 2}}
+	ts.Put(first)
+	got := ts.Put(&Test{Key: 7, Perf: skyline.Vector{9, 9}})
+	if got != first {
+		t.Fatal("second Put did not return the canonical test")
+	}
+	if sunk != 1 || ts.Len() != 1 {
+		t.Fatalf("sunk=%d len=%d, want 1/1", sunk, ts.Len())
+	}
+}

@@ -20,27 +20,75 @@ type frame struct {
 	// base[f] holds positions 0..n-1 sorted ascending by
 	// (cols[f][p], p); growth works on copies it partitions in place.
 	base [][]int32
+
+	// Backing slabs, retained across the pool so a recycled frame of
+	// the same shape reslices instead of reallocating. ybuf backs y
+	// only for frames that own their target (ownY); frames built over
+	// a caller's y alias it and putFrame drops the alias.
+	colBuf []float64
+	ordBuf []int32
+	ybuf   []float64
 }
 
-// newFrame allocates a frame's column and order storage from two slabs.
-func newFrame(nf, n int) *frame {
-	fr := &frame{n: n, nf: nf}
-	colBuf := make([]float64, nf*n)
-	ordBuf := make([]int32, nf*n)
-	fr.cols = make([][]float64, nf)
-	fr.base = make([][]int32, nf)
-	for f := 0; f < nf; f++ {
-		fr.cols[f] = colBuf[f*n : (f+1)*n]
-		fr.base[f] = ordBuf[f*n : (f+1)*n]
+// getFrame hands out a frame with cols/base carved from pooled slabs,
+// recycling the scratch's free list — the successor of the former
+// newFrame allocation, which was the largest remaining per-valuation
+// allocation of a discovery run.
+func (ws *treeScratch) getFrame(nf, n int) *frame {
+	var fr *frame
+	if k := len(ws.frameFree); k > 0 {
+		fr = ws.frameFree[k-1]
+		ws.frameFree = ws.frameFree[:k-1]
+	} else {
+		fr = &frame{}
 	}
+	fr.n, fr.nf = n, nf
+	if need := nf * n; cap(fr.colBuf) < need {
+		fr.colBuf = make([]float64, need)
+		fr.ordBuf = make([]int32, need)
+	}
+	if cap(fr.cols) < nf {
+		fr.cols = make([][]float64, nf)
+		fr.base = make([][]int32, nf)
+	}
+	fr.cols = fr.cols[:nf]
+	fr.base = fr.base[:nf]
+	for f := 0; f < nf; f++ {
+		fr.cols[f] = fr.colBuf[f*n : (f+1)*n]
+		fr.base[f] = fr.ordBuf[f*n : (f+1)*n]
+	}
+	fr.y = nil
 	return fr
+}
+
+// putFrame returns a frame to the scratch's free list once its fit is
+// done. The target alias is dropped first: frames built by
+// frameFromRows alias the caller's y, and the pool must not retain
+// another fit's labels.
+func (ws *treeScratch) putFrame(fr *frame) {
+	if fr == nil {
+		return
+	}
+	fr.y = nil
+	ws.frameFree = append(ws.frameFree, fr)
+}
+
+// ownY points the frame's target at its own pooled slab (resized to
+// n) for constructions that fill y rather than alias a caller's
+// slice.
+func (fr *frame) ownY(n int) []float64 {
+	if cap(fr.ybuf) < n {
+		fr.ybuf = make([]float64, n)
+	}
+	fr.y = fr.ybuf[:n]
+	return fr.y
 }
 
 // frameFromRows builds the fitting frame of a row-major dataset:
 // transpose once, presort every feature once. The per-node sorts of the
 // former CART implementation collapse into this single pass.
-func frameFromRows(X [][]float64, y []float64) *frame {
-	fr := frameFromRowsRaw(X, y)
+func frameFromRows(X [][]float64, y []float64, ws *treeScratch) *frame {
+	fr := frameFromRowsRaw(X, y, ws)
 	for f := 0; f < fr.nf; f++ {
 		sortOrder(fr.cols[f], fr.base[f])
 	}
@@ -50,13 +98,13 @@ func frameFromRows(X [][]float64, y []float64) *frame {
 // frameFromRowsRaw transposes without deriving the presorted orders,
 // for consumers that re-quantize the columns first (HistGBM) and would
 // throw the orders away.
-func frameFromRowsRaw(X [][]float64, y []float64) *frame {
+func frameFromRowsRaw(X [][]float64, y []float64, ws *treeScratch) *frame {
 	n := len(X)
 	nf := 0
 	if n > 0 {
 		nf = len(X[0])
 	}
-	fr := newFrame(nf, n)
+	fr := ws.getFrame(nf, n)
 	fr.y = y
 	for i, r := range X {
 		for f := 0; f < nf; f++ {
@@ -94,12 +142,12 @@ func (s *posSorter) Less(i, j int) bool {
 }
 func (s *posSorter) Swap(i, j int) { s.pos[i], s.pos[j] = s.pos[j], s.pos[i] }
 
-// subFrame gathers the positions ps of a parent frame into a fresh
+// subFrame gathers the positions ps of a parent frame into a pooled
 // frame (used by row-subsampling ensembles); orders are re-derived on
-// the gathered columns.
-func subFrame(fr *frame, ps []int) *frame {
-	out := newFrame(fr.nf, len(ps))
-	out.y = make([]float64, len(ps))
+// the gathered columns. The caller releases it with putFrame.
+func subFrame(fr *frame, ps []int, ws *treeScratch) *frame {
+	out := ws.getFrame(fr.nf, len(ps))
+	out.ownY(len(ps))
 	for i, p := range ps {
 		out.y[i] = fr.y[p]
 		for f := 0; f < fr.nf; f++ {
@@ -191,10 +239,10 @@ func (d *Dataset) Col(f int, dst []float64) []float64 {
 	return dst
 }
 
-func (d *Dataset) buildFrame(*treeScratch) *frame {
-	return frameFromRows(d.X, d.Y)
+func (d *Dataset) buildFrame(ws *treeScratch) *frame {
+	return frameFromRows(d.X, d.Y, ws)
 }
 
-func (d *Dataset) buildRawFrame(*treeScratch) *frame {
-	return frameFromRowsRaw(d.X, d.Y)
+func (d *Dataset) buildRawFrame(ws *treeScratch) *frame {
+	return frameFromRowsRaw(d.X, d.Y, ws)
 }

@@ -38,14 +38,18 @@ type ForestClassifier struct {
 // Fit trains the forest.
 func (f *ForestClassifier) Fit(X [][]float64, y []float64) {
 	ws := getScratch()
-	f.fitFrame(frameFromRows(X, y), ws)
+	fr := frameFromRows(X, y, ws)
+	f.fitFrame(fr, ws)
+	ws.putFrame(fr)
 	putScratch(ws)
 }
 
 // FitData trains the forest on a columnar data view.
 func (f *ForestClassifier) FitData(d Data) {
 	ws := getScratch()
-	f.fitFrame(d.buildFrame(ws), ws)
+	fr := d.buildFrame(ws)
+	f.fitFrame(fr, ws)
+	ws.putFrame(fr)
 	putScratch(ws)
 }
 
@@ -63,7 +67,7 @@ func (f *ForestClassifier) fitFrame(fr *frame, ws *treeScratch) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	f.trees = make([]*TreeClassifier, cfg.NumTrees)
-	bs := newBootstrapper(fr)
+	bs := newBootstrapper(fr, ws)
 	for t := 0; t < cfg.NumTrees; t++ {
 		bfr := bs.resample(rng)
 		tree := &TreeClassifier{
@@ -78,6 +82,7 @@ func (f *ForestClassifier) fitFrame(fr *frame, ws *treeScratch) {
 		tree.fitFrame(bfr, ws)
 		f.trees[t] = tree
 	}
+	ws.putFrame(bs.out)
 }
 
 // PredictProba returns averaged class probabilities.
@@ -124,14 +129,18 @@ type ForestRegressor struct {
 // Fit trains the forest.
 func (f *ForestRegressor) Fit(X [][]float64, y []float64) {
 	ws := getScratch()
-	f.fitFrame(frameFromRows(X, y), ws)
+	fr := frameFromRows(X, y, ws)
+	f.fitFrame(fr, ws)
+	ws.putFrame(fr)
 	putScratch(ws)
 }
 
 // FitData trains the forest on a columnar data view.
 func (f *ForestRegressor) FitData(d Data) {
 	ws := getScratch()
-	f.fitFrame(d.buildFrame(ws), ws)
+	fr := d.buildFrame(ws)
+	f.fitFrame(fr, ws)
+	ws.putFrame(fr)
 	putScratch(ws)
 }
 
@@ -146,7 +155,7 @@ func (f *ForestRegressor) fitFrame(fr *frame, ws *treeScratch) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	f.trees = make([]*TreeRegressor, cfg.NumTrees)
-	bs := newBootstrapper(fr)
+	bs := newBootstrapper(fr, ws)
 	for t := 0; t < cfg.NumTrees; t++ {
 		bfr := bs.resample(rng)
 		tree := &TreeRegressor{Config: TreeConfig{
@@ -158,6 +167,7 @@ func (f *ForestRegressor) fitFrame(fr *frame, ws *treeScratch) {
 		tree.fitFrame(bfr, ws)
 		f.trees[t] = tree
 	}
+	ws.putFrame(bs.out)
 }
 
 // Predict averages tree outputs.
@@ -200,9 +210,9 @@ type bootstrapper struct {
 	cnt    []int32 // counting-sort scratch
 }
 
-func newBootstrapper(fr *frame) *bootstrapper {
-	b := &bootstrapper{base: fr, out: newFrame(fr.nf, fr.n)}
-	b.out.y = make([]float64, fr.n)
+func newBootstrapper(fr *frame, ws *treeScratch) *bootstrapper {
+	b := &bootstrapper{base: fr, out: ws.getFrame(fr.nf, fr.n)}
+	b.out.ownY(fr.n)
 	b.boot = make([]int32, fr.n)
 	b.cnt = make([]int32, fr.n+1)
 	b.rankOf = make([][]int32, fr.nf)

@@ -46,14 +46,18 @@ type GBMRegressor struct {
 // Fit trains the boosted ensemble on (X, y).
 func (g *GBMRegressor) Fit(X [][]float64, y []float64) {
 	ws := getScratch()
-	g.fitFrame(frameFromRows(X, y), ws)
+	fr := frameFromRows(X, y, ws)
+	g.fitFrame(fr, ws)
+	ws.putFrame(fr)
 	putScratch(ws)
 }
 
 // FitData trains the boosted ensemble on a columnar data view.
 func (g *GBMRegressor) FitData(d Data) {
 	ws := getScratch()
-	g.fitFrame(d.buildFrame(ws), ws)
+	fr := d.buildFrame(ws)
+	g.fitFrame(fr, ws)
+	ws.putFrame(fr)
 	putScratch(ws)
 }
 
@@ -127,9 +131,10 @@ func fitStage(tree *TreeRegressor, fr *frame, target []float64, subsampleFrac fl
 	ps := rng.Perm(fr.n)[:n]
 	saved := fr.y
 	fr.y = target
-	sub := subFrame(fr, ps)
+	sub := subFrame(fr, ps, ws)
 	fr.y = saved
 	tree.fitFrame(sub, ws)
+	ws.putFrame(sub)
 }
 
 // GBMClassifier is binary gradient boosting with logistic loss; labels
@@ -144,14 +149,18 @@ type GBMClassifier struct {
 // Fit trains the boosted classifier on (X, y) with y in {0, 1}.
 func (g *GBMClassifier) Fit(X [][]float64, y []float64) {
 	ws := getScratch()
-	g.fitFrame(frameFromRows(X, y), ws)
+	fr := frameFromRows(X, y, ws)
+	g.fitFrame(fr, ws)
+	ws.putFrame(fr)
 	putScratch(ws)
 }
 
 // FitData trains the boosted classifier on a columnar data view.
 func (g *GBMClassifier) FitData(d Data) {
 	ws := getScratch()
-	g.fitFrame(d.buildFrame(ws), ws)
+	fr := d.buildFrame(ws)
+	g.fitFrame(fr, ws)
+	ws.putFrame(fr)
 	putScratch(ws)
 }
 

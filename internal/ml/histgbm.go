@@ -49,6 +49,7 @@ func (h *HistGBMClassifier) FitData(d Data) {
 	binFrame(fr, h.bins, &ws.cnt)
 	h.inner = GBMClassifier{Config: h.Config.GBM}
 	h.inner.fitFrame(fr, ws)
+	ws.putFrame(fr)
 	putScratch(ws)
 }
 

@@ -439,11 +439,11 @@ func (v *View) buildFrame(ws *treeScratch) *frame {
 
 // buildRawFrame gathers the encoded columns and target without
 // deriving the presorted orders (see Data.buildRawFrame).
-func (v *View) buildRawFrame(*treeScratch) *frame {
+func (v *View) buildRawFrame(ws *treeScratch) *frame {
 	n := len(v.rows)
 	nf := len(v.feats)
-	fr := newFrame(nf, n)
-	fr.y = make([]float64, n)
+	fr := ws.getFrame(nf, n)
+	fr.ownY(n)
 	for i, r := range v.rows {
 		fr.y[i] = v.labelOf(r)
 	}

@@ -320,8 +320,9 @@ func TestBootstrapOrdersMatchSort(t *testing.T) {
 		X[i] = []float64{float64(i % 3), float64(rng.Intn(5)), rng.Float64()}
 		y[i] = rng.Float64()
 	}
-	fr := frameFromRows(X, y)
-	bs := newBootstrapper(fr)
+	ws := &treeScratch{}
+	fr := frameFromRows(X, y, ws)
+	bs := newBootstrapper(fr, ws)
 	for trial := 0; trial < 6; trial++ {
 		bfr := bs.resample(rng)
 		for f := 0; f < bfr.nf; f++ {

@@ -62,6 +62,10 @@ type treeScratch struct {
 	// cnt backs counting sorts over presorted value ranks.
 	cnt []int32
 
+	// frameFree recycles fitting frames (column/order slabs) across the
+	// fits sharing this scratch — see getFrame/putFrame in colfit.go.
+	frameFree []*frame
+
 	// nodes is the current treeNode slab: newNode hands out slots until
 	// the chunk is spent, then starts a fresh one. Chunks are never
 	// recycled — handed-out nodes live as long as their tree — so one
@@ -124,14 +128,18 @@ type TreeRegressor struct {
 // Fit grows the tree on (X, y).
 func (t *TreeRegressor) Fit(X [][]float64, y []float64) {
 	ws := getScratch()
-	t.fitFrame(frameFromRows(X, y), ws)
+	fr := frameFromRows(X, y, ws)
+	t.fitFrame(fr, ws)
+	ws.putFrame(fr)
 	putScratch(ws)
 }
 
 // FitData grows the tree on a columnar data view.
 func (t *TreeRegressor) FitData(d Data) {
 	ws := getScratch()
-	t.fitFrame(d.buildFrame(ws), ws)
+	fr := d.buildFrame(ws)
+	t.fitFrame(fr, ws)
+	ws.putFrame(fr)
 	putScratch(ws)
 }
 
@@ -157,14 +165,18 @@ type TreeClassifier struct {
 // Fit grows the tree on (X, y) where y holds class ids 0..NumClass-1.
 func (t *TreeClassifier) Fit(X [][]float64, y []float64) {
 	ws := getScratch()
-	t.fitFrame(frameFromRows(X, y), ws)
+	fr := frameFromRows(X, y, ws)
+	t.fitFrame(fr, ws)
+	ws.putFrame(fr)
 	putScratch(ws)
 }
 
 // FitData grows the tree on a columnar data view.
 func (t *TreeClassifier) FitData(d Data) {
 	ws := getScratch()
-	t.fitFrame(d.buildFrame(ws), ws)
+	fr := d.buildFrame(ws)
+	t.fitFrame(fr, ws)
+	ws.putFrame(fr)
 	putScratch(ws)
 }
 

@@ -1,0 +1,345 @@
+package wal
+
+import (
+	"sync"
+	"time"
+)
+
+// CommitterOptions tune the write-behind committer: flush when the
+// batch reaches Threshold records or when the oldest pending record
+// has waited Interval, whichever comes first — the commit-interval ×
+// batch-threshold trade-off pair.
+type CommitterOptions struct {
+	// Interval is the maximum time a record waits before a flush is
+	// forced. <= 0 means the default (100ms).
+	Interval time.Duration
+	// Threshold is the batch size that forces an immediate flush.
+	// <= 0 means the default (64).
+	Threshold int
+	// MaxPending bounds the in-memory backlog while the disk is
+	// failing. When the backlog is full, newly enqueued records are
+	// dropped (newest-first), so the durable log stays a prefix of the
+	// enqueue order. <= 0 means the default (65536).
+	MaxPending int
+	// RetryBase is the first backoff after a failed flush; backoff
+	// doubles per consecutive failure up to RetryCap. Defaults:
+	// 50ms base, 5s cap.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+}
+
+func (o *CommitterOptions) withDefaults() CommitterOptions {
+	out := *o
+	if out.Interval <= 0 {
+		out.Interval = 100 * time.Millisecond
+	}
+	if out.Threshold <= 0 {
+		out.Threshold = 64
+	}
+	if out.MaxPending <= 0 {
+		out.MaxPending = 65536
+	}
+	if out.RetryBase <= 0 {
+		out.RetryBase = 50 * time.Millisecond
+	}
+	if out.RetryCap <= 0 {
+		out.RetryCap = 5 * time.Second
+	}
+	return out
+}
+
+// Health is a point-in-time snapshot of a committer's condition —
+// what healthz reports per store.
+type Health struct {
+	// Healthy is false while flushes are failing.
+	Healthy bool `json:"healthy"`
+	// Err is the most recent flush error, empty when healthy.
+	Err string `json:"error,omitempty"`
+	// Failures counts consecutive failed flushes (resets on success).
+	Failures int `json:"consecutive_failures,omitempty"`
+	// Pending is the in-memory backlog not yet durable.
+	Pending int `json:"pending"`
+	// Dropped counts records discarded because the backlog was full.
+	Dropped uint64 `json:"dropped,omitempty"`
+	// Flushed counts records made durable since the committer started.
+	Flushed uint64 `json:"flushed"`
+}
+
+// pendingRec is one queued record and its durability callback.
+type pendingRec struct {
+	payload   []byte
+	enqueued  time.Time
+	onDurable func(RecordRef)
+}
+
+// Committer is the write-behind half of graceful degradation: the
+// producer enqueues and immediately moves on; a background goroutine
+// batches records to a flush function. A failing disk never surfaces
+// to the producer — the committer keeps the batch, retries with
+// capped exponential backoff, sheds the newest records if the backlog
+// overflows, and reports it all through Health.
+type Committer struct {
+	opts  CommitterOptions
+	flush func(batch []pendingRec) (int, error)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []pendingRec
+	closed  bool
+
+	healthy  bool
+	lastErr  error
+	failures int
+	dropped  uint64
+	flushed  uint64
+
+	done chan struct{}
+}
+
+// NewCommitter starts a committer draining into flush. flush receives
+// a batch in enqueue order and returns how many records of the prefix
+// it made durable (it may be short on partial failure); those records'
+// onDurable callbacks fire after flush returns, in order. flush is
+// called from the committer goroutine only.
+func NewCommitter(opts CommitterOptions, flush func(batch []pendingRec) (int, error)) *Committer {
+	c := &Committer{
+		opts:    opts.withDefaults(),
+		flush:   flush,
+		healthy: true,
+		done:    make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.loop()
+	return c
+}
+
+// NewStoreCommitter is the common wiring: a committer that appends
+// each record to store and syncs once per batch. Records whose
+// Append fails after a successful prefix report that prefix as
+// durable; a failed Sync fails the whole batch, and the retried
+// batch may re-append records that did land — consumers' replay must
+// be idempotent (both wal consumers are: TestSet.Put is first-writer-
+// wins per key, ledger entries overwrite by job id).
+func NewStoreCommitter(opts CommitterOptions, store *Store) *Committer {
+	return NewCommitter(opts, func(batch []pendingRec) (int, error) {
+		refs := make([]RecordRef, 0, len(batch))
+		for _, rec := range batch {
+			ref, err := store.Append(rec.payload)
+			if err != nil {
+				// Sync what did land so the prefix survives a crash.
+				if len(refs) > 0 {
+					if serr := store.Sync(); serr != nil {
+						return 0, serr
+					}
+					for i, r := range refs {
+						if batch[i].onDurable != nil {
+							batch[i].onDurable(r)
+						}
+					}
+				}
+				return len(refs), err
+			}
+			refs = append(refs, ref)
+		}
+		if err := store.Sync(); err != nil {
+			return 0, err
+		}
+		for i, r := range refs {
+			if batch[i].onDurable != nil {
+				batch[i].onDurable(r)
+			}
+		}
+		return len(refs), nil
+	})
+}
+
+// Enqueue hands one record to the committer. It never blocks and
+// never fails: if the backlog is at MaxPending the record is counted
+// dropped instead (newest-first shedding keeps the durable log a
+// prefix of enqueue order). onDurable, if non-nil, runs on the
+// committer goroutine once the record is flushed and synced.
+func (c *Committer) Enqueue(payload []byte, onDurable func(RecordRef)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.pending) >= c.opts.MaxPending {
+		c.dropped++
+		return
+	}
+	c.pending = append(c.pending, pendingRec{
+		payload:   payload,
+		enqueued:  time.Now(),
+		onDurable: onDurable,
+	})
+	// Always wake the loop: even below threshold it must start the
+	// interval clock for an age-based flush.
+	c.cond.Signal()
+}
+
+// Health snapshots the committer's condition.
+func (c *Committer) Health() Health {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := Health{
+		Healthy:  c.healthy,
+		Failures: c.failures,
+		Pending:  len(c.pending),
+		Dropped:  c.dropped,
+		Flushed:  c.flushed,
+	}
+	if c.lastErr != nil {
+		h.Err = c.lastErr.Error()
+	}
+	return h
+}
+
+// Flush forces everything pending out now (bypassing backoff) and
+// reports whether the backlog fully drained.
+func (c *Committer) Flush() bool {
+	c.mu.Lock()
+	for len(c.pending) > 0 {
+		batch := c.pending
+		c.pending = nil
+		c.mu.Unlock()
+		n, err := c.flush(batch)
+		c.mu.Lock()
+		c.noteFlush(batch, n, err)
+		if err != nil {
+			break
+		}
+	}
+	drained := len(c.pending) == 0
+	c.mu.Unlock()
+	return drained
+}
+
+// Close makes a final flush attempt (one try, no retry loop — the
+// process is exiting) and stops the goroutine. Returns whether the
+// backlog fully drained.
+func (c *Committer) Close() bool {
+	c.mu.Lock()
+	if c.closed {
+		drained := len(c.pending) == 0
+		c.mu.Unlock()
+		return drained
+	}
+	c.closed = true
+	c.cond.Signal()
+	c.mu.Unlock()
+	<-c.done
+	return c.Flush()
+}
+
+// noteFlush folds one flush attempt's outcome into the health state
+// and re-queues the unflushed suffix ahead of anything enqueued since.
+// Caller holds c.mu.
+func (c *Committer) noteFlush(batch []pendingRec, n int, err error) {
+	if n > len(batch) {
+		n = len(batch)
+	}
+	c.flushed += uint64(n)
+	rest := batch[n:]
+	if len(rest) > 0 {
+		c.pending = append(rest[:len(rest):len(rest)], c.pending...)
+		// Re-queueing may push the backlog past MaxPending; shed the
+		// newest overflow so the durable prefix property holds.
+		if over := len(c.pending) - c.opts.MaxPending; over > 0 {
+			c.pending = c.pending[:c.opts.MaxPending]
+			c.dropped += uint64(over)
+		}
+	}
+	if err != nil {
+		c.healthy = false
+		c.lastErr = err
+		c.failures++
+	} else {
+		c.healthy = true
+		c.lastErr = nil
+		c.failures = 0
+	}
+}
+
+// backoffLocked computes the current retry delay. Caller holds c.mu.
+func (c *Committer) backoffLocked() time.Duration {
+	if c.failures == 0 {
+		return 0
+	}
+	d := c.opts.RetryBase
+	for i := 1; i < c.failures && d < c.opts.RetryCap; i++ {
+		d *= 2
+	}
+	if d > c.opts.RetryCap {
+		d = c.opts.RetryCap
+	}
+	return d
+}
+
+func (c *Committer) loop() {
+	defer close(c.done)
+	c.mu.Lock()
+	for {
+		// Wait for work, a deadline, or close. The interval timer only
+		// matters while something is pending.
+		for len(c.pending) == 0 && !c.closed {
+			c.mu.Unlock()
+			// No pending work: sleep until signaled via a short poll —
+			// cond.Wait with a timeout isn't in the stdlib, so wake on
+			// Signal (threshold) or poll at the interval for age-based
+			// flushes.
+			woke := make(chan struct{})
+			go func() {
+				c.mu.Lock()
+				for len(c.pending) == 0 && !c.closed {
+					c.cond.Wait()
+				}
+				c.mu.Unlock()
+				close(woke)
+			}()
+			<-woke
+			c.mu.Lock()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+
+		// Something is pending. Decide whether to flush now or wait
+		// out the remaining interval / backoff.
+		wait := time.Duration(0)
+		if len(c.pending) < c.opts.Threshold {
+			oldest := c.pending[0].enqueued
+			if age := time.Since(oldest); age < c.opts.Interval {
+				wait = c.opts.Interval - age
+			}
+		}
+		if b := c.backoffLocked(); b > wait {
+			wait = b
+		}
+		if wait > 0 {
+			c.mu.Unlock()
+			time.Sleep(wait)
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				return
+			}
+			if len(c.pending) == 0 {
+				continue
+			}
+			// Re-check: unless the threshold tripped while sleeping,
+			// only flush if the oldest record has now aged out or we
+			// were backing off anyway.
+			if len(c.pending) < c.opts.Threshold &&
+				time.Since(c.pending[0].enqueued) < c.opts.Interval &&
+				c.failures == 0 {
+				continue
+			}
+		}
+
+		batch := c.pending
+		c.pending = nil
+		c.mu.Unlock()
+		n, err := c.flush(batch)
+		c.mu.Lock()
+		c.noteFlush(batch, n, err)
+	}
+}

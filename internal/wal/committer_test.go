@@ -1,0 +1,291 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestCommitterThresholdFlush(t *testing.T) {
+	var mu sync.Mutex
+	var flushedBatches [][]int
+	c := NewCommitter(CommitterOptions{Interval: time.Hour, Threshold: 4}, func(batch []pendingRec) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		var sizes []int
+		for _, r := range batch {
+			sizes = append(sizes, len(r.payload))
+		}
+		flushedBatches = append(flushedBatches, sizes)
+		return len(batch), nil
+	})
+	defer c.Close()
+
+	for i := 0; i < 4; i++ {
+		c.Enqueue(make([]byte, i+1), nil)
+	}
+	waitFor(t, "threshold flush", func() bool {
+		return c.Health().Flushed == 4
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, b := range flushedBatches {
+		total += len(b)
+	}
+	if total != 4 {
+		t.Fatalf("flushed %d records total, want 4 (batches %v)", total, flushedBatches)
+	}
+}
+
+func TestCommitterIntervalFlush(t *testing.T) {
+	c := NewCommitter(CommitterOptions{Interval: 20 * time.Millisecond, Threshold: 1000}, func(batch []pendingRec) (int, error) {
+		return len(batch), nil
+	})
+	defer c.Close()
+	c.Enqueue([]byte("one"), nil)
+	waitFor(t, "interval flush", func() bool { return c.Health().Flushed == 1 })
+}
+
+func TestCommitterDegradesAndRecovers(t *testing.T) {
+	var mu sync.Mutex
+	failing := true
+	var flushed []string
+	c := NewCommitter(CommitterOptions{
+		Interval: 5 * time.Millisecond, Threshold: 2,
+		RetryBase: time.Millisecond, RetryCap: 10 * time.Millisecond,
+	}, func(batch []pendingRec) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failing {
+			return 0, errors.New("disk on fire")
+		}
+		for _, r := range batch {
+			flushed = append(flushed, string(r.payload))
+		}
+		return len(batch), nil
+	})
+	defer c.Close()
+
+	for i := 0; i < 5; i++ {
+		c.Enqueue([]byte(fmt.Sprintf("r%d", i)), nil) // never blocks, never errors
+	}
+	waitFor(t, "degraded health", func() bool {
+		h := c.Health()
+		return !h.Healthy && h.Failures >= 2 && h.Pending == 5
+	})
+	h := c.Health()
+	if h.Err == "" {
+		t.Fatal("degraded health has no error")
+	}
+
+	// Heal the disk: everything pending drains, in order, health
+	// recovers.
+	mu.Lock()
+	failing = false
+	mu.Unlock()
+	waitFor(t, "recovery", func() bool {
+		h := c.Health()
+		return h.Healthy && h.Flushed == 5 && h.Pending == 0
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range flushed {
+		if s != fmt.Sprintf("r%d", i) {
+			t.Fatalf("flush order %v not enqueue order", flushed)
+		}
+	}
+}
+
+func TestCommitterPartialFlushKeepsOrder(t *testing.T) {
+	var mu sync.Mutex
+	var flushed []string
+	limit := 2 // flush at most 2 records per call, simulating mid-batch failure
+	c := NewCommitter(CommitterOptions{
+		Interval: time.Millisecond, Threshold: 100,
+		RetryBase: time.Millisecond, RetryCap: time.Millisecond,
+	}, func(batch []pendingRec) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		n := len(batch)
+		if n > limit {
+			n = limit
+		}
+		for _, r := range batch[:n] {
+			flushed = append(flushed, string(r.payload))
+		}
+		if n < len(batch) {
+			return n, errors.New("partial")
+		}
+		return n, nil
+	})
+	defer c.Close()
+	for i := 0; i < 7; i++ {
+		c.Enqueue([]byte(fmt.Sprintf("p%d", i)), nil)
+	}
+	waitFor(t, "all records flushed", func() bool { return c.Health().Flushed == 7 })
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range flushed {
+		if s != fmt.Sprintf("p%d", i) {
+			t.Fatalf("partial flushes broke order: %v", flushed)
+		}
+	}
+}
+
+// TestCommitterOverflowDropsNewest: when the backlog cap is hit the
+// committer sheds the NEWEST records, so what eventually lands on
+// disk is a strict prefix of the enqueue order (the property the
+// memo's valuation-order reconstruction relies on).
+func TestCommitterOverflowDropsNewest(t *testing.T) {
+	var mu sync.Mutex
+	failing := true
+	var flushed []string
+	c := NewCommitter(CommitterOptions{
+		Interval: time.Millisecond, Threshold: 1000, MaxPending: 3,
+		RetryBase: time.Millisecond, RetryCap: time.Millisecond,
+	}, func(batch []pendingRec) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failing {
+			return 0, errors.New("still failing")
+		}
+		for _, r := range batch {
+			flushed = append(flushed, string(r.payload))
+		}
+		return len(batch), nil
+	})
+	defer c.Close()
+
+	for i := 0; i < 6; i++ {
+		c.Enqueue([]byte(fmt.Sprintf("n%d", i)), nil)
+		// Give the loop a moment so at most one batch is ever in
+		// flight; the exact drop count varies, prefix-ness must not.
+		time.Sleep(time.Millisecond)
+	}
+	waitFor(t, "drops recorded", func() bool { return c.Health().Dropped > 0 })
+	mu.Lock()
+	failing = false
+	mu.Unlock()
+	waitFor(t, "drain", func() bool { return c.Health().Pending == 0 })
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range flushed {
+		if s != fmt.Sprintf("n%d", i) {
+			t.Fatalf("flushed %v is not a prefix of enqueue order", flushed)
+		}
+	}
+}
+
+func TestCommitterOnDurable(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(OsFS{}, filepath.Join(dir, "s"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	c := NewStoreCommitter(CommitterOptions{Interval: time.Millisecond, Threshold: 100}, store)
+	defer c.Close()
+
+	var mu sync.Mutex
+	refs := map[string]RecordRef{}
+	for i := 0; i < 5; i++ {
+		payload := fmt.Sprintf("d%d", i)
+		p := payload
+		c.Enqueue([]byte(payload), func(ref RecordRef) {
+			mu.Lock()
+			refs[p] = ref
+			mu.Unlock()
+		})
+	}
+	waitFor(t, "durability callbacks", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(refs) == 5
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for p, ref := range refs {
+		got, err := store.ReadRecord(ref)
+		if err != nil || string(got) != p {
+			t.Fatalf("ReadRecord(%v) = %q, %v; want %q", ref, got, err, p)
+		}
+	}
+}
+
+func TestCommitterCloseFlushes(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(OsFS{}, filepath.Join(dir, "s"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewStoreCommitter(CommitterOptions{Interval: time.Hour, Threshold: 1000}, store)
+	for i := 0; i < 9; i++ {
+		c.Enqueue([]byte(fmt.Sprintf("c%d", i)), nil)
+	}
+	if !c.Close() {
+		t.Fatal("Close did not drain a healthy backlog")
+	}
+	store.Close()
+
+	got := storeState(t, filepath.Join(dir, "s"))
+	if len(got) != 9 {
+		t.Fatalf("recovered %d records after Close, want 9", len(got))
+	}
+}
+
+// TestCommitterFaultySyncDegrades drives a real Store through a
+// FaultFS with failing fsync: enqueues keep succeeding, health goes
+// degraded, and healing the disk drains the backlog.
+func TestCommitterFaultySyncDegrades(t *testing.T) {
+	ffs := NewFaultFS(OsFS{})
+	dir := filepath.Join(t.TempDir(), "s")
+	store, err := OpenStore(ffs, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	c := NewCommitter(CommitterOptions{
+		Interval: time.Millisecond, Threshold: 4,
+		RetryBase: time.Millisecond, RetryCap: 5 * time.Millisecond,
+	}, func(batch []pendingRec) (int, error) {
+		for _, r := range batch {
+			if _, err := store.Append(r.payload); err != nil {
+				return 0, err
+			}
+		}
+		if err := store.Sync(); err != nil {
+			return 0, err
+		}
+		return len(batch), nil
+	})
+	defer c.Close()
+
+	ffs.SetSyncErr(errors.New("injected fsync failure"))
+	for i := 0; i < 3; i++ {
+		c.Enqueue([]byte(fmt.Sprintf("f%d", i)), nil)
+	}
+	waitFor(t, "degraded on fsync failure", func() bool { return !c.Health().Healthy })
+
+	ffs.SetSyncErr(nil)
+	waitFor(t, "heal", func() bool {
+		h := c.Health()
+		return h.Healthy && h.Pending == 0 && h.Flushed >= 3
+	})
+}

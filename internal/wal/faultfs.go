@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// FaultFS wraps an FS and injects the failure shapes crash-safety
+// cares about: a finite write budget whose exhaustion produces a
+// genuine torn tail (the partial write lands on disk before ENOSPC is
+// reported, exactly like a full disk under SIGKILL), plain write
+// errors, and fsync errors. Faults toggle at runtime so tests can
+// break the disk mid-run and heal it later.
+type FaultFS struct {
+	Under FS
+
+	mu sync.Mutex
+	// writeBudget, when >= 0, is the number of bytes remaining before
+	// writes start failing with ENOSPC. A write that crosses the
+	// boundary is written partially — the torn-tail shape.
+	writeBudget int64
+	// writeErr, when non-nil, fails every write outright (no bytes
+	// land).
+	writeErr error
+	// syncErr, when non-nil, fails every Sync and SyncDir.
+	syncErr error
+}
+
+// NewFaultFS wraps under with no faults armed.
+func NewFaultFS(under FS) *FaultFS {
+	return &FaultFS{Under: under, writeBudget: -1}
+}
+
+// SetWriteBudget arms ENOSPC after n more payload bytes (a crossing
+// write lands partially). n < 0 disarms.
+func (ffs *FaultFS) SetWriteBudget(n int64) {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	ffs.writeBudget = n
+}
+
+// SetWriteErr makes every write fail with err (nil disarms). Unlike
+// the budget, no bytes land.
+func (ffs *FaultFS) SetWriteErr(err error) {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	ffs.writeErr = err
+}
+
+// SetSyncErr makes every Sync/SyncDir fail with err (nil disarms).
+func (ffs *FaultFS) SetSyncErr(err error) {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	ffs.syncErr = err
+}
+
+// OpenFile implements FS.
+func (ffs *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := ffs.Under.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: ffs, f: f}, nil
+}
+
+// MkdirAll implements FS.
+func (ffs *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return ffs.Under.MkdirAll(path, perm)
+}
+
+// Rename implements FS.
+func (ffs *FaultFS) Rename(oldpath, newpath string) error {
+	return ffs.Under.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (ffs *FaultFS) Remove(name string) error { return ffs.Under.Remove(name) }
+
+// ReadDir implements FS.
+func (ffs *FaultFS) ReadDir(name string) ([]os.DirEntry, error) { return ffs.Under.ReadDir(name) }
+
+// Stat implements FS.
+func (ffs *FaultFS) Stat(name string) (os.FileInfo, error) { return ffs.Under.Stat(name) }
+
+// SyncDir implements FS.
+func (ffs *FaultFS) SyncDir(path string) error {
+	ffs.mu.Lock()
+	err := ffs.syncErr
+	ffs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ffs.Under.SyncDir(path)
+}
+
+type faultFile struct {
+	fs *FaultFS
+	f  File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	if err := f.fs.writeErr; err != nil {
+		f.fs.mu.Unlock()
+		return 0, err
+	}
+	allow := len(p)
+	torn := false
+	if f.fs.writeBudget >= 0 {
+		if int64(allow) > f.fs.writeBudget {
+			allow = int(f.fs.writeBudget)
+			torn = true
+		}
+		f.fs.writeBudget -= int64(allow)
+	}
+	f.fs.mu.Unlock()
+
+	if !torn {
+		return f.f.Write(p)
+	}
+	n := 0
+	if allow > 0 {
+		var err error
+		n, err = f.f.Write(p[:allow])
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, errors.New("wal: injected: " + syscall.ENOSPC.Error())
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	err := f.fs.syncErr
+	f.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error { return f.f.Truncate(size) }
+
+func (f *faultFile) Close() error { return f.f.Close() }

@@ -1,0 +1,90 @@
+// Package wal is the crash-safe persistence substrate of the serving
+// layer: an append-only, length-prefixed, CRC-checksummed record log
+// ([Log]) with snapshot+log compaction ([Store]), and a write-behind
+// [Committer] tunable by commit interval × batch threshold that
+// degrades gracefully — a full disk or a failing fsync never surfaces
+// as an error to the producer, only as [Health].
+//
+// Everything goes through the [FS] seam so tests can inject short
+// writes, ENOSPC, fsync failures, and SIGKILL-shaped torn tails
+// ([FaultFS]); recovery's standing contract is that it never panics,
+// never loads a checksum-invalid record, and never refuses to start —
+// a torn tail is truncated at the first bad record and appends resume
+// from there.
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the log needs. Writes append (logs
+// are opened O_APPEND), reads are positional.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Truncate cuts the file to size bytes — recovery's torn-tail
+	// repair and a failed append's rollback.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem seam every wal structure goes through; OsFS is
+// the real one, FaultFS the injectable one.
+type FS interface {
+	// OpenFile opens name with os.OpenFile flags.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// MkdirAll creates the directory path.
+	MkdirAll(path string, perm os.FileMode) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Stat describes a file.
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir flushes directory metadata (entry renames/creates) to
+	// stable storage, best effort.
+	SyncDir(path string) error
+}
+
+// OsFS is the real filesystem.
+type OsFS struct{}
+
+// OpenFile implements FS.
+func (OsFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MkdirAll implements FS.
+func (OsFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Rename implements FS.
+func (OsFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OsFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir implements FS.
+func (OsFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+// Stat implements FS.
+func (OsFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+// SyncDir implements FS: fsync the directory so renames and creates
+// within it are durable.
+func (OsFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,172 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Record framing: every record is an 8-byte header — payload length
+// and CRC-32C of the payload, both little-endian uint32 — followed by
+// the payload. Recovery walks the frames from the start and stops at
+// the first frame that does not check out (short header, absurd
+// length, short payload, or checksum mismatch); everything before it
+// is the valid prefix, everything from it on is a torn tail and is
+// truncated.
+const recordHeader = 8
+
+// maxRecordLen bounds a single record; a length field beyond it is
+// treated as corruption, not an allocation request.
+const maxRecordLen = 64 << 20
+
+// castagnoli is the CRC-32C table (the checksum used by most modern
+// WALs; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptRecord reports a record that failed its checksum or
+// framing on a positional read.
+var ErrCorruptRecord = errors.New("wal: corrupt record")
+
+// Log is one append-only record file. It is not safe for concurrent
+// use; Store serializes access to its logs.
+type Log struct {
+	fsys FS
+	path string
+	f    File
+	size int64 // bytes of valid, framed records
+	// broken is set when a failed append could not be rolled back;
+	// the next append re-tries the truncate before writing so a torn
+	// region never has valid frames appended after it.
+	broken bool
+}
+
+// OpenLog opens (creating if absent) the record log at path, replays
+// every valid record into replay (which may be nil) in append order,
+// truncates any torn tail, and returns the log positioned for
+// appends. Each replayed record's byte offset is passed along so
+// callers can index records for positional reads later.
+//
+// Recovery never refuses a readable file: a torn or corrupt tail —
+// short write, bad checksum, garbage length — is cut at the first bad
+// frame. Only opening or truncating the file itself can fail.
+func OpenLog(fsys FS, path string, replay func(off int64, payload []byte) error) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{fsys: fsys, path: path, f: f}
+	info, err := fsys.Stat(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fileSize := info.Size()
+
+	var off int64
+	var hdr [recordHeader]byte
+	var buf []byte
+	for off+recordHeader <= fileSize {
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			break
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecordLen || off+recordHeader+n > fileSize {
+			break
+		}
+		if int64(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		payload := buf[:n]
+		if _, err := f.ReadAt(payload, off+recordHeader); err != nil {
+			break
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break
+		}
+		if replay != nil {
+			if err := replay(off, payload); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		off += recordHeader + n
+	}
+	if off < fileSize {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail of %s at %d: %w", path, off, err)
+		}
+	}
+	l.size = off
+	return l, nil
+}
+
+// Size returns the valid byte length of the log.
+func (l *Log) Size() int64 { return l.size }
+
+// Append frames and writes one record, returning its byte offset. A
+// failed or short write is rolled back by truncating to the last
+// valid size, so the on-disk prefix stays a clean sequence of frames;
+// if even the rollback fails, the log remembers and re-tries it
+// before the next append.
+func (l *Log) Append(payload []byte) (off int64, err error) {
+	if l.broken {
+		if err := l.f.Truncate(l.size); err != nil {
+			return 0, fmt.Errorf("wal: log tail still torn: %w", err)
+		}
+		l.broken = false
+	}
+	frame := make([]byte, recordHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[recordHeader:], payload)
+	n, err := l.f.Write(frame)
+	if err != nil || n != len(frame) {
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.broken = true
+		}
+		return 0, fmt.Errorf("wal: append to %s: %w", l.path, err)
+	}
+	off = l.size
+	l.size += int64(len(frame))
+	return off, nil
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// ReadRecord positionally reads and verifies the record at off —
+// report fetches from the spilled ledger. A frame that does not check
+// out returns ErrCorruptRecord.
+func (l *Log) ReadRecord(off int64) ([]byte, error) {
+	if off < 0 || off+recordHeader > l.size {
+		return nil, fmt.Errorf("%w: offset %d outside log", ErrCorruptRecord, off)
+	}
+	var hdr [recordHeader]byte
+	if _, err := l.f.ReadAt(hdr[:], off); err != nil {
+		return nil, err
+	}
+	n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > maxRecordLen || off+recordHeader+n > l.size {
+		return nil, fmt.Errorf("%w: bad frame at %d", ErrCorruptRecord, off)
+	}
+	payload := make([]byte, n)
+	if _, err := l.f.ReadAt(payload, off+recordHeader); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch at %d", ErrCorruptRecord, off)
+	}
+	return payload, nil
+}
+
+// Close closes the underlying file.
+func (l *Log) Close() error { return l.f.Close() }

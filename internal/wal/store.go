@@ -1,0 +1,258 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// RecordRef locates one record inside a Store: which generation,
+// which file of the pair, and the byte offset. Refs are invalidated
+// by Compact — callers that index records rebuild their refs from
+// Compact's emit results.
+type RecordRef struct {
+	Gen  uint64
+	Snap bool
+	Off  int64
+}
+
+// Store is a snapshot+log pair in one directory: `snap-<gen>.wal`
+// holds a full state image written by Compact, `log-<gen>.wal` the
+// appends since. Snapshots are written to a temp file, synced, and
+// renamed, so a snapshot that exists is complete; a crash mid-compact
+// leaves the old generation intact and at most a stray .tmp that the
+// next open removes. Recovery replays the highest generation's
+// snapshot then its log, tolerating a torn log tail (and, after an
+// incomplete rename fsync, a torn snapshot tail) by truncation.
+//
+// A Store is safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	fsys FS
+	dir  string
+	gen  uint64
+	snap *Log // nil when the generation has no snapshot
+	log  *Log
+}
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%016d.wal", gen) }
+func logName(gen uint64) string  { return fmt.Sprintf("log-%016d.wal", gen) }
+
+func parseGen(name, prefix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".wal")
+	var g uint64
+	if _, err := fmt.Sscanf(mid, "%d", &g); err != nil {
+		return 0, false
+	}
+	return g, true
+}
+
+// OpenStore opens (creating if needed) the store at dir and replays
+// its current state — snapshot records first, then log records, in
+// append order — into replay (may be nil). Stale generations and temp
+// files are cleaned up best-effort.
+func OpenStore(fsys FS, dir string, replay func(ref RecordRef, payload []byte) error) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gen uint64
+	var stale []string
+	gens := map[uint64]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			stale = append(stale, name)
+			continue
+		}
+		if g, ok := parseGen(name, "snap-"); ok {
+			gens[g] = true
+			if g > gen {
+				gen = g
+			}
+		}
+		if g, ok := parseGen(name, "log-"); ok {
+			gens[g] = true
+			if g > gen {
+				gen = g
+			}
+		}
+	}
+	s := &Store{fsys: fsys, dir: dir, gen: gen}
+
+	snapPath := dir + "/" + snapName(gen)
+	if _, err := fsys.Stat(snapPath); err == nil {
+		snap, err := OpenLog(fsys, snapPath, func(off int64, payload []byte) error {
+			if replay == nil {
+				return nil
+			}
+			return replay(RecordRef{Gen: gen, Snap: true, Off: off}, payload)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.snap = snap
+	}
+	log, err := OpenLog(fsys, dir+"/"+logName(gen), func(off int64, payload []byte) error {
+		if replay == nil {
+			return nil
+		}
+		return replay(RecordRef{Gen: gen, Snap: false, Off: off}, payload)
+	})
+	if err != nil {
+		if s.snap != nil {
+			s.snap.Close()
+		}
+		return nil, err
+	}
+	s.log = log
+
+	// Best-effort cleanup: older generations are superseded, temp
+	// files are failed compactions.
+	for g := range gens {
+		if g == gen {
+			continue
+		}
+		stale = append(stale, snapName(g), logName(g))
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		s.fsys.Remove(dir + "/" + name)
+	}
+	return s, nil
+}
+
+// Append writes one record to the current log (unsynced; call Sync to
+// make a batch durable) and returns its ref.
+func (s *Store) Append(payload []byte) (RecordRef, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off, err := s.log.Append(payload)
+	if err != nil {
+		return RecordRef{}, err
+	}
+	return RecordRef{Gen: s.gen, Snap: false, Off: off}, nil
+}
+
+// Sync flushes the current log to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Sync()
+}
+
+// LogSize returns the current log's valid byte length — the
+// compaction trigger input.
+func (s *Store) LogSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Size()
+}
+
+// ReadRecord fetches and verifies the record at ref. Refs from
+// generations already compacted away report corruption rather than
+// resurrecting stale files.
+func (s *Store) ReadRecord(ref RecordRef) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readRecordLocked(ref)
+}
+
+func (s *Store) readRecordLocked(ref RecordRef) ([]byte, error) {
+	if ref.Gen != s.gen {
+		return nil, fmt.Errorf("%w: ref from compacted generation %d (current %d)", ErrCorruptRecord, ref.Gen, s.gen)
+	}
+	if ref.Snap {
+		if s.snap == nil {
+			return nil, fmt.Errorf("%w: generation %d has no snapshot", ErrCorruptRecord, ref.Gen)
+		}
+		return s.snap.ReadRecord(ref.Off)
+	}
+	return s.log.ReadRecord(ref.Off)
+}
+
+// Compact rewrites the store as a fresh generation: emit is called
+// once with a read (fetch an existing record by ref) and a write
+// (append a record to the new snapshot, returning its new ref); when
+// emit returns nil the snapshot is synced, renamed into place, a
+// fresh empty log is started, and the old generation is deleted. On
+// any error the current generation is left untouched.
+func (s *Store) Compact(emit func(read func(RecordRef) ([]byte, error), write func([]byte) (RecordRef, error)) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	newGen := s.gen + 1
+	tmpPath := s.dir + "/" + snapName(newGen) + ".tmp"
+	s.fsys.Remove(tmpPath)
+	tmpFile, err := s.fsys.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	tmp := &Log{fsys: s.fsys, path: tmpPath, f: tmpFile}
+	fail := func(err error) error {
+		tmp.Close()
+		s.fsys.Remove(tmpPath)
+		return err
+	}
+
+	write := func(payload []byte) (RecordRef, error) {
+		off, err := tmp.Append(payload)
+		if err != nil {
+			return RecordRef{}, err
+		}
+		return RecordRef{Gen: newGen, Snap: true, Off: off}, nil
+	}
+	if err := emit(s.readRecordLocked, write); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	snapPath := s.dir + "/" + snapName(newGen)
+	if err := s.fsys.Rename(tmpPath, snapPath); err != nil {
+		return fail(err)
+	}
+	s.fsys.SyncDir(s.dir)
+	newLog, err := OpenLog(s.fsys, s.dir+"/"+logName(newGen), nil)
+	if err != nil {
+		// The new snapshot exists and is complete; without its log the
+		// generation is unusable, so drop it and stay on the old one.
+		tmp.Close()
+		s.fsys.Remove(snapPath)
+		return err
+	}
+
+	oldGen := s.gen
+	oldSnap, oldLog := s.snap, s.log
+	s.gen, s.snap, s.log = newGen, tmp, newLog
+	if oldSnap != nil {
+		oldSnap.Close()
+	}
+	oldLog.Close()
+	s.fsys.Remove(s.dir + "/" + snapName(oldGen))
+	s.fsys.Remove(s.dir + "/" + logName(oldGen))
+	s.fsys.SyncDir(s.dir)
+	return nil
+}
+
+// Close closes the store's files.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.snap != nil {
+		err = s.snap.Close()
+	}
+	if cerr := s.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

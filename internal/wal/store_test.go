@@ -1,0 +1,315 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func storeState(t *testing.T, dir string) [][]byte {
+	t.Helper()
+	var got [][]byte
+	s, err := OpenStore(OsFS{}, dir, func(ref RecordRef, payload []byte) error {
+		got = append(got, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	return got
+}
+
+func TestStoreAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(OsFS{}, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []RecordRef
+	for i := 0; i < 10; i++ {
+		ref, err := s.Append([]byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ref := range refs {
+		p, err := s.ReadRecord(ref)
+		if err != nil || string(p) != fmt.Sprintf("rec-%d", i) {
+			t.Fatalf("ReadRecord(%v) = %q, %v", ref, p, err)
+		}
+	}
+	s.Close()
+
+	got := storeState(t, dir)
+	if len(got) != 10 {
+		t.Fatalf("recovered %d records, want 10", len(got))
+	}
+}
+
+func TestStoreCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(OsFS{}, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []RecordRef
+	for i := 0; i < 20; i++ {
+		ref, err := s.Append([]byte(fmt.Sprintf("v-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+	s.Sync()
+
+	// Compact, keeping only even records — the state-rewrite shape.
+	newRefs := map[int]RecordRef{}
+	err = s.Compact(func(read func(RecordRef) ([]byte, error), write func([]byte) (RecordRef, error)) error {
+		for i, ref := range refs {
+			if i%2 != 0 {
+				continue
+			}
+			p, err := read(ref)
+			if err != nil {
+				return err
+			}
+			nref, err := write(p)
+			if err != nil {
+				return err
+			}
+			newRefs[i] = nref
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Old refs are dead, new refs resolve, post-compact appends work.
+	if _, err := s.ReadRecord(refs[0]); err == nil {
+		t.Fatal("stale ref resolved after compaction")
+	}
+	for i, ref := range newRefs {
+		p, err := s.ReadRecord(ref)
+		if err != nil || string(p) != fmt.Sprintf("v-%d", i) {
+			t.Fatalf("post-compact ReadRecord(%v) = %q, %v", ref, p, err)
+		}
+	}
+	if _, err := s.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	s.Sync()
+	s.Close()
+
+	got := storeState(t, dir)
+	if len(got) != len(newRefs)+1 {
+		t.Fatalf("recovered %d records, want %d", len(got), len(newRefs)+1)
+	}
+	if string(got[len(got)-1]) != "after" {
+		t.Fatalf("log record lost across compaction: %q", got[len(got)-1])
+	}
+
+	// Exactly one generation remains on disk.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("want snap+log only, got %v", names)
+	}
+}
+
+// TestStoreCrashMidCompact simulates dying between writing the
+// snapshot temp file and the rename: the next open must ignore the
+// .tmp and serve the old generation intact.
+func TestStoreCrashMidCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(OsFS{}, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Append([]byte(fmt.Sprintf("keep-%d", i)))
+	}
+	s.Sync()
+	s.Close()
+
+	// Fake a half-finished compaction: a .tmp with garbage.
+	tmp := filepath.Join(dir, snapName(1)+".tmp")
+	if err := os.WriteFile(tmp, []byte("partial snapshot garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := storeState(t, dir)
+	if len(got) != 5 {
+		t.Fatalf("recovered %d records, want 5", len(got))
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stale .tmp not cleaned up")
+	}
+}
+
+// TestStoreCompactFailureKeepsOldGen breaks the disk mid-compaction:
+// the old generation must stay authoritative and later reads/appends
+// must keep working once healed.
+func TestStoreCompactFailureKeepsOldGen(t *testing.T) {
+	ffs := NewFaultFS(OsFS{})
+	dir := t.TempDir()
+	s, err := OpenStore(ffs, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []RecordRef
+	for i := 0; i < 5; i++ {
+		ref, _ := s.Append([]byte(fmt.Sprintf("r-%d", i)))
+		refs = append(refs, ref)
+	}
+	s.Sync()
+
+	ffs.SetWriteBudget(10) // tear the snapshot write
+	err = s.Compact(func(read func(RecordRef) ([]byte, error), write func([]byte) (RecordRef, error)) error {
+		for _, ref := range refs {
+			p, err := read(ref)
+			if err != nil {
+				return err
+			}
+			if _, err := write(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("compaction with torn writes succeeded")
+	}
+	ffs.SetWriteBudget(-1)
+
+	// Old generation still serves.
+	for i, ref := range refs {
+		p, err := s.ReadRecord(ref)
+		if err != nil || string(p) != fmt.Sprintf("r-%d", i) {
+			t.Fatalf("ReadRecord(%v) after failed compact = %q, %v", ref, p, err)
+		}
+	}
+	if _, err := s.Append([]byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	s.Sync()
+	s.Close()
+
+	got := storeState(t, dir)
+	if len(got) != 6 {
+		t.Fatalf("recovered %d records, want 6", len(got))
+	}
+}
+
+func TestStoreTornLogTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(OsFS{}, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append([]byte("whole"))
+	s.Sync()
+	s.Close()
+
+	// Tear the log tail by appending garbage bytes.
+	logPath := filepath.Join(dir, logName(0))
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{9, 9, 9})
+	f.Close()
+
+	got := storeState(t, dir)
+	if len(got) != 1 || string(got[0]) != "whole" {
+		t.Fatalf("recovered %q, want [whole]", got)
+	}
+}
+
+func TestStoreReplayOrderSnapshotThenLog(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(OsFS{}, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []RecordRef{}
+	for i := 0; i < 3; i++ {
+		ref, _ := s.Append([]byte(fmt.Sprintf("snap-%d", i)))
+		refs = append(refs, ref)
+	}
+	s.Sync()
+	if err := s.Compact(func(read func(RecordRef) ([]byte, error), write func([]byte) (RecordRef, error)) error {
+		for _, ref := range refs {
+			p, err := read(ref)
+			if err != nil {
+				return err
+			}
+			if _, err := write(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Append([]byte("log-0"))
+	s.Sync()
+	s.Close()
+
+	got := storeState(t, dir)
+	var names []string
+	for _, p := range got {
+		names = append(names, string(p))
+	}
+	want := "snap-0,snap-1,snap-2,log-0"
+	if strings.Join(names, ",") != want {
+		t.Fatalf("replay order %v, want %s", names, want)
+	}
+}
+
+func TestStoreRefsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	var ref RecordRef
+	{
+		s, err := OpenStore(OsFS{}, dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err = s.Append([]byte("payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Sync()
+		s.Close()
+	}
+	var refs []RecordRef
+	s, err := OpenStore(OsFS{}, dir, func(r RecordRef, payload []byte) error {
+		refs = append(refs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if len(refs) != 1 || refs[0] != ref {
+		t.Fatalf("replayed ref %v, want %v", refs, ref)
+	}
+	p, err := s.ReadRecord(ref)
+	if err != nil || !bytes.Equal(p, []byte("payload")) {
+		t.Fatalf("ReadRecord across reopen = %q, %v", p, err)
+	}
+}

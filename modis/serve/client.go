@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -109,6 +111,29 @@ func (c *Client) Cancel(ctx context.Context, jobID string) (*JobStatus, error) {
 		return nil, err
 	}
 	return &st, nil
+}
+
+// List fetches one page of the daemon's job ledger: jobs in
+// submission order after cursor (empty starts from the beginning), at
+// most limit per page (0 = all). A non-empty NextCursor in the
+// response continues the listing.
+func (c *Client) List(ctx context.Context, cursor string, limit int) (*JobsPageResponse, error) {
+	path := "/v1/jobs"
+	q := url.Values{}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page JobsPageResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &page); err != nil {
+		return nil, err
+	}
+	return &page, nil
 }
 
 // Workloads lists the daemon's workload catalog.

@@ -126,7 +126,7 @@ func (s *Server) serveJSONLOp(ctx context.Context, w *jsonlWriter, req JSONLRequ
 			return
 		}
 		rec, _ := s.sched.Job(job.ID())
-		w.send(JSONLResponse{Kind: "accepted", Tag: req.Tag, JobID: job.ID(), Status: statusOf(rec)})
+		w.send(JSONLResponse{Kind: "accepted", Tag: req.Tag, JobID: job.ID(), Status: s.sched.statusOf(rec)})
 		jobs.Add(1)
 		go func() {
 			defer jobs.Done()
@@ -140,7 +140,7 @@ func (s *Server) serveJSONLOp(ctx context.Context, w *jsonlWriter, req JSONLRequ
 			case <-ctx.Done():
 				return
 			}
-			w.send(JSONLResponse{Kind: "result", Tag: req.Tag, JobID: job.ID(), Status: statusOf(rec)})
+			w.send(JSONLResponse{Kind: "result", Tag: req.Tag, JobID: job.ID(), Status: s.sched.statusOf(rec)})
 		}()
 	case "status":
 		rec, ok := s.sched.Job(req.JobID)
@@ -148,15 +148,15 @@ func (s *Server) serveJSONLOp(ctx context.Context, w *jsonlWriter, req JSONLRequ
 			fail(fmt.Errorf("serve: unknown job %q", req.JobID))
 			return
 		}
-		w.send(JSONLResponse{Kind: "status", Tag: req.Tag, JobID: req.JobID, Status: statusOf(rec)})
+		w.send(JSONLResponse{Kind: "status", Tag: req.Tag, JobID: req.JobID, Status: s.sched.statusOf(rec)})
 	case "cancel":
 		rec, ok := s.sched.Job(req.JobID)
 		if !ok {
 			fail(fmt.Errorf("serve: unknown job %q", req.JobID))
 			return
 		}
-		rec.Job.Cancel()
-		w.send(JSONLResponse{Kind: "status", Tag: req.Tag, JobID: req.JobID, Status: statusOf(rec)})
+		rec.Cancel() // archived records are already terminal
+		w.send(JSONLResponse{Kind: "status", Tag: req.Tag, JobID: req.JobID, Status: s.sched.statusOf(rec)})
 	case "wait":
 		rec, ok := s.sched.Job(req.JobID)
 		if !ok {
@@ -167,8 +167,8 @@ func (s *Server) serveJSONLOp(ctx context.Context, w *jsonlWriter, req JSONLRequ
 		go func() {
 			defer jobs.Done()
 			select {
-			case <-rec.Job.Done():
-				w.send(JSONLResponse{Kind: "result", Tag: req.Tag, JobID: req.JobID, Status: statusOf(rec)})
+			case <-rec.Done(): // immediate for archived records
+				w.send(JSONLResponse{Kind: "result", Tag: req.Tag, JobID: req.JobID, Status: s.sched.statusOf(rec)})
 			case <-ctx.Done():
 			}
 		}()

@@ -1,0 +1,554 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fst"
+	"repro/internal/skyline"
+	"repro/internal/wal"
+	"repro/modis"
+)
+
+// PersistOptions tune the daemon's crash-safe state directory.
+type PersistOptions struct {
+	// Dir is the state directory root. Layout:
+	//
+	//	<dir>/memo/<workload>/   snapshot+log of memoized Test records
+	//	<dir>/jobs/              snapshot+log of the job ledger
+	Dir string
+	// CommitInterval is the write-behind committers' max latency before
+	// a pending record is flushed (default 100ms).
+	CommitInterval time.Duration
+	// CommitThreshold is the batch size that flushes immediately
+	// (default 64).
+	CommitThreshold int
+	// CompactBytes triggers open-time log compaction once a store's log
+	// outgrows it (default 8MB). Compaction never runs mid-serve.
+	CompactBytes int64
+	// FS overrides the filesystem — the fault-injection seam. Nil means
+	// the real one.
+	FS wal.FS
+}
+
+func (o *PersistOptions) withDefaults() PersistOptions {
+	out := *o
+	if out.CommitInterval <= 0 {
+		out.CommitInterval = 100 * time.Millisecond
+	}
+	if out.CommitThreshold <= 0 {
+		out.CommitThreshold = 64
+	}
+	if out.CompactBytes <= 0 {
+		out.CompactBytes = 8 << 20
+	}
+	if out.FS == nil {
+		out.FS = wal.OsFS{}
+	}
+	return out
+}
+
+// PersistenceHealth is the healthz view of the state directory: one
+// committer Health per store, plus open-time failures. Degraded
+// persistence never fails a run — it only shows up here.
+type PersistenceHealth struct {
+	Enabled bool   `json:"enabled"`
+	Healthy bool   `json:"healthy"`
+	Dir     string `json:"dir,omitempty"`
+	// Stores maps "memo/<workload>" and "jobs" to their condition.
+	Stores map[string]wal.Health `json:"stores,omitempty"`
+	// OpenErrors lists stores that failed to open and run in-memory
+	// only.
+	OpenErrors map[string]string `json:"open_errors,omitempty"`
+}
+
+// RecoveredJob is one job reconstructed from the ledger during a warm
+// start.
+type RecoveredJob struct {
+	ID        string
+	Workload  string
+	Algorithm string
+	Submitted time.Time
+	// Finished reports whether a terminal entry was recovered; an
+	// unfinished job was lost to the crash.
+	Finished  bool
+	Status    string
+	Error     string
+	HasReport bool
+}
+
+// Persistence owns the daemon's durable state: one memo store per
+// attached workload and one job ledger, each drained by a write-behind
+// committer. Every failure mode is non-fatal by construction — a store
+// that cannot open runs in-memory only, a disk that stops accepting
+// writes turns the committer unhealthy and is retried with backoff —
+// and all of it is visible through Health.
+type Persistence struct {
+	opts PersistOptions
+
+	mu     sync.Mutex
+	memos  map[string]*persistStore
+	ledger *persistStore
+	// reportRefs locates each finished job's ledger record for
+	// positional report reads after the in-memory handle is dropped.
+	reportRefs map[string]wal.RecordRef
+	// reportCache is a tiny LRU over decoded reports of archived jobs.
+	reportCache map[string]*modis.Report
+	reportOrder []string
+	openErrs    map[string]string
+	closed      bool
+}
+
+// reportCacheCap bounds the decoded-report LRU.
+const reportCacheCap = 32
+
+type persistStore struct {
+	store *wal.Store
+	com   *wal.Committer
+}
+
+// OpenPersistence prepares the state directory. It only fails when
+// dir cannot even be created — store-level failures are recorded and
+// the affected store degrades to in-memory.
+func OpenPersistence(opts PersistOptions) (*Persistence, error) {
+	p := &Persistence{
+		opts:        opts.withDefaults(),
+		memos:       map[string]*persistStore{},
+		reportRefs:  map[string]wal.RecordRef{},
+		reportCache: map[string]*modis.Report{},
+		openErrs:    map[string]string{},
+	}
+	if err := p.opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: state dir %s: %w", opts.Dir, err)
+	}
+	return p, nil
+}
+
+// sanitizeName maps a workload name onto a filesystem-safe directory
+// segment.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func (p *Persistence) committerOptions() wal.CommitterOptions {
+	return wal.CommitterOptions{
+		Interval:  p.opts.CommitInterval,
+		Threshold: p.opts.CommitThreshold,
+	}
+}
+
+// AttachMemo opens (recovering if present) the memo store of the
+// named workload, replays every persisted test into ts.Put in logged
+// order — reconstructing the valuation order, correlation columns,
+// and diversification normalizer exactly — and installs a sink so
+// every future valuation is persisted write-behind. A store that
+// fails to open leaves ts purely in-memory and records the failure in
+// Health; the returned error is informational, never fatal to
+// serving.
+func (p *Persistence) AttachMemo(name string, ts *fst.TestSet) error {
+	dir := p.opts.Dir + "/memo/" + sanitizeName(name)
+	var replayed int
+	store, err := wal.OpenStore(p.opts.FS, dir, func(ref wal.RecordRef, payload []byte) error {
+		t, derr := decodeTest(payload)
+		if derr != nil {
+			// A record that framed correctly but decodes badly is from
+			// a future/foreign format: skip it rather than refuse to
+			// start.
+			return nil
+		}
+		ts.Put(t)
+		replayed++
+		return nil
+	})
+	if err != nil {
+		p.mu.Lock()
+		p.openErrs["memo/"+name] = err.Error()
+		p.mu.Unlock()
+		return fmt.Errorf("serve: memo store %s degraded to in-memory: %w", name, err)
+	}
+
+	// Open-time compaction: fold the log into a snapshot once it has
+	// outgrown the threshold. The memo state is exactly ts's valuation
+	// order, so the snapshot is written from memory.
+	if store.LogSize() > p.opts.CompactBytes {
+		tests := ts.All()
+		if cerr := store.Compact(func(_ func(wal.RecordRef) ([]byte, error), write func([]byte) (wal.RecordRef, error)) error {
+			for _, t := range tests {
+				if _, werr := write(encodeTest(t)); werr != nil {
+					return werr
+				}
+			}
+			return nil
+		}); cerr != nil {
+			// Non-fatal: keep serving on the uncompacted generation.
+			p.mu.Lock()
+			p.openErrs["memo/"+name+"/compact"] = cerr.Error()
+			p.mu.Unlock()
+		}
+	}
+
+	com := wal.NewStoreCommitter(p.committerOptions(), store)
+	p.mu.Lock()
+	p.memos[name] = &persistStore{store: store, com: com}
+	p.mu.Unlock()
+	ts.SetSink(func(t *fst.Test) {
+		com.Enqueue(encodeTest(t), nil)
+	})
+	return nil
+}
+
+// ledgerEntry is one JSON record of the job ledger. Kind "submitted"
+// marks acceptance, "finished" the terminal state (carrying the
+// report of a done job). Entries for one job converge by overwrite —
+// replay keeps the latest per id — so duplicated records from retried
+// batches are harmless.
+type ledgerEntry struct {
+	Kind      string        `json:"kind"`
+	ID        string        `json:"id"`
+	Workload  string        `json:"workload,omitempty"`
+	Algorithm string        `json:"algorithm,omitempty"`
+	Submitted time.Time     `json:"submitted,omitempty"`
+	Status    string        `json:"status,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Report    *modis.Report `json:"report,omitempty"`
+}
+
+// RecoverLedger opens the job ledger, replays it, and returns the
+// jobs of the previous incarnation in submission order. Open failure
+// degrades the ledger to in-memory (recorded in Health) and returns
+// no recovered jobs.
+func (p *Persistence) RecoverLedger() []RecoveredJob {
+	dir := p.opts.Dir + "/jobs"
+	var order []string
+	recovered := map[string]*RecoveredJob{}
+	refs := map[string]wal.RecordRef{}
+	store, err := wal.OpenStore(p.opts.FS, dir, func(ref wal.RecordRef, payload []byte) error {
+		var e ledgerEntry
+		if derr := json.Unmarshal(payload, &e); derr != nil || e.ID == "" {
+			return nil // foreign/corrupt-format record: skip, don't refuse
+		}
+		r, ok := recovered[e.ID]
+		if !ok {
+			r = &RecoveredJob{ID: e.ID}
+			recovered[e.ID] = r
+			order = append(order, e.ID)
+		}
+		switch e.Kind {
+		case "submitted":
+			r.Workload, r.Algorithm, r.Submitted = e.Workload, e.Algorithm, e.Submitted
+		case "finished":
+			r.Finished = true
+			r.Status, r.Error = e.Status, e.Error
+			if e.Workload != "" {
+				r.Workload, r.Algorithm, r.Submitted = e.Workload, e.Algorithm, e.Submitted
+			}
+			r.HasReport = e.Report != nil
+			if e.Report != nil {
+				refs[e.ID] = ref
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		p.mu.Lock()
+		p.openErrs["jobs"] = err.Error()
+		p.mu.Unlock()
+		return nil
+	}
+
+	// Open-time compaction: one finished entry per job replaces its
+	// whole history.
+	if store.LogSize() > p.opts.CompactBytes {
+		newRefs := map[string]wal.RecordRef{}
+		if cerr := store.Compact(func(read func(wal.RecordRef) ([]byte, error), write func([]byte) (wal.RecordRef, error)) error {
+			for _, id := range order {
+				r := recovered[id]
+				e := ledgerEntry{
+					Kind: "finished", ID: id,
+					Workload: r.Workload, Algorithm: r.Algorithm, Submitted: r.Submitted,
+					Status: r.Status, Error: r.Error,
+				}
+				if !r.Finished {
+					e.Kind = "submitted"
+					e.Status, e.Error = "", ""
+				}
+				if ref, ok := refs[id]; ok {
+					payload, rerr := read(ref)
+					if rerr == nil {
+						var full ledgerEntry
+						if json.Unmarshal(payload, &full) == nil {
+							e.Report = full.Report
+						}
+					}
+				}
+				blob, merr := json.Marshal(e)
+				if merr != nil {
+					return merr
+				}
+				nref, werr := write(blob)
+				if werr != nil {
+					return werr
+				}
+				if e.Report != nil {
+					newRefs[id] = nref
+				}
+			}
+			return nil
+		}); cerr != nil {
+			p.mu.Lock()
+			p.openErrs["jobs/compact"] = cerr.Error()
+			p.mu.Unlock()
+		} else {
+			refs = newRefs
+		}
+	}
+
+	com := wal.NewStoreCommitter(p.committerOptions(), store)
+	p.mu.Lock()
+	p.ledger = &persistStore{store: store, com: com}
+	for id, ref := range refs {
+		p.reportRefs[id] = ref
+	}
+	p.mu.Unlock()
+
+	out := make([]RecoveredJob, 0, len(order))
+	for _, id := range order {
+		out = append(out, *recovered[id])
+	}
+	return out
+}
+
+// appendLedger enqueues one ledger entry write-behind. onDurable (may
+// be nil) runs once the entry is synced to disk.
+func (p *Persistence) appendLedger(e ledgerEntry, onDurable func(ref wal.RecordRef)) {
+	p.mu.Lock()
+	l := p.ledger
+	p.mu.Unlock()
+	if l == nil {
+		return
+	}
+	blob, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	l.com.Enqueue(blob, onDurable)
+}
+
+// AppendSubmitted records a job acceptance.
+func (p *Persistence) AppendSubmitted(id, workload, algorithm string, submitted time.Time) {
+	p.appendLedger(ledgerEntry{
+		Kind: "submitted", ID: id,
+		Workload: workload, Algorithm: algorithm, Submitted: submitted,
+	}, nil)
+}
+
+// AppendFinished records a job's terminal state (and report, for done
+// jobs). onDurable (may be nil) runs once the record is on disk — the
+// scheduler's cue that the in-memory handle may be dropped.
+func (p *Persistence) AppendFinished(id, workload, algorithm string, submitted time.Time, status, errMsg string, rep *modis.Report, onDurable func()) {
+	p.appendLedger(ledgerEntry{
+		Kind: "finished", ID: id,
+		Workload: workload, Algorithm: algorithm, Submitted: submitted,
+		Status: status, Error: errMsg, Report: rep,
+	}, func(ref wal.RecordRef) {
+		if rep != nil {
+			p.mu.Lock()
+			p.reportRefs[id] = ref
+			p.mu.Unlock()
+		}
+		if onDurable != nil {
+			onDurable()
+		}
+	})
+}
+
+// ReadReport fetches an archived job's report back from the ledger
+// (through a small LRU). A missing or unreadable record reports
+// false — degraded disks degrade to report-less status, never errors.
+func (p *Persistence) ReadReport(id string) (*modis.Report, bool) {
+	p.mu.Lock()
+	if rep, ok := p.reportCache[id]; ok {
+		p.mu.Unlock()
+		return rep, true
+	}
+	ref, ok := p.reportRefs[id]
+	l := p.ledger
+	p.mu.Unlock()
+	if !ok || l == nil {
+		return nil, false
+	}
+	payload, err := l.store.ReadRecord(ref)
+	if err != nil {
+		return nil, false
+	}
+	var e ledgerEntry
+	if json.Unmarshal(payload, &e) != nil || e.Report == nil {
+		return nil, false
+	}
+	p.mu.Lock()
+	if len(p.reportOrder) >= reportCacheCap {
+		evict := p.reportOrder[0]
+		p.reportOrder = p.reportOrder[1:]
+		delete(p.reportCache, evict)
+	}
+	if _, dup := p.reportCache[id]; !dup {
+		p.reportCache[id] = e.Report
+		p.reportOrder = append(p.reportOrder, id)
+	}
+	p.mu.Unlock()
+	return e.Report, true
+}
+
+// Health aggregates every store's condition.
+func (p *Persistence) Health() PersistenceHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := PersistenceHealth{
+		Enabled: true,
+		Healthy: true,
+		Dir:     p.opts.Dir,
+		Stores:  map[string]wal.Health{},
+	}
+	for name, ps := range p.memos {
+		sh := ps.com.Health()
+		h.Stores["memo/"+name] = sh
+		if !sh.Healthy {
+			h.Healthy = false
+		}
+	}
+	if p.ledger != nil {
+		sh := p.ledger.com.Health()
+		h.Stores["jobs"] = sh
+		if !sh.Healthy {
+			h.Healthy = false
+		}
+	}
+	if len(p.openErrs) > 0 {
+		h.Healthy = false
+		h.OpenErrors = map[string]string{}
+		for k, v := range p.openErrs {
+			h.OpenErrors[k] = v
+		}
+	}
+	return h
+}
+
+// Flush forces every committer's backlog out now — the test hook for
+// "everything enqueued so far is on disk". Reports whether all stores
+// fully drained.
+func (p *Persistence) Flush() bool {
+	p.mu.Lock()
+	stores := make([]*persistStore, 0, len(p.memos)+1)
+	for _, ps := range p.memos {
+		stores = append(stores, ps)
+	}
+	if p.ledger != nil {
+		stores = append(stores, p.ledger)
+	}
+	p.mu.Unlock()
+	drained := true
+	for _, ps := range stores {
+		if !ps.com.Flush() {
+			drained = false
+		}
+	}
+	return drained
+}
+
+// Close makes a final flush attempt and closes every store. Safe to
+// call more than once.
+func (p *Persistence) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	stores := make([]*persistStore, 0, len(p.memos)+1)
+	for _, ps := range p.memos {
+		stores = append(stores, ps)
+	}
+	if p.ledger != nil {
+		stores = append(stores, p.ledger)
+	}
+	p.mu.Unlock()
+	for _, ps := range stores {
+		ps.com.Close()
+		ps.store.Close()
+	}
+}
+
+// encodeTest frames one memoized test for the wal: key, perf vector,
+// feature vector, all little-endian, floats as raw IEEE-754 bits so
+// recovery is bit-exact — the determinism contract depends on it.
+func encodeTest(t *fst.Test) []byte {
+	n := 8 + 4 + 8*len(t.Perf) + 4 + 8*len(t.Features)
+	buf := make([]byte, n)
+	off := 0
+	binary.LittleEndian.PutUint64(buf[off:], uint64(t.Key))
+	off += 8
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(t.Perf)))
+	off += 4
+	for _, v := range t.Perf {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(t.Features)))
+	off += 4
+	for _, v := range t.Features {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	return buf
+}
+
+// decodeTest is encodeTest's inverse.
+func decodeTest(buf []byte) (*fst.Test, error) {
+	if len(buf) < 12 {
+		return nil, fmt.Errorf("serve: memo record too short (%d bytes)", len(buf))
+	}
+	off := 0
+	key := binary.LittleEndian.Uint64(buf[off:])
+	off += 8
+	nPerf := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if nPerf < 0 || off+8*nPerf+4 > len(buf) {
+		return nil, fmt.Errorf("serve: memo record perf length %d out of bounds", nPerf)
+	}
+	perf := make(skyline.Vector, nPerf)
+	for i := range perf {
+		perf[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	nFeat := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if nFeat < 0 || off+8*nFeat != len(buf) {
+		return nil, fmt.Errorf("serve: memo record feature length %d out of bounds", nFeat)
+	}
+	var feats []float64
+	if nFeat > 0 {
+		feats = make([]float64, nFeat)
+		for i := range feats {
+			feats[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	return &fst.Test{Key: fst.StateKey(key), Perf: perf, Features: feats}, nil
+}

@@ -38,6 +38,17 @@ type SchedulerOptions struct {
 	// scheduler; excess jobs queue in submission order and their wait
 	// shows up as the report's Queued time. 0 means unbounded.
 	MaxConcurrent int
+	// Persist, when set, makes the scheduler durable: job transitions
+	// and finished reports spill to the persistence's ledger, and jobs
+	// of the previous incarnation are recovered into the record at
+	// construction. Nil keeps everything in memory, exactly as before.
+	Persist *Persistence
+	// LedgerWindow bounds how many finished jobs stay resident with
+	// their full in-memory handle once their ledger record is durable;
+	// older ones archive — status stays resolvable, the report is read
+	// back from disk on demand (default 128; only meaningful with
+	// Persist).
+	LedgerWindow int
 }
 
 // Scheduler runs jobs behind a pool of per-workload engines. Jobs
@@ -57,6 +68,8 @@ type Scheduler struct {
 	groups   map[*fst.Config]*engineGroup
 	jobs     map[string]*JobRecord
 	order    []string
+	pos      map[string]int // id → index in order, the pagination cursor index
+	finished []string       // durable finished ids, oldest first — the archive queue
 	inflight int
 	draining bool
 	idle     chan struct{} // closed when draining hits zero in-flight
@@ -68,10 +81,15 @@ type engineGroup struct {
 	batch  *batcher
 }
 
-// JobRecord is a scheduler's ledger entry for one accepted job.
+// JobRecord is a scheduler's ledger entry for one accepted job. A
+// record is either live — carrying the job handle — or archived: its
+// terminal state is durable in the persistence ledger, the handle has
+// been dropped to bound resident memory, and the report is read back
+// from disk on demand. Records recovered from a previous incarnation
+// start archived.
 type JobRecord struct {
-	// Job is the live handle.
-	Job *modis.Job
+	// ID is the job id.
+	ID string
 	// Workload is the submit-time workload name (may be empty for
 	// in-process submissions).
 	Workload string
@@ -79,18 +97,104 @@ type JobRecord struct {
 	Algorithm string
 	// Submitted is the accept time.
 	Submitted time.Time
+
+	mu   sync.Mutex
+	job  *modis.Job
+	arch *archivedJob
 }
 
-// NewScheduler returns a Scheduler with the given options.
+// archivedJob is the terminal state kept once the handle is dropped.
+type archivedJob struct {
+	status    string
+	errMsg    string
+	hasReport bool
+}
+
+// Live returns the in-memory job handle, or nil for an archived
+// record.
+func (r *JobRecord) Live() *modis.Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.job
+}
+
+// archive drops the handle, keeping the terminal state.
+func (r *JobRecord) archive(status, errMsg string, hasReport bool) {
+	r.mu.Lock()
+	r.job = nil
+	r.arch = &archivedJob{status: status, errMsg: errMsg, hasReport: hasReport}
+	r.mu.Unlock()
+}
+
+// snapshot returns the record's two halves atomically: exactly one of
+// job/arch is non-nil.
+func (r *JobRecord) snapshot() (*modis.Job, *archivedJob) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.job, r.arch
+}
+
+// Cancel cancels a live job; archived jobs are already terminal.
+func (r *JobRecord) Cancel() {
+	if job := r.Live(); job != nil {
+		job.Cancel()
+	}
+}
+
+// Done returns a channel closed once the job is terminal; archived
+// records answer immediately.
+func (r *JobRecord) Done() <-chan struct{} {
+	if job := r.Live(); job != nil {
+		return job.Done()
+	}
+	return closedDone
+}
+
+var closedDone = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// NewScheduler returns a Scheduler with the given options. With
+// Persist set, the previous incarnation's ledger is recovered first:
+// finished jobs reappear archived (status and report resolvable),
+// jobs that were in flight when the daemon died are recorded failed
+// with a "lost" error — the restarted daemon never pretends a crashed
+// run is still going.
 func NewScheduler(opts SchedulerOptions) *Scheduler {
+	if opts.LedgerWindow <= 0 {
+		opts.LedgerWindow = 128
+	}
 	s := &Scheduler{
 		opts:   opts,
 		groups: map[*fst.Config]*engineGroup{},
 		jobs:   map[string]*JobRecord{},
+		pos:    map[string]int{},
 		idle:   make(chan struct{}),
 	}
 	if opts.MaxConcurrent > 0 {
 		s.slot = make(chan struct{}, opts.MaxConcurrent)
+	}
+	if opts.Persist != nil {
+		for _, rj := range opts.Persist.RecoverLedger() {
+			rec := &JobRecord{
+				ID: rj.ID, Workload: rj.Workload, Algorithm: rj.Algorithm, Submitted: rj.Submitted,
+			}
+			status, errMsg, hasReport := rj.Status, rj.Error, rj.HasReport
+			if !rj.Finished {
+				status = StatusFailed
+				errMsg = "serve: lost: daemon restarted while the job was in flight"
+				hasReport = false
+				// Converge the ledger so the next restart recovers the
+				// loss directly.
+				opts.Persist.AppendFinished(rj.ID, rj.Workload, rj.Algorithm, rj.Submitted, status, errMsg, nil, nil)
+			}
+			rec.arch = &archivedJob{status: status, errMsg: errMsg, hasReport: hasReport}
+			s.pos[rec.ID] = len(s.order)
+			s.jobs[rec.ID] = rec
+			s.order = append(s.order, rec.ID)
+		}
 	}
 	return s
 }
@@ -160,10 +264,15 @@ func (s *Scheduler) Submit(ctx context.Context, workload string, cfg *fst.Config
 		s.finishJob()
 		return nil, err
 	}
+	rec := &JobRecord{ID: job.ID(), Workload: workload, Algorithm: job.Algorithm(), Submitted: time.Now(), job: job}
 	s.mu.Lock()
-	s.jobs[job.ID()] = &JobRecord{Job: job, Workload: workload, Algorithm: job.Algorithm(), Submitted: time.Now()}
-	s.order = append(s.order, job.ID())
+	s.pos[rec.ID] = len(s.order)
+	s.jobs[rec.ID] = rec
+	s.order = append(s.order, rec.ID)
 	s.mu.Unlock()
+	if s.opts.Persist != nil {
+		s.opts.Persist.AppendSubmitted(rec.ID, rec.Workload, rec.Algorithm, rec.Submitted)
+	}
 
 	go func() {
 		<-job.Done()
@@ -173,9 +282,56 @@ func (s *Scheduler) Submit(ctx context.Context, workload string, cfg *fst.Config
 		if s.slot != nil && job.Started() {
 			<-s.slot
 		}
+		s.recordFinished(rec)
 		s.finishJob()
 	}()
 	return job, nil
+}
+
+// recordFinished spills a terminal job to the ledger; once the record
+// is durable the job joins the archive queue, and jobs beyond the
+// resident window drop their in-memory handle.
+func (s *Scheduler) recordFinished(rec *JobRecord) {
+	if s.opts.Persist == nil {
+		return
+	}
+	job := rec.Live()
+	if job == nil {
+		return
+	}
+	status, errMsg, rep := terminalState(job)
+	s.opts.Persist.AppendFinished(rec.ID, rec.Workload, rec.Algorithm, rec.Submitted, status, errMsg, rep, func() {
+		s.mu.Lock()
+		s.finished = append(s.finished, rec.ID)
+		var evict []*JobRecord
+		for len(s.finished) > s.opts.LedgerWindow {
+			id := s.finished[0]
+			s.finished = s.finished[1:]
+			if old, ok := s.jobs[id]; ok {
+				evict = append(evict, old)
+			}
+		}
+		s.mu.Unlock()
+		for _, old := range evict {
+			if j := old.Live(); j != nil {
+				st, em, rp := terminalState(j)
+				old.archive(st, em, rp != nil)
+			}
+		}
+	})
+}
+
+// terminalState maps a finished job handle onto its wire status.
+func terminalState(job *modis.Job) (status, errMsg string, rep *modis.Report) {
+	rep, err := job.Result()
+	switch {
+	case err == nil:
+		return StatusDone, "", rep
+	case errors.Is(err, context.Canceled):
+		return StatusCancelled, err.Error(), nil
+	default:
+		return StatusFailed, err.Error(), nil
+	}
 }
 
 func (s *Scheduler) finishJob() {
@@ -251,9 +407,39 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 }
 
 // CancelAll cancels every job still in flight (used after a drain
-// deadline passes to shut down hard).
+// deadline passes to shut down hard). Archived jobs are already
+// terminal and are skipped.
 func (s *Scheduler) CancelAll() {
 	for _, rec := range s.Jobs() {
-		rec.Job.Cancel()
+		rec.Cancel()
 	}
+}
+
+// JobsPage lists accepted jobs in submission order, starting after
+// cursor (the last job id of the previous page; empty starts from the
+// beginning), returning at most limit records (limit <= 0 means all).
+// nextCursor is non-empty iff more jobs follow — pass it back in to
+// continue. An unknown cursor yields an empty page with no cursor
+// rather than an error: the job it pointed at can only have left the
+// record by never having been in it.
+func (s *Scheduler) JobsPage(cursor string, limit int) (recs []*JobRecord, nextCursor string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := 0
+	if cursor != "" {
+		idx, ok := s.pos[cursor]
+		if !ok {
+			return nil, ""
+		}
+		start = idx + 1
+	}
+	end := len(s.order)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+		nextCursor = s.order[end-1]
+	}
+	for _, id := range s.order[start:end] {
+		recs = append(recs, s.jobs[id])
+	}
+	return recs, nextCursor
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -110,16 +111,30 @@ type JobStatus struct {
 	Report *modis.Report `json:"report,omitempty"`
 }
 
-// statusOf snapshots a job record into its wire form.
-func statusOf(rec *JobRecord) *JobStatus {
+// statusOf snapshots a job record into its wire form. Archived
+// records resolve their status from the ledger state and their report
+// — when asked for and still readable — from the persistence store;
+// a degraded disk degrades to a report-less status, never an error.
+func (s *Scheduler) statusOf(rec *JobRecord) *JobStatus {
 	st := &JobStatus{
-		JobID:     rec.Job.ID(),
+		JobID:     rec.ID,
 		Workload:  rec.Workload,
 		Algorithm: rec.Algorithm,
 	}
+	job, arch := rec.snapshot()
+	if arch != nil {
+		st.Status = arch.status
+		st.Error = arch.errMsg
+		if arch.hasReport && s.opts.Persist != nil {
+			if rep, ok := s.opts.Persist.ReadReport(rec.ID); ok {
+				st.Report = rep
+			}
+		}
+		return st
+	}
 	select {
-	case <-rec.Job.Done():
-		rep, err := rec.Job.Result()
+	case <-job.Done():
+		rep, err := job.Result()
 		switch {
 		case err == nil:
 			st.Status = StatusDone
@@ -132,12 +147,12 @@ func statusOf(rec *JobRecord) *JobStatus {
 			st.Error = err.Error()
 		}
 	default:
-		if rec.Job.Started() {
+		if job.Started() {
 			st.Status = StatusRunning
 		} else {
 			st.Status = StatusQueued
 		}
-		if ev, ok := rec.Job.LastEvent(); ok {
+		if ev, ok := job.LastEvent(); ok {
 			st.Progress = &ev
 		}
 	}
@@ -148,7 +163,7 @@ func statusOf(rec *JobRecord) *JobStatus {
 // HTTP:
 //
 //	POST   /v1/jobs             submit (SubmitRequest → JobStatus, 202)
-//	GET    /v1/jobs             list accepted jobs
+//	GET    /v1/jobs             list accepted jobs (paginated: limit + cursor)
 //	GET    /v1/jobs/{id}        status + report once done
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/events progress as server-sent events
@@ -193,9 +208,7 @@ func NewServer(sched *Scheduler, workloads map[string]*fst.Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
 
@@ -268,18 +281,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rec, _ := s.sched.Job(job.ID())
-	writeJSON(w, http.StatusAccepted, statusOf(rec))
+	writeJSON(w, http.StatusAccepted, s.sched.statusOf(rec))
 }
 
+// JobsPageResponse is the paginated envelope of GET /v1/jobs.
+// NextCursor, when non-empty, is the cursor query value of the next
+// page.
+type JobsPageResponse struct {
+	Jobs       []*JobStatus `json:"jobs"`
+	NextCursor string       `json:"next_cursor,omitempty"`
+}
+
+// handleList answers GET /v1/jobs?limit=N&cursor=<job id>: jobs in
+// submission order, limit per page (default all), cursor the last id
+// of the previous page. Keeping the page a summary — no reports —
+// keeps listing a spilled multi-thousand-job ledger cheap.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	recs := s.sched.Jobs()
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: malformed limit %q", v))
+			return
+		}
+		limit = n
+	}
+	recs, next := s.sched.JobsPage(r.URL.Query().Get("cursor"), limit)
 	out := make([]*JobStatus, 0, len(recs))
 	for _, rec := range recs {
-		st := statusOf(rec)
+		st := s.sched.statusOf(rec)
 		st.Report = nil // list is a summary; fetch the job for the report
 		out = append(out, st)
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, JobsPageResponse{Jobs: out, NextCursor: next})
 }
 
 func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*JobRecord, bool) {
@@ -297,7 +331,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, statusOf(rec))
+	writeJSON(w, http.StatusOK, s.sched.statusOf(rec))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -305,10 +339,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	rec.Job.Cancel()
+	rec.Cancel() // archived records are already terminal; Cancel no-ops
 	// Report the post-cancel state: a job cancelled here observes the
 	// cancellation at valuation granularity, so Done may lag a moment.
-	writeJSON(w, http.StatusOK, statusOf(rec))
+	writeJSON(w, http.StatusOK, s.sched.statusOf(rec))
 }
 
 // handleEvents streams the job's progress events as server-sent
@@ -329,21 +363,24 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
-	for ev := range rec.Job.EventsContext(r.Context()) {
-		data, err := json.Marshal(ev)
-		if err != nil {
-			return
+	if job := rec.Live(); job != nil {
+		for ev := range job.EventsContext(r.Context()) {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			fl.Flush()
 		}
-		if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data); err != nil {
-			return
-		}
-		fl.Flush()
 	}
-	// The stream drained: either the job finished or the client went
-	// away. Send the terminal status when there is one.
+	// The stream drained: either the job finished (or was archived
+	// long before this request) or the client went away. Send the
+	// terminal status when there is one.
 	select {
-	case <-rec.Job.Done():
-		st := statusOf(rec)
+	case <-rec.Done():
+		st := s.sched.statusOf(rec)
 		st.Report = nil // the report travels over GET /v1/jobs/{id}
 		data, err := json.Marshal(st)
 		if err != nil {
@@ -353,6 +390,26 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		fl.Flush()
 	default:
 	}
+}
+
+// HealthResponse is the healthz body. Status is "ok", or "degraded"
+// when persistence is enabled but failing — the daemon still serves
+// (state lives in memory); operators watch this field.
+type HealthResponse struct {
+	Status      string             `json:"status"`
+	Persistence *PersistenceHealth `json:"persistence,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok"}
+	if p := s.sched.opts.Persist; p != nil {
+		h := p.Health()
+		resp.Persistence = &h
+		if !h.Healthy {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
