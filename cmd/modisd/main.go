@@ -7,6 +7,12 @@
 // frontier valuation windows into batched exact-inference passes; see
 // docs/serving.md for the protocol and curl examples.
 //
+// Every workload is registered under its canonical descriptor
+// (repro/modis/workload): the descriptor's content hash is the shard
+// identity the engine pool, the state directory (state-dir/<hash>/…),
+// and the modisproxy routing ring all key by, so two daemons that
+// build the same workload agree on who owns it without coordinating.
+//
 // Workloads come from two sources, combinable:
 //
 //	modisd -tasks t3,t1 -rows 140             # built-in paper tasks
@@ -36,26 +42,15 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/datagen"
-	"repro/internal/fst"
 	"repro/internal/table"
 	"repro/modis/serve"
+	"repro/modis/workload"
 )
-
-// taskBuilders are the built-in paper workloads servable by name.
-var taskBuilders = map[string]func(rows int) *datagen.Workload{
-	"t1": func(rows int) *datagen.Workload { return datagen.T1Movie(datagen.TaskConfig{Rows: rows}) },
-	"t2": func(rows int) *datagen.Workload { return datagen.T2House(datagen.TaskConfig{Rows: rows}) },
-	"t3": func(rows int) *datagen.Workload { return datagen.T3Avocado(datagen.TaskConfig{Rows: rows}) },
-	"t4": func(rows int) *datagen.Workload { return datagen.T4Mental(datagen.TaskConfig{Rows: rows}) },
-	"t5": func(rows int) *datagen.Workload {
-		return datagen.T5Link(datagen.T5Config{Users: rows / 4, Items: rows / 8})
-	},
-}
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		advertise = flag.String("advertise", "", "address peers reach this node on (reported in /healthz; default: -addr)")
 		jsonl     = flag.Bool("jsonl", false, "serve the JSONL protocol on stdin/stdout instead of HTTP")
 		tasks     = flag.String("tasks", "", "comma-separated built-in workloads to serve: t1,t2,t3,t4,t5")
 		rows      = flag.Int("rows", 0, "row scale of built-in tasks (0 = task defaults)")
@@ -63,35 +58,35 @@ func main() {
 		target    = flag.String("target", "", "target column of the custom workload")
 		model     = flag.String("model", "gbm", "model family of the custom workload: gbm|forest|histgbm|linear|logistic")
 		adomK     = flag.Int("adomk", 8, "max cluster literals per attribute (custom workload)")
-		workload  = flag.String("workload", "custom", "catalog name of the custom workload")
+		custom    = flag.String("workload", "custom", "catalog name of the custom workload")
 		surrogate = flag.Bool("surrogate", true, "use the MO-GBM performance estimator")
 		parallel  = flag.Int("parallel", 0, "workers per batched exact-inference pass (0 = all CPUs)")
 		align     = flag.Duration("align", 0, "frontier alignment window (0 = default 2ms)")
 		maxJobs   = flag.Int("max-concurrent", 0, "max searches executing at once; excess jobs queue (0 = unbounded)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 
-		stateDir  = flag.String("state-dir", "", "directory for crash-safe state (memoized valuations + job ledger); empty = in-memory only")
+		stateDir  = flag.String("state-dir", "", "directory for crash-safe state, one <hash>/ subdirectory per workload shard; empty = in-memory only")
 		commitInt = flag.Duration("commit-interval", 100*time.Millisecond, "max latency before pending state records are committed to disk")
 		commitThr = flag.Int("commit-threshold", 64, "pending state records that force an immediate commit")
 		ledgerWin = flag.Int("ledger-window", 128, "finished jobs kept fully in memory; older ones are served from the on-disk ledger")
 	)
 	flag.Parse()
 
-	workloads, err := buildCatalog(*tasks, *rows, *tablesArg, *target, *model, *adomK, *workload, *surrogate)
+	built, err := buildCatalog(*tasks, *rows, *tablesArg, *target, *model, *adomK, *custom, *surrogate)
 	if err != nil {
 		fatal(err)
 	}
-	if len(workloads) == 0 {
+	if len(built) == 0 {
 		fatal(errors.New("no workloads: give -tasks and/or -tables/-target"))
 	}
 
-	// Crash-safe state: recover the memo of every workload (a restarted
-	// daemon warm-starts from its persisted valuations) and the job
-	// ledger. Persistence failures are never fatal — a store that can't
-	// open leaves that workload in-memory and shows up in /healthz.
+	// Crash-safe state: each registered shard recovers its memo (a
+	// restarted daemon warm-starts from its persisted valuations) and
+	// its job ledger from state-dir/<hash>/. Persistence failures are
+	// never fatal — a store that can't open leaves that shard in-memory
+	// and shows up in /healthz.
 	var persist *serve.Persistence
 	if *stateDir != "" {
-		var err error
 		persist, err = serve.OpenPersistence(serve.PersistOptions{
 			Dir:             *stateDir,
 			CommitInterval:  *commitInt,
@@ -99,16 +94,6 @@ func main() {
 		})
 		if err != nil {
 			fatal(err)
-		}
-		for name, cfg := range workloads {
-			if cfg.Tests == nil {
-				cfg.Tests = fst.NewTestSet()
-			}
-			if err := persist.AttachMemo(name, cfg.Tests); err != nil {
-				fmt.Fprintf(os.Stderr, "modisd: %v\n", err)
-			} else {
-				fmt.Fprintf(os.Stderr, "modisd: workload %s warm-starts with %d memoized valuations\n", name, cfg.Tests.Len())
-			}
 		}
 	}
 
@@ -119,7 +104,20 @@ func main() {
 		Persist:       persist,
 		LedgerWindow:  *ledgerWin,
 	})
-	srv := serve.NewServer(sched, workloads)
+	for _, b := range built {
+		if err := sched.Register(b.Desc, b.Cfg); err != nil {
+			fatal(err)
+		}
+		if persist != nil {
+			fmt.Fprintf(os.Stderr, "modisd: workload %s (shard %s) warm-starts with %d memoized valuations\n",
+				b.Desc.Name, b.Desc.Short(), b.Cfg.Tests.Len())
+		}
+	}
+	adv := *advertise
+	if adv == "" {
+		adv = *addr
+	}
+	srv := serve.NewServer(sched, serve.ServerOptions{Advertise: adv})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -144,9 +142,9 @@ func main() {
 			fatal(err)
 		}
 	}()
-	names := make([]string, 0, len(workloads))
-	for n := range workloads {
-		names = append(names, n)
+	var names []string
+	for _, b := range built {
+		names = append(names, fmt.Sprintf("%s[%s]", b.Desc.Name, b.Desc.Short()))
 	}
 	fmt.Fprintf(os.Stderr, "modisd: serving %s on %s\n", strings.Join(names, ", "), ln.Addr())
 
@@ -184,20 +182,23 @@ func drainAndClose(sched *serve.Scheduler, srv *serve.Server, persist *serve.Per
 	}
 }
 
-// buildCatalog assembles the named workload configurations.
-func buildCatalog(tasks string, rows int, tablesArg, target, model string, adomK int, customName string, surrogate bool) (map[string]*fst.Config, error) {
-	out := map[string]*fst.Config{}
+// buildCatalog assembles the workloads to register, each with its
+// canonical descriptor.
+func buildCatalog(tasks string, rows int, tablesArg, target, model string, adomK int, customName string, surrogate bool) ([]*workload.Built, error) {
+	var out []*workload.Built
+	seen := map[string]bool{}
 	if tasks != "" {
 		for _, name := range strings.Split(tasks, ",") {
 			name = strings.ToLower(strings.TrimSpace(name))
 			if name == "" {
 				continue
 			}
-			build, ok := taskBuilders[name]
-			if !ok {
-				return nil, fmt.Errorf("unknown task %q (known: t1, t2, t3, t4, t5)", name)
+			b, err := workload.BuildTask(name, rows, surrogate)
+			if err != nil {
+				return nil, err
 			}
-			out[name] = build(rows).NewConfig(surrogate)
+			out = append(out, b)
+			seen[b.Desc.Name] = true
 		}
 	}
 	if tablesArg == "" && target == "" {
@@ -221,20 +222,20 @@ func buildCatalog(tasks string, rows int, tablesArg, target, model string, adomK
 		}
 		tables = append(tables, t)
 	}
-	w, err := datagen.NewCustomWorkload(datagen.CustomConfig{
-		Tables:    tables,
+	if seen[customName] {
+		return nil, fmt.Errorf("workload name %q already taken by a built-in task", customName)
+	}
+	b, err := workload.FromTables(tables, workload.CustomOptions{
+		Name:      customName,
 		Target:    target,
-		ModelKind: model,
+		Model:     model,
 		AdomK:     adomK,
+		Surrogate: surrogate,
 	})
 	if err != nil {
 		return nil, err
 	}
-	if _, taken := out[customName]; taken {
-		return nil, fmt.Errorf("workload name %q already taken by a built-in task", customName)
-	}
-	out[customName] = w.NewConfig(surrogate)
-	return out, nil
+	return append(out, b), nil
 }
 
 func fatal(err error) {

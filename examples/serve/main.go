@@ -13,31 +13,37 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/datagen"
 	"repro/modis"
 	"repro/modis/serve"
+	"repro/modis/workload"
 )
 
 func main() {
-	// One workload, identified by its configuration: T3 (avocado price
-	// regression), surrogate off so every valuation is exact and the
-	// inference sharing below is easy to read.
-	w := datagen.T3Avocado(datagen.TaskConfig{Rows: 140})
-	cfg := w.NewConfig(false)
+	// One workload, identified by its canonical descriptor: T3 (avocado
+	// price regression), surrogate off so every valuation is exact and
+	// the inference sharing below is easy to read.
+	built, err := workload.BuildTask("t3", 140, false)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	sched := serve.NewScheduler(serve.SchedulerOptions{
 		AlignWindow: 10 * time.Millisecond,
 	})
+	if err := sched.Register(built.Desc, built.Cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %s as shard %s\n", built.Desc.Name, built.Desc.Short())
 	ctx := context.Background()
 	opts := []modis.Option{modis.WithEpsilon(0.1), modis.WithMaxLevel(2)}
 
 	// Submit returns immediately; the jobs run concurrently on the
 	// workload's shared engine.
-	biJob, err := sched.Submit(ctx, "t3", cfg, "bi", opts...)
+	biJob, err := sched.Submit(ctx, "t3", "bi", opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	apxJob, err := sched.Submit(ctx, "t3", cfg, "apx", opts...)
+	apxJob, err := sched.Submit(ctx, "t3", "apx", opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

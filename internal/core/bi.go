@@ -38,11 +38,30 @@ func buildCorrGraph(cols [][]float64, theta float64) *corrGraph {
 	return g
 }
 
+// appendWeights extends the per-test bitmap-weight cache to cover a
+// refreshed history. The test order is append-only within a run, so
+// previously computed weights stay valid and only the new tail pays
+// the feature scan — the weight derivation runs once per test instead
+// of once per pruning candidate.
+func appendWeights(weights []int, tests []*fst.Test) []int {
+	for _, t := range tests[len(weights):] {
+		w := 0
+		for _, f := range t.Features {
+			if f > 0.5 {
+				w++
+			}
+		}
+		weights = append(weights, w)
+	}
+	return weights
+}
+
 // paramRange derives the parameterized range [p̂_l, p̂_u] of an
 // unvaluated state from the historical tests whose dataset size
-// (bitmap weight) brackets the state's — the inference of Example 6,
-// using |D| as the conditioning variable of the correlation analysis.
-func paramRange(tests []*fst.Test, ones, numMeasures int) (lo, hi skyline.Vector, ok bool) {
+// (bitmap weight, precomputed in weights) brackets the state's — the
+// inference of Example 6, using |D| as the conditioning variable of
+// the correlation analysis.
+func paramRange(tests []*fst.Test, weights []int, ones, numMeasures int) (lo, hi skyline.Vector, ok bool) {
 	for window := 2; window <= 16; window *= 2 {
 		lo = make(skyline.Vector, numMeasures)
 		hi = make(skyline.Vector, numMeasures)
@@ -51,14 +70,8 @@ func paramRange(tests []*fst.Test, ones, numMeasures int) (lo, hi skyline.Vector
 			hi[i] = math.Inf(-1)
 		}
 		found := 0
-		for _, t := range tests {
-			w := 0
-			for _, f := range t.Features {
-				if f > 0.5 {
-					w++
-				}
-			}
-			if w < ones-window || w > ones+window {
+		for ti, t := range tests {
+			if w := weights[ti]; w < ones-window || w > ones+window {
 				continue
 			}
 			found++
@@ -159,6 +172,7 @@ func BiMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error
 		children := fst.OpGen(s, dir)
 		var next []*fst.State
 		var history []*fst.Test
+		var weights []int
 		// Children valuate in progressive windows (1, 2, 4, ... up to
 		// fst.MaxWindow): the prune inputs (skyline members, valuated
 		// history) refresh between windows, so one window's results prune
@@ -173,6 +187,7 @@ func BiMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error
 			var members []*Candidate
 			if gc != nil && gc.hasAny {
 				history = cfg.Tests.AppendAll(history)
+				weights = appendWeights(weights, history)
 				members = g.members()
 			}
 			batch = batch[:0]
@@ -189,7 +204,7 @@ func BiMODis(ctx context.Context, cfg *fst.Config, opts Options) (*Result, error
 				visited[k] = true
 
 				if gc != nil && gc.hasAny {
-					if lo, _, ok := paramRange(history, child.Bits.Ones(), nm); ok {
+					if lo, _, ok := paramRange(history, weights, child.Bits.Ones(), nm); ok {
 						if canPrune(members, lo, opts.Eps) {
 							pruned++
 							continue

@@ -78,6 +78,9 @@ func NewCustomWorkload(cfg CustomConfig) (*Workload, error) {
 
 	kind := cfg.ModelKind
 	enc := ml.NewTableEncoder(u, cfg.Target)
+	// The encoder's frozen matrix doubles as the space's column source:
+	// literal row bitmaps derive from the already-decoded floats.
+	space.SetColumnSource(enc)
 	eval := func(ds ml.Data) ([]float64, error) {
 		if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
 			return []float64{0, maxCost}, nil

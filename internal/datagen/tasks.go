@@ -54,9 +54,13 @@ func newSpace(l *Lake) *fst.Space {
 // child through the shared encoder (which skips the id column in
 // place — no DropColumn clone), the fast path views the frozen matrix
 // at the state's selected rows. Each task's metrics are computed once,
-// in one body, so the routes cannot drift.
-func taskModel(name string, lake *Lake, eval func(ml.Data) ([]float64, error)) *TableModel {
+// in one body, so the routes cannot drift. The encoder doubles as the
+// space's column source: the per-literal row index is built from the
+// matrix's frozen floats rather than a second walk of the universal
+// cells.
+func taskModel(name string, lake *Lake, sp *fst.Space, eval func(ml.Data) ([]float64, error)) *TableModel {
 	enc := ml.NewTableEncoderSkip(lake.Universal, lake.Target, "id")
+	sp.SetColumnSource(enc)
 	return &TableModel{
 		ModelName: name,
 		Eval:      func(d *table.Table) ([]float64, error) { return eval(enc.Encode(d)) },
@@ -93,7 +97,8 @@ func T1Movie(tc TaskConfig) *Workload {
 		{Name: "pFsc", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
 		{Name: "pMI", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
 	}
-	return &Workload{Name: "T1", Lake: lake, Space: newSpace(lake), Model: taskModel("GBmovie", lake, eval), Measures: measures}
+	sp := newSpace(lake)
+	return &Workload{Name: "T1", Lake: lake, Space: sp, Model: taskModel("GBmovie", lake, sp, eval), Measures: measures}
 }
 
 // T2House is task T2: a random forest classifying house price levels,
@@ -127,7 +132,8 @@ func T2House(tc TaskConfig) *Workload {
 		{Name: "pFsc", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
 		{Name: "pMI", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
 	}
-	return &Workload{Name: "T2", Lake: lake, Space: newSpace(lake), Model: taskModel("RFhouse", lake, eval), Measures: measures}
+	sp := newSpace(lake)
+	return &Workload{Name: "T2", Lake: lake, Space: sp, Model: taskModel("RFhouse", lake, sp, eval), Measures: measures}
 }
 
 // T3Avocado is task T3: a linear model predicting avocado prices, with
@@ -164,7 +170,8 @@ func T3Avocado(tc TaskConfig) *Workload {
 		{Name: "pMAE", Bounds: skyline.DefaultBounds(), Normalize: fst.Identity(measureFloor)},
 		{Name: "pTrain", Bounds: skyline.DefaultBounds(), Normalize: fst.Scaled(maxCost, measureFloor)},
 	}
-	return &Workload{Name: "T3", Lake: lake, Space: newSpace(lake), Model: taskModel("LRavocado", lake, eval), Measures: measures}
+	sp := newSpace(lake)
+	return &Workload{Name: "T3", Lake: lake, Space: sp, Model: taskModel("LRavocado", lake, sp, eval), Measures: measures}
 }
 
 // T4Mental is task T4: a histogram-GBDT (LightGBM stand-in) classifying
@@ -212,7 +219,8 @@ func T4Mental(tc TaskConfig) *Workload {
 		{Name: "pAUC", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
 		{Name: "pTrain", Bounds: skyline.DefaultBounds(), Normalize: fst.Scaled(maxCost, measureFloor)},
 	}
-	return &Workload{Name: "T4", Lake: lake, Space: newSpace(lake), Model: taskModel("LGCmental", lake, eval), Measures: measures}
+	sp := newSpace(lake)
+	return &Workload{Name: "T4", Lake: lake, Space: sp, Model: taskModel("LGCmental", lake, sp, eval), Measures: measures}
 }
 
 func invSquash() func(float64) float64 {

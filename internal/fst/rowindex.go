@@ -1,6 +1,21 @@
 package fst
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/internal/table"
+)
+
+// ColumnSource supplies pre-decoded numeric columns of the universal
+// table — vals[ri] is row ri's cell as a float, null marks missing
+// cells (nil when the column has none), ok is false for columns the
+// source does not cover (strings, skipped or unknown names). The ML
+// encoder's frozen Matrix is the canonical implementation: a space
+// wired to it builds its row index from the statistics already decoded
+// for the estimator instead of re-deriving them cell by cell.
+type ColumnSource interface {
+	Column(name string) (vals []float64, null []bool, ok bool)
+}
 
 // rowIndex is the precomputed materialization index of a space: for
 // every EntryLiteral, a packed bitmap over the universal table's rows
@@ -35,6 +50,9 @@ func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
 // universal rows per attribute that carries literals: each row's cell
 // is matched against that attribute's literal values, so the table is
 // traversed len(litEntries) times rather than once per literal entry.
+// Attributes covered by the space's ColumnSource match against the
+// pre-decoded float column (indexAttrColumns); the rest fall back to
+// the cell-comparison scan (indexAttrScan).
 func (sp *Space) buildRowIndex() {
 	u := sp.Universal
 	ix := &rowIndex{
@@ -57,18 +75,64 @@ func (sp *Space) buildRowIndex() {
 		if len(entries) == 0 {
 			continue
 		}
-		ci := ix.colOf[entries[0]]
-		for ri, r := range u.Rows {
-			cell := r[ci]
-			if cell.IsNull() {
-				continue
-			}
-			for _, i := range entries {
-				if cell.Equal(sp.Entries[i].Literal.Value) {
-					ix.litRows[i][ri/wordBits] |= 1 << (uint(ri) % wordBits)
-				}
+		if sp.indexAttrColumns(ix, entries) {
+			continue
+		}
+		sp.indexAttrScan(ix, entries)
+	}
+	sp.idx = ix
+}
+
+// indexAttrColumns fills one attribute's literal bitmaps from the
+// column source's frozen floats, returning false (nothing written)
+// when the attribute or its literals are not float-comparable. Float
+// equality against the decoded column is exactly Value.Equal for
+// numeric cells — Equal compares int/float pairs via AsFloat, and
+// Value.Key collapses numerically equal ints and floats the same way —
+// so the fast path and the scan agree bit for bit.
+func (sp *Space) indexAttrColumns(ix *rowIndex, entries []int) bool {
+	if sp.colSrc == nil {
+		return false
+	}
+	vals, null, ok := sp.colSrc.Column(sp.Entries[entries[0]].Attr)
+	if !ok || len(vals) != len(sp.Universal.Rows) {
+		return false
+	}
+	lits := make([]float64, len(entries))
+	for k, i := range entries {
+		v := sp.Entries[i].Literal.Value
+		if kind := v.Kind(); kind != table.KindFloat && kind != table.KindInt {
+			return false
+		}
+		lits[k] = v.AsFloat()
+	}
+	for ri, f := range vals {
+		if null != nil && null[ri] {
+			continue
+		}
+		for k, i := range entries {
+			if f == lits[k] {
+				ix.litRows[i][ri/wordBits] |= 1 << (uint(ri) % wordBits)
 			}
 		}
 	}
-	sp.idx = ix
+	return true
+}
+
+// indexAttrScan fills one attribute's literal bitmaps by comparing
+// universal cells — the reference path, and the only one for string
+// attributes and spaces without a column source.
+func (sp *Space) indexAttrScan(ix *rowIndex, entries []int) {
+	ci := ix.colOf[entries[0]]
+	for ri, r := range sp.Universal.Rows {
+		cell := r[ci]
+		if cell.IsNull() {
+			continue
+		}
+		for _, i := range entries {
+			if cell.Equal(sp.Entries[i].Literal.Value) {
+				ix.litRows[i][ri/wordBits] |= 1 << (uint(ri) % wordBits)
+			}
+		}
+	}
 }

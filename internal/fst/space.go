@@ -59,6 +59,9 @@ type Space struct {
 	// concurrent Materialize calls share it freely.
 	idxOnce sync.Once
 	idx     *rowIndex
+	// colSrc, when set, supplies pre-decoded numeric columns the row
+	// index is built from instead of re-scanning universal cells.
+	colSrc ColumnSource
 
 	// rowsPool recycles per-valuation row-derivation scratch (see
 	// rowsScratch): one workload's valuations all need the same slice
@@ -144,6 +147,16 @@ func (sp *Space) AttrEntry(attr string) int {
 
 // LiteralEntries returns the EntryLiteral indexes of the attribute.
 func (sp *Space) LiteralEntries(attr string) []int { return sp.litEntries[attr] }
+
+// SetColumnSource wires a pre-decoded column provider (typically the
+// ML encoder's frozen matrix) into row-index construction, so the
+// per-literal statistics are derived from the floats already decoded
+// for the estimator instead of a second cell-by-cell walk of the
+// universal table. Call it before the first Materialize/RowsFor — the
+// index is built once and a later source is ignored. The produced
+// index is bit-identical to the scan-built one (see rowindex.go), so
+// the source never changes results, only the cost of building them.
+func (sp *Space) SetColumnSource(src ColumnSource) { sp.colSrc = src }
 
 // Materialize produces the dataset D_s of a state by applying the
 // sequence of Reduct operators implied by the cleared bitmap entries to

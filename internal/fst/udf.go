@@ -13,6 +13,11 @@ type UDF func(*table.Table) *table.Table
 // be deterministic, or the fixed-model guarantee breaks.
 func (sp *Space) RegisterUDF(f UDF) { sp.udfs = append(sp.udfs, f) }
 
+// UDFCount reports how many UDFs are registered — the workload
+// descriptor's registry fingerprint reads it, since UDF funcs carry no
+// names of their own.
+func (sp *Space) UDFCount() int { return len(sp.udfs) }
+
 // applyUDFs runs the registered UDF chain.
 func (sp *Space) applyUDFs(d *table.Table) *table.Table {
 	for _, f := range sp.udfs {

@@ -86,6 +86,15 @@ func (e *TableEncoder) Matrix() *Matrix {
 	return e.mx
 }
 
+// Column exposes a numeric column of the frozen matrix (see
+// Matrix.Column), building the matrix on first use. It makes the
+// encoder a column source for the FST space's row-index construction:
+// the space reuses the statistics already decoded for the estimator
+// instead of re-deriving them cell by cell from the universal table.
+func (e *TableEncoder) Column(name string) (vals []float64, null []bool, ok bool) {
+	return e.Matrix().Column(name)
+}
+
 // fallback re-encodes the child from scratch when a value falls outside
 // the universal domain, honoring the skip set.
 func (e *TableEncoder) fallback(t *table.Table) *Dataset {

@@ -51,6 +51,24 @@ type matCol struct {
 // NumRows returns the universal row count.
 func (m *Matrix) NumRows() int { return m.nRows }
 
+// Column exposes the frozen decoding of a numeric feature column: the
+// per-row cell values as floats and the null mask (nil when the column
+// has no nulls). ok is false for unknown names and for string columns,
+// whose vals hold universal domain positions rather than cell values.
+// The returned slices are the matrix's own — callers must not mutate
+// them.
+func (m *Matrix) Column(name string) (vals []float64, null []bool, ok bool) {
+	for ci := range m.cols {
+		if c := &m.cols[ci]; c.name == name {
+			if c.isStr {
+				return nil, nil, false
+			}
+			return c.vals, c.null, true
+		}
+	}
+	return nil, nil, false
+}
+
 // FeatureNames returns the encoded feature columns in schema order.
 func (m *Matrix) FeatureNames() []string { return m.names }
 

@@ -363,3 +363,48 @@ func TestStringTargetViewParity(t *testing.T) {
 		}
 	}
 }
+
+// TestMatrixColumn: numeric columns expose their frozen cell floats
+// and null masks; string, skipped, target, and unknown names are
+// declined — the contract fst row-index construction relies on.
+func TestMatrixColumn(t *testing.T) {
+	u := matrixUniversal(false)
+	enc := NewTableEncoderSkip(u, "target", "id")
+	mx := enc.Matrix()
+
+	for _, name := range []string{"x", "k", "sparse"} {
+		vals, null, ok := mx.Column(name)
+		if !ok {
+			t.Fatalf("numeric column %q declined", name)
+		}
+		if len(vals) != u.NumRows() {
+			t.Fatalf("column %q has %d values, want %d", name, len(vals), u.NumRows())
+		}
+		ci := u.Schema.Index(name)
+		for ri, r := range u.Rows {
+			cell := r[ci]
+			if cell.IsNull() {
+				if null == nil || !null[ri] {
+					t.Fatalf("column %q row %d: null cell not masked", name, ri)
+				}
+				continue
+			}
+			if null != nil && null[ri] {
+				t.Fatalf("column %q row %d: non-null cell masked", name, ri)
+			}
+			if vals[ri] != cell.AsFloat() {
+				t.Fatalf("column %q row %d: %v != cell %v", name, ri, vals[ri], cell.AsFloat())
+			}
+		}
+	}
+	for _, name := range []string{"season", "id", "target", "missing"} {
+		if _, _, ok := mx.Column(name); ok {
+			t.Errorf("column %q must be declined", name)
+		}
+	}
+	// The encoder forwards the same contract (lazily building the
+	// matrix), making it a drop-in fst.ColumnSource.
+	if vals, _, ok := enc.Column("x"); !ok || len(vals) != u.NumRows() {
+		t.Error("encoder Column does not forward the matrix contract")
+	}
+}

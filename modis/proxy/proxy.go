@@ -1,0 +1,678 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/modis/serve"
+)
+
+// Options configure a Proxy. Nodes is the only required field.
+type Options struct {
+	// Nodes are the modisd base addresses ("host:port" or full URLs)
+	// forming the routing ring. Order does not matter: two proxies
+	// given permuted lists route identically.
+	Nodes []string
+	// VNodes is the virtual-node count per node (0 =
+	// DefaultVirtualNodes).
+	VNodes int
+	// LoadFactor is the bounded-load ceiling multiplier (values < 1
+	// mean the default 1.25): a node takes its keys until its in-flight
+	// count exceeds loadFactor × the fleet average, then keys spill to
+	// the next ring candidate.
+	LoadFactor float64
+	// HealthInterval is the background health/catalog sweep period
+	// (0 = 2s; negative disables the background loop — tests drive
+	// sweeps with CheckNow).
+	HealthInterval time.Duration
+	// Admission configures per-tenant rate limits and job caps.
+	Admission AdmissionOptions
+	// Client overrides the HTTP client used towards nodes.
+	Client *http.Client
+}
+
+// nodeState is the proxy's view of one modisd.
+type nodeState struct {
+	alive    bool
+	inflight int
+	errMsg   string
+	identity *serve.NodeIdentity
+}
+
+// Proxy routes the modis job API across a fleet of modisd nodes by
+// consistent-hashing each workload's descriptor hash. Submissions pick
+// the shard owner (spilling along the ring under bounded load or node
+// death), job reads follow the job to the node that ran it, SSE event
+// streams pass through unbuffered, and the workload/algorithm catalogs
+// merge the fleet's. Admission control (429 + Retry-After) runs at
+// submission, before any node is touched.
+type Proxy struct {
+	opts Options
+	ring *Ring
+	adm  *Admission
+	hc   *http.Client
+	mux  *http.ServeMux
+
+	mu      sync.Mutex
+	nodes   map[string]*nodeState
+	catalog map[string]serve.WorkloadInfo // workload name → info (merged)
+	jobs    map[string]string             // job id → node that runs it
+
+	ctx  context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+}
+
+// normalizeNode turns a configured node address into the base URL used
+// both as ring identity and as request target.
+func normalizeNode(addr string) string {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return ""
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// New builds a Proxy over the node fleet. Nodes start presumed alive —
+// the first health sweep (background, or CheckNow) corrects the view;
+// a submission hitting a dead node fails over along the ring
+// immediately anyway.
+func New(opts Options) *Proxy {
+	var normalized []string
+	for _, n := range opts.Nodes {
+		if nn := normalizeNode(n); nn != "" {
+			normalized = append(normalized, nn)
+		}
+	}
+	p := &Proxy{
+		opts:    opts,
+		ring:    NewRing(normalized, opts.VNodes),
+		adm:     NewAdmission(opts.Admission),
+		hc:      opts.Client,
+		mux:     http.NewServeMux(),
+		nodes:   map[string]*nodeState{},
+		catalog: map[string]serve.WorkloadInfo{},
+		jobs:    map[string]string{},
+	}
+	if p.hc == nil {
+		p.hc = &http.Client{}
+	}
+	for _, n := range p.ring.Nodes() {
+		p.nodes[n] = &nodeState{alive: true}
+	}
+	p.ctx, p.stop = context.WithCancel(context.Background())
+
+	p.mux.HandleFunc("POST /v1/jobs", p.handleSubmit)
+	p.mux.HandleFunc("GET /v1/jobs", p.handleList)
+	p.mux.HandleFunc("GET /v1/jobs/{id}", p.handleJobGet)
+	p.mux.HandleFunc("DELETE /v1/jobs/{id}", p.handleJobDelete)
+	p.mux.HandleFunc("GET /v1/jobs/{id}/events", p.handleEvents)
+	p.mux.HandleFunc("GET /v1/workloads", p.handleWorkloads)
+	p.mux.HandleFunc("GET /v1/algorithms", p.handleAlgorithms)
+	p.mux.HandleFunc("GET /healthz", p.handleHealthz)
+
+	interval := opts.HealthInterval
+	if interval == 0 {
+		interval = 2 * time.Second
+	}
+	if interval > 0 {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			p.CheckNow(p.ctx)
+			for {
+				select {
+				case <-p.ctx.Done():
+					return
+				case <-t.C:
+					p.CheckNow(p.ctx)
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) { p.mux.ServeHTTP(w, r) }
+
+// Close stops the background sweeps and job watchers.
+func (p *Proxy) Close() {
+	p.stop()
+	p.wg.Wait()
+}
+
+// CheckNow runs one synchronous health + catalog sweep: every node's
+// /healthz decides liveness (and refreshes its advertised identity),
+// then the alive nodes' workload catalogs merge into the routing
+// table. The background loop calls this on its interval; tests call it
+// directly for determinism.
+func (p *Proxy) CheckNow(ctx context.Context) {
+	for _, node := range p.ring.Nodes() {
+		hr, err := p.nodeHealth(ctx, node)
+		p.mu.Lock()
+		ns := p.nodes[node]
+		if err != nil {
+			ns.alive = false
+			ns.errMsg = err.Error()
+		} else {
+			ns.alive = true
+			ns.errMsg = ""
+			ns.identity = hr.Node
+		}
+		p.mu.Unlock()
+	}
+	p.refreshCatalog(ctx)
+}
+
+func (p *Proxy) nodeHealth(ctx context.Context, node string) (*serve.HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var hr serve.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return nil, err
+	}
+	return &hr, nil
+}
+
+// refreshCatalog merges the alive nodes' workload catalogs. Nodes are
+// visited in sorted order and the first binding of a name wins, so the
+// merged view is deterministic in the fleet state.
+func (p *Proxy) refreshCatalog(ctx context.Context) {
+	merged := map[string]serve.WorkloadInfo{}
+	for _, node := range p.ring.Nodes() {
+		p.mu.Lock()
+		alive := p.nodes[node].alive
+		p.mu.Unlock()
+		if !alive {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/workloads", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := p.hc.Do(req)
+		if err != nil {
+			p.markDead(node, err)
+			continue
+		}
+		var infos []serve.WorkloadInfo
+		derr := json.NewDecoder(resp.Body).Decode(&infos)
+		resp.Body.Close()
+		if derr != nil {
+			continue
+		}
+		for _, info := range infos {
+			if _, taken := merged[info.Name]; !taken {
+				merged[info.Name] = info
+			}
+		}
+	}
+	p.mu.Lock()
+	p.catalog = merged
+	p.mu.Unlock()
+}
+
+func (p *Proxy) markDead(node string, err error) {
+	p.mu.Lock()
+	if ns, ok := p.nodes[node]; ok {
+		ns.alive = false
+		ns.errMsg = err.Error()
+	}
+	p.mu.Unlock()
+}
+
+// resolveWorkload maps a catalog name to its descriptor hash,
+// refreshing the merged catalog once on a miss (a workload registered
+// since the last sweep should not 404 until the next tick).
+func (p *Proxy) resolveWorkload(ctx context.Context, name string) (string, bool) {
+	p.mu.Lock()
+	info, ok := p.catalog[name]
+	p.mu.Unlock()
+	if ok {
+		return info.Hash, true
+	}
+	p.refreshCatalog(ctx)
+	p.mu.Lock()
+	info, ok = p.catalog[name]
+	p.mu.Unlock()
+	return info.Hash, ok
+}
+
+// pick chooses the serving node for a shard hash: ring candidates,
+// alive only, bounded load.
+func (p *Proxy) pick(hash string) string {
+	p.mu.Lock()
+	alive := make(map[string]bool, len(p.nodes))
+	load := make(map[string]int, len(p.nodes))
+	for n, ns := range p.nodes {
+		alive[n] = ns.alive
+		load[n] = ns.inflight
+	}
+	p.mu.Unlock()
+	return p.ring.BoundedPick(hash, p.opts.LoadFactor,
+		func(n string) bool { return alive[n] },
+		func(n string) int { return load[n] })
+}
+
+func (p *Proxy) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("proxy: reading submit body: %w", err))
+		return
+	}
+	var req serve.SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("proxy: malformed submit request: %w", err))
+		return
+	}
+
+	tenant := r.Header.Get(TenantHeader)
+	release, retryAfter, err := p.adm.Admit(tenant)
+	if err != nil {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+
+	hash, ok := p.resolveWorkload(r.Context(), req.Workload)
+	if !ok {
+		release()
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("proxy: unknown workload %q (fleet serves: %s)", req.Workload, strings.Join(p.workloadNames(), ", ")))
+		return
+	}
+
+	// Forward to the shard owner; a node that fails at the transport
+	// level is marked dead and the next ring candidate takes the
+	// submission (new submissions route away from dead nodes — jobs
+	// already running there are not resurrected here).
+	tried := map[string]bool{}
+	for {
+		node := p.pick(hash)
+		if node == "" || tried[node] {
+			release()
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("proxy: no alive node for workload %q", req.Workload))
+			return
+		}
+		tried[node] = true
+		resp, err := p.forward(r.Context(), node, http.MethodPost, "/v1/jobs", body, tenant)
+		if err != nil {
+			p.markDead(node, err)
+			continue
+		}
+		blob, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			p.markDead(node, rerr)
+			continue
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			var st serve.JobStatus
+			if json.Unmarshal(blob, &st) == nil && st.JobID != "" {
+				p.mu.Lock()
+				p.jobs[st.JobID] = node
+				p.nodes[node].inflight++
+				p.mu.Unlock()
+				p.wg.Add(1)
+				go p.watch(st.JobID, node, release)
+			} else {
+				release()
+			}
+		} else {
+			// The node answered: the rejection (bad algorithm, invalid
+			// options, draining) passes through verbatim.
+			release()
+		}
+		passthrough(w, resp.StatusCode, resp.Header.Get("Content-Type"), blob)
+		return
+	}
+}
+
+// watch polls the job on its node until it is terminal, then frees the
+// admission slot and the node's in-flight count.
+func (p *Proxy) watch(jobID, node string, release func()) {
+	defer p.wg.Done()
+	defer release()
+	defer func() {
+		p.mu.Lock()
+		if ns, ok := p.nodes[node]; ok && ns.inflight > 0 {
+			ns.inflight--
+		}
+		p.mu.Unlock()
+	}()
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-t.C:
+		}
+		st, err := p.jobStatus(p.ctx, node, jobID)
+		if err != nil {
+			p.markDead(node, err)
+			return
+		}
+		switch st.Status {
+		case serve.StatusDone, serve.StatusFailed, serve.StatusCancelled:
+			return
+		}
+	}
+}
+
+func (p *Proxy) jobStatus(ctx context.Context, node, jobID string) (*serve.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/jobs/"+jobID, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("proxy: node %s returned %d for job %s", node, resp.StatusCode, jobID)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// nodeForJob locates the node serving a job id: the submit-time record
+// first, then a probe of the alive fleet (jobs submitted around the
+// proxy, or before a proxy restart, are still reachable through it).
+func (p *Proxy) nodeForJob(ctx context.Context, jobID string) (string, bool) {
+	p.mu.Lock()
+	node, ok := p.jobs[jobID]
+	p.mu.Unlock()
+	if ok {
+		return node, true
+	}
+	for _, n := range p.ring.Nodes() {
+		p.mu.Lock()
+		alive := p.nodes[n].alive
+		p.mu.Unlock()
+		if !alive {
+			continue
+		}
+		if _, err := p.jobStatus(ctx, n, jobID); err == nil {
+			p.mu.Lock()
+			p.jobs[jobID] = n
+			p.mu.Unlock()
+			return n, true
+		}
+	}
+	return "", false
+}
+
+func (p *Proxy) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	p.forwardJob(w, r, http.MethodGet)
+}
+func (p *Proxy) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	p.forwardJob(w, r, http.MethodDelete)
+}
+
+func (p *Proxy) forwardJob(w http.ResponseWriter, r *http.Request, method string) {
+	id := r.PathValue("id")
+	node, ok := p.nodeForJob(r.Context(), id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("proxy: unknown job %q", id))
+		return
+	}
+	resp, err := p.forward(r.Context(), node, method, "/v1/jobs/"+id, nil, r.Header.Get(TenantHeader))
+	if err != nil {
+		p.markDead(node, err)
+		writeError(w, http.StatusBadGateway, fmt.Errorf("proxy: node %s unreachable: %w", node, err))
+		return
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	passthrough(w, resp.StatusCode, resp.Header.Get("Content-Type"), blob)
+}
+
+// handleEvents streams the owning node's SSE stream through
+// unbuffered: each chunk read from the node is written and flushed
+// immediately, so proxied subscribers observe the same events in the
+// same order as direct ones.
+func (p *Proxy) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	node, ok := p.nodeForJob(r.Context(), id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("proxy: unknown job %q", id))
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("proxy: response writer cannot stream"))
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, node+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		p.markDead(node, err)
+		writeError(w, http.StatusBadGateway, fmt.Errorf("proxy: node %s unreachable: %w", node, err))
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(resp.StatusCode)
+	fl.Flush()
+	buf := make([]byte, 8192)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			fl.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handleList aggregates the alive nodes' job listings into one page
+// (pagination cursors are node-local, so the proxy serves the merged
+// full listing; page against nodes directly for cursor semantics).
+func (p *Proxy) handleList(w http.ResponseWriter, r *http.Request) {
+	out := serve.JobsPageResponse{Jobs: []*serve.JobStatus{}}
+	for _, node := range p.ring.Nodes() {
+		p.mu.Lock()
+		alive := p.nodes[node].alive
+		p.mu.Unlock()
+		if !alive {
+			continue
+		}
+		resp, err := p.forward(r.Context(), node, http.MethodGet, "/v1/jobs", nil, "")
+		if err != nil {
+			p.markDead(node, err)
+			continue
+		}
+		var page serve.JobsPageResponse
+		derr := json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if derr != nil {
+			continue
+		}
+		out.Jobs = append(out.Jobs, page.Jobs...)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (p *Proxy) workloadNames() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.catalog))
+	for name := range p.catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// handleWorkloads serves the merged fleet catalog in the same shape a
+// single node does, so serve.Client works against the proxy unchanged.
+func (p *Proxy) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	infos := make([]serve.WorkloadInfo, 0, len(p.catalog))
+	for _, info := range p.catalog {
+		infos = append(infos, info)
+	}
+	p.mu.Unlock()
+	if len(infos) == 0 {
+		p.refreshCatalog(r.Context())
+		p.mu.Lock()
+		for _, info := range p.catalog {
+			infos = append(infos, info)
+		}
+		p.mu.Unlock()
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (p *Proxy) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	for _, node := range p.ring.Nodes() {
+		p.mu.Lock()
+		alive := p.nodes[node].alive
+		p.mu.Unlock()
+		if !alive {
+			continue
+		}
+		resp, err := p.forward(r.Context(), node, http.MethodGet, "/v1/algorithms", nil, "")
+		if err != nil {
+			p.markDead(node, err)
+			continue
+		}
+		blob, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			continue
+		}
+		passthrough(w, resp.StatusCode, resp.Header.Get("Content-Type"), blob)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, fmt.Errorf("proxy: no alive node"))
+}
+
+// NodeHealth is the proxy's healthz view of one fleet member.
+type NodeHealth struct {
+	Addr     string              `json:"addr"`
+	Alive    bool                `json:"alive"`
+	Inflight int                 `json:"inflight"`
+	Error    string              `json:"error,omitempty"`
+	Node     *serve.NodeIdentity `json:"node,omitempty"`
+}
+
+// HealthResponse is the proxy's healthz body: "ok" with every node
+// alive, "degraded" with some dead, "down" with none alive.
+type HealthResponse struct {
+	Status string       `json:"status"`
+	Nodes  []NodeHealth `json:"nodes"`
+}
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	resp := HealthResponse{Status: "ok"}
+	aliveCount := 0
+	for _, node := range p.ring.Nodes() {
+		ns := p.nodes[node]
+		if ns.alive {
+			aliveCount++
+		}
+		resp.Nodes = append(resp.Nodes, NodeHealth{
+			Addr: node, Alive: ns.alive, Inflight: ns.inflight, Error: ns.errMsg, Node: ns.identity,
+		})
+	}
+	p.mu.Unlock()
+	switch {
+	case aliveCount == 0:
+		resp.Status = "down"
+	case aliveCount < len(resp.Nodes):
+		resp.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (p *Proxy) forward(ctx context.Context, node, method, path string, body []byte, tenant string) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, node+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	return p.hc.Do(req)
+}
+
+// retryAfterSeconds renders a wait as the Retry-After integer: ceiling
+// seconds, at least 1 — a client honoring it never retries early.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func passthrough(w http.ResponseWriter, status int, contentType string, body []byte) {
+	if contentType != "" {
+		w.Header().Set("Content-Type", contentType)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

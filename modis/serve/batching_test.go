@@ -32,9 +32,10 @@ func TestBatchingDeterminismAllAlgorithms(t *testing.T) {
 
 	sched := serve.NewScheduler(serve.SchedulerOptions{AlignWindow: 25 * time.Millisecond})
 	cfg := newShapeConfig(t, 50*time.Microsecond)
+	registerShape(t, sched, cfg)
 	jobs := map[string]*modis.Job{}
 	for _, algo := range allAlgorithms() {
-		job, err := sched.Submit(context.Background(), "shape", cfg, algo, runOpts()...)
+		job, err := sched.Submit(context.Background(), "shape", algo, runOpts()...)
 		if err != nil {
 			t.Fatalf("submit %s: %v", algo, err)
 		}
@@ -77,11 +78,12 @@ func TestBatchedRunsShareWindows(t *testing.T) {
 	// on any machine.
 	sched := serve.NewScheduler(serve.SchedulerOptions{AlignWindow: 250 * time.Millisecond})
 	cfg := newShapeConfig(t, 200*time.Microsecond)
-	a, err := sched.Submit(context.Background(), "shape", cfg, "bi", runOpts()...)
+	registerShape(t, sched, cfg)
+	a, err := sched.Submit(context.Background(), "shape", "bi", runOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := sched.Submit(context.Background(), "shape", cfg, "apx", runOpts()...)
+	b, err := sched.Submit(context.Background(), "shape", "apx", runOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,12 +102,13 @@ func TestBatchedRunsShareWindows(t *testing.T) {
 func TestSchedulerEnginePooling(t *testing.T) {
 	sched := serve.NewScheduler(serve.SchedulerOptions{})
 	cfg := newShapeConfig(t, 0)
-	first, err := sched.Submit(context.Background(), "shape", cfg, "apx", runOpts()...)
+	registerShape(t, sched, cfg)
+	first, err := sched.Submit(context.Background(), "shape", "apx", runOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mustResult(t, first)
-	second, err := sched.Submit(context.Background(), "shape", cfg, "apx", runOpts()...)
+	second, err := sched.Submit(context.Background(), "shape", "apx", runOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,8 +116,11 @@ func TestSchedulerEnginePooling(t *testing.T) {
 	if rep.Valuated != 0 {
 		t.Errorf("repeat run valuated %d states, want 0 (workload engine shared)", rep.Valuated)
 	}
-	if sched.Engine(cfg) != sched.Engine(cfg) {
+	if sched.Engine("shape") == nil || sched.Engine("shape") != sched.Engine("shape") {
 		t.Error("Engine must be stable per workload identity")
+	}
+	if sched.Engine("unregistered") != nil {
+		t.Error("Engine must be nil for an unregistered name")
 	}
 }
 
@@ -123,11 +129,12 @@ func TestSchedulerEnginePooling(t *testing.T) {
 func TestSchedulerMaxConcurrentQueues(t *testing.T) {
 	sched := serve.NewScheduler(serve.SchedulerOptions{MaxConcurrent: 1})
 	cfg := newShapeConfig(t, 500*time.Microsecond)
-	a, err := sched.Submit(context.Background(), "shape", cfg, "bi", runOpts()...)
+	registerShape(t, sched, cfg)
+	a, err := sched.Submit(context.Background(), "shape", "bi", runOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := sched.Submit(context.Background(), "shape", cfg, "nobi", runOpts()...)
+	b, err := sched.Submit(context.Background(), "shape", "nobi", runOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +152,8 @@ func TestSchedulerMaxConcurrentQueues(t *testing.T) {
 func TestSchedulerDrain(t *testing.T) {
 	sched := serve.NewScheduler(serve.SchedulerOptions{})
 	cfg := newShapeConfig(t, 200*time.Microsecond)
-	job, err := sched.Submit(context.Background(), "shape", cfg, "bi", runOpts()...)
+	registerShape(t, sched, cfg)
+	job, err := sched.Submit(context.Background(), "shape", "bi", runOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +162,7 @@ func TestSchedulerDrain(t *testing.T) {
 	// Submissions during/after drain must fail with the sentinel wire
 	// layers map to 503 (never a client-error status).
 	for {
-		_, err := sched.Submit(context.Background(), "shape", cfg, "apx")
+		_, err := sched.Submit(context.Background(), "shape", "apx")
 		if err != nil {
 			if !errors.Is(err, serve.ErrDraining) {
 				t.Fatalf("draining submit error = %v, want serve.ErrDraining", err)
@@ -176,6 +184,7 @@ func TestSchedulerDrain(t *testing.T) {
 func TestConcurrentSubmitsRaceClean(t *testing.T) {
 	sched := serve.NewScheduler(serve.SchedulerOptions{AlignWindow: 5 * time.Millisecond})
 	cfg := newShapeConfig(t, 0)
+	registerShape(t, sched, cfg)
 	algos := []string{"apx", "bi", "nobi", "div", "exact", "apx", "bi", "nobi"}
 	var wg sync.WaitGroup
 	errs := make([]error, len(algos))
@@ -183,7 +192,7 @@ func TestConcurrentSubmitsRaceClean(t *testing.T) {
 		wg.Add(1)
 		go func(i int, algo string) {
 			defer wg.Done()
-			job, err := sched.Submit(context.Background(), "shape", cfg, algo, runOpts()...)
+			job, err := sched.Submit(context.Background(), "shape", algo, runOpts()...)
 			if err != nil {
 				errs[i] = err
 				return

@@ -136,13 +136,15 @@ func (c *Client) List(ctx context.Context, cursor string, limit int) (*JobsPageR
 	return &page, nil
 }
 
-// Workloads lists the daemon's workload catalog.
-func (c *Client) Workloads(ctx context.Context) ([]string, error) {
-	var names []string
-	if err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, &names); err != nil {
+// Workloads lists the daemon's workload catalog: each entry carries
+// the catalog name, the descriptor hash the fleet routes on, and the
+// full descriptor.
+func (c *Client) Workloads(ctx context.Context) ([]WorkloadInfo, error) {
+	var infos []WorkloadInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, &infos); err != nil {
 		return nil, err
 	}
-	return names, nil
+	return infos, nil
 }
 
 // Algorithms lists the daemon's registered algorithm keys.

@@ -173,7 +173,7 @@ func (s *Server) serveJSONLOp(ctx context.Context, w *jsonlWriter, req JSONLRequ
 			}
 		}()
 	case "workloads":
-		w.send(JSONLResponse{Kind: "workloads", Tag: req.Tag, Names: s.names})
+		w.send(JSONLResponse{Kind: "workloads", Tag: req.Tag, Names: s.sched.WorkloadNames()})
 	case "algorithms":
 		w.send(JSONLResponse{Kind: "algorithms", Tag: req.Tag, Names: modis.Algorithms()})
 	default:

@@ -17,10 +17,16 @@ import (
 
 // PersistOptions tune the daemon's crash-safe state directory.
 type PersistOptions struct {
-	// Dir is the state directory root. Layout:
+	// Dir is the state directory root. Every workload shard owns one
+	// subdirectory named by its descriptor hash:
 	//
-	//	<dir>/memo/<workload>/   snapshot+log of memoized Test records
-	//	<dir>/jobs/              snapshot+log of the job ledger
+	//	<dir>/<hash>/memo/   snapshot+log of the shard's memoized Test records
+	//	<dir>/<hash>/jobs/   snapshot+log of the shard's job ledger
+	//
+	// The layout is the shard-migration unit: copying <dir>/<hash>/ to
+	// another node's state dir moves the shard's warm memo and job
+	// history with it, because the hash — not the node, not the catalog
+	// name — is the identity everything is keyed by.
 	Dir string
 	// CommitInterval is the write-behind committers' max latency before
 	// a pending record is flushed (default 100ms).
@@ -60,15 +66,15 @@ type PersistenceHealth struct {
 	Enabled bool   `json:"enabled"`
 	Healthy bool   `json:"healthy"`
 	Dir     string `json:"dir,omitempty"`
-	// Stores maps "memo/<workload>" and "jobs" to their condition.
+	// Stores maps "<hash>/memo" and "<hash>/jobs" to their condition.
 	Stores map[string]wal.Health `json:"stores,omitempty"`
 	// OpenErrors lists stores that failed to open and run in-memory
 	// only.
 	OpenErrors map[string]string `json:"open_errors,omitempty"`
 }
 
-// RecoveredJob is one job reconstructed from the ledger during a warm
-// start.
+// RecoveredJob is one job reconstructed from a shard's ledger during a
+// warm start.
 type RecoveredJob struct {
 	ID        string
 	Workload  string
@@ -82,26 +88,32 @@ type RecoveredJob struct {
 	HasReport bool
 }
 
-// Persistence owns the daemon's durable state: one memo store per
-// attached workload and one job ledger, each drained by a write-behind
-// committer. Every failure mode is non-fatal by construction — a store
-// that cannot open runs in-memory only, a disk that stops accepting
-// writes turns the committer unhealthy and is retried with backoff —
-// and all of it is visible through Health.
+// Persistence owns the daemon's durable state: per shard (descriptor
+// hash), one memo store and one job ledger, each drained by a
+// write-behind committer. Every failure mode is non-fatal by
+// construction — a store that cannot open runs in-memory only, a disk
+// that stops accepting writes turns the committer unhealthy and is
+// retried with backoff — and all of it is visible through Health.
 type Persistence struct {
 	opts PersistOptions
 
-	mu     sync.Mutex
-	memos  map[string]*persistStore
-	ledger *persistStore
+	mu      sync.Mutex
+	memos   map[string]*persistStore // hash → memo store
+	ledgers map[string]*persistStore // hash → job ledger
 	// reportRefs locates each finished job's ledger record for
 	// positional report reads after the in-memory handle is dropped.
-	reportRefs map[string]wal.RecordRef
+	reportRefs map[string]reportRef
 	// reportCache is a tiny LRU over decoded reports of archived jobs.
 	reportCache map[string]*modis.Report
 	reportOrder []string
 	openErrs    map[string]string
 	closed      bool
+}
+
+// reportRef pins a finished job's report to its shard's ledger.
+type reportRef struct {
+	hash string
+	ref  wal.RecordRef
 }
 
 // reportCacheCap bounds the decoded-report LRU.
@@ -119,7 +131,8 @@ func OpenPersistence(opts PersistOptions) (*Persistence, error) {
 	p := &Persistence{
 		opts:        opts.withDefaults(),
 		memos:       map[string]*persistStore{},
-		reportRefs:  map[string]wal.RecordRef{},
+		ledgers:     map[string]*persistStore{},
+		reportRefs:  map[string]reportRef{},
 		reportCache: map[string]*modis.Report{},
 		openErrs:    map[string]string{},
 	}
@@ -129,8 +142,9 @@ func OpenPersistence(opts PersistOptions) (*Persistence, error) {
 	return p, nil
 }
 
-// sanitizeName maps a workload name onto a filesystem-safe directory
-// segment.
+// sanitizeName maps a shard hash (or any caller-supplied key) onto a
+// filesystem-safe directory segment. Descriptor hashes are already
+// plain hex; this guards the layout against foreign keys.
 func sanitizeName(name string) string {
 	var b strings.Builder
 	for _, r := range name {
@@ -147,6 +161,11 @@ func sanitizeName(name string) string {
 	return b.String()
 }
 
+// shardDir is the shard's private corner of the state directory.
+func (p *Persistence) shardDir(hash string) string {
+	return p.opts.Dir + "/" + sanitizeName(hash)
+}
+
 func (p *Persistence) committerOptions() wal.CommitterOptions {
 	return wal.CommitterOptions{
 		Interval:  p.opts.CommitInterval,
@@ -155,15 +174,14 @@ func (p *Persistence) committerOptions() wal.CommitterOptions {
 }
 
 // AttachMemo opens (recovering if present) the memo store of the
-// named workload, replays every persisted test into ts.Put in logged
-// order — reconstructing the valuation order, correlation columns,
-// and diversification normalizer exactly — and installs a sink so
-// every future valuation is persisted write-behind. A store that
-// fails to open leaves ts purely in-memory and records the failure in
-// Health; the returned error is informational, never fatal to
-// serving.
-func (p *Persistence) AttachMemo(name string, ts *fst.TestSet) error {
-	dir := p.opts.Dir + "/memo/" + sanitizeName(name)
+// shard, replays every persisted test into ts.Put in logged order —
+// reconstructing the valuation order, correlation columns, and
+// diversification normalizer exactly — and installs a sink so every
+// future valuation is persisted write-behind. A store that fails to
+// open leaves ts purely in-memory and records the failure in Health;
+// the returned error is informational, never fatal to serving.
+func (p *Persistence) AttachMemo(hash string, ts *fst.TestSet) error {
+	dir := p.shardDir(hash) + "/memo"
 	var replayed int
 	store, err := wal.OpenStore(p.opts.FS, dir, func(ref wal.RecordRef, payload []byte) error {
 		t, derr := decodeTest(payload)
@@ -179,9 +197,9 @@ func (p *Persistence) AttachMemo(name string, ts *fst.TestSet) error {
 	})
 	if err != nil {
 		p.mu.Lock()
-		p.openErrs["memo/"+name] = err.Error()
+		p.openErrs[hash+"/memo"] = err.Error()
 		p.mu.Unlock()
-		return fmt.Errorf("serve: memo store %s degraded to in-memory: %w", name, err)
+		return fmt.Errorf("serve: memo store %.12s degraded to in-memory: %w", hash, err)
 	}
 
 	// Open-time compaction: fold the log into a snapshot once it has
@@ -199,14 +217,14 @@ func (p *Persistence) AttachMemo(name string, ts *fst.TestSet) error {
 		}); cerr != nil {
 			// Non-fatal: keep serving on the uncompacted generation.
 			p.mu.Lock()
-			p.openErrs["memo/"+name+"/compact"] = cerr.Error()
+			p.openErrs[hash+"/memo/compact"] = cerr.Error()
 			p.mu.Unlock()
 		}
 	}
 
 	com := wal.NewStoreCommitter(p.committerOptions(), store)
 	p.mu.Lock()
-	p.memos[name] = &persistStore{store: store, com: com}
+	p.memos[hash] = &persistStore{store: store, com: com}
 	p.mu.Unlock()
 	ts.SetSink(func(t *fst.Test) {
 		com.Enqueue(encodeTest(t), nil)
@@ -214,11 +232,11 @@ func (p *Persistence) AttachMemo(name string, ts *fst.TestSet) error {
 	return nil
 }
 
-// ledgerEntry is one JSON record of the job ledger. Kind "submitted"
-// marks acceptance, "finished" the terminal state (carrying the
-// report of a done job). Entries for one job converge by overwrite —
-// replay keeps the latest per id — so duplicated records from retried
-// batches are harmless.
+// ledgerEntry is one JSON record of a shard's job ledger. Kind
+// "submitted" marks acceptance, "finished" the terminal state
+// (carrying the report of a done job). Entries for one job converge by
+// overwrite — replay keeps the latest per id — so duplicated records
+// from retried batches are harmless.
 type ledgerEntry struct {
 	Kind      string        `json:"kind"`
 	ID        string        `json:"id"`
@@ -230,12 +248,20 @@ type ledgerEntry struct {
 	Report    *modis.Report `json:"report,omitempty"`
 }
 
-// RecoverLedger opens the job ledger, replays it, and returns the
-// jobs of the previous incarnation in submission order. Open failure
-// degrades the ledger to in-memory (recorded in Health) and returns
-// no recovered jobs.
-func (p *Persistence) RecoverLedger() []RecoveredJob {
-	dir := p.opts.Dir + "/jobs"
+// RecoverShard opens the shard's job ledger, replays it, and returns
+// the jobs of the previous incarnation in submission order. Open
+// failure degrades the ledger to in-memory (recorded in Health) and
+// returns no recovered jobs. Recovering the same shard twice is a
+// no-op the second time.
+func (p *Persistence) RecoverShard(hash string) []RecoveredJob {
+	p.mu.Lock()
+	if _, dup := p.ledgers[hash]; dup {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+
+	dir := p.shardDir(hash) + "/jobs"
 	var order []string
 	recovered := map[string]*RecoveredJob{}
 	refs := map[string]wal.RecordRef{}
@@ -268,7 +294,7 @@ func (p *Persistence) RecoverLedger() []RecoveredJob {
 	})
 	if err != nil {
 		p.mu.Lock()
-		p.openErrs["jobs"] = err.Error()
+		p.openErrs[hash+"/jobs"] = err.Error()
 		p.mu.Unlock()
 		return nil
 	}
@@ -313,7 +339,7 @@ func (p *Persistence) RecoverLedger() []RecoveredJob {
 			return nil
 		}); cerr != nil {
 			p.mu.Lock()
-			p.openErrs["jobs/compact"] = cerr.Error()
+			p.openErrs[hash+"/jobs/compact"] = cerr.Error()
 			p.mu.Unlock()
 		} else {
 			refs = newRefs
@@ -322,9 +348,9 @@ func (p *Persistence) RecoverLedger() []RecoveredJob {
 
 	com := wal.NewStoreCommitter(p.committerOptions(), store)
 	p.mu.Lock()
-	p.ledger = &persistStore{store: store, com: com}
+	p.ledgers[hash] = &persistStore{store: store, com: com}
 	for id, ref := range refs {
-		p.reportRefs[id] = ref
+		p.reportRefs[id] = reportRef{hash: hash, ref: ref}
 	}
 	p.mu.Unlock()
 
@@ -335,11 +361,11 @@ func (p *Persistence) RecoverLedger() []RecoveredJob {
 	return out
 }
 
-// appendLedger enqueues one ledger entry write-behind. onDurable (may
-// be nil) runs once the entry is synced to disk.
-func (p *Persistence) appendLedger(e ledgerEntry, onDurable func(ref wal.RecordRef)) {
+// appendLedger enqueues one entry on the shard's ledger write-behind.
+// onDurable (may be nil) runs once the entry is synced to disk.
+func (p *Persistence) appendLedger(hash string, e ledgerEntry, onDurable func(ref wal.RecordRef)) {
 	p.mu.Lock()
-	l := p.ledger
+	l := p.ledgers[hash]
 	p.mu.Unlock()
 	if l == nil {
 		return
@@ -351,26 +377,27 @@ func (p *Persistence) appendLedger(e ledgerEntry, onDurable func(ref wal.RecordR
 	l.com.Enqueue(blob, onDurable)
 }
 
-// AppendSubmitted records a job acceptance.
-func (p *Persistence) AppendSubmitted(id, workload, algorithm string, submitted time.Time) {
-	p.appendLedger(ledgerEntry{
+// AppendSubmitted records a job acceptance on its shard's ledger.
+func (p *Persistence) AppendSubmitted(hash, id, workload, algorithm string, submitted time.Time) {
+	p.appendLedger(hash, ledgerEntry{
 		Kind: "submitted", ID: id,
 		Workload: workload, Algorithm: algorithm, Submitted: submitted,
 	}, nil)
 }
 
 // AppendFinished records a job's terminal state (and report, for done
-// jobs). onDurable (may be nil) runs once the record is on disk — the
-// scheduler's cue that the in-memory handle may be dropped.
-func (p *Persistence) AppendFinished(id, workload, algorithm string, submitted time.Time, status, errMsg string, rep *modis.Report, onDurable func()) {
-	p.appendLedger(ledgerEntry{
+// jobs) on its shard's ledger. onDurable (may be nil) runs once the
+// record is on disk — the scheduler's cue that the in-memory handle
+// may be dropped.
+func (p *Persistence) AppendFinished(hash, id, workload, algorithm string, submitted time.Time, status, errMsg string, rep *modis.Report, onDurable func()) {
+	p.appendLedger(hash, ledgerEntry{
 		Kind: "finished", ID: id,
 		Workload: workload, Algorithm: algorithm, Submitted: submitted,
 		Status: status, Error: errMsg, Report: rep,
 	}, func(ref wal.RecordRef) {
 		if rep != nil {
 			p.mu.Lock()
-			p.reportRefs[id] = ref
+			p.reportRefs[id] = reportRef{hash: hash, ref: ref}
 			p.mu.Unlock()
 		}
 		if onDurable != nil {
@@ -379,8 +406,8 @@ func (p *Persistence) AppendFinished(id, workload, algorithm string, submitted t
 	})
 }
 
-// ReadReport fetches an archived job's report back from the ledger
-// (through a small LRU). A missing or unreadable record reports
+// ReadReport fetches an archived job's report back from its shard's
+// ledger (through a small LRU). A missing or unreadable record reports
 // false — degraded disks degrade to report-less status, never errors.
 func (p *Persistence) ReadReport(id string) (*modis.Report, bool) {
 	p.mu.Lock()
@@ -388,13 +415,16 @@ func (p *Persistence) ReadReport(id string) (*modis.Report, bool) {
 		p.mu.Unlock()
 		return rep, true
 	}
-	ref, ok := p.reportRefs[id]
-	l := p.ledger
+	rref, ok := p.reportRefs[id]
+	var l *persistStore
+	if ok {
+		l = p.ledgers[rref.hash]
+	}
 	p.mu.Unlock()
 	if !ok || l == nil {
 		return nil, false
 	}
-	payload, err := l.store.ReadRecord(ref)
+	payload, err := l.store.ReadRecord(rref.ref)
 	if err != nil {
 		return nil, false
 	}
@@ -426,16 +456,16 @@ func (p *Persistence) Health() PersistenceHealth {
 		Dir:     p.opts.Dir,
 		Stores:  map[string]wal.Health{},
 	}
-	for name, ps := range p.memos {
+	for hash, ps := range p.memos {
 		sh := ps.com.Health()
-		h.Stores["memo/"+name] = sh
+		h.Stores[hash+"/memo"] = sh
 		if !sh.Healthy {
 			h.Healthy = false
 		}
 	}
-	if p.ledger != nil {
-		sh := p.ledger.com.Health()
-		h.Stores["jobs"] = sh
+	for hash, ps := range p.ledgers {
+		sh := ps.com.Health()
+		h.Stores[hash+"/jobs"] = sh
 		if !sh.Healthy {
 			h.Healthy = false
 		}
@@ -450,18 +480,24 @@ func (p *Persistence) Health() PersistenceHealth {
 	return h
 }
 
+// allStores snapshots every open store under the lock.
+func (p *Persistence) allStores() []*persistStore {
+	stores := make([]*persistStore, 0, len(p.memos)+len(p.ledgers))
+	for _, ps := range p.memos {
+		stores = append(stores, ps)
+	}
+	for _, ps := range p.ledgers {
+		stores = append(stores, ps)
+	}
+	return stores
+}
+
 // Flush forces every committer's backlog out now — the test hook for
 // "everything enqueued so far is on disk". Reports whether all stores
 // fully drained.
 func (p *Persistence) Flush() bool {
 	p.mu.Lock()
-	stores := make([]*persistStore, 0, len(p.memos)+1)
-	for _, ps := range p.memos {
-		stores = append(stores, ps)
-	}
-	if p.ledger != nil {
-		stores = append(stores, p.ledger)
-	}
+	stores := p.allStores()
 	p.mu.Unlock()
 	drained := true
 	for _, ps := range stores {
@@ -481,13 +517,7 @@ func (p *Persistence) Close() {
 		return
 	}
 	p.closed = true
-	stores := make([]*persistStore, 0, len(p.memos)+1)
-	for _, ps := range p.memos {
-		stores = append(stores, ps)
-	}
-	if p.ledger != nil {
-		stores = append(stores, p.ledger)
-	}
+	stores := p.allStores()
 	p.mu.Unlock()
 	for _, ps := range stores {
 		ps.com.Close()

@@ -18,13 +18,22 @@ import (
 )
 
 // newPersistShapeConfig is newShapeConfig with the test set
-// pre-initialized — AttachMemo needs it before the first submit, while
-// Config.Validate only creates it lazily.
+// pre-initialized, so direct AttachMemo calls (outside Register, which
+// initializes it itself) have a set to replay into.
 func newPersistShapeConfig(tb testing.TB) *fst.Config {
 	tb.Helper()
 	cfg := newShapeConfig(tb, 0)
 	cfg.Tests = fst.NewTestSet()
 	return cfg
+}
+
+// shapeHash is the shape workload's descriptor hash — the shard
+// identity its state directory is keyed by. Every shape config is
+// structurally identical, so every incarnation lands on the same hash;
+// that is the cross-restart contract these tests lean on.
+func shapeHash(tb testing.TB) string {
+	tb.Helper()
+	return describeShape(tb, newShapeConfig(tb, 0)).Hash()
 }
 
 // openPersist opens a persistence rooted at dir with test-friendly
@@ -71,7 +80,9 @@ func waitUntil(tb testing.TB, d time.Duration, what string, cond func() bool) {
 // memo; a warm incarnation — fresh config, same state directory —
 // recovers the memoized valuations in the exact order they were made,
 // reproduces every skyline byte for byte, and performs zero exact
-// inferences doing so.
+// inferences doing so. Registration alone does the recovery: the memo
+// lives under the shard's descriptor hash, and both incarnations derive
+// the same hash from structurally identical configs.
 func TestColdWarmDeterminism(t *testing.T) {
 	dir := t.TempDir()
 	ctx := context.Background()
@@ -79,13 +90,11 @@ func TestColdWarmDeterminism(t *testing.T) {
 	// Cold incarnation.
 	cfgA := newPersistShapeConfig(t)
 	pA := openPersist(t, dir, nil)
-	if err := pA.AttachMemo("shape", cfgA.Tests); err != nil {
-		t.Fatal(err)
-	}
 	schedA := serve.NewScheduler(serve.SchedulerOptions{Persist: pA})
+	registerShape(t, schedA, cfgA)
 	coldSkyline := map[string]string{}
 	for _, algo := range allAlgorithms() {
-		job, err := schedA.Submit(ctx, "shape", cfgA, algo, runOpts()...)
+		job, err := schedA.Submit(ctx, "shape", algo, runOpts()...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,13 +114,12 @@ func TestColdWarmDeterminism(t *testing.T) {
 	pA.Close()
 
 	// Warm incarnation: fresh config (own empty test set), same state
-	// directory.
+	// directory. Register recovers the shard's memo before serving.
 	cfgB := newPersistShapeConfig(t)
 	pB := openPersist(t, dir, nil)
-	if err := pB.AttachMemo("shape", cfgB.Tests); err != nil {
-		t.Fatal(err)
-	}
 	defer pB.Close()
+	schedB := serve.NewScheduler(serve.SchedulerOptions{Persist: pB})
+	registerShape(t, schedB, cfgB)
 	warmTests := cfgB.Tests.All()
 	if len(warmTests) != len(coldTests) {
 		t.Fatalf("recovered %d memoized valuations, cold made %d", len(warmTests), len(coldTests))
@@ -130,9 +138,8 @@ func TestColdWarmDeterminism(t *testing.T) {
 		}
 	}
 
-	schedB := serve.NewScheduler(serve.SchedulerOptions{Persist: pB})
 	for _, algo := range allAlgorithms() {
-		job, err := schedB.Submit(ctx, "shape", cfgB, algo, runOpts()...)
+		job, err := schedB.Submit(ctx, "shape", algo, runOpts()...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,10 +156,10 @@ func TestColdWarmDeterminism(t *testing.T) {
 	}
 }
 
-// memoLogPath locates the single memo log file of the workload.
-func memoLogPath(tb testing.TB, dir, workload string) string {
+// memoLogPath locates the single memo log file of the shard.
+func memoLogPath(tb testing.TB, dir, hash string) string {
 	tb.Helper()
-	matches, err := filepath.Glob(filepath.Join(dir, "memo", workload, "log-*.wal"))
+	matches, err := filepath.Glob(filepath.Join(dir, hash, "memo", "log-*.wal"))
 	if err != nil || len(matches) != 1 {
 		tb.Fatalf("memo log files: %v (err %v), want exactly 1", matches, err)
 	}
@@ -171,10 +178,9 @@ func TestMemoRecoveryTolerantOfCorruption(t *testing.T) {
 
 	cfgA := newPersistShapeConfig(t)
 	pA := openPersist(t, dir, nil)
-	if err := pA.AttachMemo("shape", cfgA.Tests); err != nil {
-		t.Fatal(err)
-	}
-	job, err := serve.NewScheduler(serve.SchedulerOptions{Persist: pA}).Submit(ctx, "shape", cfgA, "bi", runOpts()...)
+	schedA := serve.NewScheduler(serve.SchedulerOptions{Persist: pA})
+	registerShape(t, schedA, cfgA)
+	job, err := schedA.Submit(ctx, "shape", "bi", runOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,18 +190,17 @@ func TestMemoRecoveryTolerantOfCorruption(t *testing.T) {
 		t.Fatal("cold flush did not drain")
 	}
 	pA.Close()
-	logPath := memoLogPath(t, dir, "shape")
+	logPath := memoLogPath(t, dir, shapeHash(t))
 
 	reopenAndRun := func(name string) (recovered int) {
 		t.Helper()
 		cfg := newPersistShapeConfig(t)
 		p := openPersist(t, dir, nil)
 		defer p.Close()
-		if err := p.AttachMemo("shape", cfg.Tests); err != nil {
-			t.Fatalf("%s: attach: %v", name, err)
-		}
+		sched := serve.NewScheduler(serve.SchedulerOptions{Persist: p})
+		registerShape(t, sched, cfg)
 		recovered = cfg.Tests.Len()
-		job, err := serve.NewScheduler(serve.SchedulerOptions{Persist: p}).Submit(ctx, "shape", cfg, "bi", runOpts()...)
+		job, err := sched.Submit(ctx, "shape", "bi", runOpts()...)
 		if err != nil {
 			t.Fatalf("%s: submit: %v", name, err)
 		}
@@ -279,17 +284,15 @@ func TestPersistenceFaultsDegradeGracefully(t *testing.T) {
 
 			cfg := newPersistShapeConfig(t)
 			p := openPersist(t, dir, ffs)
-			if err := p.AttachMemo("shape", cfg.Tests); err != nil {
-				t.Fatal(err)
-			}
 			sched := serve.NewScheduler(serve.SchedulerOptions{Persist: p})
-			srv := httptest.NewServer(serve.NewServer(sched, workloadMap(cfg)))
+			registerShape(t, sched, cfg)
+			srv := httptest.NewServer(serve.NewServer(sched, serve.ServerOptions{}))
 			defer srv.Close()
 
 			// Break the disk, then run: the search must finish as if
 			// nothing happened.
 			tc.arm(ffs)
-			job, err := sched.Submit(ctx, "shape", cfg, "bi", runOpts()...)
+			job, err := sched.Submit(ctx, "shape", "bi", runOpts()...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -329,7 +332,7 @@ func TestPersistenceFaultsDegradeGracefully(t *testing.T) {
 			cfg2 := newPersistShapeConfig(t)
 			p2 := openPersist(t, dir, nil)
 			defer p2.Close()
-			if err := p2.AttachMemo("shape", cfg2.Tests); err != nil {
+			if err := p2.AttachMemo(shapeHash(t), cfg2.Tests); err != nil {
 				t.Fatal(err)
 			}
 			if n := cfg2.Tests.Len(); n != memoLen {
@@ -353,38 +356,35 @@ func TestLedgerRecoveryAndPagination(t *testing.T) {
 	// SIGKILL mid-run leaves).
 	cfgA := newPersistShapeConfig(t)
 	pA := openPersist(t, dir, nil)
-	if err := pA.AttachMemo("shape", cfgA.Tests); err != nil {
-		t.Fatal(err)
-	}
 	schedA := serve.NewScheduler(serve.SchedulerOptions{Persist: pA})
+	registerShape(t, schedA, cfgA)
+	hash := shapeHash(t)
 	algos := []string{"bi", "apx", "exact"}
 	ids := make([]string, len(algos))
 	skylines := make([]string, len(algos))
 	for i, algo := range algos {
-		job, err := schedA.Submit(ctx, "shape", cfgA, algo, runOpts()...)
+		job, err := schedA.Submit(ctx, "shape", algo, runOpts()...)
 		if err != nil {
 			t.Fatal(err)
 		}
 		ids[i] = job.ID()
 		skylines[i] = skylineJSON(t, mustResult(t, job))
 	}
-	pA.AppendSubmitted("ghost-job", "shape", "bi", time.Now())
+	pA.AppendSubmitted(hash, "ghost-job", "shape", "bi", time.Now())
 	// 3 submitted + 3 finished + 1 ghost submitted = 7 durable records.
 	waitUntil(t, 5*time.Second, "ledger flushed", func() bool {
 		pA.Flush()
-		return pA.Health().Stores["jobs"].Flushed >= 7
+		return pA.Health().Stores[hash+"/jobs"].Flushed >= 7
 	})
 	pA.Close()
 
-	// Second incarnation.
+	// Second incarnation: registering the shard recovers its ledger.
 	cfgB := newPersistShapeConfig(t)
 	pB := openPersist(t, dir, nil)
 	defer pB.Close()
-	if err := pB.AttachMemo("shape", cfgB.Tests); err != nil {
-		t.Fatal(err)
-	}
 	schedB := serve.NewScheduler(serve.SchedulerOptions{Persist: pB})
-	srv := httptest.NewServer(serve.NewServer(schedB, workloadMap(cfgB)))
+	registerShape(t, schedB, cfgB)
+	srv := httptest.NewServer(serve.NewServer(schedB, serve.ServerOptions{}))
 	defer srv.Close()
 	client := serve.NewClient(srv.URL)
 
@@ -463,18 +463,16 @@ func TestLedgerWindowArchivesHandles(t *testing.T) {
 	cfg := newPersistShapeConfig(t)
 	p := openPersist(t, dir, nil)
 	defer p.Close()
-	if err := p.AttachMemo("shape", cfg.Tests); err != nil {
-		t.Fatal(err)
-	}
 	sched := serve.NewScheduler(serve.SchedulerOptions{Persist: p, LedgerWindow: 1})
-	srv := httptest.NewServer(serve.NewServer(sched, workloadMap(cfg)))
+	registerShape(t, sched, cfg)
+	srv := httptest.NewServer(serve.NewServer(sched, serve.ServerOptions{}))
 	defer srv.Close()
 	client := serve.NewClient(srv.URL)
 
 	var ids []string
 	var skylines []string
 	for i := 0; i < 3; i++ {
-		job, err := sched.Submit(ctx, "shape", cfg, "bi", runOpts()...)
+		job, err := sched.Submit(ctx, "shape", "bi", runOpts()...)
 		if err != nil {
 			t.Fatal(err)
 		}

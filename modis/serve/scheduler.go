@@ -4,7 +4,9 @@
 // [Server] exposing the job API over HTTP (JSON + server-sent events)
 // and over JSONL stdin/stdout for scripting, and a [Client] for
 // driving a remote daemon programmatically. Command modisd wires a
-// Server to the network; cmd/modis -remote runs the CLI against one.
+// Server to the network; cmd/modis -remote runs the CLI against one,
+// and cmd/modisproxy routes a fleet of daemons by workload descriptor
+// hash.
 package serve
 
 import (
@@ -12,17 +14,24 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/fst"
 	"repro/modis"
+	"repro/modis/workload"
 )
 
 // ErrDraining is returned by Scheduler.Submit once Drain has been
 // called: the scheduler no longer accepts jobs. Wire layers match it
 // with errors.Is to report 503 rather than a client error.
 var ErrDraining = errors.New("serve: scheduler is draining, not accepting jobs")
+
+// ErrUnknownWorkload is returned by Submit for a workload name that
+// was never registered. Wire layers match it with errors.Is to report
+// 404.
+var ErrUnknownWorkload = errors.New("serve: unknown workload")
 
 // SchedulerOptions tune a Scheduler. The zero value is ready to use.
 type SchedulerOptions struct {
@@ -38,10 +47,13 @@ type SchedulerOptions struct {
 	// scheduler; excess jobs queue in submission order and their wait
 	// shows up as the report's Queued time. 0 means unbounded.
 	MaxConcurrent int
-	// Persist, when set, makes the scheduler durable: job transitions
-	// and finished reports spill to the persistence's ledger, and jobs
-	// of the previous incarnation are recovered into the record at
-	// construction. Nil keeps everything in memory, exactly as before.
+	// Persist, when set, makes the scheduler durable: each registered
+	// shard's memo store attaches under state-dir/<hash>/memo at
+	// Register time (warm-starting the valuations a previous
+	// incarnation paid for), job transitions spill to the shard's
+	// ledger under state-dir/<hash>/jobs, and the previous
+	// incarnation's jobs are recovered into the record when their
+	// shard registers. Nil keeps everything in memory.
 	Persist *Persistence
 	// LedgerWindow bounds how many finished jobs stay resident with
 	// their full in-memory handle once their ledger record is durable;
@@ -51,12 +63,17 @@ type SchedulerOptions struct {
 	LedgerWindow int
 }
 
-// Scheduler runs jobs behind a pool of per-workload engines. Jobs
-// submitted for the same workload — identified by the *fst.Config
-// pointer — share one engine (hence one memoized test set: overlapping
-// runs share valuations) and one frontier batcher (concurrently
-// in-flight runs align their valuation windows into shared passes).
-// Jobs for different workloads run side by side independently.
+// Scheduler runs jobs behind a pool of per-shard engines. A workload
+// is registered under a catalog name with its [workload.Descriptor];
+// the descriptor's content hash is the shard identity: jobs submitted
+// for the same hash — under any catalog name, from any process that
+// derived the same descriptor — share one engine (hence one memoized
+// test set: overlapping runs share valuations) and one frontier
+// batcher (concurrently in-flight runs align their valuation windows
+// into shared passes). Jobs for different shards run side by side
+// independently, and a shard's persisted state lives in its own
+// state-dir/<hash>/ directory, so moving a shard between nodes is a
+// directory copy.
 //
 // A Scheduler is safe for concurrent use. It also keeps the record of
 // every job it accepted, so wire layers can resolve job ids.
@@ -64,8 +81,13 @@ type Scheduler struct {
 	opts SchedulerOptions
 	slot chan struct{} // admission semaphore; nil when unbounded
 
+	// regMu serializes Register (which does store IO); s.mu stays a
+	// leaf lock for the maps.
+	regMu sync.Mutex
+
 	mu       sync.Mutex
-	groups   map[*fst.Config]*engineGroup
+	regs     map[string]*registration // catalog name → registration
+	shards   map[string]*shard        // descriptor hash → serving state
 	jobs     map[string]*JobRecord
 	order    []string
 	pos      map[string]int // id → index in order, the pagination cursor index
@@ -75,10 +97,22 @@ type Scheduler struct {
 	idle     chan struct{} // closed when draining hits zero in-flight
 }
 
-// engineGroup is one workload's shared serving state.
-type engineGroup struct {
+// registration binds one catalog name to its shard.
+type registration struct {
+	name string
+	desc *workload.Descriptor
+	sh   *shard
+}
+
+// shard is one workload identity's shared serving state.
+type shard struct {
+	hash   string
+	canon  string // canonical descriptor JSON — the collision-guard witness
+	cfg    *fst.Config
 	engine *modis.Engine
 	batch  *batcher
+	names  []string // catalog names registered onto this shard, sorted
+	jobs   int      // jobs accepted for this shard (including recovered)
 }
 
 // JobRecord is a scheduler's ledger entry for one accepted job. A
@@ -93,6 +127,9 @@ type JobRecord struct {
 	// Workload is the submit-time workload name (may be empty for
 	// in-process submissions).
 	Workload string
+	// Hash is the workload's descriptor hash — the shard the job ran
+	// on (empty for records recovered from a pre-descriptor ledger).
+	Hash string
 	// Algorithm is the canonical algorithm key.
 	Algorithm string
 	// Submitted is the accept time.
@@ -156,19 +193,17 @@ var closedDone = func() chan struct{} {
 	return c
 }()
 
-// NewScheduler returns a Scheduler with the given options. With
-// Persist set, the previous incarnation's ledger is recovered first:
-// finished jobs reappear archived (status and report resolvable),
-// jobs that were in flight when the daemon died are recorded failed
-// with a "lost" error — the restarted daemon never pretends a crashed
-// run is still going.
+// NewScheduler returns a Scheduler with the given options. Workloads
+// are registered afterwards with Register; with Persist set, each
+// Register recovers its shard's memo and job ledger.
 func NewScheduler(opts SchedulerOptions) *Scheduler {
 	if opts.LedgerWindow <= 0 {
 		opts.LedgerWindow = 128
 	}
 	s := &Scheduler{
 		opts:   opts,
-		groups: map[*fst.Config]*engineGroup{},
+		regs:   map[string]*registration{},
+		shards: map[string]*shard{},
 		jobs:   map[string]*JobRecord{},
 		pos:    map[string]int{},
 		idle:   make(chan struct{}),
@@ -176,66 +211,214 @@ func NewScheduler(opts SchedulerOptions) *Scheduler {
 	if opts.MaxConcurrent > 0 {
 		s.slot = make(chan struct{}, opts.MaxConcurrent)
 	}
-	if opts.Persist != nil {
-		for _, rj := range opts.Persist.RecoverLedger() {
-			rec := &JobRecord{
-				ID: rj.ID, Workload: rj.Workload, Algorithm: rj.Algorithm, Submitted: rj.Submitted,
-			}
-			status, errMsg, hasReport := rj.Status, rj.Error, rj.HasReport
-			if !rj.Finished {
-				status = StatusFailed
-				errMsg = "serve: lost: daemon restarted while the job was in flight"
-				hasReport = false
-				// Converge the ledger so the next restart recovers the
-				// loss directly.
-				opts.Persist.AppendFinished(rj.ID, rj.Workload, rj.Algorithm, rj.Submitted, status, errMsg, nil, nil)
-			}
-			rec.arch = &archivedJob{status: status, errMsg: errMsg, hasReport: hasReport}
-			s.pos[rec.ID] = len(s.order)
-			s.jobs[rec.ID] = rec
-			s.order = append(s.order, rec.ID)
-		}
-	}
 	return s
 }
 
-// Engine returns the shared engine serving the workload, creating it
-// on first use — the pool keying Submit relies on.
-func (s *Scheduler) Engine(cfg *fst.Config) *modis.Engine {
-	return s.group(cfg).engine
+// Register adds a workload to the catalog under desc.Name, keyed by
+// the descriptor's content hash. Registering the same name with the
+// same identity is idempotent; a second name whose descriptor is
+// structurally equal shares the existing shard (the first
+// registration's config — and memo — wins). With persistence enabled,
+// the shard's memo store attaches under state-dir/<hash>/memo (warm
+// start) and the shard's previous-incarnation jobs are recovered into
+// the record.
+//
+// The hash-collision guard: two descriptors that hash identically but
+// differ structurally are rejected with an error rather than silently
+// sharing an engine — a silent share would cross-contaminate memoized
+// valuations between genuinely different workloads.
+func (s *Scheduler) Register(desc *workload.Descriptor, cfg *fst.Config) error {
+	if desc == nil {
+		return errors.New("serve: register: nil descriptor")
+	}
+	return s.register(desc, cfg, desc.Hash())
 }
 
-func (s *Scheduler) group(cfg *fst.Config) *engineGroup {
+// register is Register with the hash injected — the seam the
+// collision-guard tests force hashes through (sha256 collisions being
+// otherwise hard to come by).
+func (s *Scheduler) register(desc *workload.Descriptor, cfg *fst.Config, hash string) error {
+	if desc.Name == "" {
+		return errors.New("serve: register: descriptor has no catalog name")
+	}
+	if cfg == nil {
+		return fmt.Errorf("serve: register %s: nil config", desc.Name)
+	}
+	canon := string(desc.CanonicalJSON())
+
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+
+	s.mu.Lock()
+	if prev, ok := s.regs[desc.Name]; ok {
+		same := prev.sh.hash == hash && prev.sh.canon == canon
+		s.mu.Unlock()
+		if same {
+			return nil // idempotent re-registration
+		}
+		return fmt.Errorf("serve: register %s: name already bound to workload %.12s", desc.Name, prev.sh.hash)
+	}
+	if sh, ok := s.shards[hash]; ok {
+		if sh.canon != canon {
+			s.mu.Unlock()
+			return fmt.Errorf("serve: register %s: descriptor hash collision on %.12s: structurally different workloads hash identically; refusing to share an engine", desc.Name, hash)
+		}
+		// Same identity under another name: share the shard.
+		sh.names = append(sh.names, desc.Name)
+		sort.Strings(sh.names)
+		s.regs[desc.Name] = &registration{name: desc.Name, desc: desc, sh: sh}
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	// New shard. Attach durable state first (store IO, serialized by
+	// regMu): the memo replays into cfg.Tests before the engine serves
+	// its first job, and the shard's previous-incarnation jobs are
+	// recovered into the record. Persistence failures degrade the
+	// shard to in-memory (visible in Health), never fail registration.
+	var recovered []RecoveredJob
+	if s.opts.Persist != nil {
+		if cfg.Tests == nil {
+			cfg.Tests = fst.NewTestSet()
+		}
+		s.opts.Persist.AttachMemo(hash, cfg.Tests) //nolint:errcheck // degradation is visible in Health
+		recovered = s.opts.Persist.RecoverShard(hash)
+	}
+
+	sh := &shard{
+		hash:   hash,
+		canon:  canon,
+		cfg:    cfg,
+		engine: modis.NewEngine(cfg),
+		batch:  newBatcher(s.opts.AlignWindow, s.opts.Parallelism),
+		names:  []string{desc.Name},
+	}
+	s.mu.Lock()
+	s.shards[hash] = sh
+	s.regs[desc.Name] = &registration{name: desc.Name, desc: desc, sh: sh}
+	for _, rj := range recovered {
+		rec := &JobRecord{
+			ID: rj.ID, Workload: rj.Workload, Hash: hash, Algorithm: rj.Algorithm, Submitted: rj.Submitted,
+		}
+		status, errMsg, hasReport := rj.Status, rj.Error, rj.HasReport
+		if !rj.Finished {
+			status = StatusFailed
+			errMsg = "serve: lost: daemon restarted while the job was in flight"
+			hasReport = false
+			// Converge the ledger so the next restart recovers the
+			// loss directly.
+			s.opts.Persist.AppendFinished(hash, rj.ID, rj.Workload, rj.Algorithm, rj.Submitted, status, errMsg, nil, nil)
+		}
+		rec.arch = &archivedJob{status: status, errMsg: errMsg, hasReport: hasReport}
+		sh.jobs++
+		s.pos[rec.ID] = len(s.order)
+		s.jobs[rec.ID] = rec
+		s.order = append(s.order, rec.ID)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Engine returns the shared engine serving the named workload, or nil
+// if the name was never registered — the pool keying Submit relies on.
+func (s *Scheduler) Engine(name string) *modis.Engine {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	g, ok := s.groups[cfg]
-	if !ok {
-		g = &engineGroup{
-			engine: modis.NewEngine(cfg),
-			batch:  newBatcher(s.opts.AlignWindow, s.opts.Parallelism),
-		}
-		s.groups[cfg] = g
+	if reg, ok := s.regs[name]; ok {
+		return reg.sh.engine
 	}
-	return g
+	return nil
 }
 
-// Submit schedules one job: the named algorithm over the given
-// workload configuration, on the workload's shared engine, with its
-// valuation windows aligned against the workload's other in-flight
-// jobs. workload is the display name recorded for wire layers; cfg is
-// the workload identity. Submission errors (unknown algorithm, invalid
+// WorkloadNames lists the registered catalog names, sorted.
+func (s *Scheduler) WorkloadNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.regs))
+	for name := range s.regs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WorkloadInfo is the catalog view of one registered workload.
+type WorkloadInfo struct {
+	Name       string               `json:"name"`
+	Hash       string               `json:"hash"`
+	Descriptor *workload.Descriptor `json:"descriptor,omitempty"`
+}
+
+// WorkloadInfos lists the registered workloads with their shard
+// identity, sorted by name — GET /v1/workloads and the proxy's
+// routing catalog.
+func (s *Scheduler) WorkloadInfos() []WorkloadInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkloadInfo, 0, len(s.regs))
+	for _, reg := range s.regs {
+		out = append(out, WorkloadInfo{Name: reg.name, Hash: reg.sh.hash, Descriptor: reg.desc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ShardInfo is the healthz view of one shard this node holds.
+type ShardInfo struct {
+	Hash string `json:"hash"`
+	// Workloads are the catalog names registered onto the shard.
+	Workloads []string `json:"workloads"`
+	// Jobs counts jobs accepted for the shard, recovered ones
+	// included.
+	Jobs int `json:"jobs"`
+	// Memo is the number of memoized valuations held.
+	Memo int `json:"memo"`
+}
+
+// Shards lists the shards this scheduler holds, sorted by hash — the
+// node identity half of /healthz.
+func (s *Scheduler) Shards() []ShardInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ShardInfo, 0, len(s.shards))
+	for _, sh := range s.shards {
+		info := ShardInfo{Hash: sh.hash, Workloads: append([]string(nil), sh.names...), Jobs: sh.jobs}
+		if sh.cfg.Tests != nil {
+			info.Memo = sh.cfg.Tests.Len()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
+	return out
+}
+
+// Submit schedules one job: the named algorithm over the registered
+// workload, on the workload shard's shared engine, with its valuation
+// windows aligned against the shard's other in-flight jobs.
+// Submission errors (unknown workload, unknown algorithm, invalid
 // options, draining scheduler) surface synchronously; everything later
 // is observed through the returned job handle.
-func (s *Scheduler) Submit(ctx context.Context, workload string, cfg *fst.Config, algorithm string, opts ...modis.Option) (*modis.Job, error) {
+func (s *Scheduler) Submit(ctx context.Context, workloadName string, algorithm string, opts ...modis.Option) (*modis.Job, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
+	reg, ok := s.regs[workloadName]
+	if !ok {
+		known := make([]string, 0, len(s.regs))
+		for name := range s.regs {
+			known = append(known, name)
+		}
+		sort.Strings(known)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w %q (known: %s)", ErrUnknownWorkload, workloadName, strings.Join(known, ", "))
+	}
+	sh := reg.sh
 	s.inflight++
 	s.mu.Unlock()
-	g := s.group(cfg)
-	h := g.batch.newRun()
+	h := sh.batch.newRun()
 
 	// The scheduler's hooks come after the caller's options so they
 	// cannot be overridden into an unmanaged run. The admission hook
@@ -258,20 +441,21 @@ func (s *Scheduler) Submit(ctx context.Context, workload string, cfg *fst.Config
 		return nil
 	}))
 
-	job, err := g.engine.Submit(ctx, algorithm, all...)
+	job, err := sh.engine.Submit(ctx, algorithm, all...)
 	if err != nil {
 		h.close()
 		s.finishJob()
 		return nil, err
 	}
-	rec := &JobRecord{ID: job.ID(), Workload: workload, Algorithm: job.Algorithm(), Submitted: time.Now(), job: job}
+	rec := &JobRecord{ID: job.ID(), Workload: workloadName, Hash: sh.hash, Algorithm: job.Algorithm(), Submitted: time.Now(), job: job}
 	s.mu.Lock()
+	sh.jobs++
 	s.pos[rec.ID] = len(s.order)
 	s.jobs[rec.ID] = rec
 	s.order = append(s.order, rec.ID)
 	s.mu.Unlock()
 	if s.opts.Persist != nil {
-		s.opts.Persist.AppendSubmitted(rec.ID, rec.Workload, rec.Algorithm, rec.Submitted)
+		s.opts.Persist.AppendSubmitted(rec.Hash, rec.ID, rec.Workload, rec.Algorithm, rec.Submitted)
 	}
 
 	go func() {
@@ -288,9 +472,9 @@ func (s *Scheduler) Submit(ctx context.Context, workload string, cfg *fst.Config
 	return job, nil
 }
 
-// recordFinished spills a terminal job to the ledger; once the record
-// is durable the job joins the archive queue, and jobs beyond the
-// resident window drop their in-memory handle.
+// recordFinished spills a terminal job to its shard's ledger; once the
+// record is durable the job joins the archive queue, and jobs beyond
+// the resident window drop their in-memory handle.
 func (s *Scheduler) recordFinished(rec *JobRecord) {
 	if s.opts.Persist == nil {
 		return
@@ -300,7 +484,7 @@ func (s *Scheduler) recordFinished(rec *JobRecord) {
 		return
 	}
 	status, errMsg, rep := terminalState(job)
-	s.opts.Persist.AppendFinished(rec.ID, rec.Workload, rec.Algorithm, rec.Submitted, status, errMsg, rep, func() {
+	s.opts.Persist.AppendFinished(rec.Hash, rec.ID, rec.Workload, rec.Algorithm, rec.Submitted, status, errMsg, rep, func() {
 		s.mu.Lock()
 		s.finished = append(s.finished, rec.ID)
 		var evict []*JobRecord
@@ -363,8 +547,8 @@ func (s *Scheduler) Jobs() []*JobRecord {
 }
 
 // Workloads lists the distinct workload names of accepted jobs,
-// sorted (a debugging aid; the authoritative catalog lives with the
-// Server).
+// sorted (a debugging aid; the authoritative catalog is
+// WorkloadInfos).
 func (s *Scheduler) Workloads() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/table"
 	"repro/modis"
 	"repro/modis/serve"
+	"repro/modis/workload"
 )
 
 // shapeModel derives two opposing measures from the dataset shape (a
@@ -99,9 +100,24 @@ func mustResult(tb testing.TB, job *modis.Job) *modis.Report {
 	return rep
 }
 
-// workloadMap is the catalog servers in these tests expose.
-func workloadMap(cfg *fst.Config) map[string]*fst.Config {
-	return map[string]*fst.Config{"shape": cfg}
+// describeShape derives the canonical descriptor a shape config
+// registers under.
+func describeShape(tb testing.TB, cfg *fst.Config) *workload.Descriptor {
+	tb.Helper()
+	d, err := workload.Describe("shape", cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+// registerShape registers cfg with the scheduler under the catalog
+// name "shape".
+func registerShape(tb testing.TB, sched *serve.Scheduler, cfg *fst.Config) {
+	tb.Helper()
+	if err := sched.Register(describeShape(tb, cfg), cfg); err != nil {
+		tb.Fatal(err)
+	}
 }
 
 var _ = serve.SubmitRequest{} // keep the import pinned for helpers-only builds

@@ -6,12 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
-	"strings"
 	"time"
 
-	"repro/internal/fst"
 	"repro/modis"
 )
 
@@ -179,28 +176,32 @@ func (s *Scheduler) statusOf(rec *JobRecord) *JobStatus {
 // submitting request's, so they survive their submitter disconnecting;
 // Close cancels them all.
 type Server struct {
-	sched     *Scheduler
-	workloads map[string]*fst.Config
-	names     []string
-	mux       *http.ServeMux
-	ctx       context.Context
-	stop      context.CancelFunc
+	sched *Scheduler
+	opts  ServerOptions
+	mux   *http.ServeMux
+	ctx   context.Context
+	stop  context.CancelFunc
 }
 
-// NewServer builds a Server over a scheduler and a workload catalog
-// (name → configuration; the map is captured as-is and must not be
-// mutated afterwards).
-func NewServer(sched *Scheduler, workloads map[string]*fst.Config) *Server {
+// ServerOptions carry the node identity a Server advertises on
+// /healthz — what the proxy's fleet view is built from. The zero value
+// is fine for single-node serving.
+type ServerOptions struct {
+	// Advertise is the address peers should reach this node on
+	// (host:port), echoed verbatim.
+	Advertise string
+}
+
+// NewServer builds a Server over a scheduler; the workload catalog is
+// the scheduler's registry, read live, so workloads registered after
+// the server starts appear without a restart.
+func NewServer(sched *Scheduler, opts ServerOptions) *Server {
 	s := &Server{
-		sched:     sched,
-		workloads: workloads,
-		mux:       http.NewServeMux(),
+		sched: sched,
+		opts:  opts,
+		mux:   http.NewServeMux(),
 	}
 	s.ctx, s.stop = context.WithCancel(context.Background())
-	for name := range workloads {
-		s.names = append(s.names, name)
-	}
-	sort.Strings(s.names)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -223,29 +224,27 @@ func (s *Server) Close() { s.stop() }
 // Submit runs one wire-form submission through the scheduler — shared
 // by the HTTP and JSONL fronts.
 func (s *Server) Submit(req SubmitRequest) (*modis.Job, error) {
-	cfg, ok := s.workloads[req.Workload]
-	if !ok {
-		return nil, &wireError{
-			status: http.StatusNotFound,
-			msg:    fmt.Sprintf("serve: unknown workload %q (known: %s)", req.Workload, strings.Join(s.names, ", ")),
-		}
-	}
 	ctx := s.ctx
 	var cancel context.CancelFunc
 	if req.TimeoutMS > 0 {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 	}
-	job, err := s.sched.Submit(ctx, req.Workload, cfg, req.Algorithm, req.Options.toOptions()...)
+	job, err := s.sched.Submit(ctx, req.Workload, req.Algorithm, req.Options.toOptions()...)
 	if err != nil {
 		if cancel != nil {
 			cancel()
 		}
-		// Draining is the only retryable submit failure; everything
-		// else — unknown algorithm (the registry's typed error, known
-		// keys in the message), invalid options — is the client's.
+		// Draining is the only retryable submit failure; an unknown
+		// workload is addressed to the wrong node (404, the proxy's
+		// reroute cue); everything else — unknown algorithm (the
+		// registry's typed error, known keys in the message), invalid
+		// options — is the client's.
 		status := http.StatusBadRequest
-		if errors.Is(err, ErrDraining) {
+		switch {
+		case errors.Is(err, ErrDraining):
 			status = http.StatusServiceUnavailable
+		case errors.Is(err, ErrUnknownWorkload):
+			status = http.StatusNotFound
 		}
 		return nil, &wireError{status: status, msg: err.Error()}
 	}
@@ -394,26 +393,44 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 // HealthResponse is the healthz body. Status is "ok", or "degraded"
 // when persistence is enabled but failing — the daemon still serves
-// (state lives in memory); operators watch this field.
+// (state lives in memory); operators watch this field. Node carries
+// the identity the proxy routes on: who this node is and which
+// workload shards it holds.
 type HealthResponse struct {
 	Status      string             `json:"status"`
+	Node        *NodeIdentity      `json:"node,omitempty"`
 	Persistence *PersistenceHealth `json:"persistence,omitempty"`
+}
+
+// NodeIdentity is the healthz self-description of one daemon.
+type NodeIdentity struct {
+	// Advertise is the address peers reach this node on (empty when
+	// the daemon was not told one).
+	Advertise string `json:"advertise,omitempty"`
+	// StateDir is the persistence root ("" when serving in-memory).
+	StateDir string `json:"state_dir,omitempty"`
+	// Shards lists the workload shards this node holds, by descriptor
+	// hash.
+	Shards []ShardInfo `json:"shards"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{Status: "ok"}
+	node := &NodeIdentity{Advertise: s.opts.Advertise, Shards: s.sched.Shards()}
 	if p := s.sched.opts.Persist; p != nil {
+		node.StateDir = p.opts.Dir
 		h := p.Health()
 		resp.Persistence = &h
 		if !h.Healthy {
 			resp.Status = "degraded"
 		}
 	}
+	resp.Node = node
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.names)
+	writeJSON(w, http.StatusOK, s.sched.WorkloadInfos())
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {

@@ -19,7 +19,8 @@ import (
 func newTestServer(tb testing.TB, sleep time.Duration) (*serve.Server, *httptest.Server) {
 	tb.Helper()
 	sched := serve.NewScheduler(serve.SchedulerOptions{AlignWindow: 5 * time.Millisecond})
-	srv := serve.NewServer(sched, workloadMap(newShapeConfig(tb, sleep)))
+	registerShape(tb, sched, newShapeConfig(tb, sleep))
+	srv := serve.NewServer(sched, serve.ServerOptions{})
 	hs := httptest.NewServer(srv)
 	tb.Cleanup(func() { hs.Close(); srv.Close() })
 	return srv, hs
@@ -44,8 +45,9 @@ func TestDaemonEndToEnd(t *testing.T) {
 	_, hs := newTestServer(t, 0)
 	cl := serve.NewClient(hs.URL)
 
-	if names, err := cl.Workloads(ctx); err != nil || len(names) != 1 || names[0] != "shape" {
-		t.Fatalf("workloads = (%v, %v)", names, err)
+	if infos, err := cl.Workloads(ctx); err != nil || len(infos) != 1 || infos[0].Name != "shape" ||
+		len(infos[0].Hash) != 64 || infos[0].Descriptor == nil || infos[0].Descriptor.Hash() != infos[0].Hash {
+		t.Fatalf("workloads = (%+v, %v), want one self-consistent shape entry", infos, err)
 	}
 	if names, err := cl.Algorithms(ctx); err != nil || len(names) != 5 {
 		t.Fatalf("algorithms = (%v, %v)", names, err)
