@@ -63,6 +63,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "workers per batched exact-inference pass (0 = all CPUs)")
 		align     = flag.Duration("align", 0, "frontier alignment window (0 = default 2ms)")
 		maxJobs   = flag.Int("max-concurrent", 0, "max searches executing at once; excess jobs queue (0 = unbounded)")
+		maxQueue  = flag.Int("max-queue", 0, "admission-queue depth past which submits shed with 503 + Retry-After (0 = unbounded; needs -max-concurrent)")
+		maxQWait  = flag.Duration("max-queue-wait", 0, "max time a queued job waits for an execution slot before it is shed (0 = forever)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 
 		stateDir  = flag.String("state-dir", "", "directory for crash-safe state, one <hash>/ subdirectory per workload shard; empty = in-memory only")
@@ -101,6 +103,8 @@ func main() {
 		AlignWindow:   *align,
 		Parallelism:   *parallel,
 		MaxConcurrent: *maxJobs,
+		MaxQueue:      *maxQueue,
+		MaxQueueWait:  *maxQWait,
 		Persist:       persist,
 		LedgerWindow:  *ledgerWin,
 	})

@@ -46,6 +46,10 @@ func main() {
 		vnodes     = flag.Int("vnodes", 0, "virtual nodes per fleet member (0 = default 64)")
 		loadFactor = flag.Float64("load-factor", 0, "bounded-load ceiling multiplier (0 = default 1.25)")
 		healthInt  = flag.Duration("health-interval", 2*time.Second, "node health/catalog sweep period")
+		probeTO    = flag.Duration("probe-timeout", 0, "per-node health probe timeout within a sweep (0 = default 1s)")
+		brFails    = flag.Int("breaker-failures", 0, "consecutive node failures that open its circuit breaker (0 = default 1)")
+		brCooldown = flag.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe (0 = default 2s)")
+		retries    = flag.Int("submit-retries", 0, "same-node submit retries on transport failure before failing over (0 = default 1)")
 		rate       = flag.Float64("rate", 0, "per-tenant sustained submissions/second (0 = unlimited)")
 		burst      = flag.Float64("burst", 0, "per-tenant submission burst depth (0 = default max(rate, 1))")
 		tenantJobs = flag.Int("max-tenant-jobs", 0, "per-tenant concurrent-job cap (0 = unlimited)")
@@ -68,6 +72,12 @@ func main() {
 		VNodes:         *vnodes,
 		LoadFactor:     *loadFactor,
 		HealthInterval: *healthInt,
+		ProbeTimeout:   *probeTO,
+		SubmitRetries:  *retries,
+		Breaker: proxy.BreakerOptions{
+			FailureThreshold: *brFails,
+			Cooldown:         *brCooldown,
+		},
 		Admission: proxy.AdmissionOptions{
 			Rate:          *rate,
 			Burst:         *burst,

@@ -1,0 +1,225 @@
+// Package chaos is the fault-injection harness of the serving fleet:
+// a TCP fault proxy that sits between the routing proxy and a modisd
+// node and injects the failures real networks produce — added latency,
+// dropped connections, mid-stream resets, partial responses — plus an
+// invariant checker asserting what resilience must preserve: no
+// accepted job lost, no job duplicated, every skyline byte-identical
+// to a fault-free run.
+//
+// Faults are deterministic by construction (connection counters, not
+// randomness), so a failing chaos run replays exactly. Scripted
+// SIGKILL scenarios against real daemons live in cmd/modischaos, which
+// drives this package.
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults is one fault configuration of a Proxy. The zero value is a
+// transparent pipe. Faults may be swapped mid-run with SetFaults; each
+// accepted connection snapshots the configuration once.
+type Faults struct {
+	// Latency delays every read the proxy relays, in both directions —
+	// a slow node (or a slow network path) rather than a dead one.
+	Latency time.Duration
+	// DropEvery closes every Nth accepted connection immediately,
+	// before a byte flows (0 = never). The dialer sees a connection
+	// that dies without a response — the classic "was my request
+	// processed?" ambiguity idempotency keys exist for.
+	DropEvery int
+	// ResetAfterBytes resets the connection (RST, not FIN) once this
+	// many response bytes have been relayed toward the client (0 =
+	// never) — a partial response followed by a hard failure.
+	ResetAfterBytes int64
+	// Blackhole refuses all connections while set: accepted and
+	// immediately closed, a partitioned node.
+	Blackhole bool
+}
+
+// Proxy is a TCP fault proxy in front of one target address.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu     sync.Mutex
+	faults Faults
+	live   map[net.Conn]struct{} // open relayed connections, torn down on Close
+
+	conns  atomic.Int64 // accepted connections, drives DropEvery
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy listens on addr ("127.0.0.1:0" for an ephemeral port) and
+// relays every connection to target through the configured faults.
+func NewProxy(addr, target string, faults Faults) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, faults: faults, live: map[net.Conn]struct{}{}}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — what the routing proxy should
+// be pointed at instead of the node.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetFaults swaps the fault configuration. In-flight connections keep
+// the configuration they started with.
+func (p *Proxy) SetFaults(f Faults) {
+	p.mu.Lock()
+	p.faults = f
+	p.mu.Unlock()
+}
+
+// Conns reports how many connections the proxy has accepted.
+func (p *Proxy) Conns() int64 { return p.conns.Load() }
+
+// Close stops accepting, tears down every relayed connection (idle
+// keep-alive pipes included — callers must not wait out a client's
+// IdleConnTimeout), and waits for the relay goroutines.
+func (p *Proxy) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.ln.Close()
+	p.mu.Lock()
+	for c := range p.live {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// track registers a connection for teardown on Close; it returns false
+// (and closes the connection) when the proxy is already closing.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() {
+		c.Close()
+		return false
+	}
+	p.live[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.live, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) accept() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		n := p.conns.Add(1)
+		p.mu.Lock()
+		f := p.faults
+		p.mu.Unlock()
+		if f.Blackhole || (f.DropEvery > 0 && n%int64(f.DropEvery) == 0) {
+			conn.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go p.relay(conn, f)
+	}
+}
+
+// relay pipes one client connection to the target under the faults it
+// snapshotted at accept time.
+func (p *Proxy) relay(client net.Conn, f Faults) {
+	defer p.wg.Done()
+	if !p.track(client) {
+		return
+	}
+	defer p.untrack(client)
+	defer client.Close()
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	if !p.track(upstream) {
+		return
+	}
+	defer p.untrack(upstream)
+	defer upstream.Close()
+
+	var done sync.WaitGroup
+	done.Add(2)
+	// Request direction: client → node.
+	go func() {
+		defer done.Done()
+		pipe(upstream, client, f.Latency, 0, nil)
+		// Half-close so the node sees request EOF without killing the
+		// response direction.
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	// Response direction: node → client, where resets cut in.
+	go func() {
+		defer done.Done()
+		reset := func() {
+			// SO_LINGER 0 turns Close into RST: the client observes a
+			// connection reset mid-response, not a clean EOF it could
+			// mistake for a complete reply.
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			client.Close()
+			upstream.Close()
+		}
+		pipe(client, upstream, f.Latency, f.ResetAfterBytes, reset)
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	done.Wait()
+}
+
+// pipe copies src→dst, delaying each read by latency, and fires onCap
+// (then stops) once limit bytes have been written (limit 0 =
+// unlimited).
+func pipe(dst io.Writer, src io.Reader, latency time.Duration, limit int64, onCap func()) {
+	buf := make([]byte, 16*1024)
+	var written int64
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			if latency > 0 {
+				time.Sleep(latency)
+			}
+			chunk := buf[:n]
+			if limit > 0 && written+int64(n) >= limit {
+				chunk = buf[:limit-written]
+				if len(chunk) > 0 {
+					dst.Write(chunk)
+				}
+				if onCap != nil {
+					onCap()
+				}
+				return
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+			written += int64(n)
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}

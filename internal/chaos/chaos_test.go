@@ -1,0 +1,335 @@
+package chaos_test
+
+// Fault-injected fleet tests: real serve.Server nodes behind real TCP
+// listeners, a chaos.Proxy in front of each injecting drops, latency,
+// and partitions, the routing proxy over the chaos addresses, and the
+// retrying serve.Client as the caller. The invariant checker closes
+// the loop: nothing lost, nothing duplicated, skylines byte-identical
+// to a fault-free run.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/fst"
+	"repro/internal/table"
+	"repro/modis/proxy"
+	"repro/modis/serve"
+	"repro/modis/workload"
+)
+
+// shapeModel mirrors the serve/proxy test model: measures derived from
+// the dataset shape, a pure function of the state, byte-identical
+// across nodes and runs.
+type shapeModel struct {
+	space *fst.Space
+	sleep time.Duration
+}
+
+func (m *shapeModel) Name() string { return "shape" }
+
+func (m *shapeModel) Evaluate(d *table.Table) ([]float64, error) {
+	if m.sleep > 0 {
+		time.Sleep(m.sleep)
+	}
+	rows, cols := float64(d.NumRows()), float64(d.NumCols())
+	uRows := float64(m.space.Universal.NumRows())
+	uCols := float64(m.space.Universal.NumCols())
+	return []float64{
+		0.1 + 0.9*(rows/uRows)*(cols/uCols),
+		0.1 + 0.9*(1-rows/uRows),
+	}, nil
+}
+
+func newShapeConfig(tb testing.TB, variant int, sleep time.Duration) *fst.Config {
+	tb.Helper()
+	u := table.New("D_U", table.Schema{
+		{Name: "a", Kind: table.KindFloat},
+		{Name: "b", Kind: table.KindFloat},
+		{Name: "target", Kind: table.KindInt},
+	})
+	for i := 0; i < 24+variant; i++ {
+		u.MustAppend(table.Row{
+			table.Float(float64(i % 3)),
+			table.Float(float64(i % 4)),
+			table.Int(int64(i % 2)),
+		})
+	}
+	sp := fst.NewSpace(u, "target", fst.SpaceConfig{MaxLiteralsPerAttr: 4})
+	return &fst.Config{
+		Space: sp,
+		Model: &shapeModel{space: sp, sleep: sleep},
+		Measures: []fst.Measure{
+			{Name: "p0", Normalize: fst.Identity(1e-3)},
+			{Name: "p1", Normalize: fst.Identity(1e-3)},
+		},
+	}
+}
+
+func submitReq(name string) serve.SubmitRequest {
+	eps, lvl, k, seed := 0.15, 3, 3, int64(2)
+	return serve.SubmitRequest{
+		Workload:  name,
+		Algorithm: "bi",
+		Options:   &serve.JobOptions{Epsilon: &eps, MaxLevel: &lvl, K: &k, Seed: &seed},
+		TimeoutMS: 30_000,
+	}
+}
+
+// startNode launches one serve node registering wl0 and wl1, returning
+// its real TCP host:port.
+func startNode(tb testing.TB, sleep time.Duration) string {
+	tb.Helper()
+	sched := serve.NewScheduler(serve.SchedulerOptions{})
+	for v := 0; v < 2; v++ {
+		cfg := newShapeConfig(tb, v, sleep)
+		desc, err := workload.Describe(fmt.Sprintf("wl%d", v), cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := sched.Register(desc, cfg); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	hs := httptest.NewServer(serve.NewServer(sched, serve.ServerOptions{}))
+	tb.Cleanup(hs.Close)
+	return hs.Listener.Addr().String()
+}
+
+// reference runs each workload fault-free on a fresh node and records
+// the canonical skyline bytes per config label.
+func reference(tb testing.TB) map[string]string {
+	tb.Helper()
+	addr := startNode(tb, 0)
+	cl := serve.NewClient(addr)
+	ctx := context.Background()
+	ref := map[string]string{}
+	for v := 0; v < 2; v++ {
+		name := fmt.Sprintf("wl%d", v)
+		st, err := cl.Submit(ctx, submitReq(name))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		final, err := cl.Wait(ctx, st.JobID, 5*time.Millisecond)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sky, err := chaos.SkylineJSON(final)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ref[name] = sky
+	}
+	return ref
+}
+
+// chaosFleet builds two nodes, each behind a chaos proxy, and a
+// routing proxy over the chaos addresses with fast breakers. Returns
+// the chaos proxies (index-aligned with the nodes) and a retrying
+// client speaking to the routing proxy.
+func chaosFleet(tb testing.TB, sleep time.Duration, faults [2]chaos.Faults) ([2]*chaos.Proxy, *proxy.Proxy, *serve.Client) {
+	tb.Helper()
+	var cps [2]*chaos.Proxy
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		target := startNode(tb, sleep)
+		cp, err := chaos.NewProxy("127.0.0.1:0", target, faults[i])
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(cp.Close)
+		cps[i] = cp
+		addrs = append(addrs, cp.Addr())
+	}
+	p := proxy.New(proxy.Options{
+		Nodes:          addrs,
+		HealthInterval: -1,
+		Breaker:        proxy.BreakerOptions{Cooldown: 50 * time.Millisecond},
+	})
+	tb.Cleanup(p.Close)
+	p.CheckNow(context.Background())
+	front := httptest.NewServer(p)
+	tb.Cleanup(front.Close)
+	cl := serve.NewClient(front.URL).WithRetry(serve.RetryPolicy{
+		MaxAttempts: 6, BaseBackoff: 20 * time.Millisecond, MaxBackoff: 200 * time.Millisecond,
+	})
+	return cps, p, cl
+}
+
+// TestFaultProxyTransparent: a zero-fault chaos proxy relays HTTP
+// untouched.
+func TestFaultProxyTransparent(t *testing.T) {
+	target := startNode(t, 0)
+	cp, err := chaos.NewProxy("127.0.0.1:0", target, chaos.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cp.Close)
+	cl := serve.NewClient(cp.Addr())
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, submitReq("wl0"))
+	if err != nil {
+		t.Fatalf("submit through transparent fault proxy: %v", err)
+	}
+	final, err := cl.Wait(ctx, st.JobID, 5*time.Millisecond)
+	if err != nil || final.Status != serve.StatusDone {
+		t.Fatalf("job through transparent fault proxy: %v (status %v)", err, final)
+	}
+	if cp.Conns() == 0 {
+		t.Error("fault proxy saw no connections")
+	}
+}
+
+// TestChaosDropsAndSlowNode: one node drops every third connection,
+// the other is slow; keyed submissions with a retrying client all
+// complete, nothing is lost or duplicated, and every skyline matches
+// the fault-free reference byte for byte.
+func TestChaosDropsAndSlowNode(t *testing.T) {
+	ref := reference(t)
+	cps, _, cl := chaosFleet(t, 0, [2]chaos.Faults{
+		{DropEvery: 3},
+		{Latency: 2 * time.Millisecond},
+	})
+	_ = cps
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var accepted []chaos.Accepted
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("wl%d", i%2)
+		req := submitReq(name)
+		req.IdempotencyKey = serve.NewIdempotencyKey()
+		st, err := cl.Submit(ctx, req)
+		if err != nil {
+			t.Fatalf("submit %d under drops: %v", i, err)
+		}
+		accepted = append(accepted, chaos.Accepted{Key: req.IdempotencyKey, JobID: st.JobID, Config: name})
+	}
+	for _, a := range accepted {
+		if _, err := cl.Wait(ctx, a.JobID, 5*time.Millisecond); err != nil {
+			t.Fatalf("waiting for %s: %v", a.JobID, err)
+		}
+	}
+	if v := chaos.CheckInvariants(ctx, cl, accepted, ref); len(v) > 0 {
+		for _, msg := range v {
+			t.Error(msg)
+		}
+	}
+
+	// A same-key retry — the failover case the key exists for — replays
+	// the original job instead of running a second search.
+	req := submitReq(accepted[0].Config)
+	req.IdempotencyKey = accepted[0].Key
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("same-key resubmit: %v", err)
+	}
+	if st.JobID != accepted[0].JobID {
+		t.Errorf("same-key resubmit returned job %s, want original %s", st.JobID, accepted[0].JobID)
+	}
+}
+
+// TestChaosPartition: a blackholed node trips its breaker and the
+// fleet keeps serving through the survivor; lifting the partition and
+// sweeping heals the view.
+func TestChaosPartition(t *testing.T) {
+	ref := reference(t)
+	cps, p, cl := chaosFleet(t, 0, [2]chaos.Faults{{}, {}})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	cps[0].SetFaults(chaos.Faults{Blackhole: true})
+	p.CheckNow(ctx)
+
+	var accepted []chaos.Accepted
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("wl%d", i%2)
+		req := submitReq(name)
+		req.IdempotencyKey = serve.NewIdempotencyKey()
+		st, err := cl.Submit(ctx, req)
+		if err != nil {
+			t.Fatalf("submit %d under partition: %v", i, err)
+		}
+		accepted = append(accepted, chaos.Accepted{Key: req.IdempotencyKey, JobID: st.JobID, Config: name})
+	}
+	for _, a := range accepted {
+		if _, err := cl.Wait(ctx, a.JobID, 5*time.Millisecond); err != nil {
+			t.Fatalf("waiting for %s: %v", a.JobID, err)
+		}
+	}
+	if v := chaos.CheckInvariants(ctx, cl, accepted, ref); len(v) > 0 {
+		for _, msg := range v {
+			t.Error(msg)
+		}
+	}
+
+	cps[0].SetFaults(chaos.Faults{})
+	p.CheckNow(ctx)
+	// The healed node serves again: another submission round succeeds.
+	req := submitReq("wl0")
+	req.IdempotencyKey = serve.NewIdempotencyKey()
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit after partition healed: %v", err)
+	}
+	if _, err := cl.Wait(ctx, st.JobID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosResetMidStream: the response direction resets after a few
+// bytes; a retrying client still completes its submission (the key
+// makes the ambiguous first attempt safe) with the reference skyline.
+func TestChaosResetMidStream(t *testing.T) {
+	ref := reference(t)
+	target := startNode(t, 0)
+	cp, err := chaos.NewProxy("127.0.0.1:0", target, chaos.Faults{ResetAfterBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cp.Close)
+	cl := serve.NewClient(cp.Addr()).WithRetry(serve.RetryPolicy{
+		MaxAttempts: 8, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	req := submitReq("wl0")
+	req.IdempotencyKey = serve.NewIdempotencyKey()
+	st, submitErr := cl.Submit(ctx, req)
+	// Every response is cut at 64 bytes, so the submit may never see an
+	// acceptance; lift the fault — the retried key must resolve to ONE
+	// job either way.
+	cp.SetFaults(chaos.Faults{})
+	if submitErr != nil {
+		st, submitErr = cl.Submit(ctx, req)
+	}
+	if submitErr != nil {
+		t.Fatalf("submit after reset fault lifted: %v", submitErr)
+	}
+	final, err := cl.Wait(ctx, st.JobID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != serve.StatusDone {
+		t.Fatalf("job ended %s: %s", final.Status, final.Error)
+	}
+	sky, err := chaos.SkylineJSON(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sky != ref["wl0"] {
+		t.Errorf("skyline after mid-stream resets diverged from fault-free run")
+	}
+	// One done job for the key across the node: no duplicate run.
+	accepted := []chaos.Accepted{{Key: req.IdempotencyKey, JobID: st.JobID, Config: "wl0"}}
+	if v := chaos.CheckInvariants(ctx, cl, accepted, ref); len(v) > 0 {
+		for _, msg := range v {
+			t.Error(msg)
+		}
+	}
+}

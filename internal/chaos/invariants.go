@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/modis/serve"
+)
+
+// Accepted is one submission the fleet accepted during a chaos run:
+// the idempotency key it traveled under, the job id the acceptance
+// named, and the label of the request configuration (which reference
+// skyline it must reproduce).
+type Accepted struct {
+	Key    string
+	JobID  string
+	Config string
+}
+
+// SkylineJSON canonicalizes a job's skyline for byte comparison.
+// Determinism is the engine's contract — same workload, algorithm,
+// options, and seed produce the identical skyline regardless of
+// parallelism, batching, restarts, or injected faults — so the
+// marshaled bytes must match exactly, not approximately.
+func SkylineJSON(st *serve.JobStatus) (string, error) {
+	if st == nil || st.Report == nil {
+		return "", fmt.Errorf("chaos: job %s carries no report", st.JobID)
+	}
+	blob, err := json.Marshal(st.Report.Skyline)
+	if err != nil {
+		return "", err
+	}
+	return string(blob), nil
+}
+
+// CheckInvariants verifies the chaos contract against the fleet as
+// seen through cl (normally the routing proxy):
+//
+//  1. No accepted job lost — every accepted id resolves and is done.
+//  2. Skylines byte-identical to the fault-free reference for the same
+//     configuration.
+//  3. No job duplicated — submissions that shared an idempotency key
+//     resolved to one job id, and fleet-wide at most one *done* job
+//     exists per key (a failed duplicate from a failover race loses no
+//     work and changes no answer; a second completed run would).
+//
+// The caller waits for the accepted jobs to finish first. Returns one
+// human-readable violation per broken invariant; empty means the run
+// held.
+func CheckInvariants(ctx context.Context, cl *serve.Client, accepted []Accepted, reference map[string]string) []string {
+	var violations []string
+	byKey := map[string]string{}
+	for _, a := range accepted {
+		st, err := cl.Status(ctx, a.JobID)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("accepted job %s (key %.8s) lost: %v", a.JobID, a.Key, err))
+			continue
+		}
+		if st.Status != serve.StatusDone {
+			violations = append(violations, fmt.Sprintf("accepted job %s (key %.8s) is %q, want done (error: %s)", a.JobID, a.Key, st.Status, st.Error))
+			continue
+		}
+		sky, err := SkylineJSON(st)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("job %s: %v", a.JobID, err))
+			continue
+		}
+		want, ok := reference[a.Config]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("job %s: no fault-free reference for config %q", a.JobID, a.Config))
+			continue
+		}
+		if sky != want {
+			violations = append(violations, fmt.Sprintf("job %s (config %q): skyline diverged from fault-free run\n  got:  %s\n  want: %s", a.JobID, a.Config, sky, want))
+		}
+		if prev, dup := byKey[a.Key]; dup && prev != a.JobID {
+			violations = append(violations, fmt.Sprintf("key %.8s resolved to two jobs: %s and %s", a.Key, prev, a.JobID))
+		}
+		byKey[a.Key] = a.JobID
+	}
+
+	// Fleet-wide duplicate scan: walk the whole ledger and count done
+	// jobs per key. Keys the run submitted must own exactly one done
+	// job across the fleet.
+	doneByKey := map[string][]string{}
+	cursor := ""
+	for {
+		page, err := cl.List(ctx, cursor, 0)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("listing fleet jobs: %v", err))
+			break
+		}
+		for _, st := range page.Jobs {
+			if st.IdemKey != "" && st.Status == serve.StatusDone {
+				doneByKey[st.IdemKey] = append(doneByKey[st.IdemKey], st.JobID)
+			}
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	for key := range byKey {
+		if ids := doneByKey[key]; len(ids) > 1 {
+			violations = append(violations, fmt.Sprintf("key %.8s has %d completed jobs across the fleet (%v), want exactly 1", key, len(ids), ids))
+		}
+	}
+	return violations
+}

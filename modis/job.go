@@ -118,16 +118,30 @@ func (j *Job) Events() <-chan Event { return j.EventsContext(context.Background(
 // remaining events — when ctx is cancelled. Wire layers use it to drop
 // a stream when its client disconnects without touching the job.
 func (j *Job) EventsContext(ctx context.Context) <-chan Event {
+	return j.EventsFrom(ctx, 0)
+}
+
+// EventsFrom is EventsContext resuming mid-stream: the returned
+// channel replays recorded events starting at index from (0-based)
+// instead of the run's first event. Event indices are stable across
+// subscriptions — event i is the same event on every stream — which is
+// what lets a dropped wire stream reconnect and pick up exactly after
+// the last event it delivered (SSE Last-Event-ID). A from beyond the
+// recorded history waits for that event to happen.
+func (j *Job) EventsFrom(ctx context.Context, from int) <-chan Event {
+	if from < 0 {
+		from = 0
+	}
 	ch := make(chan Event)
-	go j.stream(ctx, ch)
+	go j.streamFrom(ctx, ch, from)
 	return ch
 }
 
-// stream replays recorded events from the start, waiting for more
-// until the job finishes.
-func (j *Job) stream(ctx context.Context, ch chan Event) {
+// streamFrom replays recorded events from the given index, waiting for
+// more until the job finishes.
+func (j *Job) streamFrom(ctx context.Context, ch chan Event, from int) {
 	defer close(ch)
-	i := 0
+	i := from
 	for {
 		j.mu.Lock()
 		for i >= len(j.events) {

@@ -35,6 +35,19 @@ type Options struct {
 	// (0 = 2s; negative disables the background loop — tests drive
 	// sweeps with CheckNow).
 	HealthInterval time.Duration
+	// ProbeTimeout bounds each per-node health probe within a sweep
+	// (0 = 1s), so one hung node cannot stall the whole sweep.
+	ProbeTimeout time.Duration
+	// Breaker configures the per-node circuit breakers. The zero value
+	// opens on the first failure with a 2s cooldown.
+	Breaker BreakerOptions
+	// SubmitRetries is how many times a submission is retried on the
+	// SAME node after a transport failure before failing over to the
+	// next ring candidate (default 1). Same-node retries are the safe
+	// first response to a blip: the idempotency key dedupes there even
+	// when the lost response had actually been accepted, whereas a
+	// different node cannot see the first node's ledger.
+	SubmitRetries int
 	// Admission configures per-tenant rate limits and job caps.
 	Admission AdmissionOptions
 	// Client overrides the HTTP client used towards nodes.
@@ -43,7 +56,7 @@ type Options struct {
 
 // nodeState is the proxy's view of one modisd.
 type nodeState struct {
-	alive    bool
+	br       *Breaker
 	inflight int
 	errMsg   string
 	identity *serve.NodeIdentity
@@ -57,11 +70,12 @@ type nodeState struct {
 // merge the fleet's. Admission control (429 + Retry-After) runs at
 // submission, before any node is touched.
 type Proxy struct {
-	opts Options
-	ring *Ring
-	adm  *Admission
-	hc   *http.Client
-	mux  *http.ServeMux
+	opts       Options
+	ring       *Ring
+	adm        *Admission
+	hc         *http.Client
+	mux        *http.ServeMux
+	sweepEvery time.Duration // effective sweep period (0 = disabled)
 
 	mu      sync.Mutex
 	nodes   map[string]*nodeState
@@ -111,7 +125,7 @@ func New(opts Options) *Proxy {
 		p.hc = &http.Client{}
 	}
 	for _, n := range p.ring.Nodes() {
-		p.nodes[n] = &nodeState{alive: true}
+		p.nodes[n] = &nodeState{br: NewBreaker(opts.Breaker)}
 	}
 	p.ctx, p.stop = context.WithCancel(context.Background())
 
@@ -127,6 +141,9 @@ func New(opts Options) *Proxy {
 	interval := opts.HealthInterval
 	if interval == 0 {
 		interval = 2 * time.Second
+	}
+	if interval > 0 {
+		p.sweepEvery = interval
 	}
 	if interval > 0 {
 		p.wg.Add(1)
@@ -158,20 +175,21 @@ func (p *Proxy) Close() {
 }
 
 // CheckNow runs one synchronous health + catalog sweep: every node's
-// /healthz decides liveness (and refreshes its advertised identity),
-// then the alive nodes' workload catalogs merge into the routing
-// table. The background loop calls this on its interval; tests call it
-// directly for determinism.
+// /healthz feeds its circuit breaker (a sweep success closes the
+// breaker immediately, cooldown or not, and refreshes the node's
+// advertised identity), then the healthy nodes' workload catalogs
+// merge into the routing table. The background loop calls this on its
+// interval; tests call it directly for determinism.
 func (p *Proxy) CheckNow(ctx context.Context) {
 	for _, node := range p.ring.Nodes() {
 		hr, err := p.nodeHealth(ctx, node)
 		p.mu.Lock()
 		ns := p.nodes[node]
 		if err != nil {
-			ns.alive = false
+			ns.br.Failure()
 			ns.errMsg = err.Error()
 		} else {
-			ns.alive = true
+			ns.br.Success()
 			ns.errMsg = ""
 			ns.identity = hr.Node
 		}
@@ -180,7 +198,17 @@ func (p *Proxy) CheckNow(ctx context.Context) {
 	p.refreshCatalog(ctx)
 }
 
+// probeTimeout is the per-node health probe bound.
+func (p *Proxy) probeTimeout() time.Duration {
+	if p.opts.ProbeTimeout > 0 {
+		return p.opts.ProbeTimeout
+	}
+	return time.Second
+}
+
 func (p *Proxy) nodeHealth(ctx context.Context, node string) (*serve.HealthResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, p.probeTimeout())
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/healthz", nil)
 	if err != nil {
 		return nil, err
@@ -197,14 +225,14 @@ func (p *Proxy) nodeHealth(ctx context.Context, node string) (*serve.HealthRespo
 	return &hr, nil
 }
 
-// refreshCatalog merges the alive nodes' workload catalogs. Nodes are
-// visited in sorted order and the first binding of a name wins, so the
-// merged view is deterministic in the fleet state.
+// refreshCatalog merges the healthy nodes' workload catalogs. Nodes
+// are visited in sorted order and the first binding of a name wins, so
+// the merged view is deterministic in the fleet state.
 func (p *Proxy) refreshCatalog(ctx context.Context) {
 	merged := map[string]serve.WorkloadInfo{}
 	for _, node := range p.ring.Nodes() {
 		p.mu.Lock()
-		alive := p.nodes[node].alive
+		alive := p.nodes[node].br.Healthy()
 		p.mu.Unlock()
 		if !alive {
 			continue
@@ -215,7 +243,7 @@ func (p *Proxy) refreshCatalog(ctx context.Context) {
 		}
 		resp, err := p.hc.Do(req)
 		if err != nil {
-			p.markDead(node, err)
+			p.markFailed(node, err)
 			continue
 		}
 		var infos []serve.WorkloadInfo
@@ -235,11 +263,24 @@ func (p *Proxy) refreshCatalog(ctx context.Context) {
 	p.mu.Unlock()
 }
 
-func (p *Proxy) markDead(node string, err error) {
+// markFailed feeds one failed exchange into the node's breaker.
+func (p *Proxy) markFailed(node string, err error) {
 	p.mu.Lock()
 	if ns, ok := p.nodes[node]; ok {
-		ns.alive = false
+		ns.br.Failure()
 		ns.errMsg = err.Error()
+	}
+	p.mu.Unlock()
+}
+
+// markOK feeds one successful exchange into the node's breaker — in
+// particular, the success that closes a half-open circuit after its
+// probe request came back.
+func (p *Proxy) markOK(node string) {
+	p.mu.Lock()
+	if ns, ok := p.nodes[node]; ok {
+		ns.br.Success()
+		ns.errMsg = ""
 	}
 	p.mu.Unlock()
 }
@@ -262,19 +303,40 @@ func (p *Proxy) resolveWorkload(ctx context.Context, name string) (string, bool)
 }
 
 // pick chooses the serving node for a shard hash: ring candidates,
-// alive only, bounded load.
+// breaker willing, bounded load. Allow claims the half-open probe slot
+// when it fires, so the submission routed to a recovering node IS its
+// probe — the outcome is reported back through markOK/markFailed like
+// any other exchange.
 func (p *Proxy) pick(hash string) string {
 	p.mu.Lock()
-	alive := make(map[string]bool, len(p.nodes))
+	brs := make(map[string]*Breaker, len(p.nodes))
 	load := make(map[string]int, len(p.nodes))
 	for n, ns := range p.nodes {
-		alive[n] = ns.alive
+		brs[n] = ns.br
 		load[n] = ns.inflight
 	}
 	p.mu.Unlock()
-	return p.ring.BoundedPick(hash, p.opts.LoadFactor,
-		func(n string) bool { return alive[n] },
-		func(n string) int { return load[n] })
+	// BoundedPick asks the alive predicate more than once per node;
+	// memoize Allow so one pick claims at most one probe per breaker,
+	// and release the probes of nodes that were allowed but not chosen
+	// (bounded load can skip them), since no outcome will be reported.
+	decided := map[string]bool{}
+	allow := func(n string) bool {
+		v, ok := decided[n]
+		if !ok {
+			v = brs[n].Allow()
+			decided[n] = v
+		}
+		return v
+	}
+	picked := p.ring.BoundedPick(hash, p.opts.LoadFactor,
+		allow, func(n string) int { return load[n] })
+	for n, allowed := range decided {
+		if allowed && n != picked {
+			brs[n].ReleaseProbe()
+		}
+	}
+	return picked
 }
 
 func (p *Proxy) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -289,12 +351,36 @@ func (p *Proxy) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// TimeoutMS is the request's whole deadline budget; every hop from
+	// here on — node retries, failover, the engine run itself — draws
+	// from it, and each forward carries only what remains.
+	arrival := time.Now()
+	budget := time.Duration(req.TimeoutMS) * time.Millisecond
+	remaining := func() (time.Duration, bool) {
+		if budget <= 0 {
+			return 0, true
+		}
+		left := budget - time.Since(arrival)
+		return left, left > 0
+	}
+
 	tenant := r.Header.Get(TenantHeader)
 	release, retryAfter, err := p.adm.Admit(tenant)
 	if err != nil {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
+	}
+
+	// Every proxied submit travels under an idempotency key — the
+	// client's when it sent one (body or header), a proxy-generated one
+	// otherwise — so the retries below can never double-run a job the
+	// node had already accepted when the response was lost.
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = r.Header.Get(serve.IdempotencyHeader)
+	}
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = serve.NewIdempotencyKey()
 	}
 
 	hash, ok := p.resolveWorkload(r.Context(), req.Workload)
@@ -305,10 +391,14 @@ func (p *Proxy) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Forward to the shard owner; a node that fails at the transport
-	// level is marked dead and the next ring candidate takes the
-	// submission (new submissions route away from dead nodes — jobs
-	// already running there are not resurrected here).
+	// Forward to the shard owner. A transport failure is retried on the
+	// same node first — the key dedupes there even if the lost response
+	// had been an acceptance — and trips the breaker after the retries,
+	// sending the submission to the next ring candidate.
+	sameNode := p.opts.SubmitRetries
+	if sameNode <= 0 {
+		sameNode = 1
+	}
 	tried := map[string]bool{}
 	for {
 		node := p.pick(hash)
@@ -318,18 +408,68 @@ func (p *Proxy) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		tried[node] = true
-		resp, err := p.forward(r.Context(), node, http.MethodPost, "/v1/jobs", body, tenant)
-		if err != nil {
-			p.markDead(node, err)
+
+		var blob []byte
+		var resp *http.Response
+		var ferr error
+		for attempt := 0; attempt <= sameNode; attempt++ {
+			left, inBudget := remaining()
+			if !inBudget {
+				release()
+				writeError(w, http.StatusGatewayTimeout,
+					fmt.Errorf("proxy: deadline budget (%s) exhausted before the submission reached a node", budget))
+				return
+			}
+			fctx := r.Context()
+			var cancel context.CancelFunc
+			if budget > 0 {
+				req.TimeoutMS = int64(left / time.Millisecond)
+				if req.TimeoutMS < 1 {
+					req.TimeoutMS = 1
+				}
+				fctx, cancel = context.WithTimeout(fctx, left)
+			}
+			out, merr := json.Marshal(req)
+			if merr != nil {
+				if cancel != nil {
+					cancel()
+				}
+				release()
+				writeError(w, http.StatusInternalServerError, merr)
+				return
+			}
+			resp, ferr = p.forward(fctx, node, http.MethodPost, "/v1/jobs", out, tenant)
+			if ferr == nil {
+				blob, ferr = io.ReadAll(resp.Body)
+				resp.Body.Close()
+			}
+			if cancel != nil {
+				cancel()
+			}
+			if ferr == nil {
+				break
+			}
+			if r.Context().Err() != nil {
+				release()
+				return // the client went away; nothing to answer
+			}
+			if attempt < sameNode {
+				select {
+				case <-time.After(25 * time.Millisecond):
+				case <-r.Context().Done():
+					release()
+					return
+				}
+			}
+		}
+		if ferr != nil {
+			p.markFailed(node, ferr)
 			continue
 		}
-		blob, rerr := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if rerr != nil {
-			p.markDead(node, rerr)
-			continue
-		}
-		if resp.StatusCode == http.StatusAccepted {
+
+		p.markOK(node)
+		accepted := resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK
+		if accepted {
 			var st serve.JobStatus
 			if json.Unmarshal(blob, &st) == nil && st.JobID != "" {
 				p.mu.Lock()
@@ -343,8 +483,15 @@ func (p *Proxy) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			}
 		} else {
 			// The node answered: the rejection (bad algorithm, invalid
-			// options, draining) passes through verbatim.
+			// options, draining, shedding) passes through verbatim —
+			// Retry-After and all.
 			release()
+		}
+		if v := resp.Header.Get(serve.ReplayedHeader); v != "" {
+			w.Header().Set(serve.ReplayedHeader, v)
+		}
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			w.Header().Set("Retry-After", v)
 		}
 		passthrough(w, resp.StatusCode, resp.Header.Get("Content-Type"), blob)
 		return
@@ -373,7 +520,7 @@ func (p *Proxy) watch(jobID, node string, release func()) {
 		}
 		st, err := p.jobStatus(p.ctx, node, jobID)
 		if err != nil {
-			p.markDead(node, err)
+			p.markFailed(node, err)
 			return
 		}
 		switch st.Status {
@@ -415,7 +562,7 @@ func (p *Proxy) nodeForJob(ctx context.Context, jobID string) (string, bool) {
 	}
 	for _, n := range p.ring.Nodes() {
 		p.mu.Lock()
-		alive := p.nodes[n].alive
+		alive := p.nodes[n].br.Healthy()
 		p.mu.Unlock()
 		if !alive {
 			continue
@@ -446,7 +593,7 @@ func (p *Proxy) forwardJob(w http.ResponseWriter, r *http.Request, method string
 	}
 	resp, err := p.forward(r.Context(), node, method, "/v1/jobs/"+id, nil, r.Header.Get(TenantHeader))
 	if err != nil {
-		p.markDead(node, err)
+		p.markFailed(node, err)
 		writeError(w, http.StatusBadGateway, fmt.Errorf("proxy: node %s unreachable: %w", node, err))
 		return
 	}
@@ -482,7 +629,7 @@ func (p *Proxy) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := p.hc.Do(req)
 	if err != nil {
-		p.markDead(node, err)
+		p.markFailed(node, err)
 		writeError(w, http.StatusBadGateway, fmt.Errorf("proxy: node %s unreachable: %w", node, err))
 		return
 	}
@@ -515,14 +662,14 @@ func (p *Proxy) handleList(w http.ResponseWriter, r *http.Request) {
 	out := serve.JobsPageResponse{Jobs: []*serve.JobStatus{}}
 	for _, node := range p.ring.Nodes() {
 		p.mu.Lock()
-		alive := p.nodes[node].alive
+		alive := p.nodes[node].br.Healthy()
 		p.mu.Unlock()
 		if !alive {
 			continue
 		}
 		resp, err := p.forward(r.Context(), node, http.MethodGet, "/v1/jobs", nil, "")
 		if err != nil {
-			p.markDead(node, err)
+			p.markFailed(node, err)
 			continue
 		}
 		var page serve.JobsPageResponse
@@ -571,14 +718,14 @@ func (p *Proxy) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 func (p *Proxy) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	for _, node := range p.ring.Nodes() {
 		p.mu.Lock()
-		alive := p.nodes[node].alive
+		alive := p.nodes[node].br.Healthy()
 		p.mu.Unlock()
 		if !alive {
 			continue
 		}
 		resp, err := p.forward(r.Context(), node, http.MethodGet, "/v1/algorithms", nil, "")
 		if err != nil {
-			p.markDead(node, err)
+			p.markFailed(node, err)
 			continue
 		}
 		blob, rerr := io.ReadAll(resp.Body)
@@ -592,33 +739,46 @@ func (p *Proxy) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusServiceUnavailable, fmt.Errorf("proxy: no alive node"))
 }
 
-// NodeHealth is the proxy's healthz view of one fleet member.
+// NodeHealth is the proxy's healthz view of one fleet member. Alive
+// means the node's circuit is not open (closed, or half-open probing);
+// Breaker is the circuit's exact position.
 type NodeHealth struct {
 	Addr     string              `json:"addr"`
 	Alive    bool                `json:"alive"`
+	Breaker  BreakerState        `json:"breaker"`
 	Inflight int                 `json:"inflight"`
 	Error    string              `json:"error,omitempty"`
 	Node     *serve.NodeIdentity `json:"node,omitempty"`
 }
 
 // HealthResponse is the proxy's healthz body: "ok" with every node
-// alive, "degraded" with some dead, "down" with none alive.
+// alive, "degraded" with some dead, "down" with none alive. It also
+// surfaces the sweep configuration operators tune — the background
+// health-sweep period (0 = disabled) and the per-node probe timeout.
 type HealthResponse struct {
-	Status string       `json:"status"`
-	Nodes  []NodeHealth `json:"nodes"`
+	Status          string       `json:"status"`
+	SweepIntervalMS int64        `json:"sweep_interval_ms"`
+	ProbeTimeoutMS  int64        `json:"probe_timeout_ms"`
+	Nodes           []NodeHealth `json:"nodes"`
 }
 
 func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	p.mu.Lock()
-	resp := HealthResponse{Status: "ok"}
+	resp := HealthResponse{
+		Status:          "ok",
+		SweepIntervalMS: p.sweepEvery.Milliseconds(),
+		ProbeTimeoutMS:  p.probeTimeout().Milliseconds(),
+	}
 	aliveCount := 0
 	for _, node := range p.ring.Nodes() {
 		ns := p.nodes[node]
-		if ns.alive {
+		state := ns.br.State()
+		alive := state != BreakerOpen
+		if alive {
 			aliveCount++
 		}
 		resp.Nodes = append(resp.Nodes, NodeHealth{
-			Addr: node, Alive: ns.alive, Inflight: ns.inflight, Error: ns.errMsg, Node: ns.identity,
+			Addr: node, Alive: alive, Breaker: state, Inflight: ns.inflight, Error: ns.errMsg, Node: ns.identity,
 		})
 	}
 	p.mu.Unlock()

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,12 +18,18 @@ import (
 	"repro/modis"
 )
 
-// Client drives a modisd daemon over HTTP — the programmatic twin of
-// the curl examples in docs/serving.md and the transport behind
-// cmd/modis -remote.
+// Client drives a modisd daemon (or a modisproxy front) over HTTP —
+// the programmatic twin of the curl examples in docs/serving.md and
+// the transport behind cmd/modis -remote. The zero configuration makes
+// every call exactly once; WithRetry arms the fleet's unified
+// retry/backoff policy (submits then auto-carry idempotency keys, so a
+// retried submit can never double-run), and WithHedge arms hedged
+// reads for latency-sensitive GETs.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+	hedge time.Duration
 }
 
 // NewClient returns a client for the daemon at base (e.g.
@@ -33,62 +41,188 @@ func NewClient(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
 }
 
-// apiError is a non-2xx daemon response.
-type apiError struct {
-	Status int
-	Msg    string
+// WithRetry sets the client's retry policy and returns the client.
+// With retries armed, Submit generates an idempotency key when the
+// request carries none, so every retry replays the original job
+// instead of starting a second one, and Events resumes dropped streams
+// from the last delivered event.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = p
+	return c
 }
 
-func (e *apiError) Error() string {
-	return fmt.Sprintf("serve: daemon returned %d: %s", e.Status, e.Msg)
+// WithHedge arms hedged reads: a GET still in flight after d gets a
+// second, identical request raced against it; the first response wins.
+// Writes are never hedged — only the idempotency key makes a repeated
+// submit safe, and that is the retry path's job.
+func (c *Client) WithHedge(d time.Duration) *Client {
+	c.hedge = d
+	return c
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+// NewIdempotencyKey returns a fresh submission key: 16 random bytes,
+// hex. Callers that want to retry a submit across their own process
+// restarts should mint the key once, persist it with the request, and
+// reuse it on every attempt.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("idem-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// doRaw performs one HTTP exchange and returns the raw response body.
+// Non-2xx responses become *APIError carrying the status and the
+// server's Retry-After hint, so callers classify with Retryable.
+func (c *Client) doRaw(ctx context.Context, method, path string, blob []byte) ([]byte, error) {
 	var rd io.Reader
-	if body != nil {
-		blob, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
+	if blob != nil {
 		rd = bytes.NewReader(blob)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if body != nil {
+	if blob != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
-	blob, err := io.ReadAll(resp.Body)
+	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
 		var e struct {
 			Error string `json:"error"`
 		}
-		msg := strings.TrimSpace(string(blob))
-		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+		msg := strings.TrimSpace(string(body))
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return &apiError{Status: resp.StatusCode, Msg: msg}
+		ae := &APIError{Status: resp.StatusCode, Msg: msg}
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, perr := strconv.Atoi(v); perr == nil && secs > 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, ae
 	}
-	if out == nil {
-		return nil
+	return body, nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var blob []byte
+	if body != nil {
+		var err error
+		blob, err = json.Marshal(body)
+		if err != nil {
+			return err
+		}
 	}
-	return json.Unmarshal(blob, out)
+	op := func(ctx context.Context) error {
+		var respBody []byte
+		var err error
+		if method == http.MethodGet && c.hedge > 0 {
+			respBody, err = c.hedged(ctx, method, path)
+		} else {
+			respBody, err = c.doRaw(ctx, method, path, blob)
+		}
+		if err != nil {
+			return err
+		}
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(respBody, out)
+	}
+	// Reads and cancels are naturally idempotent, so the retry policy
+	// covers them directly; submits carry their own budget-aware retry
+	// loop in Submit.
+	if p := c.retry.withDefaults(); method != http.MethodPost && p.MaxAttempts > 1 {
+		return p.Do(ctx, op)
+	}
+	return op(ctx)
+}
+
+// hedged races up to two identical GETs: the second launches once the
+// first has been in flight for the hedge delay, and the first success
+// wins (the loser is cancelled). One slow replica then costs one hedge
+// delay instead of a timeout.
+func (c *Client) hedged(ctx context.Context, method, path string) ([]byte, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		body []byte
+		err  error
+	}
+	ch := make(chan result, 2)
+	run := func() {
+		body, err := c.doRaw(hctx, method, path, nil)
+		ch <- result{body, err}
+	}
+	go run()
+	inflight := 1
+	t := time.NewTimer(c.hedge)
+	defer t.Stop()
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				return r.body, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inflight--; inflight == 0 {
+				return nil, firstErr
+			}
+		case <-t.C:
+			go run()
+			inflight++
+		}
+	}
 }
 
 // Submit submits a job and returns its accepted status (the job id in
-// particular).
+// particular). With a retry policy armed (WithRetry), transport
+// failures and retryable statuses are retried under the policy: the
+// submission carries an idempotency key (generated when the request
+// has none) so a retried submit returns the original job, and
+// TimeoutMS is treated as a deadline budget — each retry forwards only
+// what remains of it, and a budget spent entirely on failed attempts
+// surfaces as a terminal 504.
 func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*JobStatus, error) {
+	p := c.retry.withDefaults()
+	if p.MaxAttempts > 1 && req.IdempotencyKey == "" {
+		req.IdempotencyKey = NewIdempotencyKey()
+	}
+	var start time.Time
+	budget := time.Duration(req.TimeoutMS) * time.Millisecond
+	if budget > 0 {
+		start = time.Now()
+	}
 	var st JobStatus
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st); err != nil {
+	err := p.Do(ctx, func(ctx context.Context) error {
+		attempt := req
+		if budget > 0 {
+			remaining := budget - time.Since(start)
+			if remaining <= 0 {
+				return &APIError{Status: http.StatusGatewayTimeout, Msg: "serve: deadline budget exhausted before submit could be retried"}
+			}
+			attempt.TimeoutMS = int64(remaining / time.Millisecond)
+			if attempt.TimeoutMS < 1 {
+				attempt.TimeoutMS = 1
+			}
+		}
+		return c.do(ctx, http.MethodPost, "/v1/jobs", attempt, &st)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -159,11 +293,61 @@ func (c *Client) Algorithms(ctx context.Context) ([]string, error) {
 // Events streams a job's progress events, delivering each to fn in
 // order, until the stream ends (job terminated or ctx cancelled). It
 // returns the terminal status carried by the stream's closing "end"
-// event, or nil if the stream ended without one.
+// event. With a retry policy armed, a stream dropped mid-flight — node
+// restart, proxy failover, transport reset — reconnects with
+// Last-Event-ID and resumes exactly after the last delivered event, so
+// fn never sees a duplicate or a gap; the attempt counter resets
+// whenever a reconnect makes progress.
 func (c *Client) Events(ctx context.Context, jobID string, fn func(modis.Event)) (*JobStatus, error) {
+	p := c.retry.withDefaults()
+	lastID := -1
+	fails := 0
+	for {
+		before := lastID
+		final, err := c.streamEvents(ctx, jobID, &lastID, fn)
+		if final != nil || (err == nil && p.MaxAttempts <= 1) {
+			return final, err
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if err == nil {
+			// The stream ended cleanly but carried no terminal status:
+			// the server went away mid-job. Resumable.
+			err = io.ErrUnexpectedEOF
+		}
+		if p.MaxAttempts <= 1 || !Retryable(err) {
+			return nil, err
+		}
+		if lastID > before {
+			fails = 0
+		}
+		fails++
+		if fails >= p.MaxAttempts {
+			return nil, err
+		}
+		hint, _ := RetryAfterHint(err)
+		t := time.NewTimer(p.backoff(fails, hint))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// streamEvents runs one SSE connection, tracking the server's event
+// ids in *lastID (so a reconnect resumes after the last delivered
+// event) and returning the "end" event's terminal status when the
+// stream carried one.
+func (c *Client) streamEvents(ctx context.Context, jobID string, lastID *int, fn func(modis.Event)) (*JobStatus, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+jobID+"/events", nil)
 	if err != nil {
 		return nil, err
+	}
+	if *lastID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(*lastID))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -172,17 +356,27 @@ func (c *Client) Events(ctx context.Context, jobID string, fn func(modis.Event))
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		blob, _ := io.ReadAll(resp.Body)
-		return nil, &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(blob))}
+		ae := &APIError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(blob))}
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, perr := strconv.Atoi(v); perr == nil && secs > 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, ae
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
-	event, data := "", ""
+	event, data, id := "", "", -1
 	var final *JobStatus
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
 		case strings.HasPrefix(line, "event: "):
 			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			if n, perr := strconv.Atoi(strings.TrimPrefix(line, "id: ")); perr == nil {
+				id = n
+			}
 		case strings.HasPrefix(line, "data: "):
 			data = strings.TrimPrefix(line, "data: ")
 		case line == "":
@@ -192,8 +386,15 @@ func (c *Client) Events(ctx context.Context, jobID string, fn func(modis.Event))
 				if err := json.Unmarshal([]byte(data), &ev); err != nil {
 					return final, fmt.Errorf("serve: malformed progress event: %w", err)
 				}
-				if fn != nil {
-					fn(ev)
+				// A resumed stream may replay the boundary event;
+				// deliver only what is new.
+				if id < 0 || id > *lastID {
+					if fn != nil {
+						fn(ev)
+					}
+					if id >= 0 {
+						*lastID = id
+					}
 				}
 			case "end":
 				st := &JobStatus{}
@@ -202,7 +403,7 @@ func (c *Client) Events(ctx context.Context, jobID string, fn func(modis.Event))
 				}
 				final = st
 			}
-			event, data = "", ""
+			event, data, id = "", "", -1
 		}
 	}
 	return final, sc.Err()

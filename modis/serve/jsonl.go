@@ -120,13 +120,19 @@ func (s *Server) serveJSONLOp(ctx context.Context, w *jsonlWriter, req JSONLRequ
 	}
 	switch req.Op {
 	case "submit":
-		job, err := s.Submit(req.SubmitRequest)
+		rec, _, err := s.Submit(req.SubmitRequest)
 		if err != nil {
 			fail(err)
 			return
 		}
-		rec, _ := s.sched.Job(job.ID())
-		w.send(JSONLResponse{Kind: "accepted", Tag: req.Tag, JobID: job.ID(), Status: s.sched.statusOf(rec)})
+		w.send(JSONLResponse{Kind: "accepted", Tag: req.Tag, JobID: rec.ID, Status: s.sched.statusOf(rec)})
+		job := rec.Live()
+		if job == nil {
+			// A replayed key resolved to an archived job: it is already
+			// terminal, so the result line follows immediately.
+			w.send(JSONLResponse{Kind: "result", Tag: req.Tag, JobID: rec.ID, Status: s.sched.statusOf(rec)})
+			return
+		}
 		jobs.Add(1)
 		go func() {
 			defer jobs.Done()

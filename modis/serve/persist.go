@@ -79,6 +79,7 @@ type RecoveredJob struct {
 	ID        string
 	Workload  string
 	Algorithm string
+	IdemKey   string
 	Submitted time.Time
 	// Finished reports whether a terminal entry was recovered; an
 	// unfinished job was lost to the crash.
@@ -242,6 +243,7 @@ type ledgerEntry struct {
 	ID        string        `json:"id"`
 	Workload  string        `json:"workload,omitempty"`
 	Algorithm string        `json:"algorithm,omitempty"`
+	IdemKey   string        `json:"idem_key,omitempty"`
 	Submitted time.Time     `json:"submitted,omitempty"`
 	Status    string        `json:"status,omitempty"`
 	Error     string        `json:"error,omitempty"`
@@ -276,6 +278,9 @@ func (p *Persistence) RecoverShard(hash string) []RecoveredJob {
 			recovered[e.ID] = r
 			order = append(order, e.ID)
 		}
+		if e.IdemKey != "" {
+			r.IdemKey = e.IdemKey
+		}
 		switch e.Kind {
 		case "submitted":
 			r.Workload, r.Algorithm, r.Submitted = e.Workload, e.Algorithm, e.Submitted
@@ -308,7 +313,7 @@ func (p *Persistence) RecoverShard(hash string) []RecoveredJob {
 				r := recovered[id]
 				e := ledgerEntry{
 					Kind: "finished", ID: id,
-					Workload: r.Workload, Algorithm: r.Algorithm, Submitted: r.Submitted,
+					Workload: r.Workload, Algorithm: r.Algorithm, IdemKey: r.IdemKey, Submitted: r.Submitted,
 					Status: r.Status, Error: r.Error,
 				}
 				if !r.Finished {
@@ -377,11 +382,14 @@ func (p *Persistence) appendLedger(hash string, e ledgerEntry, onDurable func(re
 	l.com.Enqueue(blob, onDurable)
 }
 
-// AppendSubmitted records a job acceptance on its shard's ledger.
-func (p *Persistence) AppendSubmitted(hash, id, workload, algorithm string, submitted time.Time) {
+// AppendSubmitted records a job acceptance on its shard's ledger. The
+// idempotency key (may be empty) is part of the acceptance: a warm
+// restart re-registers it so a retried keyed submit replays the
+// recovered job instead of re-running the search.
+func (p *Persistence) AppendSubmitted(hash, id, workload, algorithm, idemKey string, submitted time.Time) {
 	p.appendLedger(hash, ledgerEntry{
 		Kind: "submitted", ID: id,
-		Workload: workload, Algorithm: algorithm, Submitted: submitted,
+		Workload: workload, Algorithm: algorithm, IdemKey: idemKey, Submitted: submitted,
 	}, nil)
 }
 
@@ -389,10 +397,10 @@ func (p *Persistence) AppendSubmitted(hash, id, workload, algorithm string, subm
 // jobs) on its shard's ledger. onDurable (may be nil) runs once the
 // record is on disk — the scheduler's cue that the in-memory handle
 // may be dropped.
-func (p *Persistence) AppendFinished(hash, id, workload, algorithm string, submitted time.Time, status, errMsg string, rep *modis.Report, onDurable func()) {
+func (p *Persistence) AppendFinished(hash, id, workload, algorithm, idemKey string, submitted time.Time, status, errMsg string, rep *modis.Report, onDurable func()) {
 	p.appendLedger(hash, ledgerEntry{
 		Kind: "finished", ID: id,
-		Workload: workload, Algorithm: algorithm, Submitted: submitted,
+		Workload: workload, Algorithm: algorithm, IdemKey: idemKey, Submitted: submitted,
 		Status: status, Error: errMsg, Report: rep,
 	}, func(ref wal.RecordRef) {
 		if rep != nil {

@@ -370,7 +370,7 @@ func TestLedgerRecoveryAndPagination(t *testing.T) {
 		ids[i] = job.ID()
 		skylines[i] = skylineJSON(t, mustResult(t, job))
 	}
-	pA.AppendSubmitted(hash, "ghost-job", "shape", "bi", time.Now())
+	pA.AppendSubmitted(hash, "ghost-job", "shape", "bi", "", time.Now())
 	// 3 submitted + 3 finished + 1 ghost submitted = 7 durable records.
 	waitUntil(t, 5*time.Second, "ledger flushed", func() bool {
 		pA.Flush()

@@ -47,6 +47,17 @@ type SchedulerOptions struct {
 	// scheduler; excess jobs queue in submission order and their wait
 	// shows up as the report's Queued time. 0 means unbounded.
 	MaxConcurrent int
+	// MaxQueue bounds how many admitted jobs may wait for an execution
+	// slot (only meaningful with MaxConcurrent > 0). A submission past
+	// the bound is rejected synchronously with ErrOverloaded — the wire
+	// layer's 503 + Retry-After — instead of joining a line it would
+	// time out in. 0 means unbounded.
+	MaxQueue int
+	// MaxQueueWait bounds how long an admitted job may wait in the
+	// queue before it is shed with ErrOverloaded. Shedding early returns
+	// the client a fast, explicitly retryable failure instead of
+	// consuming its whole deadline at the back of the line. 0 disables.
+	MaxQueueWait time.Duration
 	// Persist, when set, makes the scheduler durable: each registered
 	// shard's memo store attaches under state-dir/<hash>/memo at
 	// Register time (warm-starting the valuations a previous
@@ -90,11 +101,22 @@ type Scheduler struct {
 	shards   map[string]*shard        // descriptor hash → serving state
 	jobs     map[string]*JobRecord
 	order    []string
-	pos      map[string]int // id → index in order, the pagination cursor index
-	finished []string       // durable finished ids, oldest first — the archive queue
+	pos      map[string]int        // id → index in order, the pagination cursor index
+	finished []string              // durable finished ids, oldest first — the archive queue
+	idem     map[string]*idemEntry // idempotency key → accepted job
 	inflight int
+	queued   int // jobs admitted but still waiting for an execution slot
 	draining bool
 	idle     chan struct{} // closed when draining hits zero in-flight
+}
+
+// idemEntry single-flights one idempotency key: the reserving submit
+// publishes its job id and closes done; concurrent same-key submits
+// wait on done and return the same record. Entries whose reserving
+// attempt failed synchronously are deleted so the key can be retried.
+type idemEntry struct {
+	done chan struct{}
+	id   string
 }
 
 // registration binds one catalog name to its shard.
@@ -132,6 +154,11 @@ type JobRecord struct {
 	Hash string
 	// Algorithm is the canonical algorithm key.
 	Algorithm string
+	// IdemKey is the submission's idempotency key ("" when none was
+	// given). A later submit carrying the same key returns this record
+	// instead of running again — across restarts, since the key rides
+	// the persisted ledger.
+	IdemKey string
 	// Submitted is the accept time.
 	Submitted time.Time
 
@@ -206,6 +233,7 @@ func NewScheduler(opts SchedulerOptions) *Scheduler {
 		shards: map[string]*shard{},
 		jobs:   map[string]*JobRecord{},
 		pos:    map[string]int{},
+		idem:   map[string]*idemEntry{},
 		idle:   make(chan struct{}),
 	}
 	if opts.MaxConcurrent > 0 {
@@ -299,7 +327,8 @@ func (s *Scheduler) register(desc *workload.Descriptor, cfg *fst.Config, hash st
 	s.regs[desc.Name] = &registration{name: desc.Name, desc: desc, sh: sh}
 	for _, rj := range recovered {
 		rec := &JobRecord{
-			ID: rj.ID, Workload: rj.Workload, Hash: hash, Algorithm: rj.Algorithm, Submitted: rj.Submitted,
+			ID: rj.ID, Workload: rj.Workload, Hash: hash, Algorithm: rj.Algorithm,
+			IdemKey: rj.IdemKey, Submitted: rj.Submitted,
 		}
 		status, errMsg, hasReport := rj.Status, rj.Error, rj.HasReport
 		if !rj.Finished {
@@ -308,13 +337,19 @@ func (s *Scheduler) register(desc *workload.Descriptor, cfg *fst.Config, hash st
 			hasReport = false
 			// Converge the ledger so the next restart recovers the
 			// loss directly.
-			s.opts.Persist.AppendFinished(hash, rj.ID, rj.Workload, rj.Algorithm, rj.Submitted, status, errMsg, nil, nil)
+			s.opts.Persist.AppendFinished(hash, rj.ID, rj.Workload, rj.Algorithm, rj.IdemKey, rj.Submitted, status, errMsg, nil, nil)
 		}
 		rec.arch = &archivedJob{status: status, errMsg: errMsg, hasReport: hasReport}
 		sh.jobs++
 		s.pos[rec.ID] = len(s.order)
 		s.jobs[rec.ID] = rec
 		s.order = append(s.order, rec.ID)
+		if rec.IdemKey != "" {
+			// Recovered keys dedupe exactly like live ones: a client
+			// retrying a submit it made against the previous incarnation
+			// gets its original job back, not a rerun.
+			s.idem[rec.IdemKey] = &idemEntry{done: closedDone, id: rec.ID}
+		}
 	}
 	s.mu.Unlock()
 	return nil
@@ -397,13 +432,57 @@ func (s *Scheduler) Shards() []ShardInfo {
 // workload, on the workload shard's shared engine, with its valuation
 // windows aligned against the shard's other in-flight jobs.
 // Submission errors (unknown workload, unknown algorithm, invalid
-// options, draining scheduler) surface synchronously; everything later
-// is observed through the returned job handle.
+// options, draining scheduler, overload) surface synchronously;
+// everything later is observed through the returned job handle.
 func (s *Scheduler) Submit(ctx context.Context, workloadName string, algorithm string, opts ...modis.Option) (*modis.Job, error) {
-	s.mu.Lock()
+	rec, _, err := s.SubmitKeyed(ctx, workloadName, algorithm, "", opts...)
+	if err != nil {
+		return nil, err
+	}
+	return rec.Live(), nil
+}
+
+// SubmitKeyed is Submit with an idempotency key: a key already bound
+// to an accepted job — live, archived, or recovered from the persisted
+// ledger of a previous incarnation — returns that job's record with
+// replayed=true instead of running a second search. Concurrent
+// same-key submissions single-flight: exactly one runs, the rest wait
+// for its acceptance and replay it. An empty key never dedupes.
+//
+// The contract is the standard one: a key names one logical
+// submission, so retries (client retries after a transport failure,
+// proxy failover retries) must reuse the key and SHOULD carry an
+// identical request body — the replayed record is returned regardless
+// of the retry's body.
+func (s *Scheduler) SubmitKeyed(ctx context.Context, workloadName, algorithm, idemKey string, opts ...modis.Option) (rec *JobRecord, replayed bool, err error) {
+	var entry *idemEntry
+	for {
+		s.mu.Lock()
+		if idemKey != "" {
+			if e, ok := s.idem[idemKey]; ok {
+				s.mu.Unlock()
+				select {
+				case <-e.done:
+				case <-ctx.Done():
+					return nil, false, ctx.Err()
+				}
+				if e.id != "" {
+					s.mu.Lock()
+					rec := s.jobs[e.id]
+					s.mu.Unlock()
+					return rec, true, nil
+				}
+				// The reserving attempt failed synchronously and released
+				// the key; race to reserve it ourselves.
+				continue
+			}
+		}
+		break
+	}
+	// s.mu is held.
 	if s.draining {
 		s.mu.Unlock()
-		return nil, ErrDraining
+		return nil, false, ErrDraining
 	}
 	reg, ok := s.regs[workloadName]
 	if !ok {
@@ -413,10 +492,25 @@ func (s *Scheduler) Submit(ctx context.Context, workloadName string, algorithm s
 		}
 		sort.Strings(known)
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w %q (known: %s)", ErrUnknownWorkload, workloadName, strings.Join(known, ", "))
+		return nil, false, fmt.Errorf("%w %q (known: %s)", ErrUnknownWorkload, workloadName, strings.Join(known, ", "))
+	}
+	// Overload shedding, part one: a bounded admission queue rejects at
+	// the door once MaxQueue jobs already wait for a slot, instead of
+	// growing a line whose tail is doomed to time out.
+	if s.slot != nil && s.opts.MaxQueue > 0 && s.queued >= s.opts.MaxQueue {
+		n := s.queued
+		s.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: admission queue full (%d waiting, cap %d)", ErrOverloaded, n, s.opts.MaxQueue)
 	}
 	sh := reg.sh
 	s.inflight++
+	if s.slot != nil {
+		s.queued++
+	}
+	if idemKey != "" {
+		entry = &idemEntry{done: make(chan struct{})}
+		s.idem[idemKey] = entry
+	}
 	s.mu.Unlock()
 	h := sh.batch.newRun()
 
@@ -430,12 +524,8 @@ func (s *Scheduler) Submit(ctx context.Context, workloadName string, algorithm s
 	all = append(all, opts...)
 	all = append(all, modis.WithExactRunner(h))
 	all = append(all, modis.WithAdmission(func(ctx context.Context) error {
-		if s.slot != nil {
-			select {
-			case s.slot <- struct{}{}:
-			case <-ctx.Done():
-				return ctx.Err()
-			}
+		if err := s.acquireSlot(ctx); err != nil {
+			return err
 		}
 		h.join()
 		return nil
@@ -444,18 +534,29 @@ func (s *Scheduler) Submit(ctx context.Context, workloadName string, algorithm s
 	job, err := sh.engine.Submit(ctx, algorithm, all...)
 	if err != nil {
 		h.close()
+		s.unqueue()
 		s.finishJob()
-		return nil, err
+		if entry != nil {
+			s.mu.Lock()
+			delete(s.idem, idemKey)
+			s.mu.Unlock()
+			close(entry.done)
+		}
+		return nil, false, err
 	}
-	rec := &JobRecord{ID: job.ID(), Workload: workloadName, Hash: sh.hash, Algorithm: job.Algorithm(), Submitted: time.Now(), job: job}
+	rec = &JobRecord{ID: job.ID(), Workload: workloadName, Hash: sh.hash, Algorithm: job.Algorithm(), IdemKey: idemKey, Submitted: time.Now(), job: job}
 	s.mu.Lock()
 	sh.jobs++
 	s.pos[rec.ID] = len(s.order)
 	s.jobs[rec.ID] = rec
 	s.order = append(s.order, rec.ID)
 	s.mu.Unlock()
+	if entry != nil {
+		entry.id = rec.ID
+		close(entry.done)
+	}
 	if s.opts.Persist != nil {
-		s.opts.Persist.AppendSubmitted(rec.Hash, rec.ID, rec.Workload, rec.Algorithm, rec.Submitted)
+		s.opts.Persist.AppendSubmitted(rec.Hash, rec.ID, rec.Workload, rec.Algorithm, rec.IdemKey, rec.Submitted)
 	}
 
 	go func() {
@@ -469,7 +570,59 @@ func (s *Scheduler) Submit(ctx context.Context, workloadName string, algorithm s
 		s.recordFinished(rec)
 		s.finishJob()
 	}()
-	return job, nil
+	return rec, false, nil
+}
+
+// acquireSlot is the admission hook's wait for an execution slot,
+// bounded by MaxQueueWait — overload shedding, part two: a job that
+// cannot start within the bound fails fast with ErrOverloaded (an
+// explicitly retryable failure) instead of burning its whole deadline
+// in the queue. Runs on the job goroutine; always leaves the queue
+// accounting balanced.
+func (s *Scheduler) acquireSlot(ctx context.Context) error {
+	defer s.unqueue()
+	if s.slot == nil {
+		return nil
+	}
+	select {
+	case s.slot <- struct{}{}:
+		return nil
+	default:
+	}
+	var shed <-chan time.Time
+	if s.opts.MaxQueueWait > 0 {
+		t := time.NewTimer(s.opts.MaxQueueWait)
+		defer t.Stop()
+		shed = t.C
+	}
+	select {
+	case s.slot <- struct{}{}:
+		return nil
+	case <-shed:
+		return fmt.Errorf("%w: shed after queueing %s for an execution slot", ErrOverloaded, s.opts.MaxQueueWait)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// unqueue balances Submit's queued++ once the job stops waiting —
+// slot acquired, shed, cancelled, or never started. Idempotence is the
+// caller's job: exactly one of the admission hook and the synchronous
+// failure path runs it.
+func (s *Scheduler) unqueue() {
+	s.mu.Lock()
+	if s.slot != nil {
+		s.queued--
+	}
+	s.mu.Unlock()
+}
+
+// QueueDepth reports how many admitted jobs are waiting for an
+// execution slot right now.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
 }
 
 // recordFinished spills a terminal job to its shard's ledger; once the
@@ -484,7 +637,7 @@ func (s *Scheduler) recordFinished(rec *JobRecord) {
 		return
 	}
 	status, errMsg, rep := terminalState(job)
-	s.opts.Persist.AppendFinished(rec.Hash, rec.ID, rec.Workload, rec.Algorithm, rec.Submitted, status, errMsg, rep, func() {
+	s.opts.Persist.AppendFinished(rec.Hash, rec.ID, rec.Workload, rec.Algorithm, rec.IdemKey, rec.Submitted, status, errMsg, rep, func() {
 		s.mu.Lock()
 		s.finished = append(s.finished, rec.ID)
 		var evict []*JobRecord

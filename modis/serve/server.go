@@ -21,10 +21,30 @@ type SubmitRequest struct {
 	Algorithm string `json:"algorithm"`
 	// Options tune the run; absent fields keep engine defaults.
 	Options *JobOptions `json:"options,omitempty"`
-	// TimeoutMS is the per-request deadline: the job is cancelled with
-	// context.DeadlineExceeded once it has run this long. 0 = none.
+	// TimeoutMS is the request's remaining deadline budget: the job is
+	// cancelled with context.DeadlineExceeded once it has spent this
+	// long queued plus running on the node. Each forwarding hop (proxy,
+	// retrying client) rewrites it to what is left of the original
+	// budget before sending. 0 = none.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// IdempotencyKey, when non-empty, names this logical submission: a
+	// resubmission with the same key — a client retry after a transport
+	// failure, a proxy failover — returns the already-accepted job
+	// (replayed, 200) instead of running a second search, across node
+	// restarts. The Idempotency-Key header fills this field when the
+	// body leaves it empty.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
+
+// IdempotencyHeader is the HTTP header equivalent of
+// SubmitRequest.IdempotencyKey (header wins only when the body field
+// is empty).
+const IdempotencyHeader = "Idempotency-Key"
+
+// ReplayedHeader marks a submit response that replayed an existing job
+// for a repeated idempotency key ("true") instead of accepting a new
+// one.
+const ReplayedHeader = "Idempotency-Replayed"
 
 // JobOptions mirrors the engine's functional options field by field.
 // Pointer fields distinguish "absent, keep the default" from genuine
@@ -99,7 +119,10 @@ type JobStatus struct {
 	JobID     string `json:"job_id"`
 	Workload  string `json:"workload,omitempty"`
 	Algorithm string `json:"algorithm"`
-	Status    string `json:"status"`
+	// IdemKey is the idempotency key the job was submitted under, when
+	// it carried one.
+	IdemKey string `json:"idempotency_key,omitempty"`
+	Status  string `json:"status"`
 	// Error carries the terminal error of a failed or cancelled job.
 	Error string `json:"error,omitempty"`
 	// Progress is the most recent progress event of a running job.
@@ -117,6 +140,7 @@ func (s *Scheduler) statusOf(rec *JobRecord) *JobStatus {
 		JobID:     rec.ID,
 		Workload:  rec.Workload,
 		Algorithm: rec.Algorithm,
+		IdemKey:   rec.IdemKey,
 	}
 	job, arch := rec.snapshot()
 	if arch != nil {
@@ -222,46 +246,63 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) Close() { s.stop() }
 
 // Submit runs one wire-form submission through the scheduler — shared
-// by the HTTP and JSONL fronts.
-func (s *Server) Submit(req SubmitRequest) (*modis.Job, error) {
+// by the HTTP and JSONL fronts. replayed reports that the request's
+// idempotency key matched an already-accepted job and that job's
+// record was returned instead of starting a new run. TimeoutMS bounds
+// the job's whole life on the node — admission-queue wait included, so
+// a request never runs past its propagated deadline budget at the
+// engine.
+func (s *Server) Submit(req SubmitRequest) (*JobRecord, bool, error) {
 	ctx := s.ctx
 	var cancel context.CancelFunc
 	if req.TimeoutMS > 0 {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 	}
-	job, err := s.sched.Submit(ctx, req.Workload, req.Algorithm, req.Options.toOptions()...)
+	rec, replayed, err := s.sched.SubmitKeyed(ctx, req.Workload, req.Algorithm, req.IdempotencyKey, req.Options.toOptions()...)
 	if err != nil {
 		if cancel != nil {
 			cancel()
 		}
-		// Draining is the only retryable submit failure; an unknown
-		// workload is addressed to the wrong node (404, the proxy's
-		// reroute cue); everything else — unknown algorithm (the
-		// registry's typed error, known keys in the message), invalid
-		// options — is the client's.
+		// Draining and overload are the retryable submit failures (503
+		// with a pacing hint); an unknown workload is addressed to the
+		// wrong node (404, the proxy's reroute cue); everything else —
+		// unknown algorithm (the registry's typed error, known keys in
+		// the message), invalid options — is the client's.
 		status := http.StatusBadRequest
+		var retryAfter time.Duration
 		switch {
+		case errors.Is(err, ErrOverloaded):
+			status = http.StatusServiceUnavailable
+			retryAfter = time.Second
 		case errors.Is(err, ErrDraining):
 			status = http.StatusServiceUnavailable
 		case errors.Is(err, ErrUnknownWorkload):
 			status = http.StatusNotFound
 		}
-		return nil, &wireError{status: status, msg: err.Error()}
+		return nil, false, &wireError{status: status, msg: err.Error(), retryAfter: retryAfter}
 	}
 	if cancel != nil {
-		go func() {
-			<-job.Done()
+		if replayed {
+			// The replayed job runs on its original deadline; this
+			// retry's budget only covered getting the answer back.
 			cancel()
-		}()
+		} else {
+			job := rec.Live()
+			go func() {
+				<-job.Done()
+				cancel()
+			}()
+		}
 	}
-	return job, nil
+	return rec, replayed, nil
 }
 
 // wireError pairs an error message with the HTTP status it should
-// travel under.
+// travel under, plus the Retry-After pacing hint for 503s.
 type wireError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *wireError) Error() string { return e.msg }
@@ -274,13 +315,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: malformed submit request: %w", err))
 		return
 	}
-	job, err := s.Submit(req)
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = r.Header.Get(IdempotencyHeader)
+	}
+	rec, replayed, err := s.Submit(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	rec, _ := s.sched.Job(job.ID())
-	writeJSON(w, http.StatusAccepted, s.sched.statusOf(rec))
+	// A fresh acceptance is 202; a replay answers 200 — the submission
+	// was already accepted, possibly long ago — and says so in a header
+	// so retry layers can tell dedup from double-run.
+	status := http.StatusAccepted
+	if replayed {
+		w.Header().Set(ReplayedHeader, "true")
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.sched.statusOf(rec))
 }
 
 // JobsPageResponse is the paginated envelope of GET /v1/jobs.
@@ -347,11 +398,23 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // handleEvents streams the job's progress events as server-sent
 // events: one "progress" event per modis.Event — the same events, in
 // the same order, an in-process WithProgress callback observes — and a
-// final "end" event carrying the terminal JobStatus.
+// final "end" event carrying the terminal JobStatus. Every progress
+// event carries its stable index as the SSE id, and a reconnecting
+// client's Last-Event-ID header resumes the stream right after the
+// last event it saw instead of replaying from the start.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	rec, ok := s.resolve(w, r)
 	if !ok {
 		return
+	}
+	from := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: malformed Last-Event-ID %q", v))
+			return
+		}
+		from = n + 1
 	}
 	fl, canFlush := w.(http.Flusher)
 	if !canFlush {
@@ -363,14 +426,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 	if job := rec.Live(); job != nil {
-		for ev := range job.EventsContext(r.Context()) {
+		id := from
+		for ev := range job.EventsFrom(r.Context(), from) {
 			data, err := json.Marshal(ev)
 			if err != nil {
 				return
 			}
-			if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data); err != nil {
+			if _, err := fmt.Fprintf(w, "event: progress\nid: %d\ndata: %s\n\n", id, data); err != nil {
 				return
 			}
+			id++
 			fl.Flush()
 		}
 	}
@@ -449,6 +514,13 @@ func writeError(w http.ResponseWriter, fallback int, err error) {
 	var we *wireError
 	if errors.As(err, &we) {
 		status = we.status
+		if we.retryAfter > 0 {
+			secs := int64(we.retryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

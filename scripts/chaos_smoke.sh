@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Chaos smoke: the scripted fault harness against a real 2-node fleet.
+#
+# Builds modisd and modischaos, then runs every chaos scenario —
+# fault-free baseline, dropped connections, slow paths, mid-stream
+# resets, and a SIGKILLed owner warm-restarting from its state
+# directory — and checks the resilience invariants through the routing
+# proxy: no accepted job lost, at most one completed job per
+# idempotency key fleet-wide, every skyline byte-identical to the
+# fault-free reference, and a warm resubmission making zero exact
+# inferences. See docs/serving.md, "Fleet resilience".
+set -euo pipefail
+
+MODISD=${MODISD:-/tmp/modisd}
+MODISCHAOS=${MODISCHAOS:-/tmp/modischaos}
+
+if [ ! -x "$MODISD" ]; then
+  go build -o "$MODISD" ./cmd/modisd
+fi
+if [ ! -x "$MODISCHAOS" ]; then
+  go build -o "$MODISCHAOS" ./cmd/modischaos
+fi
+
+"$MODISCHAOS" -modisd "$MODISD" "$@"
+
+echo "chaos smoke: OK"
