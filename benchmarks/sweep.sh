@@ -4,12 +4,14 @@
 # results into a TSV and a JSON file, so every PR leaves a comparable
 # perf record next to the previous ones (BENCH_<n>.json).
 #
-# Each benchmark is recorded twice — once with the valuation pool at
-# WithParallelism(0) (all CPUs) and once at WithParallelism(1)
-# (sequential) — via the MODIS_BENCH_PARALLEL override, and the JSON
-# carries GOMAXPROCS, so multi-core scaling of the exact-inference pool
-# is measurable from the record alone. On a 1-CPU host the two columns
-# coincide (the pool cannot fan out).
+# Each benchmark is recorded twice — pool ON at WithParallelism(0)
+# (exact inferences fan out on the process-global worker pool,
+# workpool.Global, across all CPUs) and pool OFF at WithParallelism(1)
+# (inline on the run goroutine) — via the MODIS_BENCH_PARALLEL
+# override, and the JSON carries GOMAXPROCS, so multi-core scaling of
+# the shared inference pool is measurable from the record alone. On a
+# 1-CPU host the two columns coincide (parallelism 0 resolves to one
+# worker, which takes the inline path).
 #
 # Usage:
 #   sh benchmarks/sweep.sh [out-prefix] [benchtime] [pattern]
@@ -19,6 +21,11 @@
 #   benchtime   passed to -benchtime (default: 3x — fixed iteration
 #               counts stabilize comparisons across machines)
 #   pattern     -bench regexp (default: 'BenchmarkTable|BenchmarkFig')
+#
+# When MODIS_LOAD_CAPTURE names a cmd/modisload JSON capture, it is
+# embedded into the output JSON under "load", so one file records both
+# the in-process discovery sweep and the serving-path load measurement
+# (throughput, latency quantiles, merge and memo-hit rates).
 
 set -eu
 
@@ -80,5 +87,19 @@ awk -v gomaxprocs="$GOMAXPROCS_VAL" \
        printf "\n    {\"name\": \"%s\", \"parallelism\": %s, \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $1, par, $2, ns, bytes, allocs
      }
      END { print "\n  ]"; print "}" }' "$RAW" >"$JSON"
+
+# Optional: splice a modisload capture into the record, keeping the
+# serving-path measurement next to the discovery sweep it accompanies.
+if [ -n "${MODIS_LOAD_CAPTURE:-}" ] && [ -f "$MODIS_LOAD_CAPTURE" ]; then
+  TMP="$JSON.tmp"
+  {
+    sed '$d' "$JSON" # drop the closing brace
+    printf '  ,"load":\n'
+    sed 's/^/  /' "$MODIS_LOAD_CAPTURE"
+    printf '}\n'
+  } >"$TMP"
+  mv "$TMP" "$JSON"
+  echo "embedded load capture $MODIS_LOAD_CAPTURE" >&2
+fi
 
 echo "wrote $RAW, $TSV, $JSON" >&2

@@ -60,7 +60,8 @@ func main() {
 		adomK     = flag.Int("adomk", 8, "max cluster literals per attribute (custom workload)")
 		custom    = flag.String("workload", "custom", "catalog name of the custom workload")
 		surrogate = flag.Bool("surrogate", true, "use the MO-GBM performance estimator")
-		parallel  = flag.Int("parallel", 0, "workers per batched exact-inference pass (0 = all CPUs)")
+		workers   = flag.Int("workers", 0, "fixed worker count of the daemon-global inference pool (0 = all CPUs)")
+		parallel  = flag.Int("parallel", 0, "max pool workers one workload shard may occupy at once (0 = whole pool)")
 		align     = flag.Duration("align", 0, "frontier alignment window (0 = default 2ms)")
 		maxJobs   = flag.Int("max-concurrent", 0, "max searches executing at once; excess jobs queue (0 = unbounded)")
 		maxQueue  = flag.Int("max-queue", 0, "admission-queue depth past which submits shed with 503 + Retry-After (0 = unbounded; needs -max-concurrent)")
@@ -101,6 +102,7 @@ func main() {
 
 	sched := serve.NewScheduler(serve.SchedulerOptions{
 		AlignWindow:   *align,
+		Workers:       *workers,
 		Parallelism:   *parallel,
 		MaxConcurrent: *maxJobs,
 		MaxQueue:      *maxQueue,
@@ -166,6 +168,7 @@ func main() {
 		sched.CancelAll()
 	}
 	srv.Close()
+	sched.Close()
 	if persist != nil {
 		// Final flush: everything memoized or finished so far becomes
 		// durable before the process exits.
@@ -181,6 +184,7 @@ func drainAndClose(sched *serve.Scheduler, srv *serve.Server, persist *serve.Per
 		sched.CancelAll()
 	}
 	srv.Close()
+	sched.Close()
 	if persist != nil {
 		persist.Close()
 	}

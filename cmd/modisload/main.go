@@ -1,0 +1,373 @@
+// Command modisload is the load generator of the serving layer: it
+// drives one modisd node (or a modisproxy fleet front) with N
+// concurrent closed-loop clients cycling through M workloads, then
+// reports what the node actually did — request latency percentiles
+// and throughput from the clients' own measurements, batch-merge rate
+// and memo hit rate from the node's /metrics deltas over the run. The
+// capture lands as JSON (machine-readable, benchmarks/BENCH_*.json
+// embeds it) and optionally as a per-request TSV for plotting.
+//
+// Usage:
+//
+//	modisd -addr :8080 -tasks t1,t3 &
+//	modisload -addr localhost:8080 -clients 8 -duration 30s -out capture.json
+//
+// The CI load-smoke job runs it with -assert-merges -assert-memo-hits:
+// a run whose /metrics deltas show no merged passes or no memo hits
+// exits nonzero, so the batching and memoization the daemon advertises
+// are continuously proven under real concurrent load.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/modis/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:8080", "node or proxy base address")
+		workloads = flag.String("workloads", "", "comma-separated workload names to drive (default: the node's whole catalog)")
+		algos     = flag.String("algos", "bi", "comma-separated algorithms to cycle through")
+		clients   = flag.Int("clients", 4, "concurrent closed-loop clients")
+		duration  = flag.Duration("duration", 30*time.Second, "how long to keep submitting")
+		budget    = flag.Int("budget", 0, "per-job valuation budget (0 = none)")
+		maxLevel  = flag.Int("max-level", 3, "per-job search depth bound (0 = none)")
+		seed      = flag.Int64("seed", 1, "per-job seed")
+		poll      = flag.Duration("poll", 25*time.Millisecond, "job status poll interval")
+		out       = flag.String("out", "", "JSON capture path (default stdout)")
+		tsv       = flag.String("tsv", "", "optional per-request TSV path")
+		assertMrg = flag.Bool("assert-merges", false, "exit nonzero unless the run merged at least one batch pass")
+		assertHit = flag.Bool("assert-memo-hits", false, "exit nonzero unless the run produced memo hits")
+	)
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	cli := serve.NewClient(base)
+	ctx := context.Background()
+
+	names := splitList(*workloads)
+	if len(names) == 0 {
+		infos, err := cli.Workloads(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("listing workloads of %s: %w", base, err))
+		}
+		for _, info := range infos {
+			names = append(names, info.Name)
+		}
+		sort.Strings(names)
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("node %s serves no workloads", base))
+	}
+	algoList := splitList(*algos)
+	if len(algoList) == 0 {
+		algoList = []string{"bi"}
+	}
+
+	before, err := scrapeMetrics(base)
+	if err != nil {
+		fatal(fmt.Errorf("scraping %s/metrics before the run: %w", base, err))
+	}
+
+	var tsvW *bufio.Writer
+	if *tsv != "" {
+		f, err := os.Create(*tsv)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tsvW = bufio.NewWriter(f)
+		defer tsvW.Flush()
+		fmt.Fprintln(tsvW, "elapsed_ms\tclient\tworkload\talgorithm\tstatus\tlatency_ms")
+	}
+
+	// The drive loop: closed-loop clients round-robin the workload ×
+	// algorithm grid off one shared counter, so two clients are always
+	// exercising the same shard concurrently when clients > workloads —
+	// the overlap batching and memoization need to show up.
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				i := next.Add(1) - 1
+				wl := names[int(i)%len(names)]
+				algo := algoList[(int(i)/len(names))%len(algoList)]
+				opts := &serve.JobOptions{Seed: seed}
+				if *budget > 0 {
+					opts.Budget = budget
+				}
+				if *maxLevel > 0 {
+					opts.MaxLevel = maxLevel
+				}
+				t0 := time.Now()
+				sm := sample{client: client, workload: wl, algorithm: algo}
+				st, err := cli.Submit(ctx, serve.SubmitRequest{Workload: wl, Algorithm: algo, Options: opts})
+				if err == nil {
+					st, err = cli.Wait(ctx, st.JobID, *poll)
+				}
+				sm.latency = time.Since(t0)
+				sm.elapsed = t0.Sub(start)
+				switch {
+				case err != nil:
+					sm.status = "error"
+				default:
+					sm.status = st.Status
+				}
+				mu.Lock()
+				samples = append(samples, sm)
+				mu.Unlock()
+				if err != nil {
+					// Overload shedding answers fast; don't spin on it.
+					time.Sleep(50 * time.Millisecond)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := scrapeMetrics(base)
+	if err != nil {
+		fatal(fmt.Errorf("scraping %s/metrics after the run: %w", base, err))
+	}
+
+	if tsvW != nil {
+		for _, sm := range samples {
+			fmt.Fprintf(tsvW, "%d\t%d\t%s\t%s\t%s\t%.3f\n",
+				sm.elapsed.Milliseconds(), sm.client, sm.workload, sm.algorithm, sm.status,
+				float64(sm.latency.Microseconds())/1000)
+		}
+	}
+
+	capt := buildCapture(base, names, algoList, *clients, *duration, elapsed, samples, before, after)
+	blob, err := json.MarshalIndent(capt, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if *assertMrg && capt.Node.BatchMergedPasses <= 0 {
+		fatal(fmt.Errorf("assertion failed: no batch passes merged during the run (passes=%v)", capt.Node.BatchPasses))
+	}
+	if *assertHit && capt.Node.MemoHits <= 0 {
+		fatal(fmt.Errorf("assertion failed: no memo hits during the run (misses=%v)", capt.Node.MemoMisses))
+	}
+	if capt.Totals.Requests == 0 {
+		fatal(fmt.Errorf("no request completed within %s", *duration))
+	}
+}
+
+// sample is one request's client-side record.
+type sample struct {
+	client    int
+	workload  string
+	algorithm string
+	status    string
+	elapsed   time.Duration // submit time since run start
+	latency   time.Duration // submit to terminal
+}
+
+// Capture is the JSON shape of one load run.
+type Capture struct {
+	Target    string            `json:"target"`
+	Workloads []string          `json:"workloads"`
+	Algos     []string          `json:"algorithms"`
+	Clients   int               `json:"clients"`
+	DurationS float64           `json:"duration_s"`
+	Totals    Totals            `json:"totals"`
+	Workload  map[string]Totals `json:"per_workload"`
+	Node      NodeDeltas        `json:"node"`
+}
+
+// Totals are the client-side aggregates of a request population.
+type Totals struct {
+	Requests      int       `json:"requests"`
+	Errors        int       `json:"errors"`
+	ThroughputRPS float64   `json:"throughput_rps"`
+	Latency       LatencyMS `json:"latency_ms"`
+}
+
+// LatencyMS are latency aggregates in milliseconds.
+type LatencyMS struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// NodeDeltas are the /metrics counter movements over the run — what
+// the node did on this load's behalf.
+type NodeDeltas struct {
+	PoolWorkers       float64 `json:"pool_workers"`
+	BatchPasses       float64 `json:"batch_passes"`
+	BatchMergedPasses float64 `json:"batch_merged_passes"`
+	MergeRate         float64 `json:"merge_rate"`
+	MemoHits          float64 `json:"memo_hits"`
+	MemoMisses        float64 `json:"memo_misses"`
+	MemoHitRate       float64 `json:"memo_hit_rate"`
+	ExactCalls        float64 `json:"exact_calls"`
+	Valuations        float64 `json:"valuations"`
+}
+
+func buildCapture(target string, names, algoList []string, clients int, want, got time.Duration, samples []sample, before, after map[string]float64) Capture {
+	capt := Capture{
+		Target:    target,
+		Workloads: names,
+		Algos:     algoList,
+		Clients:   clients,
+		DurationS: got.Seconds(),
+		Workload:  map[string]Totals{},
+	}
+	capt.Totals = totalsOf(samples, got)
+	byWL := map[string][]sample{}
+	for _, sm := range samples {
+		byWL[sm.workload] = append(byWL[sm.workload], sm)
+	}
+	for wl, sms := range byWL {
+		capt.Workload[wl] = totalsOf(sms, got)
+	}
+	delta := func(name string) float64 {
+		d := after[name] - before[name]
+		if d < 0 || math.IsNaN(d) {
+			return 0
+		}
+		return d
+	}
+	nd := NodeDeltas{
+		PoolWorkers:       after["modis_pool_workers"],
+		BatchPasses:       delta("modis_batch_passes_total"),
+		BatchMergedPasses: delta("modis_batch_merged_passes_total"),
+		MemoHits:          delta("modis_memo_hits_total"),
+		MemoMisses:        delta("modis_memo_misses_total"),
+		ExactCalls:        delta("modis_exact_calls_total"),
+		Valuations:        delta("modis_valuations_total"),
+	}
+	if nd.BatchPasses > 0 {
+		nd.MergeRate = nd.BatchMergedPasses / nd.BatchPasses
+	}
+	if probes := nd.MemoHits + nd.MemoMisses; probes > 0 {
+		nd.MemoHitRate = nd.MemoHits / probes
+	}
+	capt.Node = nd
+	return capt
+}
+
+func totalsOf(samples []sample, elapsed time.Duration) Totals {
+	t := Totals{Requests: len(samples)}
+	if len(samples) == 0 {
+		return t
+	}
+	lats := make([]float64, 0, len(samples))
+	sum, max := 0.0, 0.0
+	for _, sm := range samples {
+		if sm.status == "error" || sm.status == serve.StatusFailed {
+			t.Errors++
+		}
+		ms := float64(sm.latency.Microseconds()) / 1000
+		lats = append(lats, ms)
+		sum += ms
+		if ms > max {
+			max = ms
+		}
+	}
+	sort.Float64s(lats)
+	q := func(p float64) float64 {
+		rank := int(math.Ceil(p * float64(len(lats))))
+		if rank < 1 {
+			rank = 1
+		}
+		return lats[rank-1]
+	}
+	t.Latency = LatencyMS{P50: q(0.5), P90: q(0.9), P99: q(0.99), Mean: sum / float64(len(lats)), Max: max}
+	if secs := elapsed.Seconds(); secs > 0 {
+		t.ThroughputRPS = float64(len(samples)) / secs
+	}
+	return t
+}
+
+// scrapeMetrics fetches /metrics and sums every family's samples into
+// one number per metric name — enough to read counters and single
+// gauges; quantile samples (NaN when empty) are skipped.
+func scrapeMetrics(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	sums := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil || math.IsNaN(v) {
+			continue
+		}
+		sums[name] += v
+	}
+	return sums, sc.Err()
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "modisload: %v\n", err)
+	os.Exit(1)
+}

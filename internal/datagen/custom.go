@@ -70,17 +70,18 @@ func NewCustomWorkload(cfg CustomConfig) (*Workload, error) {
 		}
 	}
 
+	// The encoder's frozen matrix doubles as the space's column source:
+	// literal clustering and literal row bitmaps both derive from the
+	// already-decoded floats.
+	enc := ml.NewTableEncoder(u, cfg.Target)
 	space := fst.NewSpace(u, cfg.Target, fst.SpaceConfig{
 		MaxLiteralsPerAttr: cfg.AdomK,
 		ProtectedAttrs:     cfg.Protected,
+		Columns:            enc,
 	})
 	maxCost := trainCost(u.NumRows(), u.NumCols(), 1)
 
 	kind := cfg.ModelKind
-	enc := ml.NewTableEncoder(u, cfg.Target)
-	// The encoder's frozen matrix doubles as the space's column source:
-	// literal row bitmaps derive from the already-decoded floats.
-	space.SetColumnSource(enc)
 	eval := func(ds ml.Data) ([]float64, error) {
 		if ds.NumRows() < minEvalRows || ds.NumFeatures() == 0 {
 			return []float64{0, maxCost}, nil

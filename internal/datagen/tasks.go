@@ -40,27 +40,33 @@ func (c TaskConfig) merge(rows, info, noise, adomK int, seed int64) LakeConfig {
 
 const measureFloor = 1e-3
 
-// newSpace builds the FST space over a lake's universal table.
-func newSpace(l *Lake) *fst.Space {
+// newSpace builds the FST space over a lake's universal table. The
+// encoder is created first and doubles as the space's column source:
+// both the per-attribute literal clustering and the per-literal row
+// index derive from the matrix's frozen floats rather than a second
+// walk of the universal cells.
+func newSpace(l *Lake, enc *ml.TableEncoder) *fst.Space {
 	return fst.NewSpace(l.Universal, l.Target, fst.SpaceConfig{
 		MaxLiteralsPerAttr: l.Config.AdomK,
 		SkipLiteralAttrs:   []string{"id"},
 		ProtectedAttrs:     []string{"id"},
+		Columns:            enc,
 	})
+}
+
+// taskEncoder is the shared encoder of a task's universal table; the
+// id column is skipped in place, so models never clone children
+// through DropColumn.
+func taskEncoder(l *Lake) *ml.TableEncoder {
+	return ml.NewTableEncoderSkip(l.Universal, l.Target, "id")
 }
 
 // taskModel wires one Data-generic evaluation body into both valuation
 // routes of a TableModel: the reference path encodes the materialized
-// child through the shared encoder (which skips the id column in
-// place — no DropColumn clone), the fast path views the frozen matrix
-// at the state's selected rows. Each task's metrics are computed once,
-// in one body, so the routes cannot drift. The encoder doubles as the
-// space's column source: the per-literal row index is built from the
-// matrix's frozen floats rather than a second walk of the universal
-// cells.
-func taskModel(name string, lake *Lake, sp *fst.Space, eval func(ml.Data) ([]float64, error)) *TableModel {
-	enc := ml.NewTableEncoderSkip(lake.Universal, lake.Target, "id")
-	sp.SetColumnSource(enc)
+// child through the shared encoder, the fast path views the frozen
+// matrix at the state's selected rows. Each task's metrics are
+// computed once, in one body, so the routes cannot drift.
+func taskModel(name string, enc *ml.TableEncoder, eval func(ml.Data) ([]float64, error)) *TableModel {
 	return &TableModel{
 		ModelName: name,
 		Eval:      func(d *table.Table) ([]float64, error) { return eval(enc.Encode(d)) },
@@ -97,8 +103,9 @@ func T1Movie(tc TaskConfig) *Workload {
 		{Name: "pFsc", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
 		{Name: "pMI", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
 	}
-	sp := newSpace(lake)
-	return &Workload{Name: "T1", Lake: lake, Space: sp, Model: taskModel("GBmovie", lake, sp, eval), Measures: measures}
+	enc := taskEncoder(lake)
+	sp := newSpace(lake, enc)
+	return &Workload{Name: "T1", Lake: lake, Space: sp, Model: taskModel("GBmovie", enc, eval), Measures: measures}
 }
 
 // T2House is task T2: a random forest classifying house price levels,
@@ -132,8 +139,9 @@ func T2House(tc TaskConfig) *Workload {
 		{Name: "pFsc", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
 		{Name: "pMI", Bounds: skyline.DefaultBounds(), Normalize: invSquash()},
 	}
-	sp := newSpace(lake)
-	return &Workload{Name: "T2", Lake: lake, Space: sp, Model: taskModel("RFhouse", lake, sp, eval), Measures: measures}
+	enc := taskEncoder(lake)
+	sp := newSpace(lake, enc)
+	return &Workload{Name: "T2", Lake: lake, Space: sp, Model: taskModel("RFhouse", enc, eval), Measures: measures}
 }
 
 // T3Avocado is task T3: a linear model predicting avocado prices, with
@@ -170,8 +178,9 @@ func T3Avocado(tc TaskConfig) *Workload {
 		{Name: "pMAE", Bounds: skyline.DefaultBounds(), Normalize: fst.Identity(measureFloor)},
 		{Name: "pTrain", Bounds: skyline.DefaultBounds(), Normalize: fst.Scaled(maxCost, measureFloor)},
 	}
-	sp := newSpace(lake)
-	return &Workload{Name: "T3", Lake: lake, Space: sp, Model: taskModel("LRavocado", lake, sp, eval), Measures: measures}
+	enc := taskEncoder(lake)
+	sp := newSpace(lake, enc)
+	return &Workload{Name: "T3", Lake: lake, Space: sp, Model: taskModel("LRavocado", enc, eval), Measures: measures}
 }
 
 // T4Mental is task T4: a histogram-GBDT (LightGBM stand-in) classifying
@@ -219,8 +228,9 @@ func T4Mental(tc TaskConfig) *Workload {
 		{Name: "pAUC", Bounds: skyline.DefaultBounds(), Normalize: fst.Inverted(measureFloor)},
 		{Name: "pTrain", Bounds: skyline.DefaultBounds(), Normalize: fst.Scaled(maxCost, measureFloor)},
 	}
-	sp := newSpace(lake)
-	return &Workload{Name: "T4", Lake: lake, Space: sp, Model: taskModel("LGCmental", lake, sp, eval), Measures: measures}
+	enc := taskEncoder(lake)
+	sp := newSpace(lake, enc)
+	return &Workload{Name: "T4", Lake: lake, Space: sp, Model: taskModel("LGCmental", enc, eval), Measures: measures}
 }
 
 func invSquash() func(float64) float64 {

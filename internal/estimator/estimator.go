@@ -21,8 +21,15 @@ type MOGBM struct {
 	// Config tunes the underlying boosted trees.
 	Config ml.GBMConfig
 
-	feats    [][]float64
-	targets  [][]float64
+	// The training history is stored column-major — featCols[f] and
+	// tgtCols[j] each list one dimension over all n observations — which
+	// is exactly the layout MultiOutputGBM.FitCols trains on: a refit
+	// reuses the accumulated columns as-is, with no per-fit transpose or
+	// per-observation row copies. The feature width is fixed by the
+	// space's bitmap, so every Observe appends one value per column.
+	featCols [][]float64
+	tgtCols  [][]float64
+	n        int
 	model    *ml.MultiOutputGBM
 	sinceFit int
 }
@@ -44,13 +51,27 @@ func NewMOGBM() *MOGBM {
 
 // Observe records an exactly valuated test for training.
 func (e *MOGBM) Observe(features []float64, v skyline.Vector) {
-	e.feats = append(e.feats, append([]float64(nil), features...))
-	e.targets = append(e.targets, append([]float64(nil), v...))
+	if e.featCols == nil {
+		e.featCols = make([][]float64, len(features))
+		e.tgtCols = make([][]float64, len(v))
+	}
+	if len(features) != len(e.featCols) || len(v) != len(e.tgtCols) {
+		// A shape change would misalign the columns; one discovery
+		// space never produces it, so drop the stray observation.
+		return
+	}
+	for f, x := range features {
+		e.featCols[f] = append(e.featCols[f], x)
+	}
+	for j, t := range v {
+		e.tgtCols[j] = append(e.tgtCols[j], t)
+	}
+	e.n++
 	e.sinceFit++
 }
 
 // NumObservations reports the training-set size.
-func (e *MOGBM) NumObservations() int { return len(e.feats) }
+func (e *MOGBM) NumObservations() int { return e.n }
 
 // Estimate predicts the performance vector; ok=false until enough
 // observations have accumulated. Refitting is lazy and incremental by
@@ -60,7 +81,7 @@ func (e *MOGBM) Estimate(features []float64) (skyline.Vector, bool) {
 	if minObs <= 0 {
 		minObs = 12
 	}
-	if len(e.feats) < minObs {
+	if e.n < minObs {
 		return nil, false
 	}
 	refit := e.RefitEvery
@@ -69,7 +90,7 @@ func (e *MOGBM) Estimate(features []float64) (skyline.Vector, bool) {
 	}
 	if e.model == nil || e.sinceFit >= refit {
 		m := &ml.MultiOutputGBM{Config: e.Config}
-		m.Fit(e.feats, e.targets)
+		m.FitCols(e.n, e.featCols, e.tgtCols)
 		e.model = m
 		e.sinceFit = 0
 	}

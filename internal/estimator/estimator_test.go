@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/ml"
 	"repro/internal/skyline"
 )
 
@@ -101,5 +102,57 @@ func TestExactNeverAnswers(t *testing.T) {
 	e.Observe([]float64{1}, skyline.Vector{0.5})
 	if _, ok := e.Estimate([]float64{1}); ok {
 		t.Error("Exact must never answer")
+	}
+}
+
+// The column-major history must reproduce the estimates of the former
+// row-major path exactly: a reference MultiOutputGBM fit on row-major
+// copies of the same observations predicts identically.
+func TestMOGBMColumnarMatchesRowMajorFit(t *testing.T) {
+	e := NewMOGBM()
+	e.MinObs = 16
+	e.RefitEvery = 1000 // single fit below
+	rng := rand.New(rand.NewSource(9))
+	dim := 8
+	var feats, targets [][]float64
+	for i := 0; i < 40; i++ {
+		f := make([]float64, dim)
+		for j := range f {
+			f[j] = float64(rng.Intn(2))
+		}
+		v := skyline.Vector{f[0] + f[1], f[2] * 0.5, 1 - f[3]}
+		e.Observe(f, v)
+		feats = append(feats, append([]float64(nil), f...))
+		targets = append(targets, append([]float64(nil), v...))
+	}
+	ref := &ml.MultiOutputGBM{Config: e.Config}
+	ref.Fit(feats, targets)
+	for i := 0; i < 20; i++ {
+		f := make([]float64, dim)
+		for j := range f {
+			f[j] = float64(rng.Intn(2))
+		}
+		got, ok := e.Estimate(f)
+		if !ok {
+			t.Fatal("estimator should be ready")
+		}
+		want := ref.Predict(f)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("estimate[%d] = %v, want %v", j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// A shape-changing observation is dropped rather than misaligning the
+// column history.
+func TestMOGBMObserveShapeGuard(t *testing.T) {
+	e := NewMOGBM()
+	e.Observe([]float64{1, 2}, skyline.Vector{0.5})
+	e.Observe([]float64{1, 2, 3}, skyline.Vector{0.5})
+	e.Observe([]float64{1, 2}, skyline.Vector{0.5, 0.7})
+	if n := e.NumObservations(); n != 1 {
+		t.Fatalf("observations = %d, want 1 (strays dropped)", n)
 	}
 }

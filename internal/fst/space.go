@@ -82,6 +82,14 @@ type SpaceConfig struct {
 	// either: they can never be masked (e.g. the endpoints of a graph's
 	// edge table, without which the model cannot run).
 	ProtectedAttrs []string
+	// Columns, when set, supplies pre-decoded numeric columns (typically
+	// the ML encoder's frozen matrix): literal derivation clusters the
+	// already-decoded floats instead of re-scanning universal cells, and
+	// the same source feeds row-index construction (SetColumnSource).
+	// Attributes the source does not cover — strings, skipped names —
+	// fall back to the row scan. Literals are identical either way; a
+	// property test asserts it.
+	Columns ColumnSource
 }
 
 // NewSpace derives the bitmap layout from a (pre-compressed) universal
@@ -104,6 +112,7 @@ func NewSpace(universal *table.Table, target string, cfg SpaceConfig) *Space {
 		Target:     target,
 		attrEntry:  map[string]int{},
 		litEntries: map[string][]int{},
+		colSrc:     cfg.Columns,
 	}
 	for _, c := range universal.Schema {
 		if c.Name == target || protected[c.Name] {
@@ -116,12 +125,24 @@ func NewSpace(universal *table.Table, target string, cfg SpaceConfig) *Space {
 		if c.Name == target || skip[c.Name] {
 			continue
 		}
-		for _, lit := range table.DeriveLiterals(universal, c.Name, cfg.MaxLiteralsPerAttr) {
+		for _, lit := range deriveLiterals(universal, c.Name, cfg) {
 			sp.litEntries[c.Name] = append(sp.litEntries[c.Name], len(sp.Entries))
 			sp.Entries = append(sp.Entries, Entry{Kind: EntryLiteral, Attr: c.Name, Literal: lit})
 		}
 	}
 	return sp
+}
+
+// deriveLiterals clusters one attribute's active domain, from the
+// config's pre-decoded columns when they cover the attribute and from
+// a universal row scan otherwise.
+func deriveLiterals(u *table.Table, attr string, cfg SpaceConfig) []table.Literal {
+	if cfg.Columns != nil {
+		if vals, null, ok := cfg.Columns.Column(attr); ok && len(vals) == len(u.Rows) {
+			return table.DeriveLiteralsFromColumn(attr, vals, null, cfg.MaxLiteralsPerAttr)
+		}
+	}
+	return table.DeriveLiterals(u, attr, cfg.MaxLiteralsPerAttr)
 }
 
 // Size returns the number of bitmap entries.
@@ -156,6 +177,9 @@ func (sp *Space) LiteralEntries(attr string) []int { return sp.litEntries[attr] 
 // index is built once and a later source is ignored. The produced
 // index is bit-identical to the scan-built one (see rowindex.go), so
 // the source never changes results, only the cost of building them.
+// Prefer SpaceConfig.Columns, which additionally feeds literal
+// derivation; SetColumnSource remains for spaces whose source only
+// exists after construction.
 func (sp *Space) SetColumnSource(src ColumnSource) { sp.colSrc = src }
 
 // Materialize produces the dataset D_s of a state by applying the

@@ -184,3 +184,63 @@ func TestMaterializeMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestNewSpaceColumnsParity: a space built with SpaceConfig.Columns
+// derives exactly the entries of the scan-built space — the column-fed
+// k-means clusters the same floats — and the source also feeds the row
+// index, so materialization agrees too.
+func TestNewSpaceColumnsParity(t *testing.T) {
+	u := nullableUniversal()
+	cfg := SpaceConfig{
+		MaxLiteralsPerAttr: 4,
+		SkipLiteralAttrs:   []string{"id"},
+		ProtectedAttrs:     []string{"id"},
+	}
+	want := NewSpace(u, "target", cfg)
+	src := &tableColumns{u: u}
+	cfg.Columns = src
+	got := NewSpace(u, "target", cfg)
+	if len(got.Entries) != len(want.Entries) {
+		t.Fatalf("entry count %d != %d", len(got.Entries), len(want.Entries))
+	}
+	for i := range want.Entries {
+		if got.Entries[i] != want.Entries[i] {
+			t.Fatalf("entry %d = %v, want %v", i, got.Entries[i], want.Entries[i])
+		}
+	}
+	if !src.asked["x"] || !src.asked["n"] {
+		t.Error("numeric attributes should have been derived from the column source")
+	}
+	// The same source must be wired into row-index construction.
+	if got.colSrc == nil {
+		t.Fatal("SpaceConfig.Columns should set the space's column source")
+	}
+	b := want.FullBitmap()
+	b.Clear(want.LiteralEntries("x")[0])
+	if !sameTable(got.Materialize(b), want.Materialize(b)) {
+		t.Fatal("materialization diverged between column-fed and scan-built spaces")
+	}
+}
+
+// A column source that does not cover an attribute (or covers it at
+// the wrong width) must leave that attribute on the scan path, not
+// change its literals.
+func TestNewSpaceColumnsFallback(t *testing.T) {
+	u := nullableUniversal()
+	cfg := SpaceConfig{
+		MaxLiteralsPerAttr: 4,
+		SkipLiteralAttrs:   []string{"id"},
+		ProtectedAttrs:     []string{"id"},
+	}
+	want := NewSpace(u, "target", cfg)
+	cfg.Columns = &tableColumns{u: u, short: true}
+	got := NewSpace(u, "target", cfg)
+	if len(got.Entries) != len(want.Entries) {
+		t.Fatalf("entry count %d != %d", len(got.Entries), len(want.Entries))
+	}
+	for i := range want.Entries {
+		if got.Entries[i] != want.Entries[i] {
+			t.Fatalf("entry %d = %v, want %v", i, got.Entries[i], want.Entries[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/skyline"
 )
@@ -34,9 +35,32 @@ type Test struct {
 type TestSet struct {
 	shards [testShards]testShard
 
+	hits   atomic.Int64
+	misses atomic.Int64
+	shared atomic.Int64
+
 	ordMu sync.RWMutex
 	order []*Test
 	sink  func(*Test)
+}
+
+// MemoStats are a TestSet's lifetime memoization counters — the memo
+// hit rate the serving layer exports on /metrics.
+type MemoStats struct {
+	// Hits counts Get probes answered from the memo.
+	Hits int64
+	// Misses counts Get probes that found nothing (including states
+	// whose valuation was still in flight).
+	Misses int64
+	// Shared counts GetOrCompute calls resolved by another caller's
+	// flight — model inferences saved by single-flighting, on top of
+	// the plan-time hits.
+	Shared int64
+}
+
+// MemoStats snapshots the memoization counters.
+func (ts *TestSet) MemoStats() MemoStats {
+	return MemoStats{Hits: ts.hits.Load(), Misses: ts.misses.Load(), Shared: ts.shared.Load()}
 }
 
 // testShards is the shard count of the key map; a power of two so the
@@ -85,16 +109,20 @@ func (ts *TestSet) Get(key StateKey) (*Test, bool) {
 	s, ok := sh.m[key]
 	sh.mu.Unlock()
 	if !ok {
+		ts.misses.Add(1)
 		return nil, false
 	}
 	select {
 	case <-s.done:
 	default:
+		ts.misses.Add(1)
 		return nil, false
 	}
 	if s.err != nil {
+		ts.misses.Add(1)
 		return nil, false
 	}
+	ts.hits.Add(1)
 	return s.t, true
 }
 
@@ -114,6 +142,9 @@ func (ts *TestSet) GetOrCompute(ctx context.Context, key StateKey, compute func(
 		sh.mu.Unlock()
 		select {
 		case <-s.done:
+			if s.err == nil {
+				ts.shared.Add(1)
+			}
 			return s.t, false, s.err
 		case <-ctx.Done():
 			return nil, false, ctx.Err()

@@ -2,10 +2,10 @@ package fst
 
 import (
 	"context"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/skyline"
+	"repro/internal/workpool"
 )
 
 // ValuationStats are the per-run valuation counters (the paper's N
@@ -25,8 +25,9 @@ func (s *ValuationStats) Valuations() int { return int(s.valuations.Load()) }
 func (s *ValuationStats) ExactCalls() int { return int(s.exactCalls.Load()) }
 
 // Valuator drives the valuations of one search run: it owns the run's
-// ValuationStats and a worker pool that fans exact model inferences of
-// independent sibling states across parallelism goroutines.
+// ValuationStats and fans exact model inferences of independent
+// sibling states across up to parallelism workers of the
+// process-global inference pool.
 //
 // Results are deterministic in the parallelism degree: each window is
 // planned sequentially in child order (memo lookups, budget slots,
@@ -42,6 +43,7 @@ type Valuator struct {
 	cfg    *Config
 	par    int
 	runner ExactRunner
+	queue  *workpool.Queue // lane into the process-global pool (par > 1, no runner)
 
 	// Stats are this run's counters; read them for budgets and reports.
 	Stats *ValuationStats
@@ -73,8 +75,9 @@ type ExactRunner interface {
 }
 
 // SetExactRunner installs the run's exact-inference runner, replacing
-// the built-in worker pool for every subsequent window. A nil runner
-// restores the built-in pool.
+// the built-in execution path for every subsequent window. A nil
+// runner restores the built-in path (inline for parallelism <= 1, the
+// process-global pool otherwise).
 func (v *Valuator) SetExactRunner(r ExactRunner) { v.runner = r }
 
 // NewValuator returns a valuator for one run of this configuration.
@@ -260,13 +263,16 @@ func (v *Valuator) ValuateWindow(ctx context.Context, states []*State, budget in
 	return n, nil
 }
 
-// runExact executes the exact jobs, on the calling goroutine when the
-// pool is not worth spinning up, otherwise on min(par, jobs) workers
-// pulling from a shared index. An installed ExactRunner replaces the
-// built-in pool: the window's tasks are handed over as one batch so a
-// scheduler can align them with the windows of concurrent runs.
-// Workers observe ctx: once cancelled, remaining jobs are marked with
-// ctx.Err() and the pool drains.
+// runExact executes the exact jobs: inline on the calling goroutine
+// when par <= 1, otherwise through the process-global worker pool
+// (workpool.Global) on a per-run queue whose share limit is par — so
+// the total inference concurrency of the process stays bounded by one
+// fixed worker set however many runs are in flight. An installed
+// ExactRunner replaces both paths: the window's tasks are handed over
+// as one batch so a scheduler can align them with the windows of
+// concurrent runs (and route them into its own pool). Tasks observe
+// ctx: once cancelled, remaining jobs are marked with ctx.Err() and
+// the window drains quickly.
 func (v *Valuator) runExact(ctx context.Context, jobs []valJob, exact []int) {
 	if len(exact) == 0 {
 		return
@@ -299,30 +305,20 @@ func (v *Valuator) runExact(ctx context.Context, jobs []valJob, exact []int) {
 		v.runner.RunExact(ctx, tasks)
 		return
 	}
-	par := v.par
-	if par > len(exact) {
-		par = len(exact)
-	}
-	if par <= 1 {
+	if v.par <= 1 || len(exact) == 1 {
 		for _, i := range exact {
 			run(&jobs[i])
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(exact) {
-					return
-				}
-				run(&jobs[exact[i]])
-			}
-		}()
+	if v.queue == nil {
+		v.queue = workpool.Global().NewQueue("fst", v.par)
 	}
-	wg.Wait()
+	tasks := v.tasks[:0]
+	for _, i := range exact {
+		j := &jobs[i]
+		tasks = append(tasks, func() { run(j) })
+	}
+	v.tasks = tasks
+	v.queue.Run(tasks)
 }

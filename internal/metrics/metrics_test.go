@@ -1,0 +1,118 @@
+package metrics_test
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestWriterFormat(t *testing.T) {
+	w := metrics.NewWriter()
+	w.Header("modis_jobs_total", "Jobs accepted.", "counter")
+	w.Sample("modis_jobs_total", []metrics.Label{{Name: "shard", Value: "abc"}, {Name: "status", Value: "done"}}, 3)
+	w.Header("modis_jobs_total", "duplicate header must be dropped", "counter")
+	w.Sample("modis_pool_busy", nil, 0.5)
+	got := string(w.Bytes())
+	want := "# HELP modis_jobs_total Jobs accepted.\n" +
+		"# TYPE modis_jobs_total counter\n" +
+		`modis_jobs_total{shard="abc",status="done"} 3` + "\n" +
+		"modis_pool_busy 0.5\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriterEscaping(t *testing.T) {
+	w := metrics.NewWriter()
+	w.Sample("m", []metrics.Label{{Name: "l", Value: "a\"b\\c\nd"}}, math.NaN())
+	got := string(w.Bytes())
+	want := `m{l="a\"b\\c\nd"} NaN` + "\n"
+	if got != want {
+		t.Fatalf("escaping mismatch:\ngot:  %q\nwant: %q", got, want)
+	}
+}
+
+func TestReservoirQuantiles(t *testing.T) {
+	var r metrics.Reservoir
+	for i := 1; i <= 100; i++ {
+		r.Observe(time.Duration(i) * time.Millisecond)
+	}
+	qs := r.Quantiles(0.5, 0.99, 1)
+	if got := qs[0]; math.Abs(got-0.050) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.050", got)
+	}
+	if got := qs[1]; math.Abs(got-0.099) > 1e-9 {
+		t.Fatalf("p99 = %v, want 0.099", got)
+	}
+	if got := qs[2]; math.Abs(got-0.100) > 1e-9 {
+		t.Fatalf("max = %v, want 0.100", got)
+	}
+	if got := r.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	if got := r.Sum(); math.Abs(got-5.05) > 1e-9 {
+		t.Fatalf("Sum = %v, want 5.05", got)
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	var r metrics.Reservoir
+	qs := r.Quantiles(0.5, 0.99)
+	for i, q := range qs {
+		if !math.IsNaN(q) {
+			t.Fatalf("quantile %d over empty reservoir = %v, want NaN", i, q)
+		}
+	}
+}
+
+// TestReservoirWindow: the quantiles slide with the window while the
+// lifetime count keeps growing.
+func TestReservoirWindow(t *testing.T) {
+	var r metrics.Reservoir
+	for i := 0; i < 5000; i++ {
+		r.Observe(time.Millisecond)
+	}
+	for i := 0; i < 2000; i++ {
+		r.Observe(time.Second)
+	}
+	if got := r.Quantiles(0.5)[0]; math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("p50 after window slid = %v, want 1.0", got)
+	}
+	if got := r.Count(); got != 7000 {
+		t.Fatalf("Count = %d, want 7000", got)
+	}
+}
+
+func TestReservoirConcurrent(t *testing.T) {
+	var r metrics.Reservoir
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Observe(time.Millisecond)
+				_ = r.Quantiles(0.5, 0.99)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count(); got != 2000 {
+		t.Fatalf("Count = %d, want 2000", got)
+	}
+}
+
+// The exposition must end every sample with a newline so scrapers can
+// concatenate node outputs (the proxy does).
+func TestWriterLineTermination(t *testing.T) {
+	w := metrics.NewWriter()
+	w.Sample("a", nil, 1)
+	w.Sample("b", nil, 2)
+	if got := string(w.Bytes()); !strings.HasSuffix(got, "\n") || strings.Count(got, "\n") != 2 {
+		t.Fatalf("bad line termination: %q", got)
+	}
+}

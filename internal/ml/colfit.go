@@ -114,6 +114,23 @@ func frameFromRowsRaw(X [][]float64, y []float64, ws *treeScratch) *frame {
 	return fr
 }
 
+// frameFromCols builds the fitting frame of column-major features:
+// cols[f][p] is feature f of example p. The transpose of frameFromRows
+// disappears — columns copy straight into the pooled slabs — and the
+// presorted orders are derived the same way, so a column fit and a row
+// fit of the same numbers grow bit-identical trees.
+func frameFromCols(cols [][]float64, y []float64, ws *treeScratch) *frame {
+	nf := len(cols)
+	n := len(y)
+	fr := ws.getFrame(nf, n)
+	fr.y = y
+	for f, c := range cols {
+		copy(fr.cols[f], c)
+		sortOrder(fr.cols[f], fr.base[f])
+	}
+	return fr
+}
+
 // sortOrder fills order with positions 0..n-1 sorted by
 // (vals[p], p) — the unique total order every frame construction must
 // agree on.

@@ -161,3 +161,54 @@ func TestBinRowMonotone(t *testing.T) {
 		t.Errorf("binning not monotone: %v %v %v", lo, mid, hi)
 	}
 }
+
+// FitCols on column-major data must grow the exact trees Fit grows on
+// the row-major equivalent: frameFromCols and frameFromRows construct
+// the same frame, and everything downstream is shared code.
+func TestMultiOutputGBMFitColsParity(t *testing.T) {
+	X, _ := linearData(160, 12)
+	Y := make([][]float64, len(X))
+	for i, x := range X {
+		Y[i] = []float64{x[0] + x[1], x[0] - x[1]}
+	}
+	ref := &MultiOutputGBM{Config: GBMConfig{NumTrees: 30, MaxDepth: 3, Seed: 5}}
+	ref.Fit(X, Y)
+
+	nf := len(X[0])
+	cols := make([][]float64, nf)
+	for f := 0; f < nf; f++ {
+		cols[f] = make([]float64, len(X))
+		for i, x := range X {
+			cols[f][i] = x[f]
+		}
+	}
+	tgts := make([][]float64, len(Y[0]))
+	for j := range tgts {
+		tgts[j] = make([]float64, len(Y))
+		for i := range Y {
+			tgts[j][i] = Y[i][j]
+		}
+	}
+	m := &MultiOutputGBM{Config: GBMConfig{NumTrees: 30, MaxDepth: 3, Seed: 5}}
+	m.FitCols(len(X), cols, tgts)
+
+	if m.NumOutputs() != ref.NumOutputs() {
+		t.Fatalf("outputs = %d, want %d", m.NumOutputs(), ref.NumOutputs())
+	}
+	for i, x := range X {
+		p, q := m.Predict(x), ref.Predict(x)
+		for j := range p {
+			if p[j] != q[j] {
+				t.Fatalf("prediction %d[%d] = %v, want %v", i, j, p[j], q[j])
+			}
+		}
+	}
+}
+
+func TestMultiOutputGBMFitColsEmpty(t *testing.T) {
+	m := &MultiOutputGBM{}
+	m.FitCols(0, nil, nil)
+	if m.NumOutputs() != 0 {
+		t.Error("empty columnar fit should produce no outputs")
+	}
+}

@@ -253,6 +253,32 @@ func (m *MultiOutputGBM) Fit(X [][]float64, Y [][]float64) {
 	}
 }
 
+// FitCols trains on column-major data: cols[f] lists feature f over
+// all n examples, targets[j] lists output j. The transpose Fit pays
+// per refit disappears, and per-output target columns are used as-is
+// instead of being gathered from row vectors; the grown trees are
+// bit-identical to Fit on the same numbers (see frameFromCols).
+// Callers that accumulate observations incrementally — the MO-GBM
+// estimator — keep their history in this layout and refit without any
+// per-fit reshaping.
+func (m *MultiOutputGBM) FitCols(n int, cols [][]float64, targets [][]float64) {
+	if len(targets) == 0 || n == 0 {
+		m.models = nil
+		return
+	}
+	m.models = make([]*GBMRegressor, len(targets))
+	ws := getScratch()
+	for j, tgt := range targets {
+		g := &GBMRegressor{Config: m.Config}
+		g.Config.Seed = m.Config.Seed + int64(j)*7919
+		fr := frameFromCols(cols, tgt[:n], ws)
+		g.fitFrame(fr, ws)
+		ws.putFrame(fr)
+		m.models[j] = g
+	}
+	putScratch(ws)
+}
+
 // Predict returns the full output vector for one example.
 func (m *MultiOutputGBM) Predict(x []float64) []float64 {
 	out := make([]float64, len(m.models))

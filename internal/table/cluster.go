@@ -26,6 +26,31 @@ func DeriveLiterals(t *Table, attr string, maxK int) []Literal {
 			xs = append(xs, r[idx].AsFloat())
 		}
 	}
+	return literalsFromFloats(attr, xs, maxK)
+}
+
+// DeriveLiteralsFromColumn is the numeric path of DeriveLiterals fed
+// from a pre-decoded column instead of a row scan: vals[ri] is row
+// ri's cell as a float, null marks missing cells (nil when the column
+// has none). Because a decoded column lists exactly the AsFloat values
+// of the non-null cells in row order, the k-means input — and hence
+// the derived literals — is identical to DeriveLiterals on the same
+// attribute; a property test asserts this.
+func DeriveLiteralsFromColumn(attr string, vals []float64, null []bool, maxK int) []Literal {
+	if maxK <= 0 {
+		maxK = 30
+	}
+	xs := make([]float64, 0, len(vals))
+	for i, v := range vals {
+		if null != nil && null[i] {
+			continue
+		}
+		xs = append(xs, v)
+	}
+	return literalsFromFloats(attr, xs, maxK)
+}
+
+func literalsFromFloats(attr string, xs []float64, maxK int) []Literal {
 	if len(xs) == 0 {
 		return nil
 	}

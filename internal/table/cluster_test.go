@@ -40,6 +40,56 @@ func TestDeriveLiteralsCategorical(t *testing.T) {
 	}
 }
 
+// The column-fed numeric path must derive exactly the literals of the
+// row scan: same k-means input in the same order, nulls excluded.
+func TestDeriveLiteralsFromColumnParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tb := New("t", Schema{{Name: "x", Kind: KindFloat}, {Name: "n", Kind: KindInt}})
+	for i := 0; i < 180; i++ {
+		x := Value(Float(rng.Float64() * 50))
+		n := Value(Int(int64(rng.Intn(9))))
+		if i%11 == 0 {
+			x = Null
+		}
+		if i%7 == 0 {
+			n = Null
+		}
+		tb.MustAppend(Row{x, n})
+	}
+	for _, attr := range []string{"x", "n"} {
+		idx := tb.Schema.Index(attr)
+		vals := make([]float64, tb.NumRows())
+		null := make([]bool, tb.NumRows())
+		for i, r := range tb.Rows {
+			if r[idx].IsNull() {
+				null[i] = true
+				continue
+			}
+			vals[i] = r[idx].AsFloat()
+		}
+		want := DeriveLiterals(tb, attr, 4)
+		got := DeriveLiteralsFromColumn(attr, vals, null, 4)
+		if len(got) != len(want) {
+			t.Fatalf("%s: literal count %d != %d", attr, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: literal %d = %v, want %v", attr, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// A fully-null column derives nothing, with or without a mask.
+func TestDeriveLiteralsFromColumnEmpty(t *testing.T) {
+	if got := DeriveLiteralsFromColumn("x", nil, nil, 4); got != nil {
+		t.Errorf("empty column should yield no literals, got %v", got)
+	}
+	if got := DeriveLiteralsFromColumn("x", []float64{0, 0}, []bool{true, true}, 4); got != nil {
+		t.Errorf("all-null column should yield no literals, got %v", got)
+	}
+}
+
 func TestDeriveLiteralsMissingAttr(t *testing.T) {
 	tb := numericTable(10, 3)
 	if lits := DeriveLiterals(tb, "ghost", 5); lits != nil {

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/modis/serve"
 )
 
@@ -60,6 +61,10 @@ type nodeState struct {
 	inflight int
 	errMsg   string
 	identity *serve.NodeIdentity
+	// ok/failed count exchanges with the node — the per-node error
+	// rate /metrics exports.
+	ok     int64
+	failed int64
 }
 
 // Proxy routes the modis job API across a fleet of modisd nodes by
@@ -137,6 +142,7 @@ func New(opts Options) *Proxy {
 	p.mux.HandleFunc("GET /v1/workloads", p.handleWorkloads)
 	p.mux.HandleFunc("GET /v1/algorithms", p.handleAlgorithms)
 	p.mux.HandleFunc("GET /healthz", p.handleHealthz)
+	p.mux.HandleFunc("GET /metrics", p.handleMetrics)
 
 	interval := opts.HealthInterval
 	if interval == 0 {
@@ -269,6 +275,7 @@ func (p *Proxy) markFailed(node string, err error) {
 	if ns, ok := p.nodes[node]; ok {
 		ns.br.Failure()
 		ns.errMsg = err.Error()
+		ns.failed++
 	}
 	p.mu.Unlock()
 }
@@ -281,6 +288,7 @@ func (p *Proxy) markOK(node string) {
 	if ns, ok := p.nodes[node]; ok {
 		ns.br.Success()
 		ns.errMsg = ""
+		ns.ok++
 	}
 	p.mu.Unlock()
 }
@@ -789,6 +797,61 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the proxy's own Prometheus text exposition:
+// the fleet view — per-node liveness, breaker position, in-flight
+// jobs, exchange counters — plus how many shards each node advertises.
+// Per-shard serving series (latency quantiles, merge rate, memo hits)
+// live on the nodes' own /metrics; the proxy's /healthz lists their
+// addresses.
+func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	mw := metrics.NewWriter()
+	p.mu.Lock()
+	for _, node := range p.ring.Nodes() {
+		ns := p.nodes[node]
+		labels := []metrics.Label{{Name: "node", Value: node}}
+		state := ns.br.State()
+		up := 0.0
+		if state != BreakerOpen {
+			up = 1
+		}
+		mw.Header("modisproxy_node_up", "1 while the node's circuit is not open.", "gauge")
+		mw.Sample("modisproxy_node_up", labels, up)
+		mw.Header("modisproxy_node_breaker_state", "Circuit position: 0 closed, 1 half-open, 2 open.", "gauge")
+		mw.Sample("modisproxy_node_breaker_state", labels, float64(breakerStateValue(state)))
+		mw.Header("modisproxy_node_inflight", "Jobs this proxy has in flight on the node.", "gauge")
+		mw.Sample("modisproxy_node_inflight", labels, float64(ns.inflight))
+		mw.Header("modisproxy_node_exchanges_total", "Exchanges with the node by outcome.", "counter")
+		okLabels := append(append([]metrics.Label(nil), labels...), metrics.Label{Name: "outcome", Value: "ok"})
+		mw.Sample("modisproxy_node_exchanges_total", okLabels, float64(ns.ok))
+		failLabels := append(append([]metrics.Label(nil), labels...), metrics.Label{Name: "outcome", Value: "failed"})
+		mw.Sample("modisproxy_node_exchanges_total", failLabels, float64(ns.failed))
+		if ns.identity != nil {
+			mw.Header("modisproxy_node_shards", "Workload shards the node advertises.", "gauge")
+			mw.Sample("modisproxy_node_shards", labels, float64(len(ns.identity.Shards)))
+		}
+	}
+	routed := len(p.jobs)
+	p.mu.Unlock()
+	mw.Header("modisproxy_jobs_routed", "Job ids this proxy can currently route reads for.", "gauge")
+	mw.Sample("modisproxy_jobs_routed", nil, float64(routed))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(mw.Bytes())
+}
+
+// breakerStateValue maps the circuit position onto the stable gauge
+// encoding /metrics exports.
+func breakerStateValue(s BreakerState) int {
+	switch s {
+	case BreakerHalfOpen:
+		return 1
+	case BreakerOpen:
+		return 2
+	default:
+		return 0
+	}
 }
 
 func (p *Proxy) forward(ctx context.Context, node, method, path string, body []byte, tenant string) (*http.Response, error) {

@@ -2,10 +2,11 @@ package serve
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/workpool"
 )
 
 // batcher aligns the frontier valuation windows of one workload's
@@ -27,14 +28,41 @@ import (
 type batcher struct {
 	// align is how long a window may wait for peers.
 	align time.Duration
-	// parallelism caps the workers of one merged pass.
-	parallelism int
+	// queue is the shard's lane into the daemon-global inference pool:
+	// every pass's tasks execute there, so a pass never spawns workers
+	// of its own and the node's total inference concurrency stays
+	// bounded by the pool regardless of how many shards are batching.
+	// The queue's share limit (SchedulerOptions.Parallelism) caps this
+	// shard's slice of the pool.
+	queue *workpool.Queue
+
+	// Merge accounting, exported on /metrics: windows counts RunExact
+	// submissions, passes counts executed pass units; the merged
+	// variants count those that shared a pass across runs.
+	windows       atomic.Int64
+	mergedWindows atomic.Int64
+	passes        atomic.Int64
+	mergedPasses  atomic.Int64
 
 	mu      sync.Mutex
 	active  int          // admitted run handles (runs that can produce windows)
 	pending []*batchPass // windows awaiting the aligned pass
 	armed   bool         // alignment timer armed for the current pending set
 	gen     int          // bumped on every take; invalidates stale timers
+}
+
+// batchStats is the merge-accounting snapshot behind /metrics.
+type batchStats struct {
+	windows, mergedWindows, passes, mergedPasses int64
+}
+
+func (b *batcher) stats() batchStats {
+	return batchStats{
+		windows:       b.windows.Load(),
+		mergedWindows: b.mergedWindows.Load(),
+		passes:        b.passes.Load(),
+		mergedPasses:  b.mergedPasses.Load(),
+	}
 }
 
 // batchPass is one run's submitted window.
@@ -50,14 +78,11 @@ type batchPass struct {
 // waits at all.
 const defaultAlign = 2 * time.Millisecond
 
-func newBatcher(align time.Duration, parallelism int) *batcher {
+func newBatcher(align time.Duration, queue *workpool.Queue) *batcher {
 	if align <= 0 {
 		align = defaultAlign
 	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	return &batcher{align: align, parallelism: parallelism}
+	return &batcher{align: align, queue: queue}
 }
 
 // newRun returns a handle for one run. The handle counts toward the
@@ -118,6 +143,7 @@ func (h *runHandle) RunExact(ctx context.Context, tasks []func()) {
 		return
 	}
 	b := h.b
+	b.windows.Add(1)
 	b.mu.Lock()
 	if b.active <= 1 && len(b.pending) == 0 {
 		// No peers to align with: execute on the spot.
@@ -182,6 +208,8 @@ func (b *batcher) execute(ps []*batchPass) {
 		return
 	}
 	if len(ps) > 1 {
+		b.mergedPasses.Add(1)
+		b.mergedWindows.Add(int64(len(ps)))
 		for _, p := range ps {
 			p.owner.batched.Store(true)
 		}
@@ -200,34 +228,13 @@ func (b *batcher) execute(ps []*batchPass) {
 	}
 }
 
-// runTasks fans the tasks across the pass worker pool. Tasks are
-// self-contained (fst.ExactRunner's contract): any order and any
-// degree of concurrency is correct.
+// runTasks submits the pass's tasks to the shard's queue on the
+// daemon-global pool and waits them out. Tasks are self-contained
+// (fst.ExactRunner's contract): any order and any degree of
+// concurrency is correct, so routing them through the shared pool —
+// where they interleave fairly with other shards' passes — never
+// changes results.
 func (b *batcher) runTasks(tasks []func()) {
-	par := b.parallelism
-	if par > len(tasks) {
-		par = len(tasks)
-	}
-	if par <= 1 {
-		for _, t := range tasks {
-			t()
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(tasks) {
-					return
-				}
-				tasks[i]()
-			}
-		}()
-	}
-	wg.Wait()
+	b.passes.Add(1)
+	b.queue.Run(tasks)
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/fst"
+	"repro/internal/workpool"
 	"repro/modis"
 	"repro/modis/workload"
 )
@@ -40,8 +41,18 @@ type SchedulerOptions struct {
 	// windows align more at the cost of latency on runs with nothing to
 	// share.
 	AlignWindow time.Duration
-	// Parallelism caps the worker pool of one merged exact-inference
-	// pass (default: all CPUs).
+	// Workers is the fixed worker count of the scheduler's inference
+	// pool (default GOMAXPROCS) — the hard bound on exact model
+	// inferences executing at once across every shard; modisd's
+	// -workers flag. The pool services shards' task queues with
+	// deficit round-robin, so a shard saturating the node cannot
+	// starve another shard's passes.
+	Workers int
+	// Parallelism caps one shard's share of the inference pool — how
+	// many of a shard's tasks may occupy pool workers at once. 0 means
+	// no per-shard cap: a lone shard may use the whole pool. It never
+	// adds workers beyond Workers; see docs/serving.md for how it
+	// interacts with the per-run WithParallelism option.
 	Parallelism int
 	// MaxConcurrent bounds the searches executing at once across the
 	// scheduler; excess jobs queue in submission order and their wait
@@ -91,6 +102,8 @@ type SchedulerOptions struct {
 type Scheduler struct {
 	opts SchedulerOptions
 	slot chan struct{} // admission semaphore; nil when unbounded
+	pool *workpool.Pool
+	met  *nodeMetrics
 
 	// regMu serializes Register (which does store IO); s.mu stays a
 	// leaf lock for the maps.
@@ -133,6 +146,8 @@ type shard struct {
 	cfg    *fst.Config
 	engine *modis.Engine
 	batch  *batcher
+	queue  *workpool.Queue // the shard's lane into the scheduler's pool
+	met    *shardMetrics
 	names  []string // catalog names registered onto this shard, sorted
 	jobs   int      // jobs accepted for this shard (including recovered)
 }
@@ -229,6 +244,8 @@ func NewScheduler(opts SchedulerOptions) *Scheduler {
 	}
 	s := &Scheduler{
 		opts:   opts,
+		pool:   workpool.New(workpool.Options{Workers: opts.Workers}),
+		met:    &nodeMetrics{},
 		regs:   map[string]*registration{},
 		shards: map[string]*shard{},
 		jobs:   map[string]*JobRecord{},
@@ -240,6 +257,14 @@ func NewScheduler(opts SchedulerOptions) *Scheduler {
 		s.slot = make(chan struct{}, opts.MaxConcurrent)
 	}
 	return s
+}
+
+// Close stops the scheduler's inference pool: tasks already submitted
+// drain first, and any pass submitted afterwards executes inline on
+// its run's goroutine, so in-flight jobs still finish correctly. Call
+// after Drain (or CancelAll) when shutting the daemon down.
+func (s *Scheduler) Close() {
+	s.pool.Close()
 }
 
 // Register adds a workload to the catalog under desc.Name, keyed by
@@ -314,12 +339,15 @@ func (s *Scheduler) register(desc *workload.Descriptor, cfg *fst.Config, hash st
 		recovered = s.opts.Persist.RecoverShard(hash)
 	}
 
+	queue := s.pool.NewQueue(hash, s.opts.Parallelism)
 	sh := &shard{
 		hash:   hash,
 		canon:  canon,
 		cfg:    cfg,
 		engine: modis.NewEngine(cfg),
-		batch:  newBatcher(s.opts.AlignWindow, s.opts.Parallelism),
+		batch:  newBatcher(s.opts.AlignWindow, queue),
+		queue:  queue,
+		met:    &shardMetrics{},
 		names:  []string{desc.Name},
 	}
 	s.mu.Lock()
@@ -567,6 +595,7 @@ func (s *Scheduler) SubmitKeyed(ctx context.Context, workloadName, algorithm, id
 		if s.slot != nil && job.Started() {
 			<-s.slot
 		}
+		s.observeFinished(sh, rec, job)
 		s.recordFinished(rec)
 		s.finishJob()
 	}()

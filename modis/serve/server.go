@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/modis"
 )
 
@@ -191,6 +192,7 @@ func (s *Scheduler) statusOf(rec *JobRecord) *JobStatus {
 //	GET    /v1/workloads        workload catalog
 //	GET    /v1/algorithms       registry keys
 //	GET    /healthz             readiness
+//	GET    /metrics             Prometheus text exposition
 //
 // Errors are JSON bodies {"error": "..."}: 400 for malformed requests,
 // unknown algorithms (the body carries the registry's known-keys
@@ -234,6 +236,7 @@ func NewServer(sched *Scheduler, opts ServerOptions) *Server {
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -492,6 +495,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Node = node
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the node's Prometheus text exposition — the
+// per-shard and node-global serving series documented in
+// docs/serving.md.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	mw := metrics.NewWriter()
+	s.sched.WriteMetrics(mw)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(mw.Bytes())
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Load smoke: one modisd node under sustained two-workload load.
+#
+# Drives the daemon-global inference pool the way production traffic
+# would: N closed-loop modisload clients round-robin submit/wait over
+# two workloads for DURATION, then the harness scrapes /metrics deltas
+# and asserts the sharing machinery actually engaged — at least one
+# exact pass merged windows of concurrent runs (nonzero merge rate)
+# and the shard memo answered plan-time probes (nonzero memo hits).
+# Zero completed requests, a zero merge count, or zero memo hits fail
+# the script. See docs/serving.md, "Metrics reference" and "Tuning the
+# inference pool".
+set -euo pipefail
+
+MODISD=${MODISD:-/tmp/modisd}
+MODISLOAD=${MODISLOAD:-/tmp/modisload}
+ADDR=${ADDR:-127.0.0.1:9960}
+DURATION=${DURATION:-30s}
+CLIENTS=${CLIENTS:-4}
+WORKERS=${WORKERS:-2}
+OUT=${OUT:-/tmp/load_smoke_capture.json}
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+"$MODISD" -addr "$ADDR" -tasks t1,t3 -rows 60 -workers "$WORKERS" &
+PIDS+=($!)
+
+for _ in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null && break
+  sleep 0.2
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+# The pool gauge must reflect the -workers cap before any load runs.
+POOL=$(curl -sf "http://$ADDR/metrics" | awk '/^modis_pool_workers /{print int($2)}')
+if [ "$POOL" != "$WORKERS" ]; then
+  echo "modis_pool_workers = $POOL, want $WORKERS" >&2
+  exit 1
+fi
+
+"$MODISLOAD" -addr "$ADDR" -clients "$CLIENTS" -duration "$DURATION" \
+  -budget 120 -max-level 3 \
+  -assert-merges -assert-memo-hits \
+  -out "$OUT"
+
+echo "load smoke passed; capture at $OUT" >&2
