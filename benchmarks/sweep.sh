@@ -20,7 +20,9 @@
 #               writes <out-prefix>.txt, <out-prefix>.tsv, <out-prefix>.json
 #   benchtime   passed to -benchtime (default: 3x — fixed iteration
 #               counts stabilize comparisons across machines)
-#   pattern     -bench regexp (default: 'BenchmarkTable|BenchmarkFig')
+#   pattern     -bench regexp (default: 'BenchmarkTable|BenchmarkFig|BenchmarkAppend'
+#               — the paper tables/figures plus the streaming
+#               append-vs-cold-rebuild economics row)
 #
 # When MODIS_LOAD_CAPTURE names a cmd/modisload JSON capture, it is
 # embedded into the output JSON under "load", so one file records both
@@ -34,7 +36,7 @@ cd "$SCRIPT_DIR/.."
 
 OUT_PREFIX="${1:-benchmarks/sweep}"
 BENCHTIME="${2:-3x}"
-PATTERN="${3:-BenchmarkTable|BenchmarkFig}"
+PATTERN="${3:-BenchmarkTable|BenchmarkFig|BenchmarkAppend}"
 
 RAW="$OUT_PREFIX.txt"
 TSV="$OUT_PREFIX.tsv"

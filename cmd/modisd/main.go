@@ -67,6 +67,7 @@ func main() {
 		maxQueue  = flag.Int("max-queue", 0, "admission-queue depth past which submits shed with 503 + Retry-After (0 = unbounded; needs -max-concurrent)")
 		maxQWait  = flag.Duration("max-queue-wait", 0, "max time a queued job waits for an execution slot before it is shed (0 = forever)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+		appDrain  = flag.Duration("append-drain", 0, "max time a row append waits for a shard's in-flight runs to finish before rejecting with 503 (0 = 30s default; negative = no bound)")
 
 		stateDir  = flag.String("state-dir", "", "directory for crash-safe state, one <hash>/ subdirectory per workload shard; empty = in-memory only")
 		commitInt = flag.Duration("commit-interval", 100*time.Millisecond, "max latency before pending state records are committed to disk")
@@ -101,14 +102,15 @@ func main() {
 	}
 
 	sched := serve.NewScheduler(serve.SchedulerOptions{
-		AlignWindow:   *align,
-		Workers:       *workers,
-		Parallelism:   *parallel,
-		MaxConcurrent: *maxJobs,
-		MaxQueue:      *maxQueue,
-		MaxQueueWait:  *maxQWait,
-		Persist:       persist,
-		LedgerWindow:  *ledgerWin,
+		AlignWindow:     *align,
+		Workers:         *workers,
+		Parallelism:     *parallel,
+		MaxConcurrent:   *maxJobs,
+		MaxQueue:        *maxQueue,
+		MaxQueueWait:    *maxQWait,
+		AppendDrainWait: *appDrain,
+		Persist:         persist,
+		LedgerWindow:    *ledgerWin,
 	})
 	for _, b := range built {
 		if err := sched.Register(b.Desc, b.Cfg); err != nil {

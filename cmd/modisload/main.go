@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/modis/serve"
+	"repro/modis/workload"
 )
 
 func main() {
@@ -53,6 +54,8 @@ func main() {
 		tsv       = flag.String("tsv", "", "optional per-request TSV path")
 		assertMrg = flag.Bool("assert-merges", false, "exit nonzero unless the run merged at least one batch pass")
 		assertHit = flag.Bool("assert-memo-hits", false, "exit nonzero unless the run produced memo hits")
+		appEvery  = flag.Int("append-every", 0, "append a synthesized row batch to a job's workload after every N completed jobs (0 = no appends)")
+		appBatch  = flag.Int("append-batch", 2, "rows per synthesized append batch")
 	)
 	flag.Parse()
 
@@ -64,12 +67,19 @@ func main() {
 	cli := serve.NewClient(base)
 	ctx := context.Background()
 
+	// The catalog is always fetched: it names the workloads when
+	// -workloads is empty, and its descriptors drive row synthesis when
+	// -append-every mixes appends into the traffic.
+	infos, err := cli.Workloads(ctx)
+	if err != nil {
+		fatal(fmt.Errorf("listing workloads of %s: %w", base, err))
+	}
+	descs := map[string]*workload.Descriptor{}
+	for _, info := range infos {
+		descs[info.Name] = info.Descriptor
+	}
 	names := splitList(*workloads)
 	if len(names) == 0 {
-		infos, err := cli.Workloads(ctx)
-		if err != nil {
-			fatal(fmt.Errorf("listing workloads of %s: %w", base, err))
-		}
 		for _, info := range infos {
 			names = append(names, info.Name)
 		}
@@ -109,6 +119,18 @@ func main() {
 		mu      sync.Mutex
 		samples []sample
 		wg      sync.WaitGroup
+
+		// Streaming mix: every *appEvery-th completed job triggers one
+		// append of synthesized rows to the workload that job ran on.
+		// The first successful append also snapshots /metrics, so the
+		// capture can report the memo hit rate of post-append traffic
+		// alone — the number that shows precise invalidation working.
+		done     atomic.Int64
+		synth    rowSynth
+		appStats appendStats
+		postOnce sync.Once
+		postMu   sync.Mutex
+		postBase map[string]float64
 	)
 	start := time.Now()
 	deadline := start.Add(*duration)
@@ -148,6 +170,30 @@ func main() {
 					// Overload shedding answers fast; don't spin on it.
 					time.Sleep(50 * time.Millisecond)
 				}
+				if *appEvery > 0 && sm.status == serve.StatusDone {
+					if n := done.Add(1); n%int64(*appEvery) == 0 {
+						req, ok := synth.batch(descs[wl], *appBatch)
+						if !ok {
+							continue
+						}
+						appStats.attempts.Add(1)
+						resp, err := cli.AppendRows(ctx, wl, req)
+						if err != nil {
+							appStats.errors.Add(1)
+							continue
+						}
+						appStats.rows.Add(int64(resp.Rows))
+						appStats.invalidated.Add(int64(resp.MemoInvalidated))
+						appStats.retained.Add(int64(resp.MemoRetained))
+						postOnce.Do(func() {
+							if snap, err := scrapeMetrics(base); err == nil {
+								postMu.Lock()
+								postBase = snap
+								postMu.Unlock()
+							}
+						})
+					}
+				}
 			}
 		}(c)
 	}
@@ -168,6 +214,11 @@ func main() {
 	}
 
 	capt := buildCapture(base, names, algoList, *clients, *duration, elapsed, samples, before, after)
+	if *appEvery > 0 {
+		postMu.Lock()
+		capt.Append = appendCapture(*appEvery, &appStats, postBase, after)
+		postMu.Unlock()
+	}
 	blob, err := json.MarshalIndent(capt, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -210,6 +261,7 @@ type Capture struct {
 	Totals    Totals            `json:"totals"`
 	Workload  map[string]Totals `json:"per_workload"`
 	Node      NodeDeltas        `json:"node"`
+	Append    *AppendCapture    `json:"append,omitempty"`
 }
 
 // Totals are the client-side aggregates of a request population.
@@ -241,6 +293,105 @@ type NodeDeltas struct {
 	MemoHitRate       float64 `json:"memo_hit_rate"`
 	ExactCalls        float64 `json:"exact_calls"`
 	Valuations        float64 `json:"valuations"`
+	Appends           float64 `json:"appends"`
+	RowsAppended      float64 `json:"rows_appended"`
+	MemoInvalidated   float64 `json:"memo_invalidated"`
+}
+
+// rowSynth synthesizes append batches from a workload descriptor: each
+// numeric attribute gets a fresh value off a shared sequence, while
+// string attributes and the target stay null — appended rows may not
+// extend a frozen string domain, and a null target is exactly what a
+// not-yet-labelled streamed row looks like.
+type rowSynth struct {
+	seq atomic.Int64
+}
+
+func (rs *rowSynth) batch(d *workload.Descriptor, n int) (serve.AppendRowsRequest, bool) {
+	if d == nil || n <= 0 {
+		return serve.AppendRowsRequest{}, false
+	}
+	var req serve.AppendRowsRequest
+	for i := 0; i < n; i++ {
+		k := rs.seq.Add(1)
+		obj := map[string]any{}
+		for _, attr := range d.Attributes {
+			name, kind, ok := strings.Cut(attr, ":")
+			if !ok {
+				continue
+			}
+			switch kind {
+			case "float":
+				obj[name] = float64(k%97) + 0.25
+			case "int":
+				obj[name] = k % 23
+			}
+		}
+		if len(obj) == 0 {
+			return serve.AppendRowsRequest{}, false
+		}
+		blob, err := json.Marshal(obj)
+		if err != nil {
+			return serve.AppendRowsRequest{}, false
+		}
+		req.Rows = append(req.Rows, json.RawMessage(blob))
+	}
+	return req, true
+}
+
+// appendStats are the client-side append counters, shared across the
+// drive goroutines.
+type appendStats struct {
+	attempts    atomic.Int64
+	errors      atomic.Int64
+	rows        atomic.Int64
+	invalidated atomic.Int64
+	retained    atomic.Int64
+}
+
+// AppendCapture is the streaming slice of the capture: what the
+// clients appended, and how the memo fared on traffic that ran after
+// the first append landed.
+type AppendCapture struct {
+	Every           int   `json:"every"`
+	Attempts        int64 `json:"attempts"`
+	Errors          int64 `json:"errors"`
+	RowsAppended    int64 `json:"rows_appended"`
+	MemoInvalidated int64 `json:"memo_invalidated"`
+	MemoRetained    int64 `json:"memo_retained"`
+	// Post-append memo movement: /metrics deltas from the first
+	// successful append to the end of the run. A healthy hit rate here
+	// means invalidation was precise — appends did not flush valuations
+	// the new rows could not have changed.
+	PostMemoHits    float64 `json:"post_append_memo_hits"`
+	PostMemoMisses  float64 `json:"post_append_memo_misses"`
+	PostMemoHitRate float64 `json:"post_append_memo_hit_rate"`
+}
+
+func appendCapture(every int, st *appendStats, postBase, after map[string]float64) *AppendCapture {
+	ac := &AppendCapture{
+		Every:           every,
+		Attempts:        st.attempts.Load(),
+		Errors:          st.errors.Load(),
+		RowsAppended:    st.rows.Load(),
+		MemoInvalidated: st.invalidated.Load(),
+		MemoRetained:    st.retained.Load(),
+	}
+	if postBase != nil {
+		delta := func(name string) float64 {
+			d := after[name] - postBase[name]
+			if d < 0 || math.IsNaN(d) {
+				return 0
+			}
+			return d
+		}
+		ac.PostMemoHits = delta("modis_memo_hits_total")
+		ac.PostMemoMisses = delta("modis_memo_misses_total")
+		if probes := ac.PostMemoHits + ac.PostMemoMisses; probes > 0 {
+			ac.PostMemoHitRate = ac.PostMemoHits / probes
+		}
+	}
+	return ac
 }
 
 func buildCapture(target string, names, algoList []string, clients int, want, got time.Duration, samples []sample, before, after map[string]float64) Capture {
@@ -275,6 +426,9 @@ func buildCapture(target string, names, algoList []string, clients int, want, go
 		MemoMisses:        delta("modis_memo_misses_total"),
 		ExactCalls:        delta("modis_exact_calls_total"),
 		Valuations:        delta("modis_valuations_total"),
+		Appends:           delta("modis_appends_total"),
+		RowsAppended:      delta("modis_rows_appended_total"),
+		MemoInvalidated:   delta("modis_memo_invalidated_total"),
 	}
 	if nd.BatchPasses > 0 {
 		nd.MergeRate = nd.BatchMergedPasses / nd.BatchPasses

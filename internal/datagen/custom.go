@@ -124,6 +124,7 @@ func NewCustomWorkload(cfg CustomConfig) (*Workload, error) {
 		ModelName: "custom-" + kindOrDefault(kind),
 		Eval:      func(d *table.Table) ([]float64, error) { return eval(enc.Encode(d)) },
 		EvalRows:  rowsEval(enc, eval),
+		Body:      eval,
 	}
 
 	qualityName := "pAcc"

@@ -1,0 +1,208 @@
+package fst
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// This file is the streaming side of the space lifecycle: rows arrive
+// after construction, every frozen structure — the universal table,
+// the column source's matrix, the per-literal row bitmaps — is
+// extended in place, and the version counter advances so the memo
+// (TestSet) can invalidate exactly the states whose selected row set
+// the new tuples changed. The entry layout (Entries, attrEntry,
+// litEntries) is frozen forever: appended rows never add literal
+// clusters, so every StateKey keeps meaning the same state and the
+// Zobrist keys never need rehashing. The determinism contract: a run
+// after Append is byte-identical to a cold run over the concatenated
+// table through a space sharing the same entry layout (Rebuild).
+//
+// Append must not race runs. The serving layer enforces that with a
+// per-shard drain gate (modis/serve); library users sequence Append
+// between Engine runs themselves.
+
+// AppendableColumns is the optional delta interface of a ColumnSource:
+// sources that can extend their decoded columns in place (the ML
+// encoder's matrix) implement it, and Space.Append calls it before
+// touching any space structure — a source that rejects the rows (e.g.
+// a string value outside its frozen domain) aborts the append with
+// nothing mutated.
+type AppendableColumns interface {
+	ColumnSource
+	AppendRows(rows []table.Row) error
+}
+
+// Version returns the space's current table version: the number of
+// committed Append batches since construction.
+func (sp *Space) Version() uint64 { return sp.version }
+
+// RowsAtVersion returns the universal row count as of version v
+// (clamped to the current row count for future versions).
+func (sp *Space) RowsAtVersion(v uint64) int {
+	if int(v) < len(sp.verRows) {
+		return sp.verRows[v]
+	}
+	return len(sp.Universal.Rows)
+}
+
+// Append commits a batch of rows to the universal table and advances
+// the table version, extending every already-built structure in place:
+// the column source's decoded columns (when it implements
+// AppendableColumns), the per-literal removed-row bitmaps of the row
+// index, and the version→row-count history. The entry layout is
+// untouched — new rows match the existing literals or none. It
+// returns the new version.
+//
+// Append is not safe against concurrent runs: callers must quiesce
+// Materialize/RowsFor/valuation traffic first (the serving layer's
+// drain gate does). An error leaves the space unmutated.
+func (sp *Space) Append(rows []table.Row) (uint64, error) {
+	if len(rows) == 0 {
+		return sp.version, fmt.Errorf("fst: append requires at least one row")
+	}
+	width := len(sp.Universal.Schema)
+	for ri, r := range rows {
+		if len(r) != width {
+			return sp.version, fmt.Errorf("fst: append row %d has %d cells, schema has %d", ri, len(r), width)
+		}
+	}
+	// The column source validates and extends first: its frozen string
+	// domains are the one thing an append can violate, and rejecting
+	// here leaves the universal table and row index untouched.
+	if ac, ok := sp.colSrc.(AppendableColumns); ok {
+		if err := ac.AppendRows(rows); err != nil {
+			return sp.version, err
+		}
+	}
+	old := len(sp.Universal.Rows)
+	if len(sp.verRows) == 0 {
+		sp.verRows = append(sp.verRows, old)
+	}
+	for _, r := range rows {
+		sp.Universal.MustAppend(r)
+	}
+	if sp.idx != nil {
+		sp.extendRowIndex(old)
+	}
+	sp.version++
+	sp.verRows = append(sp.verRows, len(sp.Universal.Rows))
+	return sp.version, nil
+}
+
+// extendRowIndex grows the built row index to the universal table's
+// new row count and matches only the appended rows [oldRows, len)
+// against each attribute's literals — the delta pass of buildRowIndex,
+// sharing its column fast path and cell-compare fallback.
+func (sp *Space) extendRowIndex(oldRows int) {
+	ix := sp.idx
+	newRows := len(sp.Universal.Rows)
+	words := (newRows + wordBits - 1) / wordBits
+	for i := range ix.litRows {
+		if ix.litRows[i] == nil || len(ix.litRows[i]) >= words {
+			continue
+		}
+		grown := make([]uint64, words)
+		copy(grown, ix.litRows[i])
+		ix.litRows[i] = grown
+	}
+	ix.words = words
+	ix.rows = newRows
+	for _, entries := range sp.litEntries {
+		if len(entries) == 0 {
+			continue
+		}
+		if sp.indexAttrColumns(ix, entries, oldRows) {
+			continue
+		}
+		sp.indexAttrScan(ix, entries, oldRows)
+	}
+}
+
+// SelectionUnchanged reports whether a state's selected row set is
+// unaffected by every row appended at or after universal row index
+// fromRow: true iff each such row is removed by at least one of the
+// state's cleared literals. The state is given as its feature vector
+// (Bitmap.Floats — 1.0 set, 0.0 cleared, aligned with Entries), which
+// is exactly what the memo records per test, so replayed WAL entries
+// can be validated without reconstructing bitmaps. Cleared attribute
+// entries don't matter here: masking a column never removes a row, so
+// a surviving appended row changes the state's dataset regardless of
+// masks. A feature vector of the wrong width is reported changed.
+func (sp *Space) SelectionUnchanged(feats []float64, fromRow int) bool {
+	if len(feats) != len(sp.Entries) {
+		return false
+	}
+	sp.idxOnce.Do(sp.buildRowIndex)
+	ix := sp.idx
+	if fromRow >= ix.rows {
+		return true
+	}
+	var cleared []int
+	for i, f := range feats {
+		if f < 0.5 && sp.Entries[i].Kind == EntryLiteral {
+			cleared = append(cleared, i)
+		}
+	}
+	fw, lw := fromRow/wordBits, (ix.rows-1)/wordBits
+	for wi := fw; wi <= lw; wi++ {
+		need := ix.liveMask(wi)
+		if wi == fw {
+			need &^= 1<<(uint(fromRow)%wordBits) - 1
+		}
+		if need == 0 {
+			continue
+		}
+		var removed uint64
+		for _, i := range cleared {
+			removed |= ix.litRows[i][wi]
+		}
+		if need&^removed != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Rebuild returns a cold space over u with this space's exact entry
+// layout — the reference constructor of the streaming determinism
+// contract: a space that Append-ed its way to the concatenated table
+// must behave byte-identically to Rebuild over that table built from
+// scratch (fresh row index, fresh column decode). NewSpace is not
+// that reference: it re-derives literal clusters, which appended rows
+// would shift. The immutable layout (Entries, entry maps, UDFs) is
+// shared; all lazily-built state starts empty. The caller wires a
+// fresh column source (SetColumnSource) if it wants the column fast
+// path.
+func (sp *Space) Rebuild(u *table.Table) *Space {
+	return &Space{
+		Universal:  u,
+		Target:     sp.Target,
+		Entries:    sp.Entries,
+		attrEntry:  sp.attrEntry,
+		litEntries: sp.litEntries,
+		udfs:       sp.udfs,
+	}
+}
+
+// Append commits rows through the configuration: the space extends
+// its structures and bumps the table version, then the memo advances
+// to that version, dropping exactly the tests whose selected row set
+// the new tuples changed (SelectionUnchanged) and carrying every
+// other valuation forward. It returns the new version and the number
+// of memoized valuations invalidated. Like Space.Append, it must not
+// race in-flight runs.
+func (c *Config) Append(rows []table.Row) (version uint64, invalidated int, err error) {
+	from := len(c.Space.Universal.Rows)
+	version, err = c.Space.Append(rows)
+	if err != nil {
+		return version, 0, err
+	}
+	if c.Tests == nil {
+		return version, 0, nil
+	}
+	invalidated = c.Tests.AdvanceTo(version, func(t *Test) bool {
+		return c.Space.SelectionUnchanged(t.Features, from)
+	})
+	return version, invalidated, nil
+}

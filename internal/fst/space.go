@@ -68,6 +68,14 @@ type Space struct {
 	// capacities, so the pool makes the RowsFor/Materialize row walk
 	// allocation-free at steady state.
 	rowsPool sync.Pool
+
+	// version counts committed Append batches (0 = the table the space
+	// was built from); verRows[v] is the universal row count at version
+	// v, filled lazily on the first Append. Both belong to the space's
+	// streaming lifecycle (see append.go) and are only written by
+	// Append, which must not race runs.
+	version uint64
+	verRows []int
 }
 
 // SpaceConfig controls space construction.

@@ -3,6 +3,7 @@ package fst
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -16,6 +17,12 @@ type Test struct {
 	Perf skyline.Vector
 	// Features is the state feature vector used to train estimators.
 	Features []float64
+	// Version is the table version the valuation is current for: the
+	// record semantically keys tests by (Key, Version), retaining only
+	// the current version (see AdvanceTo). Put and GetOrCompute stamp
+	// it; persisted records carry it so warm restarts can re-validate
+	// old valuations against rows appended since.
+	Version uint64
 }
 
 // TestSet is the historical record T of valuated tests, memoizing by
@@ -38,6 +45,12 @@ type TestSet struct {
 	hits   atomic.Int64
 	misses atomic.Int64
 	shared atomic.Int64
+
+	// version is the table version every live entry is current for;
+	// AdvanceTo moves it forward when rows are appended, dropping the
+	// entries the new rows invalidate. Entries are thus semantically
+	// keyed by (StateKey, version) with exactly one version retained.
+	version atomic.Uint64
 
 	ordMu sync.RWMutex
 	order []*Test
@@ -179,6 +192,7 @@ func (ts *TestSet) GetOrCompute(ctx context.Context, key StateKey, compute func(
 		close(s.done)
 		return nil, false, err
 	}
+	t.Version = ts.version.Load()
 	s.t = t
 	settled = true
 	close(s.done)
@@ -201,6 +215,11 @@ func (ts *TestSet) Put(t *Test) *Test {
 		sh.mu.Lock()
 		s, ok := sh.m[t.Key]
 		if !ok {
+			// Stamp on install, under the shard lock: concurrent runs Put
+			// the same canonical *Test (handed out by one GetOrCompute
+			// flight), so a stamp outside the lock would be a write race.
+			// Tests already recorded carry their install-time stamp.
+			t.Version = ts.version.Load()
 			s = &testSlot{done: closedCh, t: t}
 			sh.m[t.Key] = s
 		}
@@ -274,6 +293,74 @@ func (ts *TestSet) AppendAll(dst []*Test) []*Test {
 	ts.ordMu.RLock()
 	defer ts.ordMu.RUnlock()
 	return append(dst[:0], ts.order...)
+}
+
+// Version returns the table version the record is current for.
+func (ts *TestSet) Version() uint64 { return ts.version.Load() }
+
+// AdvanceTo moves the record to table version v — the memo side of a
+// row append. Every completed entry is screened through valid (the
+// caller's row-selection predicate, typically Space.SelectionUnchanged
+// over the appended rows): surviving tests are re-stamped with v and
+// stay memoized, the rest are dropped, and in-flight computations are
+// forgotten (their owners finish, but the result is never recorded —
+// under the no-runs-during-append contract there are none). The
+// valuation order keeps only surviving tests, in their original
+// order, so the correlation graph and diversification normalizer see
+// a record consistent with the new table. A nil valid drops
+// everything. It returns the number of completed valuations dropped.
+//
+// v must be at least the current version; AdvanceTo(current, ...) is
+// permitted (a re-validation pass) and re-screens the record without
+// moving the version.
+func (ts *TestSet) AdvanceTo(v uint64, valid func(*Test) bool) (invalidated int) {
+	for i := range ts.shards {
+		ts.shards[i].mu.Lock()
+	}
+	ts.ordMu.Lock()
+	defer func() {
+		ts.ordMu.Unlock()
+		for i := testShards - 1; i >= 0; i-- {
+			ts.shards[i].mu.Unlock()
+		}
+	}()
+	if cur := ts.version.Load(); v < cur {
+		panic(fmt.Sprintf("fst: AdvanceTo(%d) below current version %d", v, cur))
+	}
+	ts.version.Store(v)
+	for i := range ts.shards {
+		m := ts.shards[i].m
+		for key, s := range m {
+			select {
+			case <-s.done:
+			default:
+				// In-flight: the eventual result valuates the old table.
+				delete(m, key)
+				continue
+			}
+			if s.err != nil {
+				delete(m, key)
+				continue
+			}
+			if valid != nil && valid(s.t) {
+				s.t.Version = v
+				continue
+			}
+			delete(m, key)
+			invalidated++
+		}
+	}
+	keep := ts.order[:0]
+	for _, t := range ts.order {
+		if t.Version == v {
+			keep = append(keep, t)
+		}
+	}
+	for i := len(keep); i < len(ts.order); i++ {
+		ts.order[i] = nil
+	}
+	ts.order = keep
+	return invalidated
 }
 
 // Columns returns, for measure index j, the series of recorded values —

@@ -1,0 +1,23 @@
+package table
+
+import "fmt"
+
+// Concat returns a fresh table holding t's rows followed by extra,
+// all deep-cloned — the cold-side reference of the streaming
+// determinism contract: an engine that Append-ed extra onto t must
+// behave byte-identically to a cold build over Concat(t, extra). The
+// input table is never aliased, so mutating the copy (or appending to
+// the original) cannot skew the comparison.
+func Concat(name string, t *Table, extra []Row) (*Table, error) {
+	out := New(name, t.Schema)
+	out.Rows = make([]Row, 0, len(t.Rows)+len(extra))
+	for _, r := range t.Rows {
+		out.Rows = append(out.Rows, r.Clone())
+	}
+	for i, r := range extra {
+		if err := out.Append(r.Clone()); err != nil {
+			return nil, fmt.Errorf("table: concat extra row %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package proxy_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+
+	"repro/modis/proxy"
+	"repro/modis/serve"
+)
+
+func appendReq(rows ...string) serve.AppendRowsRequest {
+	var req serve.AppendRowsRequest
+	for _, r := range rows {
+		req.Rows = append(req.Rows, json.RawMessage(r))
+	}
+	return req
+}
+
+// workloadInfo reads one workload's catalog entry straight off a node.
+func workloadInfo(tb testing.TB, n *node, name string) serve.WorkloadInfo {
+	tb.Helper()
+	infos, err := serve.NewClient(n.hs.URL).Workloads(context.Background())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, info := range infos {
+		if info.Name == name {
+			return info
+		}
+	}
+	tb.Fatalf("node lacks workload %q", name)
+	return serve.WorkloadInfo{}
+}
+
+// TestProxyAppendRoutesToOwner: appends land on the workload's ring
+// owner and only there — the same node submissions route to — so the
+// shard's table version history has a single writer.
+func TestProxyAppendRoutesToOwner(t *testing.T) {
+	fleet := startFleet(t, 3, 2, 0)
+	_, _, cl := startProxy(t, fleet, proxy.AdmissionOptions{})
+	ctx := context.Background()
+
+	resp, err := cl.AppendRows(ctx, "wl0", appendReq(`[0, 0, 0]`, `{"a": 1, "b": 2, "target": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TableVersion != 1 || resp.Rows != 2 {
+		t.Fatalf("append through proxy = %+v, want version 1 with 2 rows", resp)
+	}
+
+	// Exactly one node moved to version 1; it is the submission owner.
+	st, err := cl.Submit(ctx, submitReq("wl0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, cl, st.JobID)
+	owner := ownerOf(t, fleet, st.JobID)
+	moved := 0
+	for _, n := range fleet {
+		info := workloadInfo(t, n, "wl0")
+		if info.TableVersion == 1 {
+			moved++
+			if n != owner {
+				t.Error("append landed on a node other than the submission owner")
+			}
+		} else if info.TableVersion != 0 {
+			t.Errorf("unexpected table version %d", info.TableVersion)
+		}
+	}
+	if moved != 1 {
+		t.Fatalf("%d nodes saw the append, want exactly 1", moved)
+	}
+
+	// The other workload's owner is untouched at version 0 everywhere.
+	for _, n := range fleet {
+		if info := workloadInfo(t, n, "wl1"); info.TableVersion != 0 {
+			t.Errorf("append to wl0 moved wl1 to version %d", info.TableVersion)
+		}
+	}
+}
+
+// TestProxyAppendErrors: unknown workloads 404 with the fleet catalog,
+// and a dead owner is an explicit 503 — never a silent reroute to a
+// replica, which would fork the version history.
+func TestProxyAppendErrors(t *testing.T) {
+	fleet := startFleet(t, 2, 1, 0)
+	p, _, cl := startProxy(t, fleet, proxy.AdmissionOptions{})
+	ctx := context.Background()
+
+	_, err := cl.AppendRows(ctx, "nope", appendReq(`[0, 0, 0]`))
+	var ae *serve.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusNotFound {
+		t.Fatalf("unknown workload: err = %v, want 404", err)
+	}
+
+	// Find and kill the owner, then let a sweep open its breaker.
+	st, err := cl.Submit(ctx, submitReq("wl0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, cl, st.JobID)
+	owner := ownerOf(t, fleet, st.JobID)
+	owner.hs.Close()
+	p.CheckNow(ctx)
+
+	_, err = cl.AppendRows(ctx, "wl0", appendReq(`[0, 0, 0]`))
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("dead owner: err = %v, want 503 (appends must not fail over)", err)
+	}
+	for _, n := range fleet {
+		if n == owner {
+			continue
+		}
+		if info := workloadInfo(t, n, "wl0"); info.TableVersion != 0 {
+			t.Fatalf("append to a dead owner leaked to a replica (version %d)", info.TableVersion)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -140,6 +141,7 @@ func New(opts Options) *Proxy {
 	p.mux.HandleFunc("DELETE /v1/jobs/{id}", p.handleJobDelete)
 	p.mux.HandleFunc("GET /v1/jobs/{id}/events", p.handleEvents)
 	p.mux.HandleFunc("GET /v1/workloads", p.handleWorkloads)
+	p.mux.HandleFunc("POST /v1/workloads/{name}/rows", p.handleAppendRows)
 	p.mux.HandleFunc("GET /v1/algorithms", p.handleAlgorithms)
 	p.mux.HandleFunc("GET /healthz", p.handleHealthz)
 	p.mux.HandleFunc("GET /metrics", p.handleMetrics)
@@ -721,6 +723,60 @@ func (p *Proxy) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleAppendRows forwards a row-append batch to the workload's ring
+// owner. Appends route strictly to Owner — never spilled under load,
+// never failed over — because a batch landing on a different node
+// would fork the shard's table version history; and they are forwarded
+// exactly once — never retried — because an append is not idempotent:
+// a lost response leaves the committed/uncommitted question to the
+// caller, who can compare the catalog's table_version. A dead owner is
+// an explicit 503, not a silent reroute.
+func (p *Proxy) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("proxy: reading append body: %w", err))
+		return
+	}
+	hash, ok := p.resolveWorkload(r.Context(), name)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("proxy: unknown workload %q (fleet serves: %s)", name, strings.Join(p.workloadNames(), ", ")))
+		return
+	}
+	node := p.ring.Owner(hash)
+	if node == "" {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("proxy: no node for workload %q", name))
+		return
+	}
+	p.mu.Lock()
+	ns := p.nodes[node]
+	p.mu.Unlock()
+	if ns == nil || !ns.br.Allow() {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("proxy: workload %q owner %s is unavailable; appends do not fail over", name, node))
+		return
+	}
+	resp, ferr := p.forward(r.Context(), node, http.MethodPost,
+		"/v1/workloads/"+url.PathEscape(name)+"/rows", body, r.Header.Get(TenantHeader))
+	if ferr != nil {
+		p.markFailed(node, ferr)
+		writeError(w, http.StatusBadGateway, fmt.Errorf("proxy: node %s unreachable (append not retried): %w", node, ferr))
+		return
+	}
+	defer resp.Body.Close()
+	blob, rerr := io.ReadAll(resp.Body)
+	if rerr != nil {
+		writeError(w, http.StatusBadGateway, rerr)
+		return
+	}
+	p.markOK(node)
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		w.Header().Set("Retry-After", v)
+	}
+	passthrough(w, resp.StatusCode, resp.Header.Get("Content-Type"), blob)
 }
 
 func (p *Proxy) handleAlgorithms(w http.ResponseWriter, r *http.Request) {

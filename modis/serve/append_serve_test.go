@@ -1,0 +1,369 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/table"
+	"repro/modis/serve"
+)
+
+// shapeRow is one streamed row over the shape workload's schema,
+// landing on the (a=0, b=0) value point.
+func shapeRow() table.Row {
+	return table.Row{table.Float(0), table.Float(0), table.Int(0)}
+}
+
+// startShapeServer brings up a scheduler+server pair over one shape
+// workload and returns the client speaking to it.
+func startShapeServer(tb testing.TB, opts serve.SchedulerOptions) (*serve.Scheduler, string, *serve.Client) {
+	tb.Helper()
+	sched := serve.NewScheduler(opts)
+	registerShape(tb, sched, newShapeConfig(tb, 0))
+	hs := httptest.NewServer(serve.NewServer(sched, serve.ServerOptions{}))
+	tb.Cleanup(hs.Close)
+	tb.Cleanup(sched.Close)
+	return sched, hs.URL, serve.NewClient(hs.URL)
+}
+
+// TestAppendEndToEnd drives the whole wire path: POST rows (object and
+// array form), watch the version move through the append response, the
+// catalog, healthz, and /metrics, and assert a resubmitted search sees
+// the new rows.
+func TestAppendEndToEnd(t *testing.T) {
+	sched, base, cli := startShapeServer(t, serve.SchedulerOptions{})
+	ctx := context.Background()
+
+	job, err := sched.Submit(ctx, "shape", "bi", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustResult(t, job)
+	// An identical resubmit before any append answers wholly from memo.
+	job, err = sched.Submit(ctx, "shape", "bi", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := mustResult(t, job); rep.Valuated != 0 {
+		t.Fatalf("pre-append resubmit valuated %d states, want 0", rep.Valuated)
+	}
+
+	// Batch 1: array-form rows (schema order).
+	resp, err := cli.AppendRows(ctx, "shape", serve.AppendRowsRequest{Rows: []json.RawMessage{
+		json.RawMessage(`[0, 0, 0]`),
+		json.RawMessage(`[1, 2.5, 1]`),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TableVersion != 1 || resp.Rows != 2 || resp.TotalRows != 26 {
+		t.Fatalf("append response = %+v, want version 1, 2 rows, 26 total", resp)
+	}
+	if resp.MemoInvalidated+resp.MemoRetained == 0 {
+		t.Error("append over a warm memo reported no memo movement")
+	}
+
+	// Batch 2: object-form rows; absent columns are nulls.
+	resp, err = cli.AppendRows(ctx, "shape", serve.AppendRowsRequest{Rows: []json.RawMessage{
+		json.RawMessage(`{"a": 2, "target": 1}`),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TableVersion != 2 || resp.TotalRows != 27 {
+		t.Fatalf("second append response = %+v, want version 2, 27 total", resp)
+	}
+
+	// The catalog reports the moved version and row count.
+	infos, err := cli.Workloads(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].TableVersion != 2 || infos[0].Rows != 27 {
+		t.Fatalf("catalog = %+v, want shape at version 2 with 27 rows", infos)
+	}
+
+	// healthz mirrors it per shard.
+	var hr serve.HealthResponse
+	if err := getJSON(base+"/healthz", &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Node == nil || len(hr.Node.Shards) != 1 ||
+		hr.Node.Shards[0].TableVersion != 2 || hr.Node.Shards[0].Rows != 27 {
+		t.Fatalf("healthz node = %+v, want one shard at version 2 with 27 rows", hr.Node)
+	}
+
+	// /metrics exports the append counters and the version gauge.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	body := string(blob)
+	for _, want := range []string{
+		"modis_appends_total", "modis_rows_appended_total",
+		"modis_memo_invalidated_total", "modis_table_version", "modis_table_rows",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics lacks %s", want)
+		}
+	}
+
+	// A resubmitted identical search runs over the grown table: the
+	// appends invalidated memoized valuations, so — unlike the
+	// pre-append resubmit — it must recompute, and its report says so.
+	job, err = sched.Submit(ctx, "shape", "bi", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := mustResult(t, job); rep.Valuated == 0 {
+		t.Error("post-append resubmit valuated nothing — the appended rows are invisible")
+	}
+	// And once recomputed, the memo is warm again at the new version.
+	job, err = sched.Submit(ctx, "shape", "bi", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := mustResult(t, job); rep.Valuated != 0 {
+		t.Errorf("second post-append resubmit valuated %d states, want 0 (memo warm at the new version)", rep.Valuated)
+	}
+}
+
+func TestAppendWireErrors(t *testing.T) {
+	_, _, cli := startShapeServer(t, serve.SchedulerOptions{})
+	ctx := context.Background()
+	row := json.RawMessage(`[0, 0, 0]`)
+
+	cases := []struct {
+		name     string
+		workload string
+		rows     []json.RawMessage
+		wantCode int
+	}{
+		{"unknown workload", "nope", []json.RawMessage{row}, http.StatusNotFound},
+		{"empty batch", "shape", nil, http.StatusBadRequest},
+		{"arity mismatch", "shape", []json.RawMessage{json.RawMessage(`[0, 0]`)}, http.StatusBadRequest},
+		{"kind mismatch", "shape", []json.RawMessage{json.RawMessage(`["x", 0, 0]`)}, http.StatusBadRequest},
+		{"fractional int", "shape", []json.RawMessage{json.RawMessage(`[0, 0, 1.5]`)}, http.StatusBadRequest},
+		{"unknown column", "shape", []json.RawMessage{json.RawMessage(`{"zzz": 1}`)}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := cli.AppendRows(ctx, tc.workload, serve.AppendRowsRequest{Rows: tc.rows})
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			var ae *serve.APIError
+			if !errors.As(err, &ae) || ae.Status != tc.wantCode {
+				t.Fatalf("err = %v, want HTTP %d", err, tc.wantCode)
+			}
+		})
+	}
+}
+
+// TestAppendDrainGate: an append cannot interleave with a running
+// search. Under a tiny drain budget it sheds with 503 + Retry-After
+// while a slow job holds the shard; once the job finishes, the same
+// append lands.
+func TestAppendDrainGate(t *testing.T) {
+	sched := serve.NewScheduler(serve.SchedulerOptions{
+		AppendDrainWait: 5 * time.Millisecond,
+	})
+	cfg := newShapeConfig(t, 3*time.Millisecond) // ~slow valuations
+	registerShape(t, sched, cfg)
+	hs := httptest.NewServer(serve.NewServer(sched, serve.ServerOptions{}))
+	defer hs.Close()
+	defer sched.Close()
+	cli := serve.NewClient(hs.URL)
+	ctx := context.Background()
+
+	job, err := sched.Submit(ctx, "shape", "exact", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := serve.AppendRowsRequest{Rows: []json.RawMessage{json.RawMessage(`[0, 0, 0]`)}}
+	_, err = cli.AppendRows(ctx, "shape", req)
+	var ae *serve.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("append against a held shard: err = %v, want 503", err)
+	}
+
+	mustResult(t, job)
+	resp, err := cli.AppendRows(ctx, "shape", req)
+	if err != nil {
+		t.Fatalf("append on an idle shard: %v", err)
+	}
+	if resp.TableVersion != 1 {
+		t.Fatalf("version = %d, want 1", resp.TableVersion)
+	}
+}
+
+// TestAppendDrainWaits: with a real drain budget the append blocks
+// until in-flight runs finish, then commits — no shedding, and the
+// version is visible to the next submission.
+func TestAppendDrainWaits(t *testing.T) {
+	sched := serve.NewScheduler(serve.SchedulerOptions{
+		AppendDrainWait: 10 * time.Second,
+	})
+	cfg := newShapeConfig(t, time.Millisecond)
+	registerShape(t, sched, cfg)
+	defer sched.Close()
+	ctx := context.Background()
+
+	job, err := sched.Submit(ctx, "shape", "bi", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.AppendRows(ctx, "shape", []table.Row{shapeRow()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 {
+		t.Fatalf("drained append version = %d, want 1", res.Version)
+	}
+	// The job the append drained behind still finished cleanly.
+	if rep := mustResult(t, job); len(rep.Skyline) == 0 {
+		t.Error("drained job lost its result")
+	}
+}
+
+// TestWarmRestartReplaysRowsAndVersionedMemo is the streaming restart
+// contract: a daemon that appended rows and then valuated over them
+// warm-starts into the same table version, row count, and memo — and
+// reproduces every post-append skyline byte for byte with zero exact
+// inferences.
+func TestWarmRestartReplaysRowsAndVersionedMemo(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	// Incarnation A: memoize cold, append, memoize warm.
+	cfgA := newPersistShapeConfig(t)
+	pA := openPersist(t, dir, nil)
+	schedA := serve.NewScheduler(serve.SchedulerOptions{Persist: pA})
+	registerShape(t, schedA, cfgA)
+	job, err := schedA.Submit(ctx, "shape", "bi", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustResult(t, job)
+
+	res, err := schedA.AppendRows(ctx, "shape", []table.Row{shapeRow(), shapeRow()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 || res.TotalRows != 26 {
+		t.Fatalf("append result = %+v", res)
+	}
+	if res.Retained == 0 {
+		t.Fatal("append retained nothing; the restart assertion below would be vacuous")
+	}
+
+	postSkyline := map[string]string{}
+	for _, algo := range allAlgorithms() {
+		job, err := schedA.Submit(ctx, "shape", algo, runOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		postSkyline[algo] = skylineJSON(t, mustResult(t, job))
+	}
+	memoLen := cfgA.Tests.Len()
+	if !pA.Flush() {
+		t.Fatal("flush did not drain")
+	}
+	pA.Close()
+
+	// Incarnation B: fresh config, same state directory. Registration
+	// replays the rows log first, then filters the memo against the
+	// recovered version history.
+	cfgB := newPersistShapeConfig(t)
+	pB := openPersist(t, dir, nil)
+	defer pB.Close()
+	schedB := serve.NewScheduler(serve.SchedulerOptions{Persist: pB})
+	registerShape(t, schedB, cfgB)
+
+	if v := cfgB.Space.Version(); v != 1 {
+		t.Fatalf("recovered table version = %d, want 1", v)
+	}
+	if n := len(cfgB.Space.Universal.Rows); n != 26 {
+		t.Fatalf("recovered row count = %d, want 26", n)
+	}
+	if got := cfgB.Space.RowsAtVersion(0); got != 24 {
+		t.Fatalf("recovered version history: RowsAtVersion(0) = %d, want 24", got)
+	}
+	if n := cfgB.Tests.Len(); n != memoLen {
+		t.Fatalf("recovered %d memoized valuations, want %d", n, memoLen)
+	}
+	if v := cfgB.Tests.Version(); v != 1 {
+		t.Fatalf("recovered memo version = %d, want 1", v)
+	}
+
+	// The recovered shard serves the version through the catalog.
+	infos := schedB.WorkloadInfos()
+	if len(infos) != 1 || infos[0].TableVersion != 1 || infos[0].Rows != 26 {
+		t.Fatalf("recovered catalog = %+v, want version 1 with 26 rows", infos)
+	}
+
+	for _, algo := range allAlgorithms() {
+		job, err := schedB.Submit(ctx, "shape", algo, runOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := mustResult(t, job)
+		if got := skylineJSON(t, rep); got != postSkyline[algo] {
+			t.Fatalf("warm %s skyline diverged:\nA %s\nB %s", algo, postSkyline[algo], got)
+		}
+		if rep.ExactCalls != 0 {
+			t.Fatalf("warm %s run made %d exact inferences, want 0", algo, rep.ExactCalls)
+		}
+	}
+}
+
+// TestStaleMemoDroppedOnReplay: records persisted before a crash that
+// happened mid-append-history are re-validated against the recovered
+// version history — a record whose state gained rows is not loaded.
+func TestStaleMemoDroppedOnReplay(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cfgA := newPersistShapeConfig(t)
+	pA := openPersist(t, dir, nil)
+	schedA := serve.NewScheduler(serve.SchedulerOptions{Persist: pA})
+	registerShape(t, schedA, cfgA)
+	job, err := schedA.Submit(ctx, "shape", "bi", runOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustResult(t, job)
+	memoCold := cfgA.Tests.Len()
+	res, err := schedA.AppendRows(ctx, "shape", []table.Row{shapeRow()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Invalidated == 0 {
+		t.Fatal("append invalidated nothing; nothing to assert")
+	}
+	if !pA.Flush() {
+		t.Fatal("flush did not drain")
+	}
+	pA.Close()
+
+	// The memo log still holds every cold (version 0) record; replay
+	// must re-drop exactly the invalidated ones.
+	cfgB := newPersistShapeConfig(t)
+	pB := openPersist(t, dir, nil)
+	defer pB.Close()
+	schedB := serve.NewScheduler(serve.SchedulerOptions{Persist: pB})
+	registerShape(t, schedB, cfgB)
+	if n := cfgB.Tests.Len(); n != memoCold-res.Invalidated {
+		t.Fatalf("recovered %d valuations, want %d (%d cold minus %d invalidated)",
+			n, memoCold-res.Invalidated, memoCold, res.Invalidated)
+	}
+}

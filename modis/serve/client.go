@@ -281,6 +281,19 @@ func (c *Client) Workloads(ctx context.Context) ([]WorkloadInfo, error) {
 	return infos, nil
 }
 
+// AppendRows appends a batch of rows to the named workload's table on
+// the daemon (or through the proxy, which forwards to the owning
+// node). Appends are not idempotent, so they are never retried
+// automatically — a transport failure leaves the committed/uncommitted
+// question to the caller, who can compare the catalog's table_version.
+func (c *Client) AppendRows(ctx context.Context, workload string, req AppendRowsRequest) (*AppendResponse, error) {
+	var out AppendResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/workloads/"+url.PathEscape(workload)+"/rows", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Algorithms lists the daemon's registered algorithm keys.
 func (c *Client) Algorithms(ctx context.Context) ([]string, error) {
 	var names []string

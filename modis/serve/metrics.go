@@ -20,6 +20,17 @@ type shardMetrics struct {
 	valuations atomic.Int64
 	exactCalls atomic.Int64
 	batched    atomic.Int64
+
+	// Streaming counters, updated by AppendRows under the append gate.
+	// tableVersion and rowCount double as the shard's race-free mirrors
+	// of the space's version and row count — catalog/healthz/metrics
+	// reads go through them, never through the space itself, which a
+	// concurrent append may be mutating.
+	appends         atomic.Int64
+	rowsAppended    atomic.Int64
+	memoInvalidated atomic.Int64
+	tableVersion    atomic.Uint64
+	rowCount        atomic.Int64
 }
 
 // nodeMetrics are the node-global counters — the across-shards view.
@@ -123,6 +134,17 @@ func (s *Scheduler) WriteMetrics(w *metrics.Writer) {
 			w.Header("modis_memo_size", "Valuations held in the shard memo.", "gauge")
 			w.Sample("modis_memo_size", labels, float64(sh.cfg.Tests.Len()))
 		}
+
+		w.Header("modis_appends_total", "Row-append batches committed to the shard.", "counter")
+		w.Sample("modis_appends_total", labels, float64(sh.met.appends.Load()))
+		w.Header("modis_rows_appended_total", "Rows appended to the shard's universal table.", "counter")
+		w.Sample("modis_rows_appended_total", labels, float64(sh.met.rowsAppended.Load()))
+		w.Header("modis_memo_invalidated_total", "Memoized valuations dropped by appends that changed their state's selected rows.", "counter")
+		w.Sample("modis_memo_invalidated_total", labels, float64(sh.met.memoInvalidated.Load()))
+		w.Header("modis_table_version", "The shard's current table version (append batches committed since build).", "gauge")
+		w.Sample("modis_table_version", labels, float64(sh.met.tableVersion.Load()))
+		w.Header("modis_table_rows", "The shard's universal-table row count.", "gauge")
+		w.Sample("modis_table_rows", labels, float64(sh.met.rowCount.Load()))
 
 		bs := sh.batch.stats()
 		w.Header("modis_batch_windows_total", "Valuation windows submitted to the shard batcher.", "counter")

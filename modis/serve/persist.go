@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/fst"
 	"repro/internal/skyline"
+	"repro/internal/table"
 	"repro/internal/wal"
 	"repro/modis"
 )
@@ -22,6 +23,7 @@ type PersistOptions struct {
 	//
 	//	<dir>/<hash>/memo/   snapshot+log of the shard's memoized Test records
 	//	<dir>/<hash>/jobs/   snapshot+log of the shard's job ledger
+	//	<dir>/<hash>/rows/   log of appended row batches, one record per table version
 	//
 	// The layout is the shard-migration unit: copying <dir>/<hash>/ to
 	// another node's state dir moves the shard's warm memo and job
@@ -66,7 +68,8 @@ type PersistenceHealth struct {
 	Enabled bool   `json:"enabled"`
 	Healthy bool   `json:"healthy"`
 	Dir     string `json:"dir,omitempty"`
-	// Stores maps "<hash>/memo" and "<hash>/jobs" to their condition.
+	// Stores maps "<hash>/memo", "<hash>/jobs", and "<hash>/rows" to
+	// their condition.
 	Stores map[string]wal.Health `json:"stores,omitempty"`
 	// OpenErrors lists stores that failed to open and run in-memory
 	// only.
@@ -101,6 +104,7 @@ type Persistence struct {
 	mu      sync.Mutex
 	memos   map[string]*persistStore // hash → memo store
 	ledgers map[string]*persistStore // hash → job ledger
+	rows    map[string]*persistStore // hash → appended-rows log
 	// reportRefs locates each finished job's ledger record for
 	// positional report reads after the in-memory handle is dropped.
 	reportRefs map[string]reportRef
@@ -133,6 +137,7 @@ func OpenPersistence(opts PersistOptions) (*Persistence, error) {
 		opts:        opts.withDefaults(),
 		memos:       map[string]*persistStore{},
 		ledgers:     map[string]*persistStore{},
+		rows:        map[string]*persistStore{},
 		reportRefs:  map[string]reportRef{},
 		reportCache: map[string]*modis.Report{},
 		openErrs:    map[string]string{},
@@ -178,10 +183,14 @@ func (p *Persistence) committerOptions() wal.CommitterOptions {
 // shard, replays every persisted test into ts.Put in logged order —
 // reconstructing the valuation order, correlation columns, and
 // diversification normalizer exactly — and installs a sink so every
-// future valuation is persisted write-behind. A store that fails to
-// open leaves ts purely in-memory and records the failure in Health;
-// the returned error is informational, never fatal to serving.
-func (p *Persistence) AttachMemo(hash string, ts *fst.TestSet) error {
+// future valuation is persisted write-behind. accept (nil = accept
+// all) screens each decoded record before it is replayed: the
+// versioned-memo predicate drops valuations whose recorded table
+// version no longer matches the shard's replayed row history. A store
+// that fails to open leaves ts purely in-memory and records the
+// failure in Health; the returned error is informational, never fatal
+// to serving.
+func (p *Persistence) AttachMemo(hash string, ts *fst.TestSet, accept func(*fst.Test) bool) error {
 	dir := p.shardDir(hash) + "/memo"
 	var replayed int
 	store, err := wal.OpenStore(p.opts.FS, dir, func(ref wal.RecordRef, payload []byte) error {
@@ -190,6 +199,9 @@ func (p *Persistence) AttachMemo(hash string, ts *fst.TestSet) error {
 			// A record that framed correctly but decodes badly is from
 			// a future/foreign format: skip it rather than refuse to
 			// start.
+			return nil
+		}
+		if accept != nil && !accept(t) {
 			return nil
 		}
 		ts.Put(t)
@@ -366,6 +378,94 @@ func (p *Persistence) RecoverShard(hash string) []RecoveredJob {
 	return out
 }
 
+// rowsEntry is one JSON record of a shard's appended-rows log: the
+// table version the batch committed as, and the batch itself in wire
+// form (one JSON array per row, universal-schema order). The log is
+// never compacted: per-version batch boundaries are the row-count
+// history the versioned memo validates old valuations against.
+type rowsEntry struct {
+	Version uint64            `json:"version"`
+	Rows    []json.RawMessage `json:"rows"`
+}
+
+// ReplayRows opens the shard's appended-rows log and replays every
+// persisted batch through cfg.Append in logged order, rebuilding the
+// table — and the version→row-count history — exactly as the previous
+// incarnation left it. Call before AttachMemo: the memo's replay
+// predicate validates each persisted valuation against the row history
+// this replay reconstructs. Open failure degrades appends to in-memory
+// (recorded in Health); a record that fails to decode or to re-apply
+// is skipped and recorded, never fatal. Replaying the same shard twice
+// is a no-op the second time.
+func (p *Persistence) ReplayRows(hash string, cfg *fst.Config) error {
+	p.mu.Lock()
+	if _, dup := p.rows[hash]; dup {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+
+	dir := p.shardDir(hash) + "/rows"
+	var schema table.Schema
+	if cfg.Space != nil {
+		schema = cfg.Space.Universal.Schema
+	}
+	store, err := wal.OpenStore(p.opts.FS, dir, func(_ wal.RecordRef, payload []byte) error {
+		var e rowsEntry
+		if json.Unmarshal(payload, &e) != nil || len(e.Rows) == 0 || schema == nil {
+			return nil // foreign/corrupt-format record: skip, don't refuse
+		}
+		rows := make([]table.Row, 0, len(e.Rows))
+		for _, raw := range e.Rows {
+			row, derr := decodeWireRow(schema, raw)
+			if derr != nil {
+				return nil
+			}
+			rows = append(rows, row)
+		}
+		if _, _, aerr := cfg.Append(rows); aerr != nil {
+			// A batch that applied cleanly live but not on replay (e.g.
+			// a foreign state dir): record it; the memo predicate will
+			// reject the valuations of the versions that never landed.
+			p.mu.Lock()
+			p.openErrs[hash+"/rows/replay"] = aerr.Error()
+			p.mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		p.mu.Lock()
+		p.openErrs[hash+"/rows"] = err.Error()
+		p.mu.Unlock()
+		return fmt.Errorf("serve: rows store %.12s degraded to in-memory: %w", hash, err)
+	}
+	com := wal.NewStoreCommitter(p.committerOptions(), store)
+	p.mu.Lock()
+	p.rows[hash] = &persistStore{store: store, com: com}
+	p.mu.Unlock()
+	return nil
+}
+
+// AppendRows spills one committed append batch to the shard's rows log
+// write-behind, keyed by the table version it committed as.
+func (p *Persistence) AppendRows(hash string, version uint64, rows []table.Row) {
+	p.mu.Lock()
+	st := p.rows[hash]
+	p.mu.Unlock()
+	if st == nil {
+		return
+	}
+	wire, err := encodeWireRows(rows)
+	if err != nil {
+		return
+	}
+	blob, err := json.Marshal(rowsEntry{Version: version, Rows: wire})
+	if err != nil {
+		return
+	}
+	st.com.Enqueue(blob, nil)
+}
+
 // appendLedger enqueues one entry on the shard's ledger write-behind.
 // onDurable (may be nil) runs once the entry is synced to disk.
 func (p *Persistence) appendLedger(hash string, e ledgerEntry, onDurable func(ref wal.RecordRef)) {
@@ -478,6 +578,13 @@ func (p *Persistence) Health() PersistenceHealth {
 			h.Healthy = false
 		}
 	}
+	for hash, ps := range p.rows {
+		sh := ps.com.Health()
+		h.Stores[hash+"/rows"] = sh
+		if !sh.Healthy {
+			h.Healthy = false
+		}
+	}
 	if len(p.openErrs) > 0 {
 		h.Healthy = false
 		h.OpenErrors = map[string]string{}
@@ -490,11 +597,14 @@ func (p *Persistence) Health() PersistenceHealth {
 
 // allStores snapshots every open store under the lock.
 func (p *Persistence) allStores() []*persistStore {
-	stores := make([]*persistStore, 0, len(p.memos)+len(p.ledgers))
+	stores := make([]*persistStore, 0, len(p.memos)+len(p.ledgers)+len(p.rows))
 	for _, ps := range p.memos {
 		stores = append(stores, ps)
 	}
 	for _, ps := range p.ledgers {
+		stores = append(stores, ps)
+	}
+	for _, ps := range p.rows {
 		stores = append(stores, ps)
 	}
 	return stores
@@ -534,10 +644,11 @@ func (p *Persistence) Close() {
 }
 
 // encodeTest frames one memoized test for the wal: key, perf vector,
-// feature vector, all little-endian, floats as raw IEEE-754 bits so
-// recovery is bit-exact — the determinism contract depends on it.
+// feature vector, then the table version the valuation is current for,
+// all little-endian, floats as raw IEEE-754 bits so recovery is
+// bit-exact — the determinism contract depends on it.
 func encodeTest(t *fst.Test) []byte {
-	n := 8 + 4 + 8*len(t.Perf) + 4 + 8*len(t.Features)
+	n := 8 + 4 + 8*len(t.Perf) + 4 + 8*len(t.Features) + 8
 	buf := make([]byte, n)
 	off := 0
 	binary.LittleEndian.PutUint64(buf[off:], uint64(t.Key))
@@ -554,10 +665,13 @@ func encodeTest(t *fst.Test) []byte {
 		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
 		off += 8
 	}
+	binary.LittleEndian.PutUint64(buf[off:], t.Version)
 	return buf
 }
 
-// decodeTest is encodeTest's inverse.
+// decodeTest is encodeTest's inverse. Records written before versioned
+// memos end exactly at the feature vector; they decode as version 0 —
+// a valuation of the table as originally built.
 func decodeTest(buf []byte) (*fst.Test, error) {
 	if len(buf) < 12 {
 		return nil, fmt.Errorf("serve: memo record too short (%d bytes)", len(buf))
@@ -577,7 +691,7 @@ func decodeTest(buf []byte) (*fst.Test, error) {
 	}
 	nFeat := int(binary.LittleEndian.Uint32(buf[off:]))
 	off += 4
-	if nFeat < 0 || off+8*nFeat != len(buf) {
+	if nFeat < 0 || off+8*nFeat > len(buf) {
 		return nil, fmt.Errorf("serve: memo record feature length %d out of bounds", nFeat)
 	}
 	var feats []float64
@@ -588,5 +702,14 @@ func decodeTest(buf []byte) (*fst.Test, error) {
 			off += 8
 		}
 	}
-	return &fst.Test{Key: fst.StateKey(key), Perf: perf, Features: feats}, nil
+	var version uint64
+	switch len(buf) - off {
+	case 0:
+		// Pre-versioning record: the table as originally built.
+	case 8:
+		version = binary.LittleEndian.Uint64(buf[off:])
+	default:
+		return nil, fmt.Errorf("serve: memo record has %d trailing bytes", len(buf)-off)
+	}
+	return &fst.Test{Key: fst.StateKey(key), Perf: perf, Features: feats, Version: version}, nil
 }

@@ -332,7 +332,7 @@ func TestPersistenceFaultsDegradeGracefully(t *testing.T) {
 			cfg2 := newPersistShapeConfig(t)
 			p2 := openPersist(t, dir, nil)
 			defer p2.Close()
-			if err := p2.AttachMemo(shapeHash(t), cfg2.Tests); err != nil {
+			if err := p2.AttachMemo(shapeHash(t), cfg2.Tests, nil); err != nil {
 				t.Fatal(err)
 			}
 			if n := cfg2.Tests.Len(); n != memoLen {

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fst"
@@ -69,6 +70,11 @@ type SchedulerOptions struct {
 	// the client a fast, explicitly retryable failure instead of
 	// consuming its whole deadline at the back of the line. 0 disables.
 	MaxQueueWait time.Duration
+	// AppendDrainWait bounds how long AppendRows waits for a shard's
+	// in-flight runs to finish before rejecting the append with
+	// ErrOverloaded (0 = a 30s default; negative = only the request
+	// context bounds the wait); modisd's -append-drain flag.
+	AppendDrainWait time.Duration
 	// Persist, when set, makes the scheduler durable: each registered
 	// shard's memo store attaches under state-dir/<hash>/memo at
 	// Register time (warm-starting the valuations a previous
@@ -150,6 +156,11 @@ type shard struct {
 	met    *shardMetrics
 	names  []string // catalog names registered onto this shard, sorted
 	jobs   int      // jobs accepted for this shard (including recovered)
+
+	// appendMu serializes AppendRows on the shard; gate excludes each
+	// append from the shard's running searches (see append.go).
+	appendMu sync.Mutex
+	gate     appendGate
 }
 
 // JobRecord is a scheduler's ledger entry for one accepted job. A
@@ -326,8 +337,10 @@ func (s *Scheduler) register(desc *workload.Descriptor, cfg *fst.Config, hash st
 	s.mu.Unlock()
 
 	// New shard. Attach durable state first (store IO, serialized by
-	// regMu): the memo replays into cfg.Tests before the engine serves
-	// its first job, and the shard's previous-incarnation jobs are
+	// regMu): persisted row batches replay into the table before the
+	// memo attaches — the memo's replay predicate validates each
+	// persisted valuation's version against that reconstructed row
+	// history — and the shard's previous-incarnation jobs are
 	// recovered into the record. Persistence failures degrade the
 	// shard to in-memory (visible in Health), never fail registration.
 	var recovered []RecoveredJob
@@ -335,7 +348,8 @@ func (s *Scheduler) register(desc *workload.Descriptor, cfg *fst.Config, hash st
 		if cfg.Tests == nil {
 			cfg.Tests = fst.NewTestSet()
 		}
-		s.opts.Persist.AttachMemo(hash, cfg.Tests) //nolint:errcheck // degradation is visible in Health
+		s.opts.Persist.ReplayRows(hash, cfg)                          //nolint:errcheck // degradation is visible in Health
+		s.opts.Persist.AttachMemo(hash, cfg.Tests, memoAcceptor(cfg)) //nolint:errcheck // degradation is visible in Health
 		recovered = s.opts.Persist.RecoverShard(hash)
 	}
 
@@ -349,6 +363,13 @@ func (s *Scheduler) register(desc *workload.Descriptor, cfg *fst.Config, hash st
 		queue:  queue,
 		met:    &shardMetrics{},
 		names:  []string{desc.Name},
+	}
+	if cfg.Space != nil {
+		// The shard-level mirrors the catalog, healthz, and /metrics
+		// read — AppendRows keeps them current under the gate, so reads
+		// never touch the space's own fields concurrently with appends.
+		sh.met.tableVersion.Store(cfg.Space.Version())
+		sh.met.rowCount.Store(int64(len(cfg.Space.Universal.Rows)))
 	}
 	s.mu.Lock()
 	s.shards[hash] = sh
@@ -411,6 +432,13 @@ type WorkloadInfo struct {
 	Name       string               `json:"name"`
 	Hash       string               `json:"hash"`
 	Descriptor *workload.Descriptor `json:"descriptor,omitempty"`
+	// TableVersion is the shard's current table version — append
+	// batches committed (live or replayed from the rows log) since the
+	// workload's table was built. The descriptor hash is version-blind:
+	// appends change serving state, never shard identity.
+	TableVersion uint64 `json:"table_version"`
+	// Rows is the universal table's current row count.
+	Rows int `json:"rows"`
 }
 
 // WorkloadInfos lists the registered workloads with their shard
@@ -421,7 +449,11 @@ func (s *Scheduler) WorkloadInfos() []WorkloadInfo {
 	defer s.mu.Unlock()
 	out := make([]WorkloadInfo, 0, len(s.regs))
 	for _, reg := range s.regs {
-		out = append(out, WorkloadInfo{Name: reg.name, Hash: reg.sh.hash, Descriptor: reg.desc})
+		out = append(out, WorkloadInfo{
+			Name: reg.name, Hash: reg.sh.hash, Descriptor: reg.desc,
+			TableVersion: reg.sh.met.tableVersion.Load(),
+			Rows:         int(reg.sh.met.rowCount.Load()),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -437,6 +469,10 @@ type ShardInfo struct {
 	Jobs int `json:"jobs"`
 	// Memo is the number of memoized valuations held.
 	Memo int `json:"memo"`
+	// TableVersion is the shard's current table version; Rows the
+	// universal table's current row count.
+	TableVersion uint64 `json:"table_version"`
+	Rows         int    `json:"rows"`
 }
 
 // Shards lists the shards this scheduler holds, sorted by hash — the
@@ -446,7 +482,10 @@ func (s *Scheduler) Shards() []ShardInfo {
 	defer s.mu.Unlock()
 	out := make([]ShardInfo, 0, len(s.shards))
 	for _, sh := range s.shards {
-		info := ShardInfo{Hash: sh.hash, Workloads: append([]string(nil), sh.names...), Jobs: sh.jobs}
+		info := ShardInfo{
+			Hash: sh.hash, Workloads: append([]string(nil), sh.names...), Jobs: sh.jobs,
+			TableVersion: sh.met.tableVersion.Load(), Rows: int(sh.met.rowCount.Load()),
+		}
 		if sh.cfg.Tests != nil {
 			info.Memo = sh.cfg.Tests.Len()
 		}
@@ -551,10 +590,23 @@ func (s *Scheduler) SubmitKeyed(ctx context.Context, workloadName, algorithm, id
 	all := make([]modis.Option, 0, len(opts)+2)
 	all = append(all, opts...)
 	all = append(all, modis.WithExactRunner(h))
+	// entered tracks whether the run passed the shard's append gate, so
+	// the completion goroutine releases exactly what was taken.
+	var entered atomic.Bool
 	all = append(all, modis.WithAdmission(func(ctx context.Context) error {
 		if err := s.acquireSlot(ctx); err != nil {
 			return err
 		}
+		if err := sh.gate.beginRun(ctx); err != nil {
+			// The run never starts, so the completion goroutine won't
+			// release the slot (job.Started() stays false): give it back
+			// here.
+			if s.slot != nil {
+				<-s.slot
+			}
+			return err
+		}
+		entered.Store(true)
 		h.join()
 		return nil
 	}))
@@ -590,8 +642,12 @@ func (s *Scheduler) SubmitKeyed(ctx context.Context, workloadName, algorithm, id
 	go func() {
 		<-job.Done()
 		// Deregister from the batcher first so peers stop waiting,
-		// then release the admission slot for the next queued job.
+		// then leave the append gate and release the admission slot
+		// for the next queued job.
 		h.close()
+		if entered.Load() {
+			sh.gate.endRun()
+		}
 		if s.slot != nil && job.Started() {
 			<-s.slot
 		}

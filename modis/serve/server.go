@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/table"
 	"repro/modis"
 )
 
@@ -190,6 +191,7 @@ func (s *Scheduler) statusOf(rec *JobRecord) *JobStatus {
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/events progress as server-sent events
 //	GET    /v1/workloads        workload catalog
+//	POST   /v1/workloads/{name}/rows append rows (AppendRowsRequest → AppendResponse)
 //	GET    /v1/algorithms       registry keys
 //	GET    /healthz             readiness
 //	GET    /metrics             Prometheus text exposition
@@ -234,6 +236,7 @@ func NewServer(sched *Scheduler, opts ServerOptions) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("POST /v1/workloads/{name}/rows", s.handleAppend)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -510,6 +513,67 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sched.WorkloadInfos())
+}
+
+// handleAppend commits a row batch to the named workload's shard:
+// rows are coerced against the universal schema, in-flight runs drain
+// behind the shard's append gate, and the response reports the new
+// table version plus what the versioned memo kept. Malformed rows and
+// frozen-domain violations are 400; an unknown workload is 404 (the
+// proxy's reroute cue); a draining scheduler or a shard that cannot
+// quiesce within the drain bound is 503 (retryable, with a pacing
+// hint).
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req AppendRowsRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: malformed append request: %w", err))
+		return
+	}
+	schema, ok := s.sched.WorkloadSchema(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", ErrUnknownWorkload, name))
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: append requires at least one row"))
+		return
+	}
+	rows := make([]table.Row, len(req.Rows))
+	for i, raw := range req.Rows {
+		row, err := decodeWireRow(schema, raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: append row %d: %w", i, err))
+			return
+		}
+		rows[i] = row
+	}
+	res, err := s.sched.AppendRows(r.Context(), name, rows)
+	if err != nil {
+		status := http.StatusBadRequest
+		var retryAfter time.Duration
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			status = http.StatusServiceUnavailable
+			retryAfter = time.Second
+		case errors.Is(err, ErrDraining):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, ErrUnknownWorkload):
+			status = http.StatusNotFound
+		}
+		writeError(w, status, &wireError{status: status, msg: err.Error(), retryAfter: retryAfter})
+		return
+	}
+	writeJSON(w, http.StatusOK, AppendResponse{
+		Workload:        name,
+		TableVersion:    res.Version,
+		Rows:            res.Rows,
+		TotalRows:       res.TotalRows,
+		MemoInvalidated: res.Invalidated,
+		MemoRetained:    res.Retained,
+	})
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
